@@ -1,0 +1,24 @@
+.PHONY: install test bench examples validate-docs clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Run every example end to end (a few minutes total).
+examples:
+	python examples/quickstart.py
+	python examples/customize_and_evaluate.py
+	python examples/unsound_clusters.py
+	python examples/reproducibility.py
+	python examples/baseline_generators.py
+	python examples/company_register.py
+	python examples/augment_with_pollution.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

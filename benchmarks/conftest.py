@@ -1,0 +1,101 @@
+"""Shared benchmark fixtures: a bench-scale simulated register.
+
+Benchmarks run at a larger scale than the unit tests (tens of thousands of
+raw snapshot rows).  Each bench regenerates one table or figure of the
+paper; the regenerated rows are printed and written to
+``benchmarks/results/<experiment>.txt`` so they can be diffed against the
+paper's numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import sys
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.votersim import SimulationConfig, VoterRegisterSimulator
+
+sys.path.insert(0, str(Path(__file__).parent))  # make bench_utils importable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_CONFIG = SimulationConfig(
+    initial_voters=800,
+    years=8,
+    snapshots_per_year=2,
+    seed=20210323,
+    ncid_reuse_rate=0.02,
+    removal_rate=0.03,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_simulator():
+    sim = VoterRegisterSimulator(BENCH_CONFIG)
+    sim._snapshots = list(sim.run())
+    return sim
+
+
+@pytest.fixture(scope="session")
+def bench_snapshots(bench_simulator):
+    return bench_simulator._snapshots
+
+
+@pytest.fixture(scope="session")
+def bench_generator(bench_snapshots):
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    generator.import_snapshots(bench_snapshots)
+    return generator
+
+
+@pytest.fixture(scope="session")
+def bench_scorer(bench_generator):
+    from repro.core.heterogeneity import HeterogeneityScorer
+    from repro.votersim.schema import PERSON_ATTRIBUTES
+
+    return HeterogeneityScorer.from_clusters(
+        bench_generator.clusters(),
+        ("person",),
+        tuple(a for a in PERSON_ATTRIBUTES if a != "ncid"),
+    )
+
+
+#: The paper's three heterogeneity ranges (Section 6.5).
+NC_RANGES = {"NC1": (0.06, 0.2), "NC2": (0.2, 0.4), "NC3": (0.4, 1.0)}
+
+
+@pytest.fixture(scope="session")
+def nc_datasets(bench_generator, bench_scorer):
+    from repro.core import customize
+
+    return {
+        name: customize(
+            bench_generator,
+            low,
+            high,
+            target_clusters=120,
+            scorer=bench_scorer,
+            name=name,
+        )
+        for name, (low, high) in NC_RANGES.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def comparison_datasets():
+    from repro.datasets import synthesize_cddb, synthesize_census, synthesize_cora
+
+    return {
+        "Cora": synthesize_cora(),
+        "Census": synthesize_census(),
+        "CDDB": synthesize_cddb(),
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

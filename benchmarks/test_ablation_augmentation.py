@@ -1,0 +1,89 @@
+"""Ablation: pollution augmentation intensity (Section 8 future work).
+
+Sweeps the augmentation plan's error intensity and measures how the
+synthetic duplicate pairs' difficulty (average heterogeneity and similarity
+to their source record) scales — the knob the DaPo combination adds on top
+of the organic data.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.augment import AugmentationPlan, Augmenter, strip_synthetic
+from repro.core.clusters import record_view
+from repro.core.heterogeneity import HeterogeneityScorer
+from repro.votersim import SimulationConfig, VoterRegisterSimulator
+from repro.votersim.schema import PERSON_ATTRIBUTES
+
+from bench_utils import write_result
+
+INTENSITIES = (0.5, 1.5, 3.0, 6.0)
+
+
+def build_generator():
+    config = SimulationConfig(initial_voters=400, years=4, seed=23)
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    generator.import_snapshots(VoterRegisterSimulator(config).run())
+    return generator
+
+
+def synthetic_difficulty(generator, scorer):
+    """Average heterogeneity between synthetic records and their sources."""
+    scores = []
+    for cluster in generator.clusters():
+        for record in cluster["records"]:
+            if not record.get("synthetic"):
+                continue
+            source = cluster["records"][record["augmented_from"]]
+            scores.append(
+                scorer.pair_heterogeneity(
+                    record_view(source, ("person",)),
+                    record_view(record, ("person",)),
+                )
+            )
+    return statistics.mean(scores) if scores else 0.0
+
+
+def test_ablation_augmentation_intensity(benchmark, results_dir):
+    attributes = tuple(a for a in PERSON_ATTRIBUTES if a != "ncid")
+
+    def run_sweep():
+        results = {}
+        for intensity in INTENSITIES:
+            generator = build_generator()
+            scorer = HeterogeneityScorer.from_clusters(
+                generator.clusters(), ("person",), attributes
+            )
+            organic = generator.record_count
+            plan = AugmentationPlan(
+                share_of_clusters=1.0,
+                duplicates_per_cluster=1,
+                errors_per_duplicate=intensity,
+                seed=int(intensity * 10),
+            )
+            stats = Augmenter(generator, plan).augment()
+            results[intensity] = (
+                stats.records_added,
+                synthetic_difficulty(generator, scorer),
+                sum(len(strip_synthetic(c)) for c in generator.clusters()) == organic,
+            )
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [f"{'errors/dup':>10} {'added':>7} {'syn difficulty':>15} {'reversible':>11}"]
+    for intensity in INTENSITIES:
+        added, difficulty, reversible = results[intensity]
+        lines.append(
+            f"{intensity:>10.1f} {added:>7} {difficulty:>15.3f} {str(reversible):>11}"
+        )
+    write_result(results_dir, "ablation_augmentation", lines)
+
+    # Difficulty scales monotonically with the injected error intensity...
+    difficulties = [results[i][1] for i in INTENSITIES]
+    assert difficulties == sorted(difficulties)
+    assert difficulties[-1] > 2 * difficulties[0]
+    # ...and the augmentation is always reversible via provenance.
+    assert all(results[i][2] for i in INTENSITIES)

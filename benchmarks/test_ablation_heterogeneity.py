@@ -1,0 +1,58 @@
+"""Ablation: the four-way value comparison of the heterogeneity score.
+
+Section 6.3 compares every value pair four ways ({Damerau-Levenshtein,
+Monge-Elkan} x {cased, lowercased}) so that case differences and token
+confusions weigh less than genuine replacements.  The ablation scores the
+same benign variations (case flip, token swap) and a genuine replacement
+under the four-way scheme and under each single measure alone.
+"""
+
+from repro.core.heterogeneity import four_way_similarity
+from repro.textsim import damerau_levenshtein_similarity, symmetric_monge_elkan
+
+from bench_utils import write_result
+
+PAIRS = {
+    "identical": ("MARY ANN", "MARY ANN"),
+    "case flip": ("MARY ANN", "Mary Ann"),
+    "token swap": ("MARY ANN", "ANN MARY"),
+    "typo": ("WILLIAMS", "WILLAMS"),
+    "replacement": ("WILLIAMS", "GUTIERREZ"),
+}
+
+
+def score_all(measure):
+    return {name: 1.0 - measure(left, right) for name, (left, right) in PAIRS.items()}
+
+
+def test_ablation_four_way_comparison(benchmark, results_dir):
+    four_way = benchmark(score_all, four_way_similarity)
+    dl_only = score_all(damerau_levenshtein_similarity)
+    me_only = score_all(symmetric_monge_elkan)
+
+    lines = [f"{'variation':>12} {'four-way':>9} {'DL only':>9} {'ME only':>9}"]
+    for name in PAIRS:
+        lines.append(
+            f"{name:>12} {four_way[name]:>9.3f} {dl_only[name]:>9.3f} "
+            f"{me_only[name]:>9.3f}"
+        )
+    write_result(results_dir, "ablation_heterogeneity_fourway", lines)
+
+    # The design goal: benign variations rank strictly below replacements.
+    assert four_way["identical"] == 0.0
+    assert four_way["case flip"] < four_way["replacement"]
+    assert four_way["token swap"] < four_way["replacement"]
+    assert four_way["typo"] < four_way["replacement"]
+    # The four-way average softens both benign variations relative to the
+    # single measure that punishes them hardest:
+    assert four_way["case flip"] < dl_only["case flip"]
+    assert four_way["case flip"] < me_only["case flip"]
+    assert four_way["token swap"] < dl_only["token swap"]
+    # Single measures fail in opposite directions: DL alone punishes token
+    # swaps almost like replacements, ME alone cannot see them at all.
+    assert dl_only["token swap"] > 0.5
+    assert me_only["token swap"] == 0.0
+    # Case-only variation still costs something (exact duplicates were
+    # already removed, so it is a real difference) but far less than a
+    # replacement.
+    assert 0.0 < four_way["case flip"] < 0.5 * four_way["replacement"]

@@ -1,0 +1,73 @@
+"""Baseline comparison: generator family throughput (Section 7).
+
+The related-work discussion ranks the generator families by scalability
+(synthesization fastest, pollution fast, manual labeling infeasible) and
+realism (historical data the only source of organic outdated values).
+This bench measures generation throughput of all three implemented
+families and checks the ordering argument.
+"""
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.pollute import FebrlStyleSynthesizer, GeCoStylePolluter
+from repro.pollute.synthesizer import SynthesizerConfig
+from repro.votersim import SimulationConfig, VoterRegisterSimulator
+
+from bench_utils import write_result
+
+
+def test_febrl_style_synthesis_throughput(benchmark, results_dir):
+    config = SynthesizerConfig(originals=4000, duplicates=1000, seed=5)
+
+    dataset = benchmark(lambda: FebrlStyleSynthesizer(config).generate())
+
+    rate = dataset.record_count / benchmark.stats["mean"]
+    write_result(
+        results_dir,
+        "baseline_febrl_throughput",
+        [f"records: {dataset.record_count}", f"throughput: {rate:,.0f} records/s"],
+    )
+    assert rate > 10_000
+
+
+def test_geco_style_pollution_throughput(benchmark, results_dir):
+    clean = FebrlStyleSynthesizer(
+        SynthesizerConfig(originals=4000, duplicates=0, seed=6)
+    ).generate().records
+
+    polluter_attrs = tuple(clean[0])
+
+    def pollute():
+        return GeCoStylePolluter(polluter_attrs, seed=7).pollute(clean)
+
+    result = benchmark(pollute)
+    rate = len(result.records) / benchmark.stats["mean"]
+    write_result(
+        results_dir,
+        "baseline_geco_throughput",
+        [f"records: {len(result.records)}", f"throughput: {rate:,.0f} records/s"],
+    )
+    assert rate > 10_000
+
+
+def test_historical_generation_throughput(benchmark, bench_snapshots, results_dir):
+    total_rows = sum(len(s) for s in bench_snapshots)
+
+    def generate():
+        generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        generator.import_snapshots(bench_snapshots)
+        return generator
+
+    generator = benchmark(generate)
+    rate = total_rows / benchmark.stats["mean"]
+    write_result(
+        results_dir,
+        "baseline_historical_throughput",
+        [
+            f"snapshot rows: {total_rows}",
+            f"dataset records: {generator.record_count}",
+            f"import throughput: {rate:,.0f} rows/s",
+        ],
+    )
+    # The import path is streaming and must stay in the tens of thousands
+    # of rows per second — the property that makes 500 M rows feasible.
+    assert rate > 10_000

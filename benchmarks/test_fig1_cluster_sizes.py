@@ -1,0 +1,55 @@
+"""Figure 1: cluster-size distributions.
+
+(a) records per cluster within a single snapshot;
+(b) clusters per cluster size over the full union (all attributes vs
+    person attributes only).
+"""
+
+import collections
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.statistics import cluster_size_histogram, size_histogram_of_sizes
+
+from bench_utils import histogram_lines, write_result
+
+
+def test_fig1a_single_snapshot_sizes(benchmark, bench_snapshots, results_dir):
+    last = bench_snapshots[-1]
+
+    def single_snapshot_histogram():
+        counts = collections.Counter(
+            record["ncid"].strip() for record in last.records
+        )
+        return size_histogram_of_sizes(counts.values())
+
+    histogram = benchmark(single_snapshot_histogram)
+    lines = histogram_lines(histogram, "cluster size")
+    total_records = sum(size * count for size, count in histogram.items())
+    average = total_records / sum(histogram.values())
+    lines.append(f"avg records per object: {average:.2f}")
+    write_result(results_dir, "fig1a_single_snapshot_sizes", lines)
+
+    # Paper: a single snapshot has small clusters (avg 1.18); ours likewise.
+    assert histogram[1] > sum(histogram.values()) / 2
+    assert average < 2.0
+
+
+def test_fig1b_union_cluster_sizes(benchmark, bench_snapshots, bench_generator, results_dir):
+    all_attrs_histogram = benchmark(cluster_size_histogram, bench_generator)
+
+    person = TestDataGenerator(removal=RemovalLevel.PERSON)
+    person.import_snapshots(bench_snapshots)
+    person_histogram = cluster_size_histogram(person)
+
+    lines = ["-- all attributes (trimming level) --"]
+    lines += histogram_lines(all_attrs_histogram, "cluster size")
+    lines.append("-- person attributes only --")
+    lines += histogram_lines(person_histogram, "cluster size")
+    write_result(results_dir, "fig1b_union_cluster_sizes", lines)
+
+    # Paper: person-level removal shifts the distribution toward smaller
+    # clusters, but the union remains far above single-snapshot sizes.
+    avg_all = bench_generator.record_count / bench_generator.cluster_count
+    avg_person = person.record_count / person.cluster_count
+    assert avg_all > avg_person > 1.0
+    assert max(all_attrs_histogram) >= max(person_histogram)

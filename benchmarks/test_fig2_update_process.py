@@ -1,0 +1,56 @@
+"""Figure 2: the update process (import -> statistics -> publish).
+
+Benchmarks a full end-to-end update cycle and a statistics-only update,
+and verifies the versioning invariants the process guarantees.
+"""
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.versioning import UpdateProcess
+
+from bench_utils import write_result
+
+
+def test_fig2_full_update_cycle(benchmark, bench_snapshots, results_dir):
+    half = len(bench_snapshots) // 2
+
+    def run_update():
+        generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        process = UpdateProcess(generator)
+        process.run(bench_snapshots[:half], note="initial load")
+        process.run(bench_snapshots[half:], note="incremental load")
+        return generator
+
+    generator = benchmark.pedantic(run_update, rounds=1, iterations=1)
+
+    lines = [
+        f"records:   {generator.record_count}",
+        f"clusters:  {generator.cluster_count}",
+        f"versions:  {generator.current_version}",
+        f"update cycle time: {benchmark.stats['mean']:.2f} s "
+        f"({generator.record_count / benchmark.stats['mean']:,.0f} records/s scored)",
+    ]
+    write_result(results_dir, "fig2_update_process", lines)
+
+    assert generator.current_version == 2
+    versions = generator.database["versions"]
+    assert versions.count_documents() == 2
+    first = versions.find_one({"_id": 1})
+    second = versions.find_one({"_id": 2})
+    assert second["records"] > first["records"]  # monotone growth
+    # every stored record carries its introducing version
+    for cluster in generator.database["clusters"].find(limit=20):
+        for record in cluster["records"]:
+            assert record["first_version"] in (1, 2)
+
+
+def test_fig2_statistics_only_update(benchmark, bench_snapshots):
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    generator.import_snapshots(bench_snapshots[:4])
+    process = UpdateProcess(generator)
+
+    def statistics_update():
+        process.update_statistics()
+
+    benchmark.pedantic(statistics_update, rounds=1, iterations=1)
+    version = generator.publish("statistics update")
+    assert version == 1

@@ -1,0 +1,53 @@
+"""Scalability: import throughput across register sizes.
+
+The paper's core claim is that the historical approach scales where
+manual labeling and pollution tools do not (Sections 1 and 7).  The
+pipeline here is streaming with O(cluster) state, so throughput must stay
+flat (and total time linear) as the register grows — this bench measures
+rows/s at three scales and asserts near-linear scaling.
+"""
+
+import time
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.votersim import SimulationConfig, VoterRegisterSimulator
+
+from bench_utils import write_result
+
+SCALES = (300, 900, 2700)
+
+
+def run_scale(voters: int):
+    config = SimulationConfig(initial_voters=voters, years=5, seed=31)
+    snapshots = list(VoterRegisterSimulator(config).run())
+    rows = sum(len(s) for s in snapshots)
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    start = time.perf_counter()
+    generator.import_snapshots(snapshots)
+    elapsed = time.perf_counter() - start
+    return rows, elapsed, generator.record_count
+
+
+def test_import_scales_linearly(benchmark, results_dir):
+    def sweep():
+        return {voters: run_scale(voters) for voters in SCALES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'voters':>8} {'rows':>8} {'seconds':>9} {'rows/s':>10} {'records':>8}"]
+    throughputs = []
+    for voters in SCALES:
+        rows, elapsed, records = results[voters]
+        rate = rows / elapsed
+        throughputs.append(rate)
+        lines.append(
+            f"{voters:>8} {rows:>8} {elapsed:>9.2f} {rate:>10,.0f} {records:>8}"
+        )
+    write_result(results_dir, "scalability_import", lines)
+
+    # Throughput at 9x scale stays within 3x of the smallest scale —
+    # a loose bound that still rules out quadratic behaviour (which would
+    # cost ~9x throughput here).
+    assert min(throughputs) > max(throughputs) / 3.0
+    # And absolute throughput stays in the tens of thousands of rows/s.
+    assert min(throughputs) > 10_000

@@ -1,0 +1,114 @@
+"""Substrate micro-benchmarks: similarity measures and the document store.
+
+Not paper experiments — these keep the two performance-critical substrates
+honest.  The heterogeneity computation calls the similarity measures
+millions of times at full scale, and every customisation query goes
+through the document store.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.docstore import Database
+from repro.textsim import (
+    damerau_levenshtein_similarity,
+    generalized_jaccard,
+    jaccard_qgrams,
+    jaro_winkler,
+    symmetric_monge_elkan,
+)
+
+
+def _word(rng, length=8):
+    return "".join(rng.choice(string.ascii_uppercase) for _ in range(length))
+
+
+@pytest.fixture(scope="module")
+def word_pairs():
+    rng = random.Random(4)
+    return [(_word(rng), _word(rng)) for _ in range(200)]
+
+
+class TestSimilarityThroughput:
+    def test_damerau_levenshtein(self, benchmark, word_pairs):
+        result = benchmark(
+            lambda: [damerau_levenshtein_similarity(a, b) for a, b in word_pairs]
+        )
+        assert len(result) == 200
+
+    def test_jaro_winkler(self, benchmark, word_pairs):
+        result = benchmark(lambda: [jaro_winkler(a, b) for a, b in word_pairs])
+        assert len(result) == 200
+
+    def test_trigram_jaccard(self, benchmark, word_pairs):
+        result = benchmark(lambda: [jaccard_qgrams(a, b) for a, b in word_pairs])
+        assert len(result) == 200
+
+    def test_monge_elkan(self, benchmark, word_pairs):
+        pairs = [(f"{a} {b}", f"{b} {a}") for a, b in word_pairs[:50]]
+        result = benchmark(
+            lambda: [symmetric_monge_elkan(a, b) for a, b in pairs]
+        )
+        assert len(result) == 50
+
+    def test_generalized_jaccard(self, benchmark, word_pairs):
+        pairs = [(f"{a} {b}", f"{b} {a}") for a, b in word_pairs[:50]]
+        result = benchmark(lambda: [generalized_jaccard(a, b) for a, b in pairs])
+        assert len(result) == 50
+
+
+def _build_collection(documents):
+    database = Database("perf")
+    collection = database["docs"]
+    collection.insert_many(documents)
+    return collection
+
+
+@pytest.fixture(scope="module")
+def store_documents():
+    rng = random.Random(9)
+    return [
+        {
+            "ncid": f"AA{i:06d}",
+            "records": [
+                {"person": {"last_name": _word(rng), "age": str(rng.randrange(18, 99))}}
+                for _ in range(rng.randrange(1, 5))
+            ],
+        }
+        for i in range(2000)
+    ]
+
+
+class TestDocStoreThroughput:
+    def test_insert(self, benchmark, store_documents):
+        collection = benchmark(_build_collection, store_documents)
+        assert len(collection) == 2000
+
+    def test_indexed_point_query(self, benchmark, store_documents):
+        collection = _build_collection(store_documents)
+        collection.create_index("ncid")
+
+        def lookup():
+            return [
+                collection.find({"ncid": f"AA{i:06d}"}) for i in range(0, 2000, 40)
+            ]
+
+        results = benchmark(lookup)
+        assert all(len(r) == 1 for r in results)
+
+    def test_aggregation_pipeline(self, benchmark, store_documents):
+        collection = _build_collection(store_documents)
+
+        def aggregate():
+            return collection.aggregate(
+                [
+                    {"$addFields": {"size": {"$size": "$records"}}},
+                    {"$group": {"_id": "$size", "n": {"$sum": 1}}},
+                    {"$sort": {"_id": 1}},
+                ]
+            )
+
+        result = benchmark(aggregate)
+        assert sum(row["n"] for row in result) == 2000

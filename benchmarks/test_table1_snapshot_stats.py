@@ -1,0 +1,51 @@
+"""Table 1: per-year snapshot statistics (new records / new objects).
+
+Regenerates the paper's Table 1 on the simulated register and benchmarks
+the snapshot import throughput that produces it.
+"""
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.statistics import snapshot_year_stats
+
+from bench_utils import write_result
+
+
+def import_all(snapshots):
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    generator.import_snapshots(snapshots)
+    return generator
+
+
+def test_table1_snapshot_year_stats(benchmark, bench_snapshots, results_dir):
+    generator = benchmark(import_all, bench_snapshots)
+
+    rows = snapshot_year_stats(generator.import_stats)
+    lines = [
+        f"{'year':>5} {'#snaps':>6} {'total':>8} {'new rec':>8} "
+        f"{'new obj':>8} {'rec rate':>9} {'obj rate':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.year:>5} {row.snapshots:>6} {row.total_records:>8} "
+            f"{row.new_records:>8} {row.new_objects:>8} "
+            f"{row.new_record_rate:>8.1%} {row.new_object_rate:>8.1%}"
+        )
+    total_rows = sum(row.total_records for row in rows)
+    total_new = sum(row.new_records for row in rows)
+    total_objects = sum(row.new_objects for row in rows)
+    lines.append(
+        f"{'total':>5} {sum(r.snapshots for r in rows):>6} {total_rows:>8} "
+        f"{total_new:>8} {total_objects:>8} {total_new / total_rows:>8.1%} "
+        f"{total_objects / total_new:>8.1%}"
+    )
+    records_per_second = total_rows / benchmark.stats["mean"]
+    lines.append(f"import throughput: {records_per_second:,.0f} rows/s")
+    write_result(results_dir, "table1_snapshot_stats", lines)
+
+    # Shape checks mirroring the paper's observations (Section 4):
+    first = rows[0]
+    assert first.new_record_rate > 0.5  # first year dominates
+    assert all(row.new_records > 0 for row in rows)  # every year contributes
+    # format-drift years spike the new-record rate (paper: 2012/2018)
+    later_rates = [row.new_record_rate for row in rows[1:]]
+    assert max(later_rates) > 2 * min(later_rates)

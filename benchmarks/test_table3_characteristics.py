@@ -1,0 +1,72 @@
+"""Table 3: characteristics of Cora / Census / CDDB / NC1 / NC2 / NC3."""
+
+from repro.core.heterogeneity import HeterogeneityScorer
+
+from bench_utils import write_result
+
+
+def characteristics_rows(comparison_datasets, nc_datasets, bench_scorer):
+    rows = []
+    for name, dataset in comparison_datasets.items():
+        ch = dataset.characteristics()
+        representatives = [members[0] for members in dataset.clusters().values()]
+        scorer = HeterogeneityScorer.from_records(representatives, dataset.attributes)
+        scores = []
+        for members in dataset.clusters().values():
+            if len(members) > 1:
+                scores.extend(scorer.pair_heterogeneities(members))
+        rows.append(
+            (
+                name, ch.records, ch.attributes, ch.duplicate_pairs, ch.clusters,
+                ch.non_singletons, ch.max_cluster_size, ch.avg_cluster_size,
+                max(scores) if scores else 0.0,
+                sum(scores) / len(scores) if scores else 0.0,
+            )
+        )
+    for name, dataset in nc_datasets.items():
+        avg_het, max_het = dataset.heterogeneity_stats(bench_scorer)
+        sizes = dataset.cluster_sizes()
+        non_singletons = sum(1 for size in sizes.values() if size > 1)
+        pairs = sum(size * (size - 1) // 2 for size in sizes.values())
+        rows.append(
+            (
+                name, dataset.record_count, 27, pairs, dataset.cluster_count,
+                non_singletons, dataset.max_cluster_size,
+                dataset.avg_cluster_size, max_het, avg_het,
+            )
+        )
+    return rows
+
+
+def test_table3_dataset_characteristics(
+    benchmark, comparison_datasets, nc_datasets, bench_scorer, results_dir
+):
+    rows = benchmark.pedantic(
+        characteristics_rows,
+        args=(comparison_datasets, nc_datasets, bench_scorer),
+        rounds=1,
+        iterations=1,
+    )
+
+    header = (
+        f"{'dataset':>8} {'#recs':>7} {'#attrs':>6} {'#pairs':>7} {'#clust':>7} "
+        f"{'#nonsing':>8} {'max':>5} {'avg':>6} {'max het':>8} {'avg het':>8}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row[0]:>8} {row[1]:>7} {row[2]:>6} {row[3]:>7} {row[4]:>7} "
+            f"{row[5]:>8} {row[6]:>5} {row[7]:>6.2f} {row[8]:>8.2f} {row[9]:>8.3f}"
+        )
+    write_result(results_dir, "table3_characteristics", lines)
+
+    by_name = {row[0]: row for row in rows}
+    # Comparison datasets match their published counts exactly.
+    assert by_name["Cora"][1:8] == (1879, 17, 64578, 182, 118, 238, by_name["Cora"][7])
+    assert by_name["Census"][1] == 841 and by_name["Census"][3] == 376
+    assert by_name["CDDB"][1] == 9763 and by_name["CDDB"][3] == 300
+    # NC1 < NC2 < NC3 in average heterogeneity (the paper's design goal).
+    assert by_name["NC1"][9] < by_name["NC2"][9] < by_name["NC3"][9]
+    # All NC subsets are fully non-singleton (step 3 keeps the largest).
+    for name in ("NC1", "NC2", "NC3"):
+        assert by_name[name][4] == by_name[name][5]

@@ -1,0 +1,72 @@
+"""Table 4: the irregularity census over NC, Cora and Census."""
+
+from repro.core.clusters import record_view
+from repro.core.irregularities import IrregularityCensus
+
+from bench_utils import write_result
+
+NC_ATTRIBUTES = (
+    "first_name", "midl_name", "last_name", "name_sufx", "age",
+    "birth_place", "phone_num", "street_name", "res_city_desc", "mail_addr1",
+    "race_desc", "ethnic_desc",  # multi-token values: token transpositions
+)
+
+
+def census_for_nc(generator):
+    census = IrregularityCensus(NC_ATTRIBUTES)
+    for cluster in generator.clusters():
+        records = [record_view(r, ("person",)) for r in cluster["records"]]
+        census.add_cluster(records)
+    return census
+
+
+def census_for_dataset(dataset, multi_pairs=()):
+    census = IrregularityCensus(dataset.attributes, multi_attribute_pairs=multi_pairs)
+    for members in dataset.clusters().values():
+        census.add_cluster(members)
+    return census
+
+
+def test_table4_irregularity_census(
+    benchmark, bench_generator, comparison_datasets, results_dir
+):
+    nc_census = benchmark.pedantic(
+        census_for_nc, args=(bench_generator,), rounds=1, iterations=1
+    )
+    cora_census = census_for_dataset(comparison_datasets["Cora"])
+    census_census = census_for_dataset(
+        comparison_datasets["Census"],
+        multi_pairs=(("first_name", "last_name"), ("first_name", "middle_initial")),
+    )
+
+    lines = [
+        f"{'error type':>20} {'NC total':>9} {'NC %':>7} {'NC attr':>12} "
+        f"{'Cora %':>8} {'Census %':>9}"
+    ]
+    for row in nc_census.counts():
+        cora_row = cora_census.count(row.error_type)
+        census_row = census_census.count(row.error_type)
+        lines.append(
+            f"{row.error_type:>20} {row.total:>9} {row.percentage:>6.1%} "
+            f"{row.most_common_attribute:>12} {cora_row.percentage:>7.1%} "
+            f"{census_row.percentage:>8.1%}"
+        )
+    lines.append(
+        f"normalisers: NC {nc_census.records_seen} records / "
+        f"{nc_census.pairs_seen} pairs; Cora {cora_census.pairs_seen} pairs; "
+        f"Census {census_census.pairs_seen} pairs"
+    )
+    write_result(results_dir, "table4_irregularities", lines)
+
+    # Shape checks from the paper's discussion:
+    # (i) the NC data contains every irregularity family;
+    for error_type in ("missing", "abbreviation", "typo", "phonetic", "prefix"):
+        assert nc_census.count(error_type).total > 0, error_type
+    # (ii) NC percentages are small but absolute counts dominate Cora/Census;
+    typo = nc_census.count("typo")
+    assert typo.percentage < 0.2
+    assert typo.total > cora_census.count("typo").total or typo.total > 50
+    # (iii) Census's typo share is far above NC's (paper: 65 % last_name);
+    assert census_census.count("typo").percentage > nc_census.count("typo").percentage
+    # (iv) names dominate the NC single-attribute irregularities.
+    assert nc_census.count("abbreviation").most_common_attribute == "midl_name"

@@ -1,0 +1,108 @@
+"""Domain generalisation: the pipeline on a historical company register.
+
+The paper's future work (Section 8) proposes applying the generation
+procedure to historical corpora from other domains.  This example runs the
+*unchanged* core pipeline on a simulated company register — a different
+schema (company/address/officers/meta), a different stable id (``reg_id``)
+and a domain-specific plausibility scorer — and shows that every paper
+property carries over: snapshot overlap compression, sound gold standard,
+unsound-cluster detection, heterogeneity-bounded customisation.
+
+Run with::
+
+    python examples/company_register.py
+"""
+
+import statistics
+
+from repro.core import RemovalLevel, TestDataGenerator, customize
+from repro.core.heterogeneity import HeterogeneityScorer
+from repro.core.versioning import UpdateProcess
+from repro.histcorpus import (
+    COMPANY_PROFILE,
+    CompanyRegisterConfig,
+    CompanyRegisterSimulator,
+    score_company_cluster,
+)
+from repro.histcorpus.plausibility import company_cluster_plausibility
+
+
+def main() -> None:
+    config = CompanyRegisterConfig(
+        initial_companies=400,
+        years=8,
+        seed=13,
+        id_reuse_rate=0.3,
+        dissolution_rate=0.05,
+    )
+    simulator = CompanyRegisterSimulator(config)
+    snapshots = list(simulator.run())
+    raw_rows = sum(len(s) for s in snapshots)
+    print(f"simulated {len(snapshots)} register snapshots, {raw_rows} rows")
+
+    # The identical generator, parameterised only by the schema profile
+    # and the domain's plausibility scorer.
+    generator = TestDataGenerator(
+        removal=RemovalLevel.TRIMMED, profile=COMPANY_PROFILE
+    )
+    UpdateProcess(generator, plausibility_fn=score_company_cluster).run(
+        snapshots, note="company register, initial load"
+    )
+    print(
+        f"generated {generator.record_count} records in "
+        f"{generator.cluster_count} clusters "
+        f"({1 - generator.record_count / raw_rows:.0%} of rows were "
+        f"near-exact duplicates)"
+    )
+
+    # Unsound clusters (reused registration ids) score low, as for voters.
+    sound, unsound = [], []
+    for cluster in generator.clusters():
+        if len(cluster["records"]) < 2:
+            continue
+        score = company_cluster_plausibility(cluster)
+        if cluster["ncid"] in simulator.unsound_ids:
+            unsound.append(score)
+        else:
+            sound.append(score)
+    print(
+        f"plausibility: sound clusters avg {statistics.mean(sound):.2f}, "
+        f"reused-id clusters avg {statistics.mean(unsound):.2f} "
+        f"({len(unsound)} of them)"
+    )
+
+    # Heterogeneity-bounded customisation works unchanged too.
+    attributes = tuple(
+        a for a in COMPANY_PROFILE.primary_attributes() if a != "reg_id"
+    )
+    scorer = HeterogeneityScorer.from_clusters(
+        generator.clusters(), ("company",), attributes
+    )
+    for name, (low, high) in (("clean", (0.0, 0.15)), ("dirty", (0.25, 1.0))):
+        dataset = customize(
+            generator, low, high, target_clusters=40,
+            groups=("company",), scorer=scorer, name=name,
+        )
+        avg_het, max_het = dataset.heterogeneity_stats(scorer)
+        print(
+            f"customised '{name}' [{low}, {high}]: {dataset.record_count} "
+            f"records, avg heterogeneity {avg_het:.2f}, max {max_het:.2f}"
+        )
+
+    # One grown cluster, showing outdated values (rename + move).
+    example = max(generator.clusters(), key=lambda c: len(c["records"]))
+    print(f"\nlargest cluster {example['ncid']} ({len(example['records'])} records):")
+    for record in example["records"]:
+        company = record["company"]
+        address = record.get("address", {})
+        print(
+            f"  v{record['first_version']}  "
+            f"{company.get('company_name', ''):<24} "
+            f"{company.get('legal_form', ''):<5} "
+            f"{address.get('city', ''):<15} "
+            f"CEO {record.get('officers', {}).get('ceo_name', '')}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of *Generating Realistic Test Datasets for Duplicate
+Detection at Scale Using Historical Voter Data* (Panse et al., EDBT 2021).
+
+The package is organised as one subpackage per subsystem:
+
+* :mod:`repro.textsim` — string similarity measures (Damerau-Levenshtein,
+  Jaro-Winkler, Jaccard, Generalized Jaccard, Monge-Elkan, Soundex).
+* :mod:`repro.docstore` — an embedded aggregate-oriented document store
+  standing in for MongoDB.
+* :mod:`repro.votersim` — a generative simulator of the historical North
+  Carolina voter register (the paper's input data).
+* :mod:`repro.core` — the paper's contribution: snapshot ingestion,
+  exact-duplicate removal, cluster storage, versioning, plausibility /
+  heterogeneity scoring, irregularity census and customisation.
+* :mod:`repro.dedup` — the duplicate-detection framework used in the
+  evaluation (Sorted Neighborhood blocking + weighted record matching).
+* :mod:`repro.datasets` — synthesizers for the Cora / Census / CDDB
+  comparison datasets.
+* :mod:`repro.pollute` — Febrl-style synthesizer and GeCo-style pollution
+  baselines from the related-work discussion.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

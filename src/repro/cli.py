@@ -1,0 +1,401 @@
+"""Command-line interface: the end-user workflow as five subcommands.
+
+::
+
+    ncvoter-testdata simulate  --out snapshots/ --voters 2000 --years 8
+    ncvoter-testdata generate  --snapshots snapshots/ --store store/ --stats
+    ncvoter-testdata stats     --store store/
+    ncvoter-testdata customize --store store/ --out nc2.csv --h-lo 0.2 --h-hi 0.4
+    ncvoter-testdata evaluate  --dataset nc2.csv --gold nc2.gold.csv
+
+``simulate`` writes snapshot TSVs (the register's publication format);
+``generate`` runs the full update process (import → statistics → publish)
+into a persisted document store; ``stats`` prints the Table 1/2 statistics
+of a store; ``customize`` extracts a heterogeneity-bounded test dataset as
+CSV plus a gold-pair file; ``evaluate`` sweeps thresholds for the three
+paper measures and reports the best F1 per measure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core import RemovalLevel, TestDataGenerator, customize
+from repro.core.heterogeneity import HeterogeneityScorer
+from repro.core.statistics import snapshot_year_stats
+from repro.core.versioning import UpdateProcess
+from repro.docstore import Database
+from repro.votersim import (
+    SimulationConfig,
+    VoterRegisterSimulator,
+    read_snapshot_tsv,
+)
+from repro.votersim.schema import PERSON_ATTRIBUTES
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        initial_voters=args.voters,
+        years=args.years,
+        snapshots_per_year=args.snapshots_per_year,
+        seed=args.seed,
+    )
+    simulator = VoterRegisterSimulator(config)
+    paths = simulator.run_to_directory(Path(args.out))
+    total = 0
+    for path in paths:
+        rows = sum(1 for _ in path.open()) - 1
+        total += rows
+        print(f"wrote {path} ({rows} rows)")
+    print(f"{len(paths)} snapshots, {total} rows total")
+    return 0
+
+
+def _load_snapshots(directory: Path):
+    paths = sorted(Path(directory).glob("*.tsv"))
+    if not paths:
+        raise SystemExit(f"no .tsv snapshots found in {directory}")
+    return [read_snapshot_tsv(path) for path in paths]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    snapshots = _load_snapshots(args.snapshots)
+    generator = TestDataGenerator(removal=RemovalLevel(args.removal))
+    process = UpdateProcess(generator)
+    version = process.run(
+        snapshots, compute_statistics=args.stats, note="cli generate"
+    )
+    generator.database.save(Path(args.store))
+    print(
+        f"published version {version}: {generator.record_count} records in "
+        f"{generator.cluster_count} clusters -> {args.store}"
+    )
+    # Persist import statistics alongside the store for the stats command.
+    stats_rows = [
+        {
+            "snapshot_date": stats.snapshot_date,
+            "rows": stats.rows,
+            "new_records": stats.new_records,
+            "new_clusters": stats.new_clusters,
+            "skipped": stats.skipped,
+        }
+        for stats in generator.import_stats
+    ]
+    imports = Database.load(Path(args.store))
+    collection = imports.get_collection("import_stats")
+    collection.insert_many(stats_rows)
+    imports.save(Path(args.store))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    database = Database.load(Path(args.store))
+    clusters = database["clusters"]
+    result = clusters.aggregate(
+        [
+            {"$addFields": {"size": {"$size": "$records"}}},
+            {
+                "$group": {
+                    "_id": None,
+                    "clusters": {"$sum": 1},
+                    "records": {"$sum": "$size"},
+                    "max_size": {"$max": "$size"},
+                }
+            },
+        ]
+    )
+    if not result:
+        print("store is empty")
+        return 1
+    summary = result[0]
+    print(f"clusters:     {summary['clusters']}")
+    print(f"records:      {summary['records']}")
+    print(f"avg cluster:  {summary['records'] / summary['clusters']:.2f}")
+    print(f"max cluster:  {summary['max_size']}")
+    for version in database["versions"].find(sort=[("version", 1)]):
+        print(
+            f"version {version['version']}: {version['records']} records, "
+            f"{version['clusters']} clusters ({version['note']})"
+        )
+    if "import_stats" in database:
+        from repro.core.generator import ImportStats
+
+        from repro.report import render_year_stats
+
+        rows = [
+            ImportStats(
+                snapshot_date=doc["snapshot_date"],
+                rows=doc["rows"],
+                new_records=doc["new_records"],
+                new_clusters=doc["new_clusters"],
+                skipped=doc["skipped"],
+            )
+            for doc in database["import_stats"].find(sort=[("snapshot_date", 1)])
+        ]
+        print()
+        print(render_year_stats(snapshot_year_stats(rows)))
+    return 0
+
+
+def _generator_from_store(store: Path) -> TestDataGenerator:
+    database = Database.load(store)
+    generator = TestDataGenerator(database=database)
+    for cluster in database["clusters"].all():
+        generator._clusters[cluster["ncid"]] = cluster
+    versions = database["versions"].find(sort=[("version", -1)], limit=1)
+    if versions:
+        generator.current_version = versions[0]["version"]
+    return generator
+
+
+def _cmd_customize(args: argparse.Namespace) -> int:
+    generator = _generator_from_store(Path(args.store))
+    attributes = tuple(a for a in PERSON_ATTRIBUTES if a != "ncid")
+    scorer = HeterogeneityScorer.from_clusters(
+        generator.clusters(), ("person",), attributes
+    )
+    result = customize(
+        generator,
+        args.h_lo,
+        args.h_hi,
+        target_clusters=args.clusters,
+        scorer=scorer,
+        name=Path(args.out).stem,
+        seed=args.seed,
+    )
+    from repro.datasets.io import save_dataset
+
+    out_path, gold_path = save_dataset(
+        Path(args.out), result.records, result.cluster_of, attributes
+    )
+    print(
+        f"wrote {out_path} ({result.record_count} records, "
+        f"{result.cluster_count} clusters) and {gold_path} "
+        f"({len(result.gold_pairs)} pairs)"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.dedup import (
+        RecordMatcher,
+        best_f1,
+        evaluate_thresholds,
+        multipass_sorted_neighborhood,
+        pick_blocking_keys,
+        score_candidates,
+    )
+    from repro.textsim import JaroWinkler, MongeElkan, QgramJaccard
+
+    from repro.datasets.io import load_dataset
+
+    dataset_path = Path(args.dataset)
+    dataset = load_dataset(dataset_path)
+    records = dataset.records
+    attributes = list(dataset.attributes)
+    if args.gold:
+        with Path(args.gold).open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            next(reader)
+            gold = {(int(left), int(right)) for left, right in reader}
+    else:
+        gold = dataset.gold_pairs
+
+    keys = pick_blocking_keys(records, attributes, args.passes)
+    candidates = multipass_sorted_neighborhood(records, keys, args.window)
+    thresholds = [t / 20 for t in range(4, 20)]
+    print(
+        f"{len(records)} records, {len(gold)} gold pairs, "
+        f"{len(candidates)} candidates ({len(gold - candidates)} gold lost)"
+    )
+    name_attributes = tuple(
+        a for a in ("first_name", "midl_name", "last_name") if a in attributes
+    )
+    for label, measure in (
+        ("ME/Lev", MongeElkan()),
+        ("JaroWinkler", JaroWinkler()),
+        ("Jaccard-3grams", QgramJaccard()),
+    ):
+        matcher = RecordMatcher.from_records(
+            records, attributes, measure, name_attributes
+        )
+        similarities = score_candidates(records, candidates, matcher)
+        points = evaluate_thresholds(similarities, gold, thresholds)
+        best = best_f1(points)
+        print(
+            f"{label:<15} best F1 {best.f1:.3f} @ {best.threshold:.2f} "
+            f"(P={best.precision:.2f}, R={best.recall:.2f})"
+        )
+    return 0
+
+
+def _cmd_augment(args: argparse.Namespace) -> int:
+    from repro.core.augment import AugmentationPlan, Augmenter
+
+    generator = _generator_from_store(Path(args.store))
+    plan = AugmentationPlan(
+        share_of_clusters=args.share,
+        duplicates_per_cluster=args.duplicates,
+        errors_per_duplicate=args.errors,
+        seed=args.seed,
+    )
+    stats = Augmenter(generator, plan).augment()
+    generator.publish(
+        note=f"augmented: +{stats.records_added} synthetic records"
+    )
+    generator.database.save(Path(args.store))
+    print(
+        f"added {stats.records_added} synthetic records to "
+        f"{stats.clusters_touched} clusters (store now has "
+        f"{generator.record_count} records, version {generator.current_version})"
+    )
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.core.plausibility import cluster_plausibility
+    from repro.core.repair import apply_repair, split_cluster
+
+    generator = _generator_from_store(Path(args.store))
+    suspicious = []
+    for cluster in generator.clusters():
+        if len(cluster["records"]) < 2:
+            continue
+        plausibility = cluster_plausibility(cluster)
+        if plausibility < args.threshold:
+            suspicious.append((plausibility, cluster))
+    suspicious.sort(key=lambda item: item[0])
+    print(f"{len(suspicious)} clusters below plausibility {args.threshold}")
+    split_count = 0
+    for plausibility, cluster in suspicious:
+        result = split_cluster(cluster, threshold=args.threshold)
+        marker = f"split into {len(result.groups)} groups" if result.was_split else "kept"
+        print(f"  {cluster['ncid']}  plausibility {plausibility:.2f}  {marker}")
+        if args.apply and result.was_split:
+            split_count += 1
+            clusters = generator.database.get_collection("clusters")
+            clusters.delete_many({"_id": cluster["ncid"]})
+            del generator._clusters[cluster["ncid"]]
+            for sub in apply_repair(cluster, result):
+                generator._clusters[sub["ncid"]] = sub
+                clusters.insert_one(sub)
+    if args.apply:
+        generator.publish(note=f"repaired {split_count} unsound clusters")
+        generator.database.save(Path(args.store))
+        print(f"applied: {split_count} clusters split; store saved")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validate import validate_store
+
+    database = Database.load(Path(args.store))
+    report = validate_store(database)
+    print(
+        f"checked {report.clusters_checked} clusters / "
+        f"{report.records_checked} records"
+    )
+    if report.ok:
+        print("store is sound")
+        return 0
+    for error in report.errors[:50]:
+        print(f"  VIOLATION: {error}")
+    if len(report.errors) > 50:
+        print(f"  ... and {len(report.errors) - 50} more")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="ncvoter-testdata",
+        description="Generate realistic duplicate-detection test datasets "
+        "from historical (simulated) voter snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="write snapshot TSVs")
+    simulate.add_argument("--out", required=True, help="output directory")
+    simulate.add_argument("--voters", type=int, default=1000)
+    simulate.add_argument("--years", type=int, default=8)
+    simulate.add_argument("--snapshots-per-year", type=int, default=2)
+    simulate.add_argument("--seed", type=int, default=20210323)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    generate = sub.add_parser("generate", help="snapshots -> cluster store")
+    generate.add_argument("--snapshots", required=True, help="TSV directory")
+    generate.add_argument("--store", required=True, help="store directory")
+    generate.add_argument(
+        "--removal",
+        choices=[level.value for level in RemovalLevel],
+        default=RemovalLevel.TRIMMED.value,
+    )
+    generate.add_argument(
+        "--stats", action="store_true",
+        help="compute plausibility/heterogeneity statistics (slower)",
+    )
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="print store statistics")
+    stats.add_argument("--store", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    custom = sub.add_parser("customize", help="store -> CSV test dataset")
+    custom.add_argument("--store", required=True)
+    custom.add_argument("--out", required=True, help="output CSV path")
+    custom.add_argument("--h-lo", type=float, default=0.0)
+    custom.add_argument("--h-hi", type=float, default=1.0)
+    custom.add_argument("--clusters", type=int, default=10_000)
+    custom.add_argument("--seed", type=int, default=0)
+    custom.set_defaults(func=_cmd_customize)
+
+    evaluate = sub.add_parser("evaluate", help="run the three paper measures")
+    evaluate.add_argument("--dataset", required=True, help="CSV from customize")
+    evaluate.add_argument("--gold", help="gold CSV (default: <dataset>.gold.csv)")
+    evaluate.add_argument("--window", type=int, default=20)
+    evaluate.add_argument("--passes", type=int, default=5)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    augment = sub.add_parser(
+        "augment", help="inject synthetic duplicates (pollution combination)"
+    )
+    augment.add_argument("--store", required=True)
+    augment.add_argument("--share", type=float, default=0.3,
+                         help="share of clusters to augment")
+    augment.add_argument("--duplicates", type=int, default=1,
+                         help="synthetic duplicates per augmented cluster")
+    augment.add_argument("--errors", type=float, default=1.5,
+                         help="corruptions per synthetic duplicate")
+    augment.add_argument("--seed", type=int, default=0)
+    augment.set_defaults(func=_cmd_augment)
+
+    repair = sub.add_parser(
+        "repair", help="report (and optionally split) unsound clusters"
+    )
+    repair.add_argument("--store", required=True)
+    repair.add_argument("--threshold", type=float, default=0.8,
+                        help="plausibility threshold for soundness")
+    repair.add_argument("--apply", action="store_true",
+                        help="persist the splits back into the store")
+    repair.set_defaults(func=_cmd_repair)
+
+    validate = sub.add_parser("validate", help="check a store's invariants")
+    validate.add_argument("--store", required=True)
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""The paper's contribution: test-data generation from historical snapshots.
+
+Pipeline overview (Sections 4 and 5 of the paper):
+
+1. :mod:`repro.core.hashing` — MD5 record hashes over configurable attribute
+   sets (dates and age excluded) used to detect (near-)exact duplicates.
+2. :mod:`repro.core.levels` — the four duplicate-removal strictness levels of
+   Table 2 (``none`` / ``exact`` / ``trimming`` / ``person``).
+3. :mod:`repro.core.generator` — :class:`TestDataGenerator`: imports
+   snapshots into an aggregate-per-cluster document store, maintains the
+   gold standard, versions and publishes the dataset.
+4. :mod:`repro.core.plausibility` / :mod:`repro.core.heterogeneity` —
+   the precalculated similarity scores of Sections 6.2 and 6.3.
+5. :mod:`repro.core.irregularities` — the error-type census of Section 6.4.
+6. :mod:`repro.core.customize` — heterogeneity-bounded customisation
+   (the NC1/NC2/NC3 procedure of Section 6.5).
+7. :mod:`repro.core.statistics` — the generation statistics behind
+   Tables 1/2 and Figure 1.
+"""
+
+from repro.core.augment import AugmentationPlan, Augmenter, strip_synthetic
+from repro.core.clusters import cluster_pairs, record_view, split_record
+from repro.core.customize import CustomizationResult, customize
+from repro.core.generator import ImportStats, TestDataGenerator
+from repro.core.hashing import record_hash
+from repro.core.profile import NC_VOTER_PROFILE, SchemaProfile
+from repro.core.repair import apply_repair, repair_clusters, split_cluster
+from repro.core.transform import (
+    drop_attributes,
+    merge_attributes,
+    select_by_cluster_size,
+    transform_result,
+)
+from repro.core.heterogeneity import HeterogeneityScorer, entropy_weights
+from repro.core.irregularities import IrregularityCensus
+from repro.core.levels import RemovalLevel
+from repro.core.plausibility import (
+    cluster_plausibility,
+    name_similarity,
+    pair_plausibility,
+    sex_similarity,
+    year_of_birth_similarity,
+)
+
+__all__ = [
+    "TestDataGenerator",
+    "ImportStats",
+    "RemovalLevel",
+    "record_hash",
+    "split_record",
+    "record_view",
+    "cluster_pairs",
+    "pair_plausibility",
+    "cluster_plausibility",
+    "name_similarity",
+    "sex_similarity",
+    "year_of_birth_similarity",
+    "HeterogeneityScorer",
+    "entropy_weights",
+    "IrregularityCensus",
+    "customize",
+    "CustomizationResult",
+    "SchemaProfile",
+    "NC_VOTER_PROFILE",
+    "Augmenter",
+    "AugmentationPlan",
+    "strip_synthetic",
+    "split_cluster",
+    "repair_clusters",
+    "apply_repair",
+    "drop_attributes",
+    "merge_attributes",
+    "transform_result",
+    "select_by_cluster_size",
+]

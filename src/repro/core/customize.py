@@ -1,0 +1,168 @@
+"""Heterogeneity-bounded customisation — the NC1/NC2/NC3 procedure.
+
+Section 6.5, three steps:
+
+1. fix a heterogeneity range ``[h_lo, h_hi]``;
+2. sample clusters, scan each cluster's records in order and drop every
+   record whose heterogeneity to the preceding *kept* records falls outside
+   the range;
+3. sort the reduced clusters by size and keep the ``k`` largest as the
+   customised test dataset.
+
+The output is a flat test dataset: records (restricted to the requested
+attribute groups) plus the gold standard implied by the surviving clusters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clusters import record_view
+from repro.core.generator import TestDataGenerator
+from repro.core.heterogeneity import HeterogeneityScorer
+
+
+@dataclasses.dataclass
+class CustomizationResult:
+    """A customised test dataset (e.g. NC1, NC2 or NC3)."""
+
+    name: str
+    heterogeneity_range: Tuple[float, float]
+    #: Flat records; position is the record id used in ``gold_pairs``.
+    records: List[Dict[str, str]]
+    #: record id -> cluster id (NCID).
+    cluster_of: List[str]
+    #: Gold standard over record ids.
+    gold_pairs: Set[Tuple[int, int]]
+
+    @property
+    def record_count(self) -> int:
+        """Number of records in the dataset."""
+        return len(self.records)
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of distinct clusters in the dataset."""
+        return len(set(self.cluster_of))
+
+    def cluster_sizes(self) -> Dict[str, int]:
+        """Map of cluster id to its record count."""
+        sizes: Dict[str, int] = {}
+        for ncid in self.cluster_of:
+            sizes[ncid] = sizes.get(ncid, 0) + 1
+        return sizes
+
+    @property
+    def max_cluster_size(self) -> int:
+        """Size of the largest cluster."""
+        sizes = self.cluster_sizes()
+        return max(sizes.values()) if sizes else 0
+
+    @property
+    def avg_cluster_size(self) -> float:
+        """Average records per cluster."""
+        sizes = self.cluster_sizes()
+        return len(self.cluster_of) / len(sizes) if sizes else 0.0
+
+    def heterogeneity_stats(self, scorer: HeterogeneityScorer) -> Tuple[float, float]:
+        """(average, maximum) pair heterogeneity of the dataset."""
+        by_cluster: Dict[str, List[Dict[str, str]]] = {}
+        for record, ncid in zip(self.records, self.cluster_of):
+            by_cluster.setdefault(ncid, []).append(record)
+        scores: List[float] = []
+        for records in by_cluster.values():
+            scores.extend(scorer.pair_heterogeneities(records))
+        if not scores:
+            return 0.0, 0.0
+        return sum(scores) / len(scores), max(scores)
+
+
+def reduce_cluster(
+    flats: Sequence[Dict[str, str]],
+    scorer: HeterogeneityScorer,
+    h_lo: float,
+    h_hi: float,
+) -> List[int]:
+    """Indices of the records kept by the in-order heterogeneity scan.
+
+    The first record is always kept; each later record is kept only when
+    its heterogeneity to *every* preceding kept record lies in
+    ``[h_lo, h_hi]``.
+    """
+    kept: List[int] = []
+    for index, flat in enumerate(flats):
+        if not kept:
+            kept.append(index)
+            continue
+        in_range = True
+        for kept_index in kept:
+            score = scorer.pair_heterogeneity(flats[kept_index], flat)
+            if not h_lo <= score <= h_hi:
+                in_range = False
+                break
+        if in_range:
+            kept.append(index)
+    return kept
+
+
+def customize(
+    generator: TestDataGenerator,
+    h_lo: float,
+    h_hi: float,
+    target_clusters: int = 10_000,
+    sample_clusters: Optional[int] = None,
+    groups: Tuple[str, ...] = ("person",),
+    scorer: Optional[HeterogeneityScorer] = None,
+    name: str = "custom",
+    seed: int = 0,
+    min_cluster_size: int = 2,
+) -> CustomizationResult:
+    """Build a customised test dataset from a generated cluster store.
+
+    ``sample_clusters`` bounds the number of clusters scanned (step 2 picks
+    a random sample; ``None`` scans all).  ``scorer`` defaults to entropy
+    weights over one record per cluster, the same weights the stored
+    heterogeneity scores use.
+    """
+    if not 0.0 <= h_lo <= h_hi <= 1.0:
+        raise ValueError(f"need 0 <= h_lo <= h_hi <= 1, got [{h_lo}, {h_hi}]")
+    if target_clusters < 1:
+        raise ValueError(f"target_clusters must be >= 1, got {target_clusters}")
+    clusters = list(generator.clusters())
+    rng = random.Random(seed)
+    if sample_clusters is not None and sample_clusters < len(clusters):
+        clusters = rng.sample(clusters, sample_clusters)
+    if scorer is None:
+        scorer = HeterogeneityScorer.from_clusters(clusters, groups)
+
+    reduced: List[Tuple[str, List[Dict[str, str]]]] = []
+    for cluster in clusters:
+        flats = [record_view(record, groups) for record in cluster["records"]]
+        kept = reduce_cluster(flats, scorer, h_lo, h_hi)
+        if len(kept) < min_cluster_size:
+            continue
+        reduced.append((cluster["ncid"], [flats[i] for i in kept]))
+
+    reduced.sort(key=lambda item: (-len(item[1]), item[0]))
+    selected = reduced[:target_clusters]
+
+    records: List[Dict[str, str]] = []
+    cluster_of: List[str] = []
+    gold_pairs: Set[Tuple[int, int]] = set()
+    for ncid, flats in selected:
+        first_id = len(records)
+        for flat in flats:
+            records.append(flat)
+            cluster_of.append(ncid)
+        for j in range(first_id + 1, first_id + len(flats)):
+            for i in range(first_id, j):
+                gold_pairs.add((i, j))
+    return CustomizationResult(
+        name=name,
+        heterogeneity_range=(h_lo, h_hi),
+        records=records,
+        cluster_of=cluster_of,
+        gold_pairs=gold_pairs,
+    )

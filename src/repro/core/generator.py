@@ -1,0 +1,248 @@
+"""The test-data generator: snapshot import, dedup, storage, versioning.
+
+This is the paper's generation process (Section 4) plus the update process
+of Section 5.1: snapshots are imported one after another; per cluster
+(NCID), a record is only imported when its MD5 hash is not already present
+at the configured removal level; every imported record is tagged with the
+version that introduced it and the snapshots containing it, which makes
+every earlier dataset version reconstructible (Section 5.1.2).
+
+Imports accumulate in memory for speed and are written through to the
+aggregate-oriented document store on :meth:`TestDataGenerator.publish` —
+one document per cluster, exactly the layout of Section 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.clusters import duplicate_pair_count, split_record
+from repro.core.hashing import record_hash
+from repro.core.levels import RemovalLevel
+from repro.core.profile import NC_VOTER_PROFILE, SchemaProfile
+from repro.docstore import Database
+from repro.votersim.snapshots import Snapshot
+
+
+@dataclasses.dataclass
+class ImportStats:
+    """Per-snapshot import statistics (the raw material of Table 1)."""
+
+    snapshot_date: str
+    rows: int
+    new_records: int
+    new_clusters: int
+    skipped: int
+
+    @property
+    def new_record_rate(self) -> float:
+        """Share of snapshot rows that were new records."""
+        return self.new_records / self.rows if self.rows else 0.0
+
+    @property
+    def new_object_rate(self) -> float:
+        """Share of new records that started a new cluster."""
+        return self.new_clusters / self.new_records if self.new_records else 0.0
+
+
+class TestDataGenerator:
+    """Generates, stores and versions the duplicate-detection test dataset.
+
+    Parameters
+    ----------
+    removal:
+        The duplicate-removal strictness (Table 2); defaults to ``TRIMMED``,
+        the level the published dataset uses.
+    database:
+        The document store database to publish into; a fresh in-memory
+        :class:`~repro.docstore.Database` by default.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        removal: RemovalLevel = RemovalLevel.TRIMMED,
+        database: Optional[Database] = None,
+        profile: SchemaProfile = NC_VOTER_PROFILE,
+    ) -> None:
+        self.removal = removal
+        self.profile = profile
+        self.database = database or Database(profile.name)
+        self._clusters: Dict[str, dict] = {}
+        self._dirty: set = set()
+        self.current_version = 0
+        self.import_stats: List[ImportStats] = []
+        self._imported_snapshots: List[str] = []
+
+    # --------------------------------------------------------------- import
+
+    @property
+    def pending_version(self) -> int:
+        """The version number the next :meth:`publish` will assign."""
+        return self.current_version + 1
+
+    def import_snapshot(self, snapshot: Snapshot) -> ImportStats:
+        """Import one snapshot (step 1 of the update process, Figure 2)."""
+        hash_attributes = self.removal.hash_attributes_for(self.profile)
+        trim = self.removal.trims
+        new_records = 0
+        new_clusters = 0
+        skipped = 0
+        for record in snapshot.records:
+            ncid = (record.get(self.profile.id_attribute) or "").strip()
+            if not ncid:
+                skipped += 1
+                continue
+            cluster = self._clusters.get(ncid)
+            if cluster is None:
+                cluster = {
+                    "_id": ncid,
+                    "ncid": ncid,
+                    "records": [],
+                    "meta": {
+                        "hashes": [],
+                        "inserts_per_snapshot": {},
+                        "first_version": self.pending_version,
+                    },
+                }
+                self._clusters[ncid] = cluster
+                new_clusters += 1
+            if hash_attributes is None:
+                digest = record_hash(
+                    record, self.profile.hash_attributes(), trim=False
+                )
+            else:
+                digest = record_hash(record, hash_attributes, trim=trim)
+            known = digest in cluster["meta"]["hashes"] and hash_attributes is not None
+            if known:
+                # Near-exact duplicate: only remember the snapshot membership
+                # of the already stored record (reproducibility, Section 5.1.2).
+                for stored in cluster["records"]:
+                    if stored["hash"] == digest:
+                        if snapshot.date not in stored["snapshots"]:
+                            stored["snapshots"].append(snapshot.date)
+                        break
+                skipped += 1
+                self._dirty.add(ncid)
+                continue
+            record_doc = split_record(record, self.profile)
+            record_doc["hash"] = digest
+            record_doc["first_version"] = self.pending_version
+            record_doc["snapshots"] = [snapshot.date]
+            record_doc["plausibility"] = {}
+            record_doc["heterogeneity"] = {}
+            record_doc["heterogeneity_person"] = {}
+            cluster["records"].append(record_doc)
+            cluster["meta"]["hashes"].append(digest)
+            inserts = cluster["meta"]["inserts_per_snapshot"]
+            inserts[snapshot.date] = inserts.get(snapshot.date, 0) + 1
+            self._dirty.add(ncid)
+            new_records += 1
+        stats = ImportStats(
+            snapshot_date=snapshot.date,
+            rows=len(snapshot.records),
+            new_records=new_records,
+            new_clusters=new_clusters,
+            skipped=skipped,
+        )
+        self.import_stats.append(stats)
+        self._imported_snapshots.append(snapshot.date)
+        return stats
+
+    def import_snapshots(self, snapshots: Iterable[Snapshot]) -> List[ImportStats]:
+        """Import several snapshots in order."""
+        return [self.import_snapshot(snapshot) for snapshot in snapshots]
+
+    # ---------------------------------------------------------------- access
+
+    def clusters(self) -> Iterator[dict]:
+        """Iterate the (live, in-memory) cluster documents."""
+        for ncid in self._clusters:
+            yield self._clusters[ncid]
+
+    def cluster(self, ncid: str) -> Optional[dict]:
+        """Return one cluster document or ``None``."""
+        return self._clusters.get(ncid)
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of duplicate clusters (real-world entities)."""
+        return len(self._clusters)
+
+    @property
+    def record_count(self) -> int:
+        """Total records across all clusters."""
+        return sum(len(cluster["records"]) for cluster in self._clusters.values())
+
+    @property
+    def duplicate_pair_count(self) -> int:
+        """Total duplicate pairs implied by the clusters."""
+        return sum(
+            duplicate_pair_count(len(cluster["records"]))
+            for cluster in self._clusters.values()
+        )
+
+    def gold_pairs(self) -> Iterator[Tuple[Tuple[str, int], Tuple[str, int]]]:
+        """Yield the gold standard as ``((ncid, i), (ncid, j))`` pairs."""
+        for ncid, cluster in self._clusters.items():
+            count = len(cluster["records"])
+            for j in range(1, count):
+                for i in range(j):
+                    yield (ncid, i), (ncid, j)
+
+    # ------------------------------------------------------------ versioning
+
+    def publish(self, note: str = "") -> int:
+        """Assign a new version and write clusters through to the store.
+
+        Step 3 of the update process (Figure 2): bump the version number,
+        record version metadata, publish.  Returns the new version number.
+        """
+        self.current_version += 1
+        clusters = self.database.get_collection("clusters")
+        if "ncid_hash" not in clusters.index_names():
+            clusters.create_index("ncid", "hash")
+        for ncid in sorted(self._dirty):
+            cluster = self._clusters[ncid]
+            if clusters.replace_one({"_id": ncid}, cluster) == 0:
+                clusters.insert_one(cluster)
+        self._dirty.clear()
+        versions = self.database.get_collection("versions")
+        versions.insert_one(
+            {
+                "_id": self.current_version,
+                "version": self.current_version,
+                "note": note,
+                "removal": self.removal.value,
+                "profile": self.profile.name,
+                "snapshots": list(self._imported_snapshots),
+                "records": self.record_count,
+                "clusters": self.cluster_count,
+                "duplicate_pairs": self.duplicate_pair_count,
+            }
+        )
+        return self.current_version
+
+    def records_at_version(self, cluster: dict, version: int) -> List[dict]:
+        """The cluster's records as they existed at ``version``.
+
+        Because no record is ever removed and the order never changes,
+        filtering on ``first_version`` reconstructs any earlier version
+        exactly (Section 5.1.2).
+        """
+        return [
+            record
+            for record in cluster["records"]
+            if record["first_version"] <= version
+        ]
+
+    def records_in_snapshots(self, cluster: dict, snapshots: Iterable[str]) -> List[dict]:
+        """The cluster's records restricted to a subset of snapshots."""
+        wanted = set(snapshots)
+        return [
+            record
+            for record in cluster["records"]
+            if wanted.intersection(record["snapshots"])
+        ]

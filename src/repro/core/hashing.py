@@ -1,0 +1,52 @@
+"""MD5 record hashing for exact-duplicate detection (Section 4).
+
+"To check the equivalence of duplicate records efficiently, we used the
+Message-Digest Algorithm 5 (short MD5) to calculate a hash value for each
+record. [...] The input to the hash function is the concatenation of the
+values of all relevant attributes to a single large string."  Dates and the
+age are excluded because they change without the person changing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Sequence
+
+from repro.votersim.schema import ALL_ATTRIBUTES, HASH_EXCLUDED_ATTRIBUTES
+
+#: Unit separator — cannot appear in TSV values, so concatenation is
+#: unambiguous (no value pair can collide by shifting a boundary).
+_SEPARATOR = "\x1f"
+
+
+def default_hash_attributes() -> tuple:
+    """All schema attributes minus the date/age exclusions."""
+    excluded = set(HASH_EXCLUDED_ATTRIBUTES)
+    return tuple(a for a in ALL_ATTRIBUTES if a not in excluded)
+
+
+def record_hash(
+    record: Dict[str, str],
+    attributes: Optional[Sequence[str]] = None,
+    trim: bool = True,
+) -> str:
+    """Return the hex MD5 of the record's relevant attribute values.
+
+    ``attributes`` defaults to the full schema minus the excluded dates and
+    age.  ``trim`` strips leading/trailing whitespace from every value
+    before hashing (the Table 2 "trimming" level).
+    """
+    if attributes is None:
+        attributes = default_hash_attributes()
+    values = []
+    for attribute in attributes:
+        value = record.get(attribute)
+        if value is None:
+            value = ""
+        else:
+            value = str(value)
+        if trim:
+            value = value.strip()
+        values.append(value)
+    payload = _SEPARATOR.join(values).encode("utf-8")
+    return hashlib.md5(payload).hexdigest()

@@ -1,0 +1,187 @@
+"""Heterogeneity scoring — how dirty are the duplicates? (Section 6.3)
+
+Unlike plausibility, heterogeneity counts every difference.  Each attribute
+value pair is compared four ways — {Damerau-Levenshtein, symmetrised
+Monge-Elkan} × {original case, lowercased} — and the four similarities are
+averaged, so case differences and token confusions weigh less than genuine
+value replacements.  Attributes are weighted by their uniqueness, quantified
+as the entropy of their value distribution computed over one record per
+cluster (duplicates would distort it).  The heterogeneity of a record pair
+is the weighted average of the inverse value similarities; the heterogeneity
+of a cluster is the average over its records.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.clusters import record_view
+from repro.textsim.levenshtein import damerau_levenshtein_similarity
+from repro.textsim.monge_elkan import symmetric_monge_elkan
+
+
+def entropy(values: Iterable[str]) -> float:
+    """Shannon entropy (bits) of the value distribution."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts.values():
+        p = count / total
+        result -= p * math.log2(p)
+    return result
+
+
+def entropy_weights(
+    records: Sequence[Dict[str, str]],
+    attributes: Sequence[str],
+) -> Dict[str, float]:
+    """Normalised entropy weight per attribute.
+
+    Callers pass one record per cluster when weighting heterogeneity (the
+    paper, Section 6.3) and *all* records when weighting the detection
+    algorithms (Section 6.5, where duplicates are unknown to the user).
+    """
+    weights: Dict[str, float] = {}
+    for attribute in attributes:
+        weights[attribute] = entropy(
+            (record.get(attribute) or "").strip() for record in records
+        )
+    total = sum(weights.values())
+    if total == 0:
+        uniform = 1.0 / len(attributes) if attributes else 0.0
+        return {attribute: uniform for attribute in attributes}
+    return {attribute: weight / total for attribute, weight in weights.items()}
+
+
+def four_way_similarity(left: str, right: str) -> float:
+    """Average of DL and Monge-Elkan similarity, cased and lowercased.
+
+    Results are memoised: snapshot data repeats the same value pairs
+    (district descriptions, cities, parties) across millions of records.
+    """
+    if left == right:
+        return 1.0
+    if left > right:  # symmetric measure — canonicalise the cache key
+        left, right = right, left
+    return _four_way_cached(left, right)
+
+
+@lru_cache(maxsize=262144)
+def _four_way_cached(left: str, right: str) -> float:
+    scores = (
+        damerau_levenshtein_similarity(left, right),
+        damerau_levenshtein_similarity(left.lower(), right.lower()),
+        symmetric_monge_elkan(left, right),
+        symmetric_monge_elkan(left.lower(), right.lower()),
+    )
+    return sum(scores) / 4.0
+
+
+class HeterogeneityScorer:
+    """Scores record pairs and clusters with fixed attribute weights.
+
+    Parameters
+    ----------
+    weights:
+        ``attribute -> normalised weight`` map, usually from
+        :func:`entropy_weights`.
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        if not weights:
+            raise ValueError("weights must not be empty")
+        self.weights = dict(weights)
+        self._attributes = tuple(self.weights)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Dict[str, str]],
+        attributes: Optional[Sequence[str]] = None,
+    ) -> "HeterogeneityScorer":
+        """Build a scorer with entropy weights learned from ``records``."""
+        if attributes is None:
+            seen = {}
+            for record in records:
+                for attribute in record:
+                    seen[attribute] = True
+            attributes = tuple(seen)
+        return cls(entropy_weights(records, attributes))
+
+    @classmethod
+    def from_clusters(
+        cls,
+        clusters: Iterable[dict],
+        groups: Tuple[str, ...] = ("person",),
+        attributes: Optional[Sequence[str]] = None,
+    ) -> "HeterogeneityScorer":
+        """Entropy weights from one record per cluster (Section 6.3)."""
+        representatives = []
+        for cluster in clusters:
+            records = cluster.get("records") or []
+            if records:
+                representatives.append(record_view(records[0], groups))
+        return cls.from_records(representatives, attributes)
+
+    def pair_heterogeneity(self, left: Dict[str, str], right: Dict[str, str]) -> float:
+        """Weighted average inverse value similarity of two flat records."""
+        total = 0.0
+        for attribute, weight in self.weights.items():
+            if weight == 0.0:
+                continue
+            value_left = (left.get(attribute) or "").strip()
+            value_right = (right.get(attribute) or "").strip()
+            similarity = four_way_similarity(value_left, value_right)
+            total += weight * (1.0 - similarity)
+        return total
+
+    def record_heterogeneities(self, records: Sequence[Dict[str, str]]) -> List[float]:
+        """Per-record heterogeneity: average distance to the other records."""
+        count = len(records)
+        if count < 2:
+            return [0.0] * count
+        matrix = [[0.0] * count for _ in range(count)]
+        for j in range(1, count):
+            for i in range(j):
+                score = self.pair_heterogeneity(records[i], records[j])
+                matrix[i][j] = matrix[j][i] = score
+        return [sum(row) / (count - 1) for row in matrix]
+
+    def cluster_heterogeneity(self, records: Sequence[Dict[str, str]]) -> float:
+        """Average record heterogeneity (0 for singletons)."""
+        per_record = self.record_heterogeneities(records)
+        if not per_record:
+            return 0.0
+        return sum(per_record) / len(per_record)
+
+    def pair_heterogeneities(self, records: Sequence[Dict[str, str]]) -> List[float]:
+        """All pairwise heterogeneity scores (for distributions)."""
+        scores = []
+        for j in range(1, len(records)):
+            for i in range(j):
+                scores.append(self.pair_heterogeneity(records[i], records[j]))
+        return scores
+
+    def score_cluster_document(
+        self,
+        cluster: dict,
+        groups: Tuple[str, ...] = ("person",),
+        version: Optional[int] = None,
+    ) -> Dict[int, Dict[int, float]]:
+        """Version-similarity maps ``{j: {i: score}}`` for a cluster document."""
+        records = cluster["records"]
+        flats = [record_view(record, groups) for record in records]
+        maps: Dict[int, Dict[int, float]] = {}
+        for j in range(1, len(records)):
+            if version is not None and records[j]["first_version"] != version:
+                continue
+            row: Dict[int, float] = {}
+            for i in range(j):
+                row[i] = self.pair_heterogeneity(flats[i], flats[j])
+            maps[j] = row
+        return maps

@@ -1,0 +1,60 @@
+"""The four duplicate-removal strictness levels of Table 2."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.votersim.schema import (
+    ALL_ATTRIBUTES,
+    HASH_EXCLUDED_ATTRIBUTES,
+    PERSON_ATTRIBUTES,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.profile import SchemaProfile
+
+
+class RemovalLevel(enum.Enum):
+    """How aggressively (near-)exact duplicate records are dropped on import.
+
+    * ``NONE`` — every record is imported (Table 2 row 1).
+    * ``EXACT`` — records whose raw values (dates and age excluded) already
+      exist in the cluster are dropped (row 2).
+    * ``TRIMMED`` — like ``EXACT`` but values are trimmed first (row 3).
+      This is the level the published 120 M-record dataset uses.
+    * ``PERSON`` — like ``TRIMMED`` but only the personal attributes are
+      hashed (row 4).
+    """
+
+    NONE = "none"
+    EXACT = "exact"
+    TRIMMED = "trimming"
+    PERSON = "person"
+
+    @property
+    def trims(self) -> bool:
+        """Whether values are trimmed before hashing."""
+        return self in (RemovalLevel.TRIMMED, RemovalLevel.PERSON)
+
+    @property
+    def hash_attributes(self) -> Optional[Tuple[str, ...]]:
+        """Attributes entering the record hash for the NC voter schema.
+
+        ``None`` means no dedup at all.  For other domains use
+        :meth:`hash_attributes_for` with their schema profile.
+        """
+        if self is RemovalLevel.NONE:
+            return None
+        excluded = set(HASH_EXCLUDED_ATTRIBUTES)
+        if self is RemovalLevel.PERSON:
+            pool = PERSON_ATTRIBUTES
+        else:
+            pool = ALL_ATTRIBUTES
+        return tuple(attribute for attribute in pool if attribute not in excluded)
+
+    def hash_attributes_for(self, profile: "SchemaProfile") -> Optional[Tuple[str, ...]]:
+        """Attributes entering the record hash under ``profile``."""
+        if self is RemovalLevel.NONE:
+            return None
+        return profile.hash_attributes(primary_only=self is RemovalLevel.PERSON)

@@ -1,0 +1,221 @@
+"""Plausibility scoring — how likely is a cluster sound? (Section 6.2)
+
+The basic assumption is that all records of a cluster ARE duplicates; the
+score only reflects significant contradictions.  Accordingly the measures
+compensate errors aggressively: missing values, abbreviations and name
+order confusions do not reduce similarity at all.  Only attributes that are
+stable and identifying/discriminating enter the score:
+
+* the three names, combined into a single name similarity through the
+  Generalized Jaccard coefficient with the extended Damerau-Levenshtein
+  token similarity (weight 0.5);
+* the sex code (weight 0.15) — only a hard F/M disagreement counts;
+* the year of birth derived from snapshot date and age, with a tolerance of
+  one year and a hard zero at a ten-year difference (weight 0.15);
+* the place of birth via extended Damerau-Levenshtein (weight 0.15).
+
+The cluster plausibility is the minimum over its records, because a single
+foreign record makes the whole cluster unsound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clusters import record_view
+from repro.textsim.levenshtein import extended_damerau_levenshtein_similarity
+
+#: Attribute weights: name 0.5, the three others 0.15 each (Section 6.2).
+WEIGHTS = {"name": 0.5, "sex": 0.15, "yob": 0.15, "birth_place": 0.15}
+
+
+def name_tokens(record: Dict[str, str]) -> List[str]:
+    """The (first, middle, last) name triple, empty slots included.
+
+    Empty slots are kept because the extended Damerau-Levenshtein token
+    similarity treats a missing value as a perfect match — a missing middle
+    name must not reduce the name similarity (Section 6.2).
+    """
+    return [
+        (record.get(attribute) or "").strip()
+        for attribute in ("first_name", "midl_name", "last_name")
+    ]
+
+
+def name_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
+    """Generalized Jaccard over the name triples (order-insensitive).
+
+    The triples are matched 1:1 in their best permutation, so word
+    confusions between the name attributes are fully compensated; typos are
+    compensated by the extended Damerau-Levenshtein token similarity;
+    missing and abbreviated names yield token similarity 1 (no
+    contradiction).  Because both triples always have three slots, the
+    Generalized Jaccard denominator equals the match count and the score is
+    the mean of the three matched token similarities.
+    """
+    import itertools
+
+    tokens_left = name_tokens(left)
+    tokens_right = name_tokens(right)
+    best = 0.0
+    for permutation in itertools.permutations(range(3)):
+        total = sum(
+            extended_damerau_levenshtein_similarity(
+                tokens_left[index], tokens_right[permutation[index]]
+            )
+            for index in range(3)
+        )
+        best = max(best, total / 3.0)
+        if best == 1.0:
+            break
+    return best
+
+
+def sex_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
+    """1 unless two designated sex codes disagree (Section 6.2)."""
+    code_left = (left.get("sex_code") or "").strip().upper()
+    code_right = (right.get("sex_code") or "").strip().upper()
+    if not code_left or not code_right or "U" in (code_left, code_right):
+        return 1.0
+    return 1.0 if code_left == code_right else 0.0
+
+
+def year_of_birth(record: Dict[str, str], snapshot_date: Optional[str] = None) -> Optional[int]:
+    """Derive the year of birth as ``snapshot year - age``.
+
+    ``snapshot_date`` defaults to the record's own ``snapshot_dt``; stored
+    record documents instead carry their snapshot list, so callers pass the
+    first snapshot explicitly.  Returns ``None`` when age or date is
+    missing/unparseable.
+    """
+    raw_age = (record.get("age") or "").strip()
+    date = (snapshot_date or record.get("snapshot_dt") or "").strip()
+    if not raw_age or len(date) < 4:
+        return None
+    try:
+        age = int(raw_age)
+        year = int(date[:4])
+    except ValueError:
+        return None
+    return year - age
+
+
+def year_of_birth_similarity(yob_left: Optional[int], yob_right: Optional[int]) -> float:
+    """``1 - min(1, max(0, |Δ| - 1) / 10)`` with missing values scoring 1."""
+    if yob_left is None or yob_right is None:
+        return 1.0
+    delta = abs(yob_left - yob_right)
+    return 1.0 - min(1.0, max(0.0, delta - 1.0) / 10.0)
+
+
+def birth_place_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
+    """Extended Damerau-Levenshtein over the place-of-birth values."""
+    return extended_damerau_levenshtein_similarity(
+        (left.get("birth_place") or "").strip(),
+        (right.get("birth_place") or "").strip(),
+    )
+
+
+def pair_plausibility(
+    left: Dict[str, str],
+    right: Dict[str, str],
+    snapshot_left: Optional[str] = None,
+    snapshot_right: Optional[str] = None,
+) -> float:
+    """Weighted plausibility of a duplicate record pair (flat records)."""
+    scores = {
+        "name": name_similarity(left, right),
+        "sex": sex_similarity(left, right),
+        "yob": year_of_birth_similarity(
+            year_of_birth(left, snapshot_left), year_of_birth(right, snapshot_right)
+        ),
+        "birth_place": birth_place_similarity(left, right),
+    }
+    total_weight = sum(WEIGHTS.values())
+    return sum(WEIGHTS[key] * scores[key] for key in scores) / total_weight
+
+
+def _flat(record_doc: dict) -> Tuple[Dict[str, str], str]:
+    """Flatten a stored record document and pick its first snapshot date."""
+    flat = record_view(record_doc, ("person",))
+    snapshots = record_doc.get("snapshots") or []
+    return flat, (snapshots[0] if snapshots else "")
+
+
+def score_cluster(cluster: dict, version: Optional[int] = None) -> Dict[int, Dict[int, float]]:
+    """Pairwise plausibility maps for a cluster document.
+
+    Returns ``{j: {i: score}}`` for every record index ``j`` and every
+    earlier index ``i < j`` — the layout of the version-similarity maps
+    (Section 5.2).  ``version`` restricts the computation to record pairs
+    where at least one side is new in that version (incremental update).
+    """
+    records = cluster["records"]
+    flats = [_flat(record) for record in records]
+    maps: Dict[int, Dict[int, float]] = {}
+    for j in range(1, len(records)):
+        if version is not None and records[j]["first_version"] != version:
+            continue
+        row: Dict[int, float] = {}
+        for i in range(j):
+            left, snap_left = flats[i]
+            right, snap_right = flats[j]
+            row[i] = pair_plausibility(left, right, snap_left, snap_right)
+        maps[j] = row
+    return maps
+
+
+def cluster_plausibility(cluster: dict, version: Optional[int] = None) -> float:
+    """Minimum pair plausibility of the cluster (1.0 for singletons).
+
+    Reads the stored version-similarity maps when present, otherwise
+    computes scores on the fly.  ``version`` restricts to records existing
+    at that version.
+    """
+    records = cluster["records"]
+    if version is not None:
+        records = [r for r in records if r["first_version"] <= version]
+    if len(records) < 2:
+        return 1.0
+    minimum = 1.0
+    flats = [_flat(record) for record in records]
+    for j in range(1, len(records)):
+        stored = _stored_row(records[j], "plausibility")
+        for i in range(j):
+            if stored is not None and str(i) in stored:
+                score = stored[str(i)]
+            else:
+                left, snap_left = flats[i]
+                right, snap_right = flats[j]
+                score = pair_plausibility(left, right, snap_left, snap_right)
+            if score < minimum:
+                minimum = score
+    return minimum
+
+
+def pair_plausibilities(cluster: dict) -> List[float]:
+    """All pairwise plausibility scores of a cluster (for distributions)."""
+    records = cluster["records"]
+    flats = [_flat(record) for record in records]
+    scores = []
+    for j in range(1, len(records)):
+        stored = _stored_row(records[j], "plausibility")
+        for i in range(j):
+            if stored is not None and str(i) in stored:
+                scores.append(stored[str(i)])
+            else:
+                left, snap_left = flats[i]
+                right, snap_right = flats[j]
+                scores.append(pair_plausibility(left, right, snap_left, snap_right))
+    return scores
+
+
+def _stored_row(record_doc: dict, kind: str) -> Optional[Dict[str, float]]:
+    """Merge a record's version-similarity maps of ``kind`` across versions."""
+    versions = record_doc.get(kind) or {}
+    if not versions:
+        return None
+    merged: Dict[str, float] = {}
+    for _version, row in sorted(versions.items(), key=lambda item: int(item[0])):
+        merged.update(row)
+    return merged

@@ -1,0 +1,161 @@
+"""Repairing unsound clusters (Sections 3.1.1 and 5.2).
+
+The plausibility scores exist "to remove (or repair) potentially unsound
+duplicate clusters".  *Removing* is trivial (filter on cluster
+plausibility); *repairing* means splitting a cluster whose records describe
+several real-world entities into per-entity sub-clusters.  The paper's
+Figure 3 cluster DR19657 is the canonical case: ten records under one NCID
+that "form two very homogeneous groups".
+
+The repair algorithm is single-linkage clustering over the pairwise
+plausibility graph: records are connected when their pair plausibility
+reaches ``threshold``; connected components become the repaired
+sub-clusters.  Single linkage is the right choice here because a chain of
+plausible pairs (old name — married name — married name with typo) must
+stay together even when its endpoints look dissimilar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clusters import record_view
+from repro.core.plausibility import pair_plausibility
+
+PairScorer = Callable[[dict, dict], float]
+
+
+@dataclasses.dataclass
+class RepairResult:
+    """Outcome of repairing one cluster."""
+
+    ncid: str
+    #: Record-index groups; one group per inferred real-world entity.
+    groups: List[List[int]]
+    #: Minimum within-group pair plausibility after the split.
+    min_within_plausibility: float
+
+    @property
+    def was_split(self) -> bool:
+        """True when the cluster was divided into several entities."""
+        return len(self.groups) > 1
+
+
+def _pair_scores(cluster: dict, scorer: Optional[PairScorer]) -> Dict[Tuple[int, int], float]:
+    records = cluster["records"]
+    flats = [record_view(record, ("person",)) for record in records]
+    snapshots = [
+        (record.get("snapshots") or [""])[0] if record.get("snapshots") else ""
+        for record in records
+    ]
+    scores: Dict[Tuple[int, int], float] = {}
+    for j in range(1, len(records)):
+        stored = records[j].get("plausibility") or {}
+        merged: Dict[str, float] = {}
+        for _version, row in sorted(stored.items(), key=lambda item: int(item[0])):
+            merged.update(row)
+        for i in range(j):
+            if scorer is not None:
+                scores[(i, j)] = scorer(flats[i], flats[j])
+            elif str(i) in merged:
+                scores[(i, j)] = merged[str(i)]
+            else:
+                scores[(i, j)] = pair_plausibility(
+                    flats[i], flats[j], snapshots[i], snapshots[j]
+                )
+    return scores
+
+
+def split_cluster(
+    cluster: dict,
+    threshold: float = 0.8,
+    scorer: Optional[PairScorer] = None,
+) -> RepairResult:
+    """Split ``cluster`` into plausibility-connected components.
+
+    ``scorer`` overrides the pair plausibility (stored version-similarity
+    maps are used when available, recomputation otherwise).  Records whose
+    pair plausibility is ``>= threshold`` end up in the same group.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    count = len(cluster["records"])
+    if count <= 1:
+        return RepairResult(cluster["ncid"], [list(range(count))], 1.0)
+
+    scores = _pair_scores(cluster, scorer)
+    parent = list(range(count))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for (i, j), score in scores.items():
+        if score >= threshold:
+            root_i, root_j = find(i), find(j)
+            if root_i != root_j:
+                parent[root_j] = root_i
+
+    components: Dict[int, List[int]] = {}
+    for index in range(count):
+        components.setdefault(find(index), []).append(index)
+    groups = sorted(components.values(), key=lambda group: group[0])
+
+    min_within = 1.0
+    for group in groups:
+        for position_j in range(1, len(group)):
+            for position_i in range(position_j):
+                pair = (group[position_i], group[position_j])
+                min_within = min(min_within, scores[pair])
+    return RepairResult(cluster["ncid"], groups, min_within)
+
+
+def repair_clusters(
+    clusters: Sequence[dict],
+    threshold: float = 0.8,
+    scorer: Optional[PairScorer] = None,
+) -> List[RepairResult]:
+    """Repair every cluster; returns one result per input cluster."""
+    return [split_cluster(cluster, threshold, scorer) for cluster in clusters]
+
+
+def apply_repair(cluster: dict, result: RepairResult) -> List[dict]:
+    """Materialise a repair: one new cluster document per group.
+
+    Split clusters get suffixed ids (``<ncid>/0``, ``<ncid>/1`` ...) so the
+    original NCID remains recoverable; unsplit clusters are returned
+    unchanged.  Version-similarity maps are dropped on split records (their
+    indices change), matching the paper's rule that map reconstruction
+    relies on immutable record order.
+    """
+    if not result.was_split:
+        return [cluster]
+    import copy
+
+    repaired = []
+    for group_index, group in enumerate(result.groups):
+        new_id = f"{cluster['ncid']}/{group_index}"
+        records = []
+        for record_index in group:
+            record = copy.deepcopy(cluster["records"][record_index])
+            record["plausibility"] = {}
+            record["heterogeneity"] = {}
+            record["heterogeneity_person"] = {}
+            records.append(record)
+        repaired.append(
+            {
+                "_id": new_id,
+                "ncid": new_id,
+                "records": records,
+                "meta": {
+                    "hashes": [record["hash"] for record in records],
+                    "inserts_per_snapshot": {},
+                    "first_version": cluster["meta"].get("first_version", 1),
+                    "repaired_from": cluster["ncid"],
+                },
+            }
+        )
+    return repaired

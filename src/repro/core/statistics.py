@@ -1,0 +1,125 @@
+"""Generation statistics: Tables 1 and 2 and Figure 1 of the paper."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.clusters import duplicate_pair_count
+from repro.core.generator import ImportStats, TestDataGenerator
+from repro.core.levels import RemovalLevel
+from repro.votersim.snapshots import Snapshot
+
+
+@dataclasses.dataclass
+class YearStats:
+    """One row of Table 1: per-year snapshot statistics."""
+
+    year: int
+    snapshots: int
+    total_records: int
+    new_records: int
+    new_objects: int
+
+    @property
+    def new_record_rate(self) -> float:
+        """Share of the year's rows that were new records."""
+        return self.new_records / self.total_records if self.total_records else 0.0
+
+    @property
+    def new_object_rate(self) -> float:
+        """Share of the year's new records starting a new cluster."""
+        return self.new_objects / self.new_records if self.new_records else 0.0
+
+
+def snapshot_year_stats(import_stats: Sequence[ImportStats]) -> List[YearStats]:
+    """Aggregate per-snapshot import statistics into Table 1 rows."""
+    by_year: Dict[int, YearStats] = {}
+    for stats in import_stats:
+        year = int(stats.snapshot_date[:4])
+        row = by_year.get(year)
+        if row is None:
+            row = YearStats(year, 0, 0, 0, 0)
+            by_year[year] = row
+        row.snapshots += 1
+        row.total_records += stats.rows
+        row.new_records += stats.new_records
+        row.new_objects += stats.new_clusters
+    return [by_year[year] for year in sorted(by_year)]
+
+
+@dataclasses.dataclass
+class RemovalStats:
+    """One row of Table 2: results of one duplicate-removal level."""
+
+    level: RemovalLevel
+    records: int
+    duplicate_pairs: int
+    avg_cluster_size: float
+    max_cluster_size: int
+    removed_records: int
+    removed_pairs: int
+    clusters: int
+
+    @property
+    def removed_record_share(self) -> float:
+        """Share of baseline records removed at this level."""
+        total = self.records + self.removed_records
+        return self.removed_records / total if total else 0.0
+
+    @property
+    def removed_pair_share(self) -> float:
+        """Share of baseline duplicate pairs removed at this level."""
+        total = self.duplicate_pairs + self.removed_pairs
+        return self.removed_pairs / total if total else 0.0
+
+
+def removal_stats(
+    snapshots: Sequence[Snapshot],
+    levels: Sequence[RemovalLevel] = tuple(RemovalLevel),
+) -> List[RemovalStats]:
+    """Run the generation once per removal level and collect Table 2.
+
+    ``removed_pairs`` follows the paper: the number of duplicate pairs of
+    the no-removal baseline that no longer exist after removal.
+    """
+    results = []
+    baseline_records: Optional[int] = None
+    baseline_pairs: Optional[int] = None
+    for level in levels:
+        generator = TestDataGenerator(removal=level)
+        generator.import_snapshots(snapshots)
+        sizes = [len(cluster["records"]) for cluster in generator.clusters()]
+        records = sum(sizes)
+        pairs = sum(duplicate_pair_count(size) for size in sizes)
+        if level is RemovalLevel.NONE:
+            baseline_records, baseline_pairs = records, pairs
+        removed_records = (baseline_records - records) if baseline_records is not None else 0
+        removed_pairs = (baseline_pairs - pairs) if baseline_pairs is not None else 0
+        results.append(
+            RemovalStats(
+                level=level,
+                records=records,
+                duplicate_pairs=pairs,
+                avg_cluster_size=records / len(sizes) if sizes else 0.0,
+                max_cluster_size=max(sizes) if sizes else 0,
+                removed_records=removed_records,
+                removed_pairs=removed_pairs,
+                clusters=len(sizes),
+            )
+        )
+    return results
+
+
+def cluster_size_histogram(generator: TestDataGenerator) -> Dict[int, int]:
+    """Figure 1: number of clusters per cluster size."""
+    histogram: Counter = Counter()
+    for cluster in generator.clusters():
+        histogram[len(cluster["records"])] += 1
+    return dict(sorted(histogram.items()))
+
+
+def size_histogram_of_sizes(sizes: Iterable[int]) -> Dict[int, int]:
+    """Histogram helper for raw size sequences (single-snapshot variant)."""
+    return dict(sorted(Counter(sizes).items()))

@@ -1,0 +1,183 @@
+"""Dataset transformations for customisation (Section 3.2).
+
+Beyond the heterogeneity-bounded subset selection of Section 6.5, the paper
+lists "further options for customization": "the removal and merge of
+attributes, changing the character of the attributes' values" and adapting
+"the number of clusters [and] the cluster sizes".  This module implements
+those operations on flat record lists and on
+:class:`~repro.core.customize.CustomizationResult` datasets; none of them
+touches the gold standard, which stays sound by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.customize import CustomizationResult
+from repro.core.generator import TestDataGenerator
+
+Records = List[Dict[str, str]]
+
+
+def drop_attributes(records: Sequence[Dict[str, str]], attributes: Sequence[str]) -> Records:
+    """Remove ``attributes`` from every record (attribute removal)."""
+    doomed = set(attributes)
+    return [
+        {k: v for k, v in record.items() if k not in doomed} for record in records
+    ]
+
+
+def merge_attributes(
+    records: Sequence[Dict[str, str]],
+    target: str,
+    sources: Sequence[str],
+    separator: str = " ",
+) -> Records:
+    """Merge ``sources`` into a single ``target`` attribute.
+
+    Non-empty source values are joined with ``separator`` in source order;
+    the source attributes are removed.  Merging the three name attributes
+    into one ``full_name`` is the paper's canonical example.
+    """
+    if not sources:
+        raise ValueError("sources must not be empty")
+    source_set = set(sources)
+    merged = []
+    for record in records:
+        parts = [
+            (record.get(source) or "").strip()
+            for source in sources
+            if (record.get(source) or "").strip()
+        ]
+        clone = {k: v for k, v in record.items() if k not in source_set}
+        clone[target] = separator.join(parts)
+        merged.append(clone)
+    return merged
+
+
+def rename_attribute(records: Sequence[Dict[str, str]], old: str, new: str) -> Records:
+    """Rename attribute ``old`` to ``new`` in every record."""
+    renamed = []
+    for record in records:
+        clone = dict(record)
+        if old in clone:
+            clone[new] = clone.pop(old)
+        renamed.append(clone)
+    return renamed
+
+
+def map_values(
+    records: Sequence[Dict[str, str]],
+    attributes: Sequence[str],
+    transform: Callable[[str], str],
+) -> Records:
+    """Apply ``transform`` to the values of ``attributes``.
+
+    "Changing the character of the attributes' values" — e.g. title-casing
+    all-caps names (``str.title``), truncation, or re-encoding.
+    """
+    targets = set(attributes)
+    mapped = []
+    for record in records:
+        clone = dict(record)
+        for attribute in targets:
+            if attribute in clone and clone[attribute]:
+                clone[attribute] = transform(clone[attribute])
+        mapped.append(clone)
+    return mapped
+
+
+def transform_result(
+    result: CustomizationResult,
+    drop: Sequence[str] = (),
+    merge: Optional[Dict[str, Sequence[str]]] = None,
+    value_transforms: Optional[Dict[str, Callable[[str], str]]] = None,
+) -> CustomizationResult:
+    """Apply attribute transformations to a customised dataset.
+
+    Record ids, cluster assignment and the gold standard are preserved —
+    only record contents change.
+    """
+    records: Records = [dict(record) for record in result.records]
+    if drop:
+        records = drop_attributes(records, drop)
+    for target, sources in (merge or {}).items():
+        records = merge_attributes(records, target, sources)
+    for attribute, transform in (value_transforms or {}).items():
+        records = map_values(records, (attribute,), transform)
+    return CustomizationResult(
+        name=result.name,
+        heterogeneity_range=result.heterogeneity_range,
+        records=records,
+        cluster_of=list(result.cluster_of),
+        gold_pairs=set(result.gold_pairs),
+    )
+
+
+def select_by_cluster_size(
+    generator: TestDataGenerator,
+    size_distribution: Dict[int, int],
+    groups: Tuple[str, ...] = ("person",),
+    seed: int = 0,
+    name: str = "size-selected",
+) -> CustomizationResult:
+    """Build a dataset with a prescribed cluster-size distribution.
+
+    ``size_distribution`` maps cluster size -> number of clusters wanted;
+    clusters larger than a requested size are truncated down to it (records
+    are kept in order, matching the reproducibility rule).  Raises when the
+    store cannot satisfy the request.
+    """
+    from repro.core.clusters import record_view
+
+    if not size_distribution:
+        raise ValueError("size_distribution must not be empty")
+    for size, count in size_distribution.items():
+        if size < 1 or count < 0:
+            raise ValueError(f"invalid entry {size}: {count}")
+
+    rng = random.Random(seed)
+    clusters = list(generator.clusters())
+    rng.shuffle(clusters)
+
+    wanted = sorted(size_distribution.items(), key=lambda item: -item[0])
+    picked: List[Tuple[str, List[Dict[str, str]]]] = []
+    used: Set[str] = set()
+    for size, count in wanted:
+        remaining = count
+        for cluster in clusters:
+            if remaining == 0:
+                break
+            if cluster["ncid"] in used or len(cluster["records"]) < size:
+                continue
+            used.add(cluster["ncid"])
+            flats = [
+                record_view(record, groups)
+                for record in cluster["records"][:size]
+            ]
+            picked.append((cluster["ncid"], flats))
+            remaining -= 1
+        if remaining:
+            raise ValueError(
+                f"store has too few clusters of size >= {size}: "
+                f"{count - remaining} of {count} found"
+            )
+
+    records: Records = []
+    cluster_of: List[str] = []
+    gold_pairs: Set[Tuple[int, int]] = set()
+    for ncid, flats in picked:
+        first_id = len(records)
+        records.extend(flats)
+        cluster_of.extend([ncid] * len(flats))
+        for j in range(first_id + 1, first_id + len(flats)):
+            for i in range(first_id, j):
+                gold_pairs.add((i, j))
+    return CustomizationResult(
+        name=name,
+        heterogeneity_range=(0.0, 1.0),
+        records=records,
+        cluster_of=cluster_of,
+        gold_pairs=gold_pairs,
+    )

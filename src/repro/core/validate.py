@@ -1,0 +1,187 @@
+"""Integrity validation of a generated cluster store.
+
+A published test dataset is only useful if its invariants actually hold —
+a corrupted gold standard "can render evaluation results completely
+useless" (Section 3.1.1).  :func:`validate_store` checks every structural
+invariant the pipeline guarantees and returns a report of violations, so
+dataset publishers can gate releases on it (and users can verify what they
+downloaded):
+
+* cluster documents are well-formed and keyed consistently;
+* ``meta.hashes`` mirrors the record hashes, without duplicates;
+* every record's hash matches a recomputation from its values;
+* ``first_version`` tags are within the published version range;
+* version-similarity map indices reference earlier records only;
+* version documents count exactly what the clusters contain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.clusters import full_view
+from repro.core.hashing import record_hash
+from repro.core.profile import NC_VOTER_PROFILE, SchemaProfile
+from repro.docstore import Database
+
+SIMILARITY_KINDS = ("plausibility", "heterogeneity", "heterogeneity_person")
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Outcome of a store validation run."""
+
+    clusters_checked: int
+    records_checked: int
+    errors: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.errors
+
+
+def validate_cluster(
+    cluster: dict,
+    profile: SchemaProfile = NC_VOTER_PROFILE,
+    max_version: Optional[int] = None,
+    check_hashes: bool = True,
+    hash_attributes: Optional[tuple] = None,
+    trim: bool = True,
+) -> List[str]:
+    """Violations of one cluster document's invariants (empty = sound).
+
+    ``hash_attributes`` / ``trim`` must match the removal level the store
+    was generated with (``validate_store`` derives them from the version
+    metadata); they default to the ``trimming`` level.
+    """
+    errors: List[str] = []
+    ncid = cluster.get("ncid")
+    prefix = f"cluster {ncid!r}"
+    if not ncid:
+        errors.append(f"{prefix}: missing ncid")
+    if cluster.get("_id") != ncid:
+        errors.append(f"{prefix}: _id {cluster.get('_id')!r} != ncid")
+    records = cluster.get("records")
+    if not isinstance(records, list):
+        errors.append(f"{prefix}: records is not a list")
+        return errors
+    meta = cluster.get("meta") or {}
+    hashes = meta.get("hashes")
+    if hashes is None:
+        errors.append(f"{prefix}: meta.hashes missing")
+    else:
+        if len(hashes) != len(set(hashes)):
+            errors.append(f"{prefix}: duplicate hashes in meta.hashes")
+        record_hashes = [record.get("hash") for record in records]
+        if sorted(hashes) != sorted(h for h in record_hashes if h is not None):
+            errors.append(f"{prefix}: meta.hashes does not mirror record hashes")
+
+    for index, record in enumerate(records):
+        where = f"{prefix} record {index}"
+        if "first_version" not in record:
+            errors.append(f"{where}: missing first_version")
+        elif max_version is not None and not 1 <= record["first_version"] <= max_version:
+            errors.append(
+                f"{where}: first_version {record['first_version']} outside "
+                f"[1, {max_version}]"
+            )
+        if check_hashes and record.get("hash"):
+            flat = {}
+            for group in profile.group_names:
+                flat.update(record.get(group) or {})
+            attributes = hash_attributes or profile.hash_attributes()
+            recomputed = record_hash(flat, attributes, trim=trim)
+            if recomputed != record["hash"]:
+                errors.append(f"{where}: stored hash does not match values")
+        for kind in SIMILARITY_KINDS:
+            for version_key, row in (record.get(kind) or {}).items():
+                if not str(version_key).isdigit():
+                    errors.append(f"{where}: non-numeric {kind} version key {version_key!r}")
+                    continue
+                for other_key, score in row.items():
+                    if not str(other_key).isdigit() or int(other_key) >= index:
+                        errors.append(
+                            f"{where}: {kind} references record {other_key} "
+                            f"(must be an earlier index)"
+                        )
+                    elif not 0.0 <= float(score) <= 1.0:
+                        errors.append(
+                            f"{where}: {kind} score {score} outside [0, 1]"
+                        )
+    return errors
+
+
+def validate_store(
+    database: Database,
+    profile: SchemaProfile = NC_VOTER_PROFILE,
+    check_hashes: bool = True,
+) -> ValidationReport:
+    """Validate every invariant of a generated store."""
+    from repro.core.levels import RemovalLevel
+
+    errors: List[str] = []
+    clusters = database.get_collection("clusters", create=False)
+    versions = database.get_collection("versions", create=False)
+    version_docs = versions.find(sort=[("version", 1)])
+    max_version: Optional[int] = None
+    hash_attributes = profile.hash_attributes()
+    trim = True
+    if version_docs and version_docs[-1].get("removal"):
+        removal = RemovalLevel(version_docs[-1]["removal"])
+        if removal is RemovalLevel.NONE:
+            check_hashes = False
+        else:
+            hash_attributes = removal.hash_attributes_for(profile)
+            trim = removal.trims
+    if version_docs:
+        numbers = [doc["version"] for doc in version_docs]
+        if numbers != list(range(1, len(numbers) + 1)):
+            errors.append(f"version numbers not contiguous: {numbers}")
+        max_version = numbers[-1]
+        for earlier, later in zip(version_docs, version_docs[1:]):
+            if later["records"] < earlier["records"]:
+                errors.append(
+                    f"version {later['version']} has fewer records than "
+                    f"version {earlier['version']} (dataset must grow monotonically)"
+                )
+    else:
+        errors.append("no version documents — store was never published")
+
+    clusters_checked = 0
+    records_checked = 0
+    total_records = 0
+    for cluster in clusters.all():
+        clusters_checked += 1
+        record_count = len(cluster.get("records") or [])
+        records_checked += record_count
+        total_records += record_count
+        errors.extend(
+            validate_cluster(
+                cluster,
+                profile,
+                max_version=max_version,
+                check_hashes=check_hashes,
+                hash_attributes=hash_attributes,
+                trim=trim,
+            )
+        )
+
+    if version_docs:
+        latest = version_docs[-1]
+        if latest["records"] != total_records:
+            errors.append(
+                f"latest version documents {latest['records']} records, "
+                f"store contains {total_records}"
+            )
+        if latest["clusters"] != clusters_checked:
+            errors.append(
+                f"latest version documents {latest['clusters']} clusters, "
+                f"store contains {clusters_checked}"
+            )
+    return ValidationReport(
+        clusters_checked=clusters_checked,
+        records_checked=records_checked,
+        errors=errors,
+    )

@@ -1,0 +1,151 @@
+"""The update process of Figure 2 and version-similarity map maintenance.
+
+An update is triggered because new snapshots are available or new statistics
+are required.  It runs in three steps:
+
+1. import the new snapshots (skipped for statistics-only updates);
+2. update statistics — plausibility and heterogeneity scores are computed
+   for every record pair where at least one side is new, and appended to
+   the records' version-similarity maps keyed by the pending version;
+3. assign the new version number, update version metadata and publish.
+
+Because the maps are keyed by version and record order never changes, the
+scores of any earlier version can be reconstructed without recomputation
+(Section 5.2).
+
+Plausibility is domain-specific (Section 6.2: it "heavily depends on the
+domain of the data"), so :class:`UpdateProcess` accepts a custom
+``plausibility_fn``; the built-in voter scorer is used for the NC profile
+and plausibility is skipped for other domains unless a scorer is supplied.
+Heterogeneity is domain-independent by design (entropy weights, same
+measure everywhere) and always computed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.generator import TestDataGenerator
+from repro.core.heterogeneity import HeterogeneityScorer
+from repro.core.plausibility import score_cluster
+from repro.core.profile import NC_VOTER_PROFILE
+from repro.votersim.snapshots import Snapshot
+
+#: Signature of a plausibility scorer: ``(cluster, version) -> {j: {i: s}}``.
+PlausibilityFn = Callable[[dict, Optional[int]], Dict[int, Dict[int, float]]]
+
+
+class UpdateProcess:
+    """Runs import → statistics → publish cycles on a generator."""
+
+    def __init__(
+        self,
+        generator: TestDataGenerator,
+        plausibility_fn: Optional[PlausibilityFn] = None,
+    ) -> None:
+        self.generator = generator
+        if plausibility_fn is None and generator.profile is NC_VOTER_PROFILE:
+            plausibility_fn = lambda cluster, version: score_cluster(
+                cluster, version=version
+            )
+        self.plausibility_fn = plausibility_fn
+
+    def run(
+        self,
+        snapshots: Iterable[Snapshot] = (),
+        compute_statistics: bool = True,
+        note: str = "",
+    ) -> int:
+        """Execute one full update; returns the published version number."""
+        stats = self.generator.import_snapshots(snapshots)
+        if compute_statistics:
+            self.update_statistics()
+        label = note or (
+            f"import of {len(stats)} snapshot(s)" if stats else "statistics update"
+        )
+        return self.generator.publish(note=label)
+
+    def update_statistics(self) -> None:
+        """Step 2: extend the version-similarity maps for new records."""
+        generator = self.generator
+        profile = generator.profile
+        version = generator.pending_version
+        clusters = list(generator.clusters())
+        all_groups = profile.group_names
+        primary_groups = (profile.primary_group,)
+        heterogeneity_all = _build_scorer(clusters, all_groups, None)
+        heterogeneity_primary = _build_scorer(
+            clusters,
+            primary_groups,
+            tuple(
+                a for a in profile.primary_attributes() if a != profile.id_attribute
+            ),
+        )
+        for cluster in clusters:
+            if self.plausibility_fn is not None:
+                _apply_maps(
+                    cluster,
+                    "plausibility",
+                    self.plausibility_fn(cluster, version),
+                    version,
+                )
+            if heterogeneity_all is not None:
+                _apply_maps(
+                    cluster,
+                    "heterogeneity",
+                    heterogeneity_all.score_cluster_document(
+                        cluster, all_groups, version=version
+                    ),
+                    version,
+                )
+            if heterogeneity_primary is not None:
+                _apply_maps(
+                    cluster,
+                    "heterogeneity_person",
+                    heterogeneity_primary.score_cluster_document(
+                        cluster, primary_groups, version=version
+                    ),
+                    version,
+                )
+            generator._dirty.add(cluster["ncid"])
+
+
+def _build_scorer(
+    clusters: List[dict],
+    groups: Tuple[str, ...],
+    attributes: Optional[Tuple[str, ...]],
+) -> Optional[HeterogeneityScorer]:
+    if not clusters:
+        return None
+    return HeterogeneityScorer.from_clusters(clusters, groups, attributes)
+
+
+def _apply_maps(
+    cluster: dict,
+    kind: str,
+    maps: Dict[int, Dict[int, float]],
+    version: int,
+) -> None:
+    """Append ``{j: {i: score}}`` maps under ``version`` in each record."""
+    records = cluster["records"]
+    for j, row in maps.items():
+        store = records[j].setdefault(kind, {})
+        store[str(version)] = {str(i): round(score, 6) for i, score in row.items()}
+
+
+def similarity_at_version(record_doc: dict, kind: str, version: int) -> Dict[int, float]:
+    """Scores of ``record_doc`` against earlier records, as of ``version``.
+
+    Merges every version-similarity map with version <= ``version``; later
+    maps never overwrite earlier pairs (record order is immutable), so the
+    merge is exactly the historical state.
+    """
+    merged: Dict[int, float] = {}
+    for version_key, row in sorted(
+        (record_doc.get(kind) or {}).items(), key=lambda item: int(item[0])
+    ):
+        if int(version_key) > version:
+            continue
+        for index_key, score in row.items():
+            merged[int(index_key)] = score
+    return merged

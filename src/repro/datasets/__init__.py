@@ -1,0 +1,26 @@
+"""Synthesizers for the comparison datasets of Section 6.1.
+
+The paper compares the NC test data against three manually labeled datasets
+commonly used in the literature — Cora (bibliographic citations), Census
+(person records) and CDDB (audio CD metadata).  Those files are not
+redistributable here, so each module synthesizes a dataset matching the
+published characteristics of Table 3 exactly (record / attribute / cluster /
+duplicate-pair counts and the cluster-size distribution) and the error
+profile of Table 4 approximately.
+"""
+
+from repro.datasets.base import BenchmarkDataset, DatasetCharacteristics
+from repro.datasets.cddb import synthesize_cddb
+from repro.datasets.census import synthesize_census
+from repro.datasets.cora import synthesize_cora
+from repro.datasets.io import load_dataset, save_dataset
+
+__all__ = [
+    "BenchmarkDataset",
+    "DatasetCharacteristics",
+    "synthesize_cora",
+    "synthesize_census",
+    "synthesize_cddb",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,120 @@
+"""Common dataset container and Table 3 characteristics."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+@dataclasses.dataclass
+class BenchmarkDataset:
+    """A labeled duplicate-detection test dataset.
+
+    Record ids are positions in :attr:`records`; the gold standard is the
+    set of duplicate record-id pairs ``(i, j)`` with ``i < j``.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    records: List[Dict[str, str]]
+    cluster_of: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.records) != len(self.cluster_of):
+            raise ValueError(
+                f"records ({len(self.records)}) and cluster_of "
+                f"({len(self.cluster_of)}) must have equal length"
+            )
+
+    @property
+    def gold_pairs(self) -> Set[Tuple[int, int]]:
+        """The duplicate record-id pairs implied by the cluster labels."""
+        members: Dict[int, List[int]] = {}
+        for record_id, cluster_id in enumerate(self.cluster_of):
+            members.setdefault(cluster_id, []).append(record_id)
+        pairs: Set[Tuple[int, int]] = set()
+        for ids in members.values():
+            for j in range(1, len(ids)):
+                for i in range(j):
+                    pairs.add((ids[i], ids[j]))
+        return pairs
+
+    def clusters(self) -> Dict[int, List[Dict[str, str]]]:
+        """cluster id -> list of its records."""
+        result: Dict[int, List[Dict[str, str]]] = {}
+        for record, cluster_id in zip(self.records, self.cluster_of):
+            result.setdefault(cluster_id, []).append(record)
+        return result
+
+    def characteristics(self) -> "DatasetCharacteristics":
+        """The dataset's Table 3 row."""
+        sizes = Counter(self.cluster_of)
+        cluster_sizes = list(sizes.values())
+        non_singletons = sum(1 for size in cluster_sizes if size > 1)
+        return DatasetCharacteristics(
+            name=self.name,
+            records=len(self.records),
+            attributes=len(self.attributes),
+            duplicate_pairs=sum(size * (size - 1) // 2 for size in cluster_sizes),
+            clusters=len(cluster_sizes),
+            non_singletons=non_singletons,
+            max_cluster_size=max(cluster_sizes) if cluster_sizes else 0,
+            avg_cluster_size=(
+                len(self.records) / len(cluster_sizes) if cluster_sizes else 0.0
+            ),
+        )
+
+
+@dataclasses.dataclass
+class DatasetCharacteristics:
+    """One row of Table 3."""
+
+    name: str
+    records: int
+    attributes: int
+    duplicate_pairs: int
+    clusters: int
+    non_singletons: int
+    max_cluster_size: int
+    avg_cluster_size: float
+
+
+def expand_composition(composition: Dict[int, int]) -> List[int]:
+    """``{cluster_size: count}`` -> list of cluster sizes."""
+    sizes: List[int] = []
+    for size, count in sorted(composition.items()):
+        if size < 1 or count < 0:
+            raise ValueError(f"invalid composition entry {size}: {count}")
+        sizes.extend([size] * count)
+    return sizes
+
+
+def composition_totals(composition: Dict[int, int]) -> Tuple[int, int, int]:
+    """(records, clusters, duplicate pairs) implied by a composition."""
+    records = sum(size * count for size, count in composition.items())
+    clusters = sum(composition.values())
+    pairs = sum(size * (size - 1) // 2 * count for size, count in composition.items())
+    return records, clusters, pairs
+
+
+def assemble(
+    name: str,
+    attributes: Sequence[str],
+    clusters: Sequence[List[Dict[str, str]]],
+    seed: int,
+) -> BenchmarkDataset:
+    """Shuffle cluster members into a flat dataset with gold labels."""
+    rng = random.Random(seed)
+    staged: List[Tuple[int, Dict[str, str]]] = []
+    for cluster_id, members in enumerate(clusters):
+        for record in members:
+            staged.append((cluster_id, record))
+    rng.shuffle(staged)
+    return BenchmarkDataset(
+        name=name,
+        attributes=tuple(attributes),
+        records=[record for _cluster_id, record in staged],
+        cluster_of=[cluster_id for cluster_id, _record in staged],
+    )

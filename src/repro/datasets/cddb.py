@@ -1,0 +1,93 @@
+"""Synthesizer of a CDDB-like audio CD dataset.
+
+The CDDB dataset contains CD metadata (artist, title, category, genre ...).
+Published characteristics (Table 3): 9,763 records, 7 attributes, 300
+duplicate pairs, 9,508 clusters of which only 221 are non-singletons,
+maximum cluster size 6, average 1.03 — an almost duplicate-free dataset
+with a long singleton tail.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.datasets.base import BenchmarkDataset, assemble, expand_composition
+from repro.pollute.corruptors import CorruptorSuite
+from repro.votersim import names as name_pools
+
+ATTRIBUTES = (
+    "artist",
+    "dtitle",
+    "category",
+    "genre",
+    "year",
+    "cdextra",
+    "tracks",
+)
+
+#: Composition solving Table 3 exactly: 9,763 records, 300 pairs,
+#: 9,508 clusters (221 non-singleton), max size 6.
+COMPOSITION = {1: 9287, 2: 194, 3: 23, 4: 2, 5: 1, 6: 1}
+
+_CATEGORIES = ("rock", "jazz", "classical", "blues", "country", "folk", "misc")
+_GENRES = ("Rock", "Pop", "Jazz", "Classical", "Blues", "Country", "Alternative", "Metal")
+_TITLE_WORDS = (
+    "love", "night", "blue", "heart", "road", "fire", "river", "dream",
+    "moon", "light", "dance", "soul", "rain", "summer", "gold", "shadow",
+    "city", "train", "wild", "home", "stone", "silver", "sky", "star",
+)
+
+
+def _album(rng: random.Random) -> Dict[str, str]:
+    artist_first = rng.choice(
+        name_pools.MALE_FIRST_NAMES + name_pools.FEMALE_FIRST_NAMES
+    ).title()
+    artist_last = rng.choice(name_pools.LAST_NAMES).title()
+    kind = rng.random()
+    if kind < 0.4:
+        artist = f"{artist_first} {artist_last}"
+    elif kind < 0.7:
+        artist = f"The {artist_last}s"
+    else:
+        artist = f"{artist_last} {rng.choice(('Band', 'Trio', 'Quartet', 'Project'))}"
+    words = rng.sample(_TITLE_WORDS, rng.randrange(1, 4))
+    title = " ".join(word.title() for word in words)
+    return {
+        "artist": artist,
+        "dtitle": title,
+        "category": rng.choice(_CATEGORIES),
+        "genre": rng.choice(_GENRES),
+        "year": str(rng.randrange(1960, 2005)) if rng.random() < 0.8 else "",
+        "cdextra": "YES" if rng.random() < 0.1 else "",
+        "tracks": str(rng.randrange(6, 22)),
+    }
+
+
+def synthesize_cddb(seed: int = 2021) -> BenchmarkDataset:
+    """Build the CDDB-like dataset (deterministic given ``seed``)."""
+    rng = random.Random(seed)
+    suite = CorruptorSuite(
+        {
+            "typo": 3.0,
+            "case": 2.0,
+            "representation": 2.0,
+            "missing": 1.0,
+            "token_transposition": 1.0,
+            "truncate": 0.5,
+        }
+    )
+    clusters: List[List[Dict[str, str]]] = []
+    for size in expand_composition(COMPOSITION):
+        album = _album(rng)
+        members = [dict(album)]
+        for _ in range(size - 1):
+            duplicate = suite.corrupt_record(
+                album,
+                rng,
+                ("artist", "dtitle", "genre", "year", "tracks", "category"),
+                errors_per_record=3.0,
+            )
+            members.append(duplicate)
+        clusters.append(members)
+    return assemble("CDDB", ATTRIBUTES, clusters, seed)

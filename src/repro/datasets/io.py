@@ -1,0 +1,113 @@
+"""CSV serialisation of labeled test datasets.
+
+The interchange format the CLI uses, available as a library API: a data
+CSV with ``record_id`` and ``cluster_id`` columns followed by the attribute
+columns, plus a companion ``<name>.gold.csv`` listing the duplicate
+record-id pairs.  Works for every labeled dataset in the package —
+customised NC subsets, the comparison datasets and polluter/synthesizer
+output all expose ``records`` + ``cluster_of``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.datasets.base import BenchmarkDataset
+
+
+def gold_path_for(data_path: Path) -> Path:
+    """The companion gold-pair file of a dataset CSV."""
+    return Path(data_path).with_suffix(".gold.csv")
+
+
+def save_dataset(
+    path: Path,
+    records: Sequence[Dict[str, str]],
+    cluster_of: Sequence,
+    attributes: Sequence[str] = None,
+) -> Tuple[Path, Path]:
+    """Write a labeled dataset as ``<path>`` + ``<path>.gold.csv``.
+
+    ``attributes`` fixes the column order; by default it is the union of
+    record keys in first-seen order.  Returns the two written paths.
+    """
+    if len(records) != len(cluster_of):
+        raise ValueError(
+            f"records ({len(records)}) and cluster_of ({len(cluster_of)}) "
+            "must have equal length"
+        )
+    if attributes is None:
+        seen: Dict[str, None] = {}
+        for record in records:
+            for attribute in record:
+                seen.setdefault(attribute)
+        attributes = list(seen)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["record_id", "cluster_id"] + list(attributes))
+        for record_id, (record, cluster_id) in enumerate(zip(records, cluster_of)):
+            writer.writerow(
+                [record_id, cluster_id]
+                + [record.get(attribute, "") for attribute in attributes]
+            )
+    gold_path = gold_path_for(path)
+    members: Dict[object, List[int]] = {}
+    for record_id, cluster_id in enumerate(cluster_of):
+        members.setdefault(cluster_id, []).append(record_id)
+    with gold_path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("left", "right"))
+        for ids in members.values():
+            for j in range(1, len(ids)):
+                for i in range(j):
+                    writer.writerow((ids[i], ids[j]))
+    return path, gold_path
+
+
+def load_dataset(path: Path, name: str = None) -> BenchmarkDataset:
+    """Load a dataset written by :func:`save_dataset` (or the CLI).
+
+    The gold file is only used for validation: cluster membership is
+    reconstructed from the ``cluster_id`` column, and a mismatch with the
+    gold pairs raises (a corrupted download must not silently produce a
+    wrong gold standard).
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header[:2] != ["record_id", "cluster_id"]:
+            raise ValueError(
+                f"{path}: expected 'record_id,cluster_id,...' header, got {header[:2]}"
+            )
+        attributes = tuple(header[2:])
+        records: List[Dict[str, str]] = []
+        labels: List[str] = []
+        for row in reader:
+            records.append(dict(zip(attributes, row[2:])))
+            labels.append(row[1])
+    label_ids = {label: index for index, label in enumerate(dict.fromkeys(labels))}
+    dataset = BenchmarkDataset(
+        name=name or path.stem,
+        attributes=attributes,
+        records=records,
+        cluster_of=[label_ids[label] for label in labels],
+    )
+    gold_path = gold_path_for(path)
+    if gold_path.exists():
+        with gold_path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            next(reader)
+            stored: Set[Tuple[int, int]] = {
+                (int(left), int(right)) for left, right in reader
+            }
+        if stored != dataset.gold_pairs:
+            raise ValueError(
+                f"{gold_path}: gold pairs disagree with the cluster_id column "
+                f"({len(stored)} stored vs {len(dataset.gold_pairs)} implied)"
+            )
+    return dataset

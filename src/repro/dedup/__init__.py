@@ -1,0 +1,59 @@
+"""The duplicate-detection framework used in the paper's evaluation.
+
+Section 6.5's setup:
+
+* candidate generation with a multi-pass Sorted Neighborhood Method —
+  one pass per highly unique attribute, window size 20
+  (:mod:`repro.dedup.blocking`);
+* record similarity as the entropy-weighted average of attribute value
+  similarities, with the three name attributes matched 1:1 in their best
+  permutation (:mod:`repro.dedup.matching`);
+* classification by similarity threshold and evaluation as precision /
+  recall / F1 over a threshold sweep (:mod:`repro.dedup.evaluate`).
+"""
+
+from repro.dedup.blocking import (
+    SortedNeighborhood,
+    StandardBlocking,
+    multipass_blocking,
+    multipass_sorted_neighborhood,
+    pick_blocking_keys,
+)
+from repro.dedup.evaluate import (
+    EvaluationPoint,
+    best_f1,
+    confusion_counts,
+    evaluate_thresholds,
+    f1_score,
+    precision_recall_f1,
+    score_candidates,
+)
+from repro.dedup.clustering import (
+    closure_pair_metrics,
+    cluster_metrics,
+    clusters_from_labels,
+    connected_components,
+    pairs_of_clusters,
+)
+from repro.dedup.matching import RecordMatcher
+
+__all__ = [
+    "SortedNeighborhood",
+    "StandardBlocking",
+    "multipass_blocking",
+    "multipass_sorted_neighborhood",
+    "pick_blocking_keys",
+    "RecordMatcher",
+    "EvaluationPoint",
+    "best_f1",
+    "score_candidates",
+    "evaluate_thresholds",
+    "precision_recall_f1",
+    "confusion_counts",
+    "f1_score",
+    "connected_components",
+    "pairs_of_clusters",
+    "closure_pair_metrics",
+    "cluster_metrics",
+    "clusters_from_labels",
+]

@@ -1,0 +1,129 @@
+"""Candidate generation: multi-pass Sorted Neighborhood Method.
+
+The paper reduces the search space with "a multi pass of the Sorted
+Neighborhood Method by using one pass for each of the five most unique
+attributes and a window of size w = 20" and reports that no true duplicate
+was lost (Section 6.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.heterogeneity import entropy
+
+
+def pick_blocking_keys(
+    records: Sequence[Dict[str, str]],
+    attributes: Sequence[str],
+    count: int = 5,
+) -> List[str]:
+    """The ``count`` most unique attributes, measured by value entropy."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    scored = [
+        (entropy((record.get(attribute) or "").strip() for record in records), attribute)
+        for attribute in attributes
+    ]
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [attribute for _score, attribute in scored[:count]]
+
+
+class SortedNeighborhood:
+    """A single Sorted Neighborhood pass.
+
+    Records are sorted by the value of ``key_attribute``; every pair within
+    a sliding window of ``window`` records becomes a candidate.
+    """
+
+    def __init__(self, key_attribute: str, window: int = 20) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.key_attribute = key_attribute
+        self.window = window
+
+    def candidates(self, records: Sequence[Dict[str, str]]) -> Set[Tuple[int, int]]:
+        """Candidate record-id pairs ``(i, j)`` with ``i < j``."""
+        order = sorted(
+            range(len(records)),
+            key=lambda index: (records[index].get(self.key_attribute) or "").strip(),
+        )
+        pairs: Set[Tuple[int, int]] = set()
+        for position, record_id in enumerate(order):
+            stop = min(position + self.window, len(order))
+            for other_position in range(position + 1, stop):
+                other_id = order[other_position]
+                pair = (record_id, other_id) if record_id < other_id else (other_id, record_id)
+                pairs.add(pair)
+        return pairs
+
+
+def multipass_sorted_neighborhood(
+    records: Sequence[Dict[str, str]],
+    key_attributes: Iterable[str],
+    window: int = 20,
+) -> Set[Tuple[int, int]]:
+    """Union of the candidate pairs of one pass per key attribute."""
+    pairs: Set[Tuple[int, int]] = set()
+    for key_attribute in key_attributes:
+        pairs |= SortedNeighborhood(key_attribute, window).candidates(records)
+    return pairs
+
+
+class StandardBlocking:
+    """Classic key-based blocking: equal blocking keys become candidates.
+
+    ``key_function`` maps a record to its blocking key (e.g. the Soundex
+    code of the last name plus the zip prefix).  Unlike Sorted
+    Neighborhood, block sizes are unbounded — ``max_block_size`` guards
+    against quadratic blow-up on frequent keys by skipping oversized
+    blocks (a standard production safeguard).
+    """
+
+    def __init__(
+        self,
+        key_function,
+        max_block_size: int = 500,
+    ) -> None:
+        if max_block_size < 2:
+            raise ValueError(f"max_block_size must be >= 2, got {max_block_size}")
+        self.key_function = key_function
+        self.max_block_size = max_block_size
+
+    @classmethod
+    def on_attribute(cls, attribute: str, transform=None, max_block_size: int = 500):
+        """Block on one attribute, optionally transformed (e.g. soundex)."""
+
+        def key_function(record: Dict[str, str]) -> str:
+            value = (record.get(attribute) or "").strip()
+            return transform(value) if transform else value
+
+        return cls(key_function, max_block_size)
+
+    def candidates(self, records: Sequence[Dict[str, str]]) -> Set[Tuple[int, int]]:
+        """Candidate record-id pairs ``(i, j)`` with ``i < j``."""
+        blocks: Dict[str, List[int]] = {}
+        for record_id, record in enumerate(records):
+            key = self.key_function(record)
+            if key in (None, ""):
+                continue  # empty keys never block together
+            blocks.setdefault(key, []).append(record_id)
+        pairs: Set[Tuple[int, int]] = set()
+        for members in blocks.values():
+            if len(members) > self.max_block_size:
+                continue
+            for j in range(1, len(members)):
+                for i in range(j):
+                    pairs.add((members[i], members[j]))
+        return pairs
+
+
+def multipass_blocking(
+    records: Sequence[Dict[str, str]],
+    blockers: Iterable["StandardBlocking"],
+) -> Set[Tuple[int, int]]:
+    """Union of the candidates of several standard-blocking passes."""
+    pairs: Set[Tuple[int, int]] = set()
+    for blocker in blockers:
+        pairs |= blocker.candidates(records)
+    return pairs

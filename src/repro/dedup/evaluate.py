@@ -1,0 +1,122 @@
+"""Threshold sweeps and precision / recall / F1 (Figure 5)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+Pair = Tuple[int, int]
+
+
+@dataclasses.dataclass
+class EvaluationPoint:
+    """Quality of one similarity threshold."""
+
+    threshold: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was predicted."""
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when the gold standard is empty."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def confusion_counts(
+    predicted: Set[Pair], gold: Set[Pair]
+) -> Tuple[int, int, int]:
+    """(TP, FP, FN) of a predicted duplicate pair set against the gold."""
+    true_positives = len(predicted & gold)
+    return (
+        true_positives,
+        len(predicted) - true_positives,
+        len(gold) - true_positives,
+    )
+
+
+def precision_recall_f1(predicted: Set[Pair], gold: Set[Pair]) -> Tuple[float, float, float]:
+    """(precision, recall, F1) of a predicted pair set."""
+    tp, fp, fn = confusion_counts(predicted, gold)
+    point = EvaluationPoint(0.0, tp, fp, fn)
+    return point.precision, point.recall, point.f1
+
+
+def score_candidates(
+    records: Sequence[Dict[str, str]],
+    candidates: Iterable[Pair],
+    matcher: Callable[[Dict[str, str], Dict[str, str]], float],
+) -> Dict[Pair, float]:
+    """Similarity of every candidate pair (computed once for all sweeps)."""
+    return {
+        pair: matcher(records[pair[0]], records[pair[1]])
+        for pair in candidates
+    }
+
+
+def evaluate_thresholds(
+    similarities: Dict[Pair, float],
+    gold: Set[Pair],
+    thresholds: Sequence[float],
+) -> List[EvaluationPoint]:
+    """One evaluation point per threshold.
+
+    Pairs never scored (not candidates) count as non-duplicates, so recall
+    is measured against the *full* gold standard, exactly as in the paper
+    (blocking happened to lose no true duplicate there; here it would show
+    up as irreducible false negatives).
+    """
+    # Sort pairs by similarity descending; sweep thresholds descending so
+    # each pair is classified exactly once across the whole sweep.
+    ordered = sorted(similarities.items(), key=lambda item: -item[1])
+    points: List[EvaluationPoint] = []
+    thresholds_desc = sorted(thresholds, reverse=True)
+    index = 0
+    true_positives = 0
+    false_positives = 0
+    gold_total = len(gold)
+    for threshold in thresholds_desc:
+        while index < len(ordered) and ordered[index][1] >= threshold:
+            pair = ordered[index][0]
+            if pair in gold:
+                true_positives += 1
+            else:
+                false_positives += 1
+            index += 1
+        points.append(
+            EvaluationPoint(
+                threshold=threshold,
+                true_positives=true_positives,
+                false_positives=false_positives,
+                false_negatives=gold_total - true_positives,
+            )
+        )
+    points.reverse()  # return in ascending threshold order
+    return points
+
+
+def best_f1(points: Sequence[EvaluationPoint]) -> EvaluationPoint:
+    """The evaluation point with the highest F1 (ties: lower threshold)."""
+    if not points:
+        raise ValueError("no evaluation points")
+    return max(points, key=lambda point: (point.f1, -point.threshold))

@@ -1,0 +1,41 @@
+"""An embedded, aggregate-oriented document store.
+
+The paper stores its test dataset in MongoDB: one document per voter
+(duplicate cluster), nested record documents, indexes for selection and an
+aggregation pipeline for customisation (Section 5).  This package provides an
+embedded Python substitute with the same data model and the three
+capabilities the pipeline relies on:
+
+* **aggregate-oriented storage** — documents are arbitrarily nested dicts /
+  lists accessed by dotted paths, grouped per cluster;
+* **indexes** — hash and sorted indexes that accelerate equality and range
+  queries;
+* **aggregation pipeline** — multi-stage ``$match/$project/$group/$unwind/
+  $sort/$limit/...`` pipelines for filtering, transformation, grouping and
+  sorting.
+
+Persistence is line-delimited JSON per collection plus a database manifest,
+so datasets survive process restarts and can be shipped as plain files.
+"""
+
+from repro.docstore.collection import Collection
+from repro.docstore.database import Database
+from repro.docstore.documents import get_path, set_path, unset_path
+from repro.docstore.errors import (
+    CollectionNotFound,
+    DocStoreError,
+    DuplicateKeyError,
+    QueryError,
+)
+
+__all__ = [
+    "Database",
+    "Collection",
+    "DocStoreError",
+    "DuplicateKeyError",
+    "QueryError",
+    "CollectionNotFound",
+    "get_path",
+    "set_path",
+    "unset_path",
+]

@@ -1,0 +1,343 @@
+"""Multi-stage aggregation pipelines (the customisation workhorse).
+
+Supported stages: ``$match``, ``$project``, ``$addFields``, ``$group``,
+``$unwind``, ``$sort``, ``$skip``, ``$limit``, ``$count``.  Expressions
+support ``"$field"`` path references, literals, and the operators ``$add``,
+``$subtract``, ``$multiply``, ``$divide``, ``$size``, ``$concat``,
+``$literal``, ``$cond``, ``$ifNull``, ``$min``, ``$max``, ``$avg``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List
+
+from repro.docstore.documents import MISSING, deep_copy, resolve_path, set_path
+from repro.docstore.errors import QueryError
+from repro.docstore.matching import compile_filter
+
+
+def evaluate(expression: Any, document: dict) -> Any:
+    """Evaluate an aggregation expression against ``document``."""
+    if isinstance(expression, str) and expression.startswith("$"):
+        value = resolve_path(document, expression[1:])
+        return None if value is MISSING else value
+    if isinstance(expression, dict):
+        if len(expression) == 1:
+            (op, operand), = expression.items()
+            if op.startswith("$"):
+                return _evaluate_operator(op, operand, document)
+        return {key: evaluate(value, document) for key, value in expression.items()}
+    if isinstance(expression, list):
+        return [evaluate(item, document) for item in expression]
+    return expression
+
+
+def _numeric_operands(operand: Any, document: dict) -> List[float]:
+    values = [evaluate(item, document) for item in operand]
+    return [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+
+
+def _evaluate_operator(op: str, operand: Any, document: dict) -> Any:
+    if op == "$literal":
+        return operand
+    if op == "$add":
+        return sum(_numeric_operands(operand, document))
+    if op == "$subtract":
+        left, right = (evaluate(item, document) for item in operand)
+        if left is None or right is None:
+            return None
+        return left - right
+    if op == "$multiply":
+        product = 1.0
+        for value in _numeric_operands(operand, document):
+            product *= value
+        return product
+    if op == "$divide":
+        left, right = (evaluate(item, document) for item in operand)
+        if left is None or right in (None, 0):
+            return None
+        return left / right
+    if op == "$size":
+        value = evaluate(operand, document)
+        return len(value) if isinstance(value, list) else 0
+    if op == "$concat":
+        parts = [evaluate(item, document) for item in operand]
+        if any(part is None for part in parts):
+            return None
+        return "".join(str(part) for part in parts)
+    if op == "$cond":
+        if isinstance(operand, dict):
+            branches = [operand["if"], operand["then"], operand["else"]]
+        else:
+            branches = operand
+        condition, then_expr, else_expr = branches
+        return evaluate(then_expr if evaluate(condition, document) else else_expr, document)
+    if op == "$ifNull":
+        value, fallback = (evaluate(item, document) for item in operand)
+        return fallback if value is None else value
+    if op == "$min":
+        values = _numeric_operands(operand, document)
+        return min(values) if values else None
+    if op == "$max":
+        values = _numeric_operands(operand, document)
+        return max(values) if values else None
+    if op == "$avg":
+        values = _numeric_operands(operand, document)
+        return sum(values) / len(values) if values else None
+    raise QueryError(f"unknown expression operator {op!r}")
+
+
+class _Accumulator:
+    """One ``$group`` accumulator instance (per group, per output field)."""
+
+    def __init__(self, op: str, expression: Any) -> None:
+        self.op = op
+        self.expression = expression
+        self.values: List[Any] = []
+        self.unique: set = set()
+        self.first: Any = MISSING
+        self.last: Any = MISSING
+
+    def feed(self, document: dict) -> None:
+        """Consume one document's value into the accumulator."""
+        value = evaluate(self.expression, document)
+        if self.first is MISSING:
+            self.first = value
+        self.last = value
+        if self.op in ("$sum", "$avg", "$min", "$max"):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.values.append(value)
+        elif self.op == "$push":
+            self.values.append(value)
+        elif self.op == "$addToSet":
+            key = repr(value)
+            if key not in self.unique:
+                self.unique.add(key)
+                self.values.append(value)
+
+    def result(self) -> Any:
+        """Finalise and return the accumulated value."""
+        if self.op == "$sum":
+            return sum(self.values)
+        if self.op == "$avg":
+            return sum(self.values) / len(self.values) if self.values else None
+        if self.op == "$min":
+            return min(self.values) if self.values else None
+        if self.op == "$max":
+            return max(self.values) if self.values else None
+        if self.op in ("$push", "$addToSet"):
+            return self.values
+        if self.op == "$first":
+            return None if self.first is MISSING else self.first
+        if self.op == "$last":
+            return None if self.last is MISSING else self.last
+        raise QueryError(f"unknown accumulator {self.op!r}")
+
+
+def _stage_match(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
+    predicate = compile_filter(spec)
+    return (doc for doc in documents if predicate(doc))
+
+
+def _stage_project(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
+    if not isinstance(spec, dict) or not spec:
+        raise QueryError("$project requires a non-empty dict")
+    include_mode = any(v in (1, True) or isinstance(v, (str, dict)) for k, v in spec.items() if k != "_id")
+    for document in documents:
+        if include_mode:
+            projected: dict = {}
+            if spec.get("_id", 1) in (1, True):
+                if "_id" in document:
+                    projected["_id"] = document["_id"]
+            for field, rule in spec.items():
+                if field == "_id":
+                    continue
+                if rule in (0, False):
+                    continue
+                if rule in (1, True):
+                    value = resolve_path(document, field)
+                    if value is not MISSING:
+                        set_path(projected, field, deep_copy({"v": value})["v"])
+                else:
+                    set_path(projected, field, evaluate(rule, document))
+            yield projected
+        else:
+            clone = deep_copy(document)
+            for field, rule in spec.items():
+                if rule in (0, False):
+                    from repro.docstore.documents import unset_path
+
+                    unset_path(clone, field)
+            yield clone
+
+
+def _stage_add_fields(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
+    for document in documents:
+        clone = deep_copy(document)
+        for field, expression in spec.items():
+            set_path(clone, field, evaluate(expression, document))
+        yield clone
+
+
+def _stage_group(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id expression")
+    id_expression = spec["_id"]
+    accumulator_specs: Dict[str, tuple] = {}
+    for field, accumulator in spec.items():
+        if field == "_id":
+            continue
+        if not isinstance(accumulator, dict) or len(accumulator) != 1:
+            raise QueryError(f"accumulator for {field!r} must be a single-op dict")
+        (op, expression), = accumulator.items()
+        accumulator_specs[field] = (op, expression)
+
+    groups: Dict[str, dict] = {}
+    order: List[str] = []
+    for document in documents:
+        group_id = evaluate(id_expression, document)
+        key = repr(group_id)
+        if key not in groups:
+            groups[key] = {
+                "_id": group_id,
+                "_accumulators": {
+                    field: _Accumulator(op, expression)
+                    for field, (op, expression) in accumulator_specs.items()
+                },
+            }
+            order.append(key)
+        for accumulator in groups[key]["_accumulators"].values():
+            accumulator.feed(document)
+    for key in order:
+        group = groups[key]
+        result = {"_id": group["_id"]}
+        for field, accumulator in group["_accumulators"].items():
+            result[field] = accumulator.result()
+        yield result
+
+
+def _stage_unwind(documents: Iterable[dict], spec: Any) -> Iterator[dict]:
+    if isinstance(spec, dict):
+        path = spec["path"]
+        keep_empty = spec.get("preserveNullAndEmptyArrays", False)
+    else:
+        path = spec
+        keep_empty = False
+    if not isinstance(path, str) or not path.startswith("$"):
+        raise QueryError("$unwind path must start with '$'")
+    field = path[1:]
+    for document in documents:
+        value = resolve_path(document, field)
+        if value is MISSING or value is None or (isinstance(value, list) and not value):
+            if keep_empty:
+                yield deep_copy(document)
+            continue
+        if not isinstance(value, list):
+            yield deep_copy(document)
+            continue
+        for element in value:
+            clone = deep_copy(document)
+            set_path(clone, field, element)
+            yield clone
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total order over mixed types: None < numbers < strings < other."""
+    if value is None or value is MISSING:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, repr(value))
+
+
+def _stage_sort(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
+    materialised = list(documents)
+    for field, direction in reversed(list(spec.items())):
+        if direction not in (1, -1):
+            raise QueryError(f"sort direction must be 1 or -1, got {direction!r}")
+        materialised.sort(
+            key=lambda doc, field=field: _sort_key(resolve_path(doc, field)),
+            reverse=direction == -1,
+        )
+    return iter(materialised)
+
+
+def _stage_skip(documents: Iterable[dict], count: int) -> Iterator[dict]:
+    iterator = iter(documents)
+    for _ in range(count):
+        next(iterator, None)
+    return iterator
+
+
+def _stage_limit(documents: Iterable[dict], count: int) -> Iterator[dict]:
+    iterator = iter(documents)
+    for _ in range(count):
+        item = next(iterator, MISSING)
+        if item is MISSING:
+            return
+        yield item
+
+
+def _stage_count(documents: Iterable[dict], field: str) -> Iterator[dict]:
+    yield {field: sum(1 for _ in documents)}
+
+
+def _stage_replace_root(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
+    """Promote a sub-document to the document root (``$replaceRoot``).
+
+    The canonical use here: after ``$unwind``-ing a cluster's records,
+    ``{"$replaceRoot": {"newRoot": "$records"}}`` turns each record
+    sub-document into a top-level document.
+    """
+    if not isinstance(spec, dict) or "newRoot" not in spec:
+        raise QueryError("$replaceRoot requires {'newRoot': <expression>}")
+    for document in documents:
+        root = evaluate(spec["newRoot"], document)
+        if not isinstance(root, dict):
+            raise QueryError(
+                f"$replaceRoot newRoot must resolve to a document, got "
+                f"{type(root).__name__}"
+            )
+        yield deep_copy(root)
+
+
+def _stage_sort_by_count(documents: Iterable[dict], expression: Any) -> Iterator[dict]:
+    """Group by an expression and sort by group size (``$sortByCount``)."""
+    grouped = _stage_group(
+        documents, {"_id": expression, "count": {"$sum": 1}}
+    )
+    return _stage_sort(grouped, {"count": -1, "_id": 1})
+
+
+_STAGES = {
+    "$match": _stage_match,
+    "$project": _stage_project,
+    "$addFields": _stage_add_fields,
+    "$set": _stage_add_fields,
+    "$group": _stage_group,
+    "$unwind": _stage_unwind,
+    "$sort": _stage_sort,
+    "$skip": _stage_skip,
+    "$limit": _stage_limit,
+    "$count": _stage_count,
+    "$replaceRoot": _stage_replace_root,
+    "$sortByCount": _stage_sort_by_count,
+}
+
+
+def run_pipeline(documents: Iterable[dict], pipeline: List[dict]) -> Iterator[dict]:
+    """Stream ``documents`` through ``pipeline`` and yield the results."""
+    stream: Iterable[dict] = documents
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise QueryError(f"each pipeline stage must be a single-key dict, got {stage!r}")
+        (name, spec), = stage.items()
+        handler = _STAGES.get(name)
+        if handler is None:
+            raise QueryError(f"unknown pipeline stage {name!r}")
+        stream = handler(stream, spec)
+    return iter(stream)

@@ -1,0 +1,324 @@
+"""Collections: CRUD, indexes and aggregation over documents."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.docstore.aggregation import run_pipeline
+from repro.docstore.documents import deep_copy, get_path, set_path, unset_path
+from repro.docstore.errors import DuplicateKeyError, QueryError
+from repro.docstore.indexes import HashIndex, build_index
+from repro.docstore.matching import compile_filter, equality_conditions
+
+#: Sentinel for $rename on an absent source path (a silent no-op).
+_RENAME_MISSING = object()
+
+
+class Collection:
+    """A named set of documents with optional secondary indexes.
+
+    Documents receive an auto-assigned ``_id`` (an integer) unless the caller
+    provides one.  ``_id`` values are unique within the collection.  Reads
+    return deep copies so callers can never corrupt the store by mutating a
+    result.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: Dict[int, dict] = {}
+        self._by_user_id: Dict[Any, int] = {}
+        self._indexes: Dict[str, Any] = {}
+        self._next_internal_id = itertools.count(1)
+
+    # ------------------------------------------------------------------ CRUD
+
+    def insert_one(self, document: dict) -> Any:
+        """Insert ``document`` and return its ``_id``."""
+        if not isinstance(document, dict):
+            raise QueryError(f"documents must be dicts, got {type(document).__name__}")
+        stored = deep_copy(document)
+        internal_id = next(self._next_internal_id)
+        if "_id" not in stored:
+            stored["_id"] = internal_id
+        user_id = _freeze_id(stored["_id"])
+        if user_id in self._by_user_id:
+            raise DuplicateKeyError(
+                f"duplicate _id {stored['_id']!r} in collection {self.name!r}"
+            )
+        self._documents[internal_id] = stored
+        self._by_user_id[user_id] = internal_id
+        for index in self._indexes.values():
+            index.add(internal_id, stored)
+        return stored["_id"]
+
+    def insert_many(self, documents: Iterable[dict]) -> List[Any]:
+        """Insert every document; returns the list of assigned ``_id``s."""
+        return [self.insert_one(document) for document in documents]
+
+    def find(
+        self,
+        filter_doc: Optional[dict] = None,
+        projection: Optional[dict] = None,
+        sort: Optional[List[tuple]] = None,
+        limit: Optional[int] = None,
+        skip: int = 0,
+    ) -> List[dict]:
+        """Return matching documents (deep copies), optionally projected."""
+        results = [deep_copy(doc) for doc in self._scan(filter_doc)]
+        if sort:
+            from repro.docstore.aggregation import _sort_key
+            for field, direction in reversed(sort):
+                results.sort(
+                    key=lambda doc, field=field: _sort_key(get_path(doc, field)),
+                    reverse=direction == -1,
+                )
+        if skip:
+            results = results[skip:]
+        if limit is not None:
+            results = results[:limit]
+        if projection:
+            results = list(run_pipeline(results, [{"$project": projection}]))
+        return results
+
+    def distinct(self, path: str, filter_doc: Optional[dict] = None) -> List[Any]:
+        """Distinct values of ``path`` over matching documents.
+
+        Array values are expanded element-wise (MongoDB semantics); the
+        result is sorted by ``repr`` for determinism.
+        """
+        seen = {}
+        for document in self._scan(filter_doc):
+            value = get_path(document, path, default=None)
+            values = value if isinstance(value, list) else [value]
+            for element in values:
+                if element is not None:
+                    seen.setdefault(repr(element), element)
+        return [seen[key] for key in sorted(seen)]
+
+    def find_one(self, filter_doc: Optional[dict] = None) -> Optional[dict]:
+        """Return the first matching document or ``None``."""
+        for document in self._scan(filter_doc):
+            return deep_copy(document)
+        return None
+
+    def count_documents(self, filter_doc: Optional[dict] = None) -> int:
+        """Number of documents matching ``filter_doc``."""
+        if not filter_doc:
+            return len(self._documents)
+        return sum(1 for _ in self._scan(filter_doc))
+
+    def update_one(self, filter_doc: dict, update: dict) -> int:
+        """Apply ``update`` to the first match; returns 0 or 1."""
+        for internal_id, document in self._scan_with_ids(filter_doc):
+            self._apply_update(internal_id, document, update)
+            return 1
+        return 0
+
+    def update_many(self, filter_doc: dict, update: dict) -> int:
+        """Apply ``update`` to every match; returns the match count."""
+        touched = list(self._scan_with_ids(filter_doc))
+        for internal_id, document in touched:
+            self._apply_update(internal_id, document, update)
+        return len(touched)
+
+    def replace_one(self, filter_doc: dict, replacement: dict) -> int:
+        """Replace the first matching document wholesale (keeps its ``_id``)."""
+        for internal_id, document in self._scan_with_ids(filter_doc):
+            for index in self._indexes.values():
+                index.remove(internal_id, document)
+            stored = deep_copy(replacement)
+            stored["_id"] = document["_id"]
+            self._documents[internal_id] = stored
+            for index in self._indexes.values():
+                index.add(internal_id, stored)
+            return 1
+        return 0
+
+    def delete_many(self, filter_doc: dict) -> int:
+        """Delete every matching document; returns the delete count."""
+        doomed = list(self._scan_with_ids(filter_doc))
+        for internal_id, document in doomed:
+            for index in self._indexes.values():
+                index.remove(internal_id, document)
+            del self._by_user_id[_freeze_id(document["_id"])]
+            del self._documents[internal_id]
+        return len(doomed)
+
+    def aggregate(self, pipeline: List[dict]) -> List[dict]:
+        """Run an aggregation ``pipeline`` over the collection."""
+        source = (deep_copy(doc) for doc in self._ordered_documents())
+        return list(run_pipeline(source, pipeline))
+
+    def all(self) -> Iterator[dict]:
+        """Iterate deep copies of every document in insertion order."""
+        return (deep_copy(doc) for doc in self._ordered_documents())
+
+    # --------------------------------------------------------------- indexes
+
+    def create_index(self, path: str, kind: str = "hash") -> str:
+        """Create (or return) an index on dotted ``path``.
+
+        ``kind`` is ``"hash"`` for equality lookups or ``"sorted"`` for range
+        scans.  Returns the index name ``{path}_{kind}``.
+        """
+        name = f"{path}_{kind}"
+        if name in self._indexes:
+            return name
+        index = build_index(kind, path)
+        for internal_id, document in self._documents.items():
+            index.add(internal_id, document)
+        self._indexes[name] = index
+        return name
+
+    def index_names(self) -> List[str]:
+        """Sorted names of the collection's indexes."""
+        return sorted(self._indexes)
+
+    def explain(self, filter_doc: Optional[dict] = None) -> dict:
+        """Describe how a query would execute (index vs full scan).
+
+        Returns ``{"plan": "index_lookup" | "id_lookup" | "full_scan",
+        "candidates": n, "documents": total}`` — the candidate count is how
+        many documents the filter predicate would actually be evaluated on.
+        """
+        candidates = self._candidate_ids(filter_doc)
+        total = len(self._documents)
+        if candidates is None:
+            return {"plan": "full_scan", "candidates": total, "documents": total}
+        equalities = equality_conditions(filter_doc or {})
+        plan = "id_lookup" if "_id" in equalities else "index_lookup"
+        return {"plan": plan, "candidates": len(candidates), "documents": total}
+
+    def index_specs(self) -> List[dict]:
+        """Serializable descriptions of the collection's indexes."""
+        return [
+            {"path": index.path, "kind": index.kind}
+            for index in self._indexes.values()
+        ]
+
+    # ------------------------------------------------------------- internals
+
+    def _ordered_documents(self) -> Iterator[dict]:
+        for internal_id in sorted(self._documents):
+            yield self._documents[internal_id]
+
+    def _candidate_ids(self, filter_doc: Optional[dict]) -> Optional[List[int]]:
+        """Use indexes to narrow the scan; None means full scan."""
+        if not filter_doc:
+            return None
+        equalities = equality_conditions(filter_doc)
+        if "_id" in equalities:
+            internal_id = self._by_user_id.get(_freeze_id(equalities["_id"]))
+            return [internal_id] if internal_id is not None else []
+        best: Optional[set] = None
+        for path, value in equalities.items():
+            index = self._indexes.get(f"{path}_hash")
+            if isinstance(index, HashIndex):
+                from repro.docstore.documents import _freeze
+
+                hits = index.lookup(_freeze(value))
+                if best is None or len(hits) < len(best):
+                    best = hits
+        if best is None:
+            return None
+        return sorted(best)
+
+    def _scan(self, filter_doc: Optional[dict]) -> Iterator[dict]:
+        for _internal_id, document in self._scan_with_ids(filter_doc):
+            yield document
+
+    def _scan_with_ids(self, filter_doc: Optional[dict]) -> Iterator[tuple]:
+        predicate = compile_filter(filter_doc or {})
+        candidates = self._candidate_ids(filter_doc)
+        if candidates is None:
+            ids: Iterable[int] = sorted(self._documents)
+        else:
+            ids = candidates
+        for internal_id in ids:
+            document = self._documents.get(internal_id)
+            if document is not None and predicate(document):
+                yield internal_id, document
+
+    def _apply_update(self, internal_id: int, document: dict, update: dict) -> None:
+        if not update or not all(key.startswith("$") for key in update):
+            raise QueryError("updates must use operators like $set / $unset / $inc / $push")
+        for index in self._indexes.values():
+            index.remove(internal_id, document)
+        try:
+            for op, spec in update.items():
+                if op == "$set":
+                    for path, value in spec.items():
+                        if path == "_id":
+                            raise QueryError("_id is immutable")
+                        set_path(document, path, deep_copy({"v": value})["v"])
+                elif op == "$unset":
+                    for path in spec:
+                        if path == "_id":
+                            raise QueryError("_id is immutable")
+                        unset_path(document, path)
+                elif op == "$inc":
+                    for path, delta in spec.items():
+                        current = get_path(document, path, 0) or 0
+                        set_path(document, path, current + delta)
+                elif op == "$push":
+                    for path, value in spec.items():
+                        current = get_path(document, path)
+                        if current is None:
+                            current = []
+                        if not isinstance(current, list):
+                            raise QueryError(f"$push target {path!r} is not an array")
+                        current.append(deep_copy({"v": value})["v"])
+                        set_path(document, path, current)
+                elif op == "$addToSet":
+                    for path, value in spec.items():
+                        current = get_path(document, path)
+                        if current is None:
+                            current = []
+                        if not isinstance(current, list):
+                            raise QueryError(
+                                f"$addToSet target {path!r} is not an array"
+                            )
+                        if value not in current:
+                            current.append(deep_copy({"v": value})["v"])
+                        set_path(document, path, current)
+                elif op == "$pull":
+                    for path, value in spec.items():
+                        current = get_path(document, path)
+                        if current is None:
+                            continue
+                        if not isinstance(current, list):
+                            raise QueryError(f"$pull target {path!r} is not an array")
+                        set_path(
+                            document,
+                            path,
+                            [element for element in current if element != value],
+                        )
+                elif op == "$rename":
+                    for path, new_path in spec.items():
+                        if path == "_id" or new_path == "_id":
+                            raise QueryError("_id is immutable")
+                        value = get_path(document, path, default=_RENAME_MISSING)
+                        if value is _RENAME_MISSING:
+                            continue
+                        unset_path(document, path)
+                        set_path(document, new_path, value)
+                else:
+                    raise QueryError(f"unknown update operator {op!r}")
+        finally:
+            for index in self._indexes.values():
+                index.add(internal_id, document)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Collection(name={self.name!r}, documents={len(self)})"
+
+
+def _freeze_id(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_id(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_freeze_id(v) for v in value)
+    return value

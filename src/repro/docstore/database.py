@@ -1,0 +1,70 @@
+"""Databases: named groups of collections with persistence."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.docstore.collection import Collection
+from repro.docstore.errors import CollectionNotFound, DocStoreError
+
+
+class Database:
+    """A named set of collections.
+
+    Collections are created lazily through item access (``db["clusters"]``)
+    or explicitly with :meth:`create_collection`.  :meth:`save` /
+    :meth:`Database.load` persist the whole database as JSONL files plus a
+    manifest.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._collections: Dict[str, Collection] = {}
+
+    def create_collection(self, name: str) -> Collection:
+        """Create collection ``name``; error if it already exists."""
+        if name in self._collections:
+            raise DocStoreError(f"collection {name!r} already exists")
+        collection = Collection(name)
+        self._collections[name] = collection
+        return collection
+
+    def get_collection(self, name: str, create: bool = True) -> Collection:
+        """Return collection ``name``, creating it unless ``create=False``."""
+        collection = self._collections.get(name)
+        if collection is None:
+            if not create:
+                raise CollectionNotFound(f"collection {name!r} does not exist")
+            collection = self.create_collection(name)
+        return collection
+
+    def drop_collection(self, name: str) -> None:
+        """Remove collection ``name`` (no-op when absent)."""
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> List[str]:
+        """Sorted names of the existing collections."""
+        return sorted(self._collections)
+
+    def save(self, directory: Path) -> None:
+        """Persist all collections to ``directory`` (JSONL + manifest)."""
+        from repro.docstore.storage import save_database
+
+        save_database(self, directory)
+
+    @classmethod
+    def load(cls, directory: Path, name: str = "db") -> "Database":
+        """Load a database persisted with :meth:`save`."""
+        from repro.docstore.storage import load_database
+
+        return load_database(directory, name)
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.get_collection(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database(name={self.name!r}, collections={self.collection_names()})"

@@ -1,0 +1,145 @@
+"""Dotted-path access to nested documents.
+
+Documents are plain dicts whose values may be scalars, lists or further
+dicts.  Paths use MongoDB's dotted notation (``"meta.hashes"`` or
+``"records.2.person.last_name"``); a numeric path segment indexes into a
+list.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator, List, Tuple
+
+#: Sentinel distinguishing "path resolves to None" from "path is absent".
+MISSING = object()
+
+
+def get_path(document: Any, path: str, default: Any = None) -> Any:
+    """Return the value at dotted ``path`` inside ``document``.
+
+    Returns ``default`` when any segment of the path is absent.  If an
+    intermediate value is a list and the next segment is *not* numeric, the
+    lookup is broadcast over the list's elements and a list of hits is
+    returned (MongoDB's array traversal semantics) — unless no element
+    matches, in which case ``default`` is returned.
+    """
+    value = resolve_path(document, path)
+    return default if value is MISSING else value
+
+
+def resolve_path(document: Any, path: str) -> Any:
+    """Like :func:`get_path` but returns :data:`MISSING` for absent paths."""
+    segments = path.split(".") if path else []
+    return _resolve(document, segments)
+
+
+def _resolve(value: Any, segments: List[str]) -> Any:
+    if not segments:
+        return value
+    head, rest = segments[0], segments[1:]
+    if isinstance(value, dict):
+        if head not in value:
+            return MISSING
+        return _resolve(value[head], rest)
+    if isinstance(value, list):
+        if head.isdigit():
+            index = int(head)
+            if index >= len(value):
+                return MISSING
+            return _resolve(value[index], rest)
+        hits = []
+        for element in value:
+            resolved = _resolve(element, segments)
+            if resolved is not MISSING:
+                hits.append(resolved)
+        return hits if hits else MISSING
+    return MISSING
+
+
+def set_path(document: dict, path: str, value: Any) -> None:
+    """Set ``value`` at dotted ``path``, creating intermediate dicts."""
+    segments = path.split(".")
+    target = document
+    for segment in segments[:-1]:
+        if isinstance(target, list):
+            target = target[int(segment)]
+            continue
+        if segment not in target or not isinstance(target[segment], (dict, list)):
+            target[segment] = {}
+        target = target[segment]
+    last = segments[-1]
+    if isinstance(target, list):
+        target[int(last)] = value
+    else:
+        target[last] = value
+
+
+def unset_path(document: dict, path: str) -> bool:
+    """Remove the value at dotted ``path``; returns True when removed."""
+    segments = path.split(".")
+    target: Any = document
+    for segment in segments[:-1]:
+        if isinstance(target, dict):
+            if segment not in target:
+                return False
+            target = target[segment]
+        elif isinstance(target, list) and segment.isdigit():
+            index = int(segment)
+            if index >= len(target):
+                return False
+            target = target[index]
+        else:
+            return False
+    last = segments[-1]
+    if isinstance(target, dict) and last in target:
+        del target[last]
+        return True
+    return False
+
+
+def deep_copy(document: dict) -> dict:
+    """Deep-copy a document (documents are JSON-like, so this is safe)."""
+    return copy.deepcopy(document)
+
+
+def iter_index_keys(document: dict, path: str) -> Iterator[Any]:
+    """Yield every value ``path`` takes inside ``document`` for indexing.
+
+    Arrays are expanded into one key per element (multikey indexes).  An
+    absent path yields a single ``None`` key so missing values are indexed
+    and ``{"field": None}`` queries can use the index.
+    """
+    value = resolve_path(document, path)
+    if value is MISSING:
+        yield None
+        return
+    if isinstance(value, list):
+        if not value:
+            yield None
+            return
+        for element in value:
+            yield _freeze(element)
+        return
+    yield _freeze(value)
+
+
+def _freeze(value: Any) -> Any:
+    """Convert ``value`` into a hashable key for hash indexes."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def flatten(document: dict, prefix: str = "") -> List[Tuple[str, Any]]:
+    """Flatten a nested document into ``(dotted_path, scalar)`` pairs."""
+    items: List[Tuple[str, Any]] = []
+    for key, value in document.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            items.extend(flatten(value, path))
+        else:
+            items.append((path, value))
+    return items

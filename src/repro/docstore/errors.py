@@ -1,0 +1,19 @@
+"""Exception hierarchy of the embedded document store."""
+
+from __future__ import annotations
+
+
+class DocStoreError(Exception):
+    """Base class of every error raised by :mod:`repro.docstore`."""
+
+
+class DuplicateKeyError(DocStoreError):
+    """A document with the same ``_id`` already exists in the collection."""
+
+
+class QueryError(DocStoreError):
+    """A filter, update or pipeline specification is malformed."""
+
+
+class CollectionNotFound(DocStoreError):
+    """The requested collection does not exist and implicit creation is off."""

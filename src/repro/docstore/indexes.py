@@ -1,0 +1,153 @@
+"""Hash and sorted indexes over dotted document paths."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Set, Tuple
+
+from repro.docstore.documents import iter_index_keys
+
+
+class HashIndex:
+    """Equality index: ``frozen key -> set of document ids``.
+
+    Arrays are indexed multikey-style (one entry per element); an absent
+    field is indexed under ``None``.
+    """
+
+    kind = "hash"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._buckets: Dict[Any, Set[int]] = {}
+
+    def add(self, doc_id: int, document: dict) -> None:
+        """Index ``document`` under ``doc_id``."""
+        for key in iter_index_keys(document, self.path):
+            self._buckets.setdefault(key, set()).add(doc_id)
+
+    def remove(self, doc_id: int, document: dict) -> None:
+        """Remove ``document``'s entries for ``doc_id``."""
+        for key in iter_index_keys(document, self.path):
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            bucket.discard(doc_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: Any) -> Set[int]:
+        """Document ids whose indexed field equals ``key``."""
+        return set(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """Ordered index supporting range scans over comparable keys.
+
+    Keys that are not mutually comparable with the existing population are
+    bucketed by type first, so mixed int/str fields do not raise.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # One sorted list of (key, doc_id) per key type name.
+        self._by_type: Dict[str, List[Tuple[Any, int]]] = {}
+
+    @staticmethod
+    def _type_name(key: Any) -> str:
+        if isinstance(key, bool):
+            return "bool"
+        if isinstance(key, (int, float)):
+            return "number"
+        return type(key).__name__
+
+    def add(self, doc_id: int, document: dict) -> None:
+        """Index ``document`` under ``doc_id``."""
+        for key in iter_index_keys(document, self.path):
+            if key is None:
+                continue
+            entries = self._by_type.setdefault(self._type_name(key), [])
+            bisect.insort(entries, (key, doc_id))
+
+    def remove(self, doc_id: int, document: dict) -> None:
+        """Remove ``document``'s entries for ``doc_id``."""
+        for key in iter_index_keys(document, self.path):
+            if key is None:
+                continue
+            entries = self._by_type.get(self._type_name(key))
+            if not entries:
+                continue
+            position = bisect.bisect_left(entries, (key, doc_id))
+            if position < len(entries) and entries[position] == (key, doc_id):
+                entries.pop(position)
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[int]:
+        """Document ids with an indexed key inside ``[low, high]``.
+
+        Either bound may be ``None`` (open).  The scan is restricted to the
+        type bucket of whichever bound is given; a fully open range scans all
+        buckets.
+        """
+        hits: Set[int] = set()
+        reference = low if low is not None else high
+        buckets: Iterator[List[Tuple[Any, int]]]
+        if reference is None:
+            buckets = iter(self._by_type.values())
+        else:
+            bucket = self._by_type.get(self._type_name(reference))
+            buckets = iter([bucket] if bucket else [])
+        for entries in buckets:
+            start = 0
+            end = len(entries)
+            if low is not None:
+                start = _bisect_key(entries, low, left=include_low)
+            if high is not None:
+                end = _bisect_key(entries, high, left=not include_high)
+            for key, doc_id in entries[start:end]:
+                hits.add(doc_id)
+        return hits
+
+    def first_ids(self, count: int) -> List[int]:
+        """Ids of the ``count`` smallest keys (across all buckets, in order)."""
+        merged: List[Tuple[Any, int]] = []
+        for entries in self._by_type.values():
+            merged.extend(entries[:count])
+        # Keys within a bucket are comparable; across buckets sort by type.
+        merged.sort(key=lambda pair: (self._type_name(pair[0]), pair[0]))
+        return [doc_id for _key, doc_id in merged[:count]]
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_type.values())
+
+
+def _bisect_key(entries: List[Tuple[Any, int]], key: Any, left: bool) -> int:
+    """Bisect a ``(key, doc_id)`` list on ``key`` only."""
+    low, high = 0, len(entries)
+    while low < high:
+        mid = (low + high) // 2
+        mid_key = entries[mid][0]
+        if mid_key < key or (not left and mid_key == key):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def build_index(kind: str, path: str):
+    """Factory used by collections and the persistence layer."""
+    if kind == "hash":
+        return HashIndex(path)
+    if kind == "sorted":
+        return SortedIndex(path)
+    raise ValueError(f"unknown index kind {kind!r} (expected 'hash' or 'sorted')")

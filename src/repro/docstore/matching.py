@@ -1,0 +1,170 @@
+"""The query (filter) language of the document store.
+
+A filter is a dict mapping dotted field paths to either a literal value
+(equality) or an operator document such as ``{"$gte": 3}``.  Logical
+combinators ``$and`` / ``$or`` / ``$nor`` take lists of filters; ``$not``
+inverts an operator document.  Array fields match when any element matches
+(MongoDB semantics), plus ``$elemMatch`` / ``$size`` / ``$all`` for explicit
+array conditions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict
+
+from repro.docstore.documents import MISSING, resolve_path
+from repro.docstore.errors import QueryError
+
+Predicate = Callable[[dict], bool]
+
+_COMPARABLE = (int, float, str)
+
+
+def _compare(op: str, candidate: Any, reference: Any) -> bool:
+    """Ordered comparison that never raises on mixed types (returns False)."""
+    try:
+        if op == "$gt":
+            return candidate > reference
+        if op == "$gte":
+            return candidate >= reference
+        if op == "$lt":
+            return candidate < reference
+        if op == "$lte":
+            return candidate <= reference
+    except TypeError:
+        return False
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def _match_operator(op: str, value: Any, condition: Any) -> bool:
+    exists = value is not MISSING
+    if op == "$exists":
+        return exists == bool(condition)
+    if op == "$eq":
+        return _values_equal(value, condition)
+    if op == "$ne":
+        return not _values_equal(value, condition)
+    if op in ("$gt", "$gte", "$lt", "$lte"):
+        if not exists:
+            return False
+        if isinstance(value, list):
+            return any(
+                isinstance(v, _COMPARABLE) and _compare(op, v, condition)
+                for v in value
+            )
+        return _compare(op, value, condition)
+    if op == "$in":
+        if not isinstance(condition, (list, tuple, set)):
+            raise QueryError("$in requires a list")
+        if isinstance(value, list):
+            return any(v in condition for v in value)
+        if not exists:
+            return None in condition
+        return value in condition
+    if op == "$nin":
+        return not _match_operator("$in", value, condition)
+    if op == "$regex":
+        if not exists or value is None:
+            return False
+        pattern = re.compile(condition)
+        if isinstance(value, list):
+            return any(isinstance(v, str) and pattern.search(v) for v in value)
+        return isinstance(value, str) and bool(pattern.search(value))
+    if op == "$size":
+        return isinstance(value, list) and len(value) == condition
+    if op == "$all":
+        if not isinstance(condition, (list, tuple)):
+            raise QueryError("$all requires a list")
+        if not isinstance(value, list):
+            return all(_values_equal(value, c) for c in condition)
+        return all(any(_values_equal(v, c) for v in value) for c in condition)
+    if op == "$elemMatch":
+        if not isinstance(value, list):
+            return False
+        inner = compile_filter(condition)
+        return any(isinstance(v, dict) and inner(v) for v in value)
+    if op == "$not":
+        return not _match_condition(value, condition)
+    raise QueryError(f"unknown operator {op!r}")
+
+
+def _values_equal(value: Any, condition: Any) -> bool:
+    if value is MISSING:
+        return condition is None
+    if isinstance(value, list) and not isinstance(condition, list):
+        return any(_values_equal(v, condition) for v in value)
+    return value == condition
+
+
+def _is_operator_doc(condition: Any) -> bool:
+    return isinstance(condition, dict) and condition and all(
+        isinstance(k, str) and k.startswith("$") for k in condition
+    )
+
+
+def _match_condition(value: Any, condition: Any) -> bool:
+    if _is_operator_doc(condition):
+        return all(
+            _match_operator(op, value, operand)
+            for op, operand in condition.items()
+        )
+    return _values_equal(value, condition)
+
+
+def compile_filter(filter_doc: Dict[str, Any]) -> Predicate:
+    """Compile ``filter_doc`` into a ``document -> bool`` predicate."""
+    if filter_doc is None:
+        filter_doc = {}
+    if not isinstance(filter_doc, dict):
+        raise QueryError(f"filter must be a dict, got {type(filter_doc).__name__}")
+
+    clauses = []
+    for key, condition in filter_doc.items():
+        if key == "$and":
+            subs = [compile_filter(sub) for sub in condition]
+            clauses.append(lambda doc, subs=subs: all(s(doc) for s in subs))
+        elif key == "$or":
+            subs = [compile_filter(sub) for sub in condition]
+            clauses.append(lambda doc, subs=subs: any(s(doc) for s in subs))
+        elif key == "$nor":
+            subs = [compile_filter(sub) for sub in condition]
+            clauses.append(lambda doc, subs=subs: not any(s(doc) for s in subs))
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            clauses.append(
+                lambda doc, key=key, condition=condition: _match_condition(
+                    resolve_path(doc, key), condition
+                )
+            )
+
+    def predicate(document: dict) -> bool:
+        return all(clause(document) for clause in clauses)
+
+    return predicate
+
+
+def matches(document: dict, filter_doc: Dict[str, Any]) -> bool:
+    """One-shot convenience wrapper around :func:`compile_filter`."""
+    return compile_filter(filter_doc)(document)
+
+
+def equality_conditions(filter_doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Extract ``path -> literal`` equality conditions from a filter.
+
+    Collections use this to route simple queries through hash indexes.  Only
+    top-level literal equalities and explicit ``{"$eq": v}`` conditions are
+    considered; anything behind ``$or`` etc. is ignored (it would not be safe
+    to use an index for those).
+    """
+    conditions: Dict[str, Any] = {}
+    for key, condition in (filter_doc or {}).items():
+        if key.startswith("$"):
+            continue
+        if _is_operator_doc(condition):
+            if set(condition) == {"$eq"}:
+                conditions[key] = condition["$eq"]
+        elif not isinstance(condition, (dict, list)):
+            conditions[key] = condition
+    return conditions

@@ -1,0 +1,55 @@
+"""JSONL persistence for databases and collections."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+MANIFEST_NAME = "manifest.json"
+
+
+def save_database(database: "Database", directory: Path) -> None:
+    """Write every collection of ``database`` to ``directory``.
+
+    Layout: one ``<collection>.jsonl`` per collection (one document per
+    line, insertion order) plus a ``manifest.json`` recording collection
+    names and their index specifications, so indexes are rebuilt on load.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, dict] = {"collections": {}}
+    for name in database.collection_names():
+        collection = database[name]
+        path = directory / f"{name}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for document in collection.all():
+                handle.write(json.dumps(document, ensure_ascii=False, sort_keys=True))
+                handle.write("\n")
+        manifest["collections"][name] = {"indexes": collection.index_specs()}
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+
+
+def load_database(directory: Path, name: str = "db") -> "Database":
+    """Load a database previously written by :func:`save_database`."""
+    from repro.docstore.database import Database
+
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    database = Database(name)
+    for collection_name, spec in manifest["collections"].items():
+        collection = database.create_collection(collection_name)
+        jsonl_path = directory / f"{collection_name}.jsonl"
+        if jsonl_path.exists():
+            with jsonl_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        collection.insert_one(json.loads(line))
+        for index_spec in spec.get("indexes", []):
+            collection.create_index(index_spec["path"], index_spec["kind"])
+    return database

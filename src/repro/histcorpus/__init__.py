@@ -1,0 +1,34 @@
+"""Historical corpora beyond voter data — the paper's first future-work item.
+
+Section 8: "we intend to generalize the procedure described here and apply
+it to historical corpora from other domains.  This will provide the
+research community with large-scale test datasets beyond use cases that
+revolve around personal data."
+
+This package delivers that generalisation end to end for a second domain:
+a historical **company register** (business names, legal forms, addresses,
+officers) published as periodic snapshots, with stable registration ids,
+renames, relocations, officer changes, dissolutions and occasional id
+reuse.  The domain plugs into the unchanged core pipeline through a
+:class:`~repro.core.profile.SchemaProfile` plus a domain-specific
+plausibility scorer (plausibility is the one deliberately domain-dependent
+piece, Section 6.2).
+"""
+
+from repro.histcorpus.companies import (
+    COMPANY_PROFILE,
+    CompanyRegisterConfig,
+    CompanyRegisterSimulator,
+)
+from repro.histcorpus.plausibility import (
+    company_pair_plausibility,
+    score_company_cluster,
+)
+
+__all__ = [
+    "COMPANY_PROFILE",
+    "CompanyRegisterConfig",
+    "CompanyRegisterSimulator",
+    "company_pair_plausibility",
+    "score_company_cluster",
+]

@@ -1,0 +1,350 @@
+"""A historical company register: the second domain of the pipeline.
+
+Companies carry a stable registration id (``reg_id``); every published
+snapshot contains the register's recorded view of each company.  Like the
+voter register, recorded values are transcribed once per filing and persist
+until the next filing, so snapshots overlap heavily (exact duplicates) and
+errors are organic and persistent.  Life-cycle events create outdated
+values: renames, legal-form conversions, relocations, officer changes,
+dissolutions — and rare registration-id reuse creates unsound clusters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.profile import SchemaProfile
+from repro.pollute.corruptors import CorruptorSuite
+from repro.votersim import names as name_pools
+from repro.votersim.geography import COUNTIES, STREET_NAMES
+from repro.votersim.snapshots import Snapshot
+
+COMPANY_ATTRIBUTES = (
+    "reg_id",
+    "company_name",
+    "legal_form",
+    "industry_code",
+    "industry_desc",
+    "founding_year",
+    "email",
+    "phone",
+    "website",
+)
+
+ADDRESS_ATTRIBUTES = (
+    "street",
+    "house_no",
+    "city",
+    "zip",
+    "state",
+)
+
+OFFICER_ATTRIBUTES = (
+    "ceo_name",
+    "cfo_name",
+    "contact_name",
+    "officer_count",
+)
+
+META_ATTRIBUTES = (
+    "snapshot_dt",
+    "registr_dt",
+    "dissolution_dt",
+    "file_number",
+    "status",
+)
+
+#: The company register's schema profile — the pipeline's second domain.
+COMPANY_PROFILE = SchemaProfile(
+    name="company_register",
+    id_attribute="reg_id",
+    groups={
+        "company": COMPANY_ATTRIBUTES,
+        "address": ADDRESS_ATTRIBUTES,
+        "officers": OFFICER_ATTRIBUTES,
+        "meta": META_ATTRIBUTES,
+    },
+    primary_group="company",
+    hash_excluded=("snapshot_dt", "registr_dt", "dissolution_dt"),
+)
+
+LEGAL_FORMS = ("LLC", "INC", "CORP", "LP", "PLLC", "CO")
+
+INDUSTRIES = (
+    ("23", "CONSTRUCTION"),
+    ("31", "MANUFACTURING"),
+    ("42", "WHOLESALE TRADE"),
+    ("44", "RETAIL TRADE"),
+    ("48", "TRANSPORTATION"),
+    ("51", "INFORMATION"),
+    ("52", "FINANCE AND INSURANCE"),
+    ("54", "PROFESSIONAL SERVICES"),
+    ("62", "HEALTH CARE"),
+    ("72", "ACCOMMODATION AND FOOD"),
+)
+
+_NAME_NOUNS = (
+    "SUMMIT", "PIEDMONT", "COASTAL", "TRIANGLE", "BLUE RIDGE", "CAROLINA",
+    "PINNACLE", "HERITAGE", "LIBERTY", "CRESCENT", "GRANITE", "HARBOR",
+    "MERIDIAN", "FRONTIER", "BEACON", "CASCADE", "STERLING", "ATLAS",
+)
+
+_NAME_TRADES = (
+    "BUILDERS", "LOGISTICS", "FOODS", "TECHNOLOGIES", "CONSULTING",
+    "HOLDINGS", "PROPERTIES", "MOTORS", "TEXTILES", "ANALYTICS",
+    "PHARMACY", "ROOFING", "PLUMBING", "SOLUTIONS", "PARTNERS",
+)
+
+
+@dataclasses.dataclass
+class CompanyRegisterConfig:
+    """Knobs of the company register simulation."""
+
+    initial_companies: int = 500
+    start_year: int = 2010
+    years: int = 8
+    snapshots_per_year: int = 1
+    new_company_rate: float = 0.08
+    rename_rate: float = 0.04
+    conversion_rate: float = 0.02  # legal-form change
+    move_rate: float = 0.06
+    officer_change_rate: float = 0.10
+    dissolution_rate: float = 0.03
+    id_reuse_rate: float = 0.002
+    refiling_rate: float = 0.8  # share of updates entered via a fresh form
+    seed: int = 42
+
+    def validate(self) -> None:
+        """Raise ValueError when any knob is out of range."""
+        if self.initial_companies < 1:
+            raise ValueError(
+                f"initial_companies must be >= 1, got {self.initial_companies}"
+            )
+        if self.years < 1:
+            raise ValueError(f"years must be >= 1, got {self.years}")
+        for name in (
+            "new_company_rate", "rename_rate", "conversion_rate", "move_rate",
+            "officer_change_rate", "dissolution_rate", "id_reuse_rate",
+            "refiling_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclasses.dataclass
+class Company:
+    """One real-world business behind a registration id."""
+
+    reg_id: str
+    person_seq: int
+    truth: Dict[str, str]
+    recorded: Dict[str, str]
+    registr_dt: str
+    dissolution_dt: str = ""
+    status: str = "ACTIVE"
+    file_counter: int = 1
+
+
+class CompanyRegisterSimulator:
+    """Simulates the historical company register.
+
+    The interface mirrors :class:`~repro.votersim.VoterRegisterSimulator`:
+    :meth:`run` yields :class:`~repro.votersim.Snapshot` objects that feed
+    straight into a :class:`~repro.core.TestDataGenerator` configured with
+    :data:`COMPANY_PROFILE`.
+    """
+
+    def __init__(self, config: Optional[CompanyRegisterConfig] = None) -> None:
+        self.config = config or CompanyRegisterConfig()
+        self.config.validate()
+        self.rng = random.Random(self.config.seed)
+        self.companies: List[Company] = []
+        self._persons_per_id: Dict[str, int] = {}
+        self._id_counter = 0
+        self._reusable_ids: List[str] = []
+        self._suite = CorruptorSuite(
+            {
+                "typo": 3.0,
+                "ocr": 0.5,
+                "abbreviate": 0.5,
+                "missing": 1.5,
+                "representation": 2.0,
+                "token_transposition": 0.8,
+                "case": 1.0,
+            }
+        )
+        self._started = False
+
+    # ------------------------------------------------------------ population
+
+    @property
+    def unsound_ids(self) -> Set[str]:
+        """Registration ids carried by more than one business."""
+        return {
+            reg_id for reg_id, count in self._persons_per_id.items() if count > 1
+        }
+
+    def _next_id(self) -> str:
+        if self._reusable_ids and self.rng.random() < 0.5:
+            return self._reusable_ids.pop(0)
+        self._id_counter += 1
+        return f"C{2000000 + self._id_counter}"
+
+    def _truth(self, year: int) -> Dict[str, str]:
+        rng = self.rng
+        county_id, county, city, zip_prefix = rng.choice(COUNTIES)
+        industry_code, industry_desc = rng.choice(INDUSTRIES)
+        noun = rng.choice(_NAME_NOUNS)
+        trade = rng.choice(_NAME_TRADES)
+        name = f"{noun} {trade}"
+        slug = name.lower().replace(" ", "")
+        ceo = (
+            f"{rng.choice(name_pools.MALE_FIRST_NAMES + name_pools.FEMALE_FIRST_NAMES)} "
+            f"{rng.choice(name_pools.LAST_NAMES)}"
+        )
+        return {
+            "company_name": name,
+            "legal_form": rng.choice(LEGAL_FORMS),
+            "industry_code": industry_code,
+            "industry_desc": industry_desc,
+            "founding_year": str(year - rng.randrange(0, 40)),
+            "email": f"info@{slug}.com",
+            "phone": f"{rng.randrange(200, 999)}{rng.randrange(2000000, 9999999)}",
+            "website": f"www.{slug}.com",
+            "street": rng.choice(STREET_NAMES),
+            "house_no": str(rng.randrange(1, 999)),
+            "city": city,
+            "zip": f"{zip_prefix}{rng.randrange(100):02d}",
+            "state": "NC",
+            "ceo_name": ceo,
+            "cfo_name": ceo if rng.random() < 0.3 else (
+                f"{rng.choice(name_pools.FEMALE_FIRST_NAMES + name_pools.MALE_FIRST_NAMES)} "
+                f"{rng.choice(name_pools.LAST_NAMES)}"
+            ),
+            "contact_name": ceo,
+            "officer_count": str(rng.randrange(1, 9)),
+        }
+
+    def _transcribe(self, truth: Dict[str, str]) -> Dict[str, str]:
+        """A fresh manual filing: truth values with transcription errors."""
+        return self._suite.corrupt_record(
+            truth,
+            self.rng,
+            ("company_name", "street", "city", "ceo_name", "cfo_name",
+             "contact_name", "email", "website"),
+            errors_per_record=0.7,
+        )
+
+    def _add_company(self, year: int, registration_year: Optional[int] = None) -> Company:
+        reg_id = self._next_id()
+        person_seq = self._persons_per_id.get(reg_id, 0)
+        self._persons_per_id[reg_id] = person_seq + 1
+        truth = self._truth(registration_year or year)
+        month = self.rng.randrange(1, 13)
+        company = Company(
+            reg_id=reg_id,
+            person_seq=person_seq,
+            truth=truth,
+            recorded=self._transcribe(truth),
+            registr_dt=f"{registration_year or year}-{month:02d}-01",
+        )
+        self.companies.append(company)
+        return company
+
+    def _bootstrap(self) -> None:
+        year = self.config.start_year
+        for _ in range(self.config.initial_companies):
+            self._add_company(year, registration_year=year - 1 - self.rng.randrange(0, 25))
+        self._started = True
+
+    # ---------------------------------------------------------------- events
+
+    def _refile(self, company: Company) -> None:
+        """An update filing: fresh transcription or clerical copy."""
+        if self.rng.random() < self.config.refiling_rate:
+            company.recorded = self._transcribe(company.truth)
+        else:
+            refreshed = dict(company.recorded)
+            for attribute in ("company_name", "legal_form", "street", "city",
+                              "zip", "ceo_name", "cfo_name", "contact_name"):
+                refreshed[attribute] = company.truth[attribute]
+            company.recorded = refreshed
+        company.file_counter += 1
+
+    def _advance(self, year: int, fraction: float) -> None:
+        config = self.config
+        rng = self.rng
+        active = [c for c in self.companies if c.status == "ACTIVE"]
+        for company in active:
+            if rng.random() < config.dissolution_rate * fraction:
+                company.status = "DISSOLVED"
+                company.dissolution_dt = f"{year}-{rng.randrange(1, 13):02d}-01"
+                if rng.random() < config.id_reuse_rate:
+                    self._reusable_ids.append(company.reg_id)
+                continue
+            changed = False
+            if rng.random() < config.rename_rate * fraction:
+                company.truth["company_name"] = (
+                    f"{rng.choice(_NAME_NOUNS)} {rng.choice(_NAME_TRADES)}"
+                )
+                changed = True
+            if rng.random() < config.conversion_rate * fraction:
+                company.truth["legal_form"] = rng.choice(LEGAL_FORMS)
+                changed = True
+            if rng.random() < config.move_rate * fraction:
+                _county_id, _county, city, zip_prefix = rng.choice(COUNTIES)
+                company.truth.update(
+                    street=rng.choice(STREET_NAMES),
+                    house_no=str(rng.randrange(1, 999)),
+                    city=city,
+                    zip=f"{zip_prefix}{rng.randrange(100):02d}",
+                )
+                changed = True
+            if rng.random() < config.officer_change_rate * fraction:
+                ceo = (
+                    f"{rng.choice(name_pools.MALE_FIRST_NAMES + name_pools.FEMALE_FIRST_NAMES)} "
+                    f"{rng.choice(name_pools.LAST_NAMES)}"
+                )
+                company.truth["ceo_name"] = ceo
+                company.truth["contact_name"] = ceo
+                changed = True
+            if changed:
+                self._refile(company)
+        newcomers = int(round(len(active) * config.new_company_rate * fraction))
+        for _ in range(newcomers):
+            self._add_company(year)
+
+    # ------------------------------------------------------------- snapshots
+
+    def _emit(self, date: str) -> Snapshot:
+        records = []
+        for company in self.companies:
+            if company.registr_dt[:7] > date[:7]:
+                continue
+            record = {attribute: "" for attribute in COMPANY_PROFILE.all_attributes}
+            record.update(company.recorded)
+            record["reg_id"] = company.reg_id
+            record["snapshot_dt"] = date
+            record["registr_dt"] = company.registr_dt
+            record["dissolution_dt"] = company.dissolution_dt
+            record["file_number"] = f"{company.reg_id}-{company.file_counter:03d}"
+            record["status"] = company.status
+            records.append(record)
+        return Snapshot(date=date, records=records)
+
+    def run(self) -> Iterator[Snapshot]:
+        """Yield every snapshot in chronological order."""
+        if not self._started:
+            self._bootstrap()
+        config = self.config
+        for year in range(config.start_year, config.start_year + config.years):
+            for slot in range(config.snapshots_per_year):
+                month = 1 + (11 * slot) // max(1, config.snapshots_per_year - 1) if (
+                    config.snapshots_per_year > 1
+                ) else 1
+                if year > config.start_year or slot > 0:
+                    self._advance(year, 1.0 / config.snapshots_per_year)
+                yield self._emit(f"{year}-{month:02d}-15")

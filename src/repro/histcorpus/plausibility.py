@@ -1,0 +1,109 @@
+"""Company-domain plausibility — the deliberately domain-specific piece.
+
+Section 6.2: plausibility scoring "heavily depends on the domain of the
+data, since we should only use attributes that are less volatile and are
+either very identifying or discriminating".  For the company register the
+stable, identifying attributes are:
+
+* the company name (weight 0.5) — compared with the Generalized Jaccard
+  coefficient over name tokens with the extended Damerau-Levenshtein token
+  similarity, exactly like voter names;
+* the founding year (weight 0.2) — a tolerance of one year, hard zero at a
+  ten-year difference (the voters' year-of-birth formula);
+* the industry code (weight 0.15) — companies rarely change industries;
+  missing codes are neutral;
+* the state (weight 0.15) — companies rarely re-register across states.
+
+Legal form, address and officers are volatile (conversions, moves,
+officer changes) and deliberately excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.clusters import record_view
+from repro.core.plausibility import year_of_birth_similarity
+from repro.textsim.generalized_jaccard import generalized_jaccard
+from repro.textsim.levenshtein import extended_damerau_levenshtein_similarity
+
+WEIGHTS = {"name": 0.5, "founding_year": 0.2, "industry": 0.15, "state": 0.15}
+
+
+def _name_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
+    name_left = (left.get("company_name") or "").strip()
+    name_right = (right.get("company_name") or "").strip()
+    if not name_left or not name_right:
+        return 1.0
+    return generalized_jaccard(
+        name_left,
+        name_right,
+        token_similarity=extended_damerau_levenshtein_similarity,
+        threshold=0.0,
+    )
+
+
+def _founding_year(record: Dict[str, str]) -> Optional[int]:
+    raw = (record.get("founding_year") or "").strip()
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _categorical_similarity(left: Dict[str, str], right: Dict[str, str], attribute: str) -> float:
+    value_left = (left.get(attribute) or "").strip().upper()
+    value_right = (right.get(attribute) or "").strip().upper()
+    if not value_left or not value_right:
+        return 1.0
+    return 1.0 if value_left == value_right else 0.0
+
+
+def company_pair_plausibility(left: Dict[str, str], right: Dict[str, str]) -> float:
+    """Weighted plausibility of a company record pair (flat records)."""
+    scores = {
+        "name": _name_similarity(left, right),
+        "founding_year": year_of_birth_similarity(
+            _founding_year(left), _founding_year(right)
+        ),
+        "industry": _categorical_similarity(left, right, "industry_code"),
+        "state": _categorical_similarity(left, right, "state"),
+    }
+    total_weight = sum(WEIGHTS.values())
+    return sum(WEIGHTS[key] * scores[key] for key in scores) / total_weight
+
+
+def score_company_cluster(
+    cluster: dict, version: Optional[int] = None
+) -> Dict[int, Dict[int, float]]:
+    """Version-similarity maps ``{j: {i: score}}`` for a company cluster.
+
+    Drop-in ``plausibility_fn`` for
+    :class:`~repro.core.versioning.UpdateProcess`.
+    """
+    records = cluster["records"]
+    flats = [record_view(record, ("company",)) for record in records]
+    maps: Dict[int, Dict[int, float]] = {}
+    for j in range(1, len(records)):
+        if version is not None and records[j]["first_version"] != version:
+            continue
+        row: Dict[int, float] = {}
+        for i in range(j):
+            row[i] = company_pair_plausibility(flats[i], flats[j])
+        maps[j] = row
+    return maps
+
+
+def company_cluster_plausibility(cluster: dict) -> float:
+    """Minimum pair plausibility of a company cluster (1.0 for singletons)."""
+    records = cluster["records"]
+    if len(records) < 2:
+        return 1.0
+    flats = [record_view(record, ("company",)) for record in records]
+    minimum = 1.0
+    for j in range(1, len(flats)):
+        for i in range(j):
+            score = company_pair_plausibility(flats[i], flats[j])
+            if score < minimum:
+                minimum = score
+    return minimum

@@ -1,0 +1,34 @@
+"""Baseline test-data generators from the related-work discussion.
+
+Section 7 contrasts the paper's historical approach with two families of
+automatic tools:
+
+* **data synthesization** (DBGen, Febrl) — all values generated from
+  scratch; fast and scalable but the values are fictional.
+  :class:`FebrlStyleSynthesizer` implements this family.
+* **data pollution** (GeCo, TDGen, DaPo) — a clean dataset is polluted with
+  duplicates and errors; values are realistic but outdated values and their
+  complex error patterns are hard to simulate.
+  :class:`GeCoStylePolluter` implements this family.
+
+Both are used by the benchmark harness to reproduce the qualitative
+comparison (realistic error mix vs synthetic, scalability) and by the
+comparison-dataset synthesizers in :mod:`repro.datasets`.
+"""
+
+from repro.pollute.corruptors import (
+    CorruptorSuite,
+    corrupt_value,
+    default_corruptors,
+)
+from repro.pollute.polluter import GeCoStylePolluter, PollutionProfile
+from repro.pollute.synthesizer import FebrlStyleSynthesizer
+
+__all__ = [
+    "CorruptorSuite",
+    "corrupt_value",
+    "default_corruptors",
+    "GeCoStylePolluter",
+    "PollutionProfile",
+    "FebrlStyleSynthesizer",
+]

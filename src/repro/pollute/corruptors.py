@@ -1,0 +1,132 @@
+"""Value corruptors shared by the pollution tools and dataset synthesizers.
+
+Each corruptor takes ``(value, rng)`` and returns a corrupted value.  They
+wrap the transcription-error primitives of :mod:`repro.votersim.errors`, so
+baseline-generated errors and register errors come from the same families
+(typo, OCR, phonetic, abbreviation, representation, token transposition,
+missing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.votersim.errors import (
+    apply_ocr_error,
+    apply_phonetic_error,
+    apply_representation_change,
+    apply_token_transposition,
+    apply_typo,
+)
+
+Corruptor = Callable[[str, random.Random], str]
+
+
+def corrupt_missing(value: str, rng: random.Random) -> str:
+    """Blank the value out."""
+    return ""
+
+
+def corrupt_abbreviate(value: str, rng: random.Random) -> str:
+    """Reduce the value (or its first token) to an initial."""
+    if not value:
+        return value
+    token = value.split()[0]
+    return token[0] + ("." if rng.random() < 0.5 else "")
+
+
+def corrupt_truncate(value: str, rng: random.Random) -> str:
+    """Keep only a prefix of the value (forgotten characters/tokens)."""
+    if len(value) < 4:
+        return value
+    cut = rng.randrange(3, len(value))
+    return value[:cut]
+
+
+def corrupt_case(value: str, rng: random.Random) -> str:
+    """Flip the casing style of the value."""
+    if value.isupper():
+        return value.title()
+    return value.upper()
+
+
+def default_corruptors() -> Dict[str, Corruptor]:
+    """Name -> corruptor map of every supported error family."""
+    return {
+        "typo": apply_typo,
+        "ocr": apply_ocr_error,
+        "phonetic": apply_phonetic_error,
+        "representation": apply_representation_change,
+        "token_transposition": apply_token_transposition,
+        "missing": corrupt_missing,
+        "abbreviate": corrupt_abbreviate,
+        "truncate": corrupt_truncate,
+        "case": corrupt_case,
+    }
+
+
+def corrupt_value(
+    value: str,
+    rng: random.Random,
+    corruptor_weights: Sequence[Tuple[str, float]],
+    corruptors: Dict[str, Corruptor] = None,
+) -> str:
+    """Apply one weighted-random corruptor to ``value``."""
+    if corruptors is None:
+        corruptors = default_corruptors()
+    names = [name for name, _weight in corruptor_weights]
+    weights = [weight for _name, weight in corruptor_weights]
+    chosen = rng.choices(names, weights=weights, k=1)[0]
+    return corruptors[chosen](value, rng)
+
+
+class CorruptorSuite:
+    """A reusable weighted mix of corruptors.
+
+    ``weights`` maps corruptor names (see :func:`default_corruptors`) to
+    relative weights.  :meth:`corrupt_record` applies ``errors_per_record``
+    corruptions to randomly chosen non-empty attributes.
+    """
+
+    def __init__(
+        self,
+        weights: Dict[str, float],
+        corruptors: Dict[str, Corruptor] = None,
+    ) -> None:
+        registry = corruptors if corruptors is not None else default_corruptors()
+        unknown = set(weights) - set(registry)
+        if unknown:
+            raise ValueError(f"unknown corruptors: {sorted(unknown)}")
+        if not weights:
+            raise ValueError("weights must not be empty")
+        self._registry = registry
+        self._weights = list(weights.items())
+
+    def corrupt(self, value: str, rng: random.Random) -> str:
+        """Apply one weighted-random corruptor to ``value``."""
+        return corrupt_value(value, rng, self._weights, self._registry)
+
+    def corrupt_record(
+        self,
+        record: Dict[str, str],
+        rng: random.Random,
+        attributes: Sequence[str],
+        errors_per_record: float = 1.0,
+    ) -> Dict[str, str]:
+        """Return a corrupted copy of ``record``.
+
+        ``errors_per_record`` may be fractional: 1.5 means one guaranteed
+        corruption plus a 50 % chance of a second.
+        """
+        corrupted = dict(record)
+        count = int(errors_per_record)
+        if rng.random() < errors_per_record - count:
+            count += 1
+        candidates = [a for a in attributes if (corrupted.get(a) or "").strip()]
+        for _ in range(count):
+            if not candidates:
+                break
+            attribute = rng.choice(candidates)
+            corrupted[attribute] = self.corrupt(corrupted[attribute], rng)
+        return corrupted

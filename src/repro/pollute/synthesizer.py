@@ -1,0 +1,146 @@
+"""A Febrl-style data synthesizer.
+
+Generates person records entirely from frequency pools — the synthesization
+family of Section 7 (DBGen, Febrl): very fast, arbitrarily scalable, but
+every value is fictional and errors are injected synthetically.  Used by the
+benchmark harness as the scalability/realism baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pollute.corruptors import CorruptorSuite
+from repro.votersim import names as name_pools
+from repro.votersim.geography import COUNTIES, STREET_NAMES, STREET_TYPES
+
+#: The classic Febrl generator's attribute set (slightly condensed).
+FEBRL_ATTRIBUTES = (
+    "given_name",
+    "surname",
+    "street_number",
+    "address_1",
+    "suburb",
+    "postcode",
+    "state",
+    "date_of_birth",
+    "phone_number",
+)
+
+
+@dataclasses.dataclass
+class SynthesizerConfig:
+    """Knobs of the Febrl-style generator (mirrors its CLI options)."""
+
+    originals: int = 1000
+    duplicates: int = 300
+    max_duplicates_per_original: int = 4
+    errors_per_duplicate: float = 1.0
+    seed: int = 42
+
+    def validate(self) -> None:
+        """Raise ValueError when any knob is out of range."""
+        if self.originals < 1:
+            raise ValueError(f"originals must be >= 1, got {self.originals}")
+        if self.duplicates < 0:
+            raise ValueError(f"duplicates must be >= 0, got {self.duplicates}")
+        if self.max_duplicates_per_original < 1:
+            raise ValueError(
+                "max_duplicates_per_original must be >= 1, got "
+                f"{self.max_duplicates_per_original}"
+            )
+
+
+@dataclasses.dataclass
+class SynthesizedDataset:
+    """Generated records plus gold standard."""
+
+    records: List[Dict[str, str]]
+    cluster_of: List[int]
+    gold_pairs: Set[Tuple[int, int]]
+
+    @property
+    def record_count(self) -> int:
+        """Number of generated records (originals + duplicates)."""
+        return len(self.records)
+
+
+class FebrlStyleSynthesizer:
+    """Generates a labeled person dataset from scratch."""
+
+    def __init__(self, config: Optional[SynthesizerConfig] = None) -> None:
+        self.config = config or SynthesizerConfig()
+        self.config.validate()
+        self.rng = random.Random(self.config.seed)
+        self.suite = CorruptorSuite(
+            {
+                "typo": 4.0,
+                "phonetic": 1.5,
+                "ocr": 0.5,
+                "missing": 1.0,
+                "abbreviate": 1.0,
+                "representation": 0.5,
+            }
+        )
+
+    def _original(self) -> Dict[str, str]:
+        rng = self.rng
+        sex = rng.random()
+        if sex < 0.5:
+            given = rng.choice(name_pools.FEMALE_FIRST_NAMES)
+        else:
+            given = rng.choice(name_pools.MALE_FIRST_NAMES)
+        _county_id, _county, city, zip_prefix = rng.choice(COUNTIES)
+        return {
+            "given_name": given,
+            "surname": rng.choice(name_pools.LAST_NAMES),
+            "street_number": str(rng.randrange(1, 9999)),
+            "address_1": f"{rng.choice(STREET_NAMES)} {rng.choice(STREET_TYPES)}",
+            "suburb": city,
+            "postcode": f"{zip_prefix}{rng.randrange(100):02d}",
+            "state": "NC",
+            "date_of_birth": (
+                f"{rng.randrange(1920, 2002)}"
+                f"{rng.randrange(1, 13):02d}{rng.randrange(1, 29):02d}"
+            ),
+            "phone_number": f"{rng.randrange(200, 999)} {rng.randrange(100, 999)} {rng.randrange(1000, 9999)}",
+        }
+
+    def generate(self) -> SynthesizedDataset:
+        """Generate originals and duplicates (Febrl's rec-org/rec-dup layout)."""
+        config = self.config
+        rng = self.rng
+        records: List[Dict[str, str]] = []
+        cluster_of: List[int] = []
+        originals: List[Dict[str, str]] = []
+        for cluster_id in range(config.originals):
+            record = self._original()
+            originals.append(record)
+            records.append(record)
+            cluster_of.append(cluster_id)
+        produced = 0
+        per_original: Dict[int, int] = {}
+        while produced < config.duplicates:
+            cluster_id = rng.randrange(config.originals)
+            if per_original.get(cluster_id, 0) >= config.max_duplicates_per_original:
+                continue
+            per_original[cluster_id] = per_original.get(cluster_id, 0) + 1
+            duplicate = self.suite.corrupt_record(
+                originals[cluster_id], rng, FEBRL_ATTRIBUTES, config.errors_per_duplicate
+            )
+            records.append(duplicate)
+            cluster_of.append(cluster_id)
+            produced += 1
+        gold_pairs: Set[Tuple[int, int]] = set()
+        by_cluster: Dict[int, List[int]] = {}
+        for record_id, cluster_id in enumerate(cluster_of):
+            by_cluster.setdefault(cluster_id, []).append(record_id)
+        for members in by_cluster.values():
+            for j in range(1, len(members)):
+                for i in range(j):
+                    gold_pairs.add((members[i], members[j]))
+        return SynthesizedDataset(
+            records=records, cluster_of=cluster_of, gold_pairs=gold_pairs
+        )

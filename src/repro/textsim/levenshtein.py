@@ -1,0 +1,131 @@
+"""Levenshtein and Damerau-Levenshtein distances and similarities.
+
+The paper uses Damerau-Levenshtein in three places:
+
+* as the internal token measure of the Generalized Jaccard coefficient in the
+  plausibility check (Section 6.2) — there in an *extended* form that treats
+  missing values and prefix relations as perfect matches;
+* as the sequential measure of the heterogeneity score (Section 6.3);
+* as the internal token measure of Monge-Elkan (Sections 6.3 and 6.5).
+
+The distances here are the *restricted* Damerau-Levenshtein (optimal string
+alignment) variant: insert, delete, substitute, and transpose two adjacent
+characters, with no substring edited twice.  This matches the paper's use of
+"Damerau-Levenshtein distance of 1" to characterise typos (one character
+changed or two adjacent characters swapped).
+"""
+
+from __future__ import annotations
+
+from repro.textsim.base import SimilarityMeasure, normalize_for_comparison
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic Levenshtein edit distance (insert / delete / substitute)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, ch_left in enumerate(left, start=1):
+        current = [i]
+        for j, ch_right in enumerate(right, start=1):
+            cost = 0 if ch_left == ch_right else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(left: str, right: str) -> int:
+    """Restricted Damerau-Levenshtein (optimal string alignment) distance."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    len_l, len_r = len(left), len(right)
+    # Three rolling rows are enough because transpositions look back two rows.
+    two_ago = [0] * (len_r + 1)
+    one_ago = list(range(len_r + 1))
+    for i in range(1, len_l + 1):
+        current = [i] + [0] * len_r
+        for j in range(1, len_r + 1):
+            cost = 0 if left[i - 1] == right[j - 1] else 1
+            best = min(
+                one_ago[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                one_ago[j - 1] + cost,  # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and left[i - 1] == right[j - 2]
+                and left[i - 2] == right[j - 1]
+            ):
+                best = min(best, two_ago[j - 2] + 1)  # transposition
+            current[j] = best
+        two_ago, one_ago = one_ago, current
+    return one_ago[-1]
+
+
+def damerau_levenshtein_similarity(left: str, right: str) -> float:
+    """Normalised Damerau-Levenshtein similarity in ``[0, 1]``.
+
+    ``1 - distance / max(len(left), len(right))``; two empty strings are
+    identical (similarity ``1``).
+    """
+    left = normalize_for_comparison(left)
+    right = normalize_for_comparison(right)
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - damerau_levenshtein_distance(left, right) / longest
+
+
+def extended_damerau_levenshtein_similarity(left: str, right: str) -> float:
+    """The paper's extended Damerau-Levenshtein similarity (Section 6.2).
+
+    Two adjustments on top of the normalised similarity, both reflecting the
+    plausibility check's stance that absence of evidence is not evidence of a
+    contradiction:
+
+    * comparison with a missing (empty) value yields ``1``;
+    * if one value is a prefix of the other (an abbreviation or a truncated
+      entry), the similarity is ``1``.
+    """
+    left = normalize_for_comparison(left)
+    right = normalize_for_comparison(right)
+    if not left or not right:
+        return 1.0
+    if left.startswith(right) or right.startswith(left):
+        return 1.0
+    return damerau_levenshtein_similarity(left, right)
+
+
+class DamerauLevenshtein(SimilarityMeasure):
+    """Normalised Damerau-Levenshtein similarity as a measure object."""
+
+    name = "damerau_levenshtein"
+
+    def similarity(self, left: str, right: str) -> float:
+        """Normalised similarity in [0, 1]."""
+        return damerau_levenshtein_similarity(left, right)
+
+
+class ExtendedDamerauLevenshtein(SimilarityMeasure):
+    """Extended Damerau-Levenshtein similarity (missing / prefix → 1)."""
+
+    name = "extended_damerau_levenshtein"
+
+    def similarity(self, left: str, right: str) -> float:
+        """Normalised similarity in [0, 1]."""
+        return extended_damerau_levenshtein_similarity(left, right)

@@ -1,0 +1,47 @@
+"""Soundex phonetic codes (used to flag phonetic errors, Section 6.4)."""
+
+from __future__ import annotations
+
+_SOUNDEX_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2", "q": "2", "s": "2", "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+# 'h' and 'w' are transparent: they do not break a run of equal codes.
+_TRANSPARENT = {"h", "w"}
+
+
+def soundex(value: str, length: int = 4) -> str:
+    """Return the (American) Soundex code of ``value``.
+
+    Non-letter characters are ignored.  An input without any letters yields
+    the empty string.  ``length`` controls the code length (classic Soundex
+    uses 4: one letter plus three digits, zero-padded).
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    letters = [ch for ch in value.lower() if ch.isalpha()]
+    if not letters:
+        return ""
+    first = letters[0]
+    code = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in letters[1:]:
+        if ch in _TRANSPARENT:
+            continue
+        digit = _SOUNDEX_CODES.get(ch, "")
+        if digit and digit != previous:
+            code.append(digit)
+            if len(code) == length:
+                break
+        previous = digit
+    return "".join(code).ljust(length, "0")
+
+
+def same_soundex(left: str, right: str) -> bool:
+    """True when both values have a (non-empty) identical Soundex code."""
+    code_left = soundex(left)
+    return bool(code_left) and code_left == soundex(right)

@@ -1,0 +1,55 @@
+"""Tokenization helpers shared by the token-based and hybrid measures."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_PATTERN = re.compile(r"[^\s]+")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def tokenize(value: str, lowercase: bool = False) -> List[str]:
+    """Split ``value`` into whitespace-delimited tokens.
+
+    Empty and ``None``-like inputs yield an empty list.  ``lowercase=True``
+    folds case before splitting, which the heterogeneity scorer uses for its
+    case-insensitive comparison passes.
+    """
+    if not value:
+        return []
+    if lowercase:
+        value = value.lower()
+    return _TOKEN_PATTERN.findall(value)
+
+
+def strip_non_alnum(value: str) -> str:
+    """Remove every non-alphanumeric character from ``value``.
+
+    Used by the irregularity census to decide whether two values differ only
+    in punctuation/formatting (Section 6.4, *different representation*).
+    """
+    if not value:
+        return ""
+    return _NON_ALNUM.sub("", value)
+
+
+def qgrams(value: str, q: int = 3, pad: bool = True) -> List[str]:
+    """Return the list of ``q``-grams of ``value``.
+
+    With ``pad=True`` the string is padded with ``q - 1`` boundary markers on
+    each side (the usual convention, which lets short strings still produce
+    grams and weights prefixes/suffixes).  Strings shorter than ``q`` without
+    padding return the string itself as a single gram so that the Jaccard
+    measure never silently compares empty sets.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if not value:
+        return []
+    if pad:
+        fill = "#" * (q - 1)
+        value = f"{fill}{value}{fill}"
+    if len(value) < q:
+        return [value]
+    return [value[i : i + q] for i in range(len(value) - q + 1)]

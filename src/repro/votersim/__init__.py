@@ -1,0 +1,51 @@
+"""A generative simulator of the historical North Carolina voter register.
+
+The paper's input is the real NC voter registration dataset: 40+ TSV
+snapshots published between 2005 and 2020 with 90 attributes and > 500 M
+records.  That data is not redistributable here, so this package simulates
+the *process that produced it* (see DESIGN.md §2 for the substitution
+argument):
+
+* a persistent population of voters with stable NCIDs (:mod:`population`);
+* life-cycle events — registrations, moves, marriages, party changes,
+  removals — that make values go stale (:mod:`events`);
+* manual-form transcription errors baked into the register at registration
+  time and persisting across snapshots: typos, OCR confusions, phonetic
+  misspellings, abbreviations, missing values, attribute confusions
+  (:mod:`errors`);
+* per-era rendering drift of district attributes and whitespace padding
+  (:mod:`formats`);
+* rare NCID reuse producing *unsound* clusters like Figure 3
+  (:mod:`population`);
+* snapshot serialisation to TSV files with the full 90-attribute schema
+  (:mod:`snapshots`, :mod:`schema`).
+
+The central entry point is :class:`VoterRegisterSimulator`.
+"""
+
+from repro.votersim.config import ErrorRates, SimulationConfig
+from repro.votersim.schema import (
+    ALL_ATTRIBUTES,
+    DISTRICT_ATTRIBUTES,
+    ELECTION_ATTRIBUTES,
+    META_ATTRIBUTES,
+    PERSON_ATTRIBUTES,
+    attribute_group,
+)
+from repro.votersim.simulator import VoterRegisterSimulator
+from repro.votersim.snapshots import Snapshot, write_snapshot_tsv, read_snapshot_tsv
+
+__all__ = [
+    "SimulationConfig",
+    "ErrorRates",
+    "VoterRegisterSimulator",
+    "Snapshot",
+    "write_snapshot_tsv",
+    "read_snapshot_tsv",
+    "ALL_ATTRIBUTES",
+    "PERSON_ATTRIBUTES",
+    "DISTRICT_ATTRIBUTES",
+    "ELECTION_ATTRIBUTES",
+    "META_ATTRIBUTES",
+    "attribute_group",
+]

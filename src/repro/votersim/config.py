@@ -1,0 +1,169 @@
+"""Configuration of the voter register simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass
+class ErrorRates:
+    """Per-transcription probabilities of the manual-entry error families.
+
+    A *transcription* happens whenever a voter's registration form is
+    (re-)entered into the register — at first registration and at every
+    re-registration after a move or other update.  The resulting erroneous
+    values persist across snapshots until the next transcription, which is
+    what creates both exact duplicates (unchanged records) and realistic
+    persistent errors (the paper's Section 2 observation).
+
+    Rates are per *record*, applied to a randomly chosen applicable
+    attribute, except where noted.
+    """
+
+    #: One random character edit (insert/delete/substitute/transpose).
+    typo: float = 0.04
+    #: OCR-style digit/letter confusion (O->0, I->1, S->5, B->8 ...).
+    ocr: float = 0.004
+    #: Phonetic re-spelling preserving the Soundex code (IE<->EI, PH<->F ...).
+    phonetic: float = 0.012
+    #: Middle name reduced to an initial (optionally with a period).
+    abbreviate_middle: float = 0.12
+    #: A value blanked out (middle name, phone, mail address ...).
+    missing: float = 0.10
+    #: First/middle or first/last name values swapped (value confusion).
+    value_confusion: float = 0.003
+    #: Middle name token appended into the first- or last-name field.
+    integrated_value: float = 0.004
+    #: Name tokens re-distributed across two attributes (scattered values).
+    scattered_value: float = 0.002
+    #: Token order flipped inside a multi-token value.
+    token_transposition: float = 0.004
+    #: Hyphen/space/punctuation variation (different representation).
+    representation: float = 0.015
+    #: Implausible value (e.g. age 5069, a stray symbol in a name).
+    outlier: float = 0.0008
+    #: Probability that a *blankable* optional attribute is empty anyway
+    #: (middle name, phone, mail address) — on top of :attr:`missing`.
+    optional_blank: float = 0.18
+
+    def validate(self) -> None:
+        """Raise ValueError when any knob is out of range."""
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field.name} must be in [0, 1], got {value}")
+
+
+@dataclasses.dataclass
+class SimulationConfig:
+    """Knobs of the register simulation.
+
+    The defaults produce a small, laptop-friendly register (a few thousand
+    voters over a dozen snapshots).  Benchmarks scale ``initial_voters`` and
+    ``years`` up; tests scale them down.
+    """
+
+    #: Voters registered before the first snapshot.
+    initial_voters: int = 2000
+    #: First simulated snapshot year.
+    start_year: int = 2008
+    #: Number of simulated years.
+    years: int = 12
+    #: Snapshots taken per year (the real register: elections + New Year).
+    snapshots_per_year: int = 2
+    #: Fraction of the population newly registered per year.
+    new_voter_rate: float = 0.05
+    #: Fraction of voters moving (and re-registering) per year.
+    move_rate: float = 0.08
+    #: Fraction of voters changing their last name per year (marriage etc.).
+    name_change_rate: float = 0.015
+    #: Fraction of voters switching party per year.
+    party_change_rate: float = 0.02
+    #: Fraction of voters removed (moved away / deceased) per year.
+    removal_rate: float = 0.02
+    #: Fraction of active voters flagged INACTIVE per year (list
+    #: maintenance: confirmation card not returned).
+    inactivity_rate: float = 0.03
+    #: Fraction of inactive voters reactivated per year (they voted again).
+    reactivation_rate: float = 0.3
+    #: Fraction of removed voters whose NCID is (incorrectly) reassigned to
+    #: a brand-new person — the source of *unsound* clusters (Figure 3).
+    ncid_reuse_rate: float = 0.002
+    #: Fraction of new voters who join an existing voter's household:
+    #: same last name and address, different person.  These are the
+    #: confusable *non-duplicates* that make real voter data hard.
+    household_rate: float = 0.15
+    #: Fraction of re-registrations entered through a fresh manual form
+    #: (and therefore re-exposed to transcription errors).
+    reentry_rate: float = 0.75
+    #: Error model applied at transcription time.
+    error_rates: ErrorRates = dataclasses.field(default_factory=ErrorRates)
+    #: Snapshot eras in which district formats drift (see formats.py):
+    #: era index = (year - start_year) // era_length.
+    format_era_length: int = 4
+    #: Fraction of snapshots serialised with whitespace-padded values.
+    padded_snapshot_rate: float = 0.3
+    #: PRNG seed — the whole simulation is deterministic given the seed.
+    seed: int = 20210323
+
+    def validate(self) -> None:
+        """Raise ValueError when any knob is out of range."""
+        if self.initial_voters < 1:
+            raise ValueError(f"initial_voters must be >= 1, got {self.initial_voters}")
+        if self.years < 1:
+            raise ValueError(f"years must be >= 1, got {self.years}")
+        if self.snapshots_per_year < 1:
+            raise ValueError(
+                f"snapshots_per_year must be >= 1, got {self.snapshots_per_year}"
+            )
+        for name in (
+            "new_voter_rate",
+            "move_rate",
+            "name_change_rate",
+            "party_change_rate",
+            "removal_rate",
+            "inactivity_rate",
+            "reactivation_rate",
+            "ncid_reuse_rate",
+            "household_rate",
+            "reentry_rate",
+            "padded_snapshot_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.error_rates.validate()
+
+    def snapshot_dates(self) -> Tuple[str, ...]:
+        """ISO dates of every snapshot, oldest first.
+
+        Two canonical publication dates per year slot: January 1st and the
+        November election; more slots spread across the year.
+        """
+        dates = []
+        for year in range(self.start_year, self.start_year + self.years):
+            if self.snapshots_per_year == 1:
+                dates.append(f"{year}-01-01")
+                continue
+            months = _spread_months(self.snapshots_per_year)
+            for month in months:
+                dates.append(f"{year}-{month:02d}-01")
+        return tuple(dates)
+
+
+def _spread_months(count: int) -> Tuple[int, ...]:
+    """Spread ``count`` snapshot months across a year (always includes 1 and 11)."""
+    if count == 1:
+        return (1,)
+    if count == 2:
+        return (1, 11)
+    step = 10 / (count - 1)
+    months = sorted({max(1, min(12, round(1 + index * step))) for index in range(count)})
+    while len(months) < count:  # fill collisions deterministically
+        for candidate in range(1, 13):
+            if candidate not in months:
+                months.append(candidate)
+                break
+        months.sort()
+    return tuple(months[:count])

@@ -1,0 +1,253 @@
+"""Manual-form transcription errors.
+
+Voters (re-)register through manually filled out forms; clerks transcribe
+them into the register.  This module simulates that transcription: given the
+voter's *true* personal values it produces the *recorded* values, possibly
+corrupted by one or more of the error families the paper's Table 4 measures:
+
+typos, OCR confusions, phonetic misspellings, abbreviations, missing values,
+outliers, token transpositions, different representations, value confusions,
+integrated values and scattered values.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict
+
+from repro.votersim.config import ErrorRates
+
+#: OCR confusion pairs (letter <-> digit), applied in both directions.
+OCR_CONFUSIONS = {
+    "O": "0", "0": "O",
+    "I": "1", "1": "I",
+    "L": "1",
+    "Z": "2", "2": "Z",
+    "E": "3", "3": "E",
+    "A": "4", "4": "A",
+    "S": "5", "5": "S",
+    "G": "6", "6": "G",
+    "T": "7", "7": "T",
+    "B": "8", "8": "B",
+    "Q": "9", "9": "Q",
+}
+
+#: Phonetic substitutions that keep the Soundex code stable.  Soundex groups
+#: {B,F,P,V}, {C,G,J,K,Q,S,X,Z}, {D,T}, {M,N} and ignores vowels + H/W/Y
+#: after the first letter, so swapping those inside a name preserves the
+#: code while changing the spelling.
+PHONETIC_SUBSTITUTIONS = (
+    ("PH", "F"), ("F", "PH"),
+    ("CK", "K"), ("K", "CK"),
+    ("IE", "EI"), ("EI", "IE"),
+    ("EY", "Y"), ("Y", "EY"),
+    ("EE", "EA"), ("EA", "EE"),
+    ("OU", "OO"), ("OO", "OU"),
+    ("AI", "AY"), ("AY", "AI"),
+    ("SE", "CE"), ("CE", "SE"),
+    ("KS", "X"), ("X", "KS"),
+    ("DT", "TT"), ("TT", "DT"),
+    ("MN", "NM"),
+)
+
+#: Attributes a typo/OCR/phonetic edit may hit (weighted toward names,
+#: matching Table 4's "most common attribute" column).
+EDITABLE_ATTRIBUTES = (
+    "midl_name", "midl_name", "midl_name",
+    "last_name", "last_name",
+    "first_name", "first_name",
+    "street_name", "res_city_desc", "birth_place", "mail_addr1",
+)
+
+#: Optional attributes that may be blank or dropped entirely.
+BLANKABLE_ATTRIBUTES = (
+    "midl_name", "name_sufx", "phone_num", "mail_addr1", "mail_city",
+    "mail_state", "mail_zipcode", "drivers_lic", "street_dir", "birth_place",
+)
+
+
+def apply_typo(value: str, rng: random.Random) -> str:
+    """One random character edit: insert, delete, substitute or transpose."""
+    if len(value) < 3:  # Table 4 only counts typos in values longer than 2
+        return value
+    kind = rng.choice(("insert", "delete", "substitute", "transpose"))
+    position = rng.randrange(len(value))
+    letters = string.ascii_uppercase
+    if kind == "insert":
+        return value[:position] + rng.choice(letters) + value[position:]
+    if kind == "delete":
+        return value[:position] + value[position + 1 :]
+    if kind == "substitute":
+        replacement = rng.choice([ch for ch in letters if ch != value[position]])
+        return value[:position] + replacement + value[position + 1 :]
+    if position == len(value) - 1:
+        position -= 1
+    if value[position] == value[position + 1]:
+        # Transposing equal neighbours is a no-op; substitute instead.
+        replacement = rng.choice([ch for ch in letters if ch != value[position]])
+        return value[:position] + replacement + value[position + 1 :]
+    return (
+        value[:position]
+        + value[position + 1]
+        + value[position]
+        + value[position + 2 :]
+    )
+
+
+def apply_ocr_error(value: str, rng: random.Random) -> str:
+    """Replace one confusable character by its OCR lookalike."""
+    candidates = [i for i, ch in enumerate(value) if ch in OCR_CONFUSIONS]
+    if not candidates:
+        return value
+    position = rng.choice(candidates)
+    return value[:position] + OCR_CONFUSIONS[value[position]] + value[position + 1 :]
+
+
+def apply_phonetic_error(value: str, rng: random.Random) -> str:
+    """Re-spell ``value`` with a Soundex-preserving substitution."""
+    options = [
+        (pattern, replacement)
+        for pattern, replacement in PHONETIC_SUBSTITUTIONS
+        if pattern in value[1:]  # keep the first letter (Soundex anchor)
+    ]
+    if not options:
+        return value
+    pattern, replacement = rng.choice(options)
+    index = value.find(pattern, 1)
+    return value[:index] + replacement + value[index + len(pattern) :]
+
+
+def apply_representation_change(value: str, rng: random.Random) -> str:
+    """Vary non-alphabetical separators (hyphen <-> space, add period)."""
+    if " " in value and rng.random() < 0.5:
+        return value.replace(" ", "-", 1)
+    if "-" in value:
+        return value.replace("-", " ", 1)
+    if " " in value:
+        return value.replace(" ", "", 1)
+    return value + "."
+
+
+def apply_token_transposition(value: str, rng: random.Random) -> str:
+    """Flip the order of two tokens inside a multi-token value."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    index = rng.randrange(len(tokens) - 1)
+    tokens[index], tokens[index + 1] = tokens[index + 1], tokens[index]
+    return " ".join(tokens)
+
+
+class TranscriptionErrors:
+    """Applies the configured error families to a person record.
+
+    The record passed to :meth:`transcribe` is mutated *copy*, never the
+    voter's true values; the caller keeps the truth for future
+    re-registrations.
+    """
+
+    def __init__(self, rates: ErrorRates, rng: random.Random) -> None:
+        rates.validate()
+        self.rates = rates
+        self.rng = rng
+
+    def transcribe(self, record: Dict[str, str]) -> Dict[str, str]:
+        """Return a recorded (possibly corrupted) copy of ``record``."""
+        recorded = dict(record)
+        rng = self.rng
+        rates = self.rates
+
+        for attribute in BLANKABLE_ATTRIBUTES:
+            if recorded.get(attribute) and rng.random() < rates.optional_blank:
+                recorded[attribute] = ""
+
+        if rng.random() < rates.missing:
+            attribute = rng.choice(BLANKABLE_ATTRIBUTES)
+            recorded[attribute] = ""
+
+        if rng.random() < rates.abbreviate_middle and recorded.get("midl_name"):
+            initial = recorded["midl_name"][0]
+            recorded["midl_name"] = initial + ("." if rng.random() < 0.3 else "")
+
+        if rng.random() < rates.typo:
+            self._edit(recorded, apply_typo)
+        if rng.random() < rates.ocr:
+            self._edit(recorded, apply_ocr_error)
+        if rng.random() < rates.phonetic:
+            self._edit(recorded, apply_phonetic_error)
+        if rng.random() < rates.representation:
+            self._edit(recorded, apply_representation_change)
+        if rng.random() < rates.token_transposition:
+            self._transpose_tokens(recorded)
+
+        if rng.random() < rates.value_confusion:
+            self._confuse_values(recorded)
+        if rng.random() < rates.integrated_value:
+            self._integrate_value(recorded)
+        if rng.random() < rates.scattered_value:
+            self._scatter_values(recorded)
+        if rng.random() < rates.outlier:
+            self._outlier(recorded)
+        return recorded
+
+    def _transpose_tokens(self, record: Dict[str, str]) -> None:
+        """Flip token order in a multi-token value (race_desc, birth_place ...)."""
+        candidates = [
+            attribute
+            for attribute in ("race_desc", "ethnic_desc", "birth_place", "first_name")
+            if len((record.get(attribute) or "").split()) >= 2
+        ]
+        if not candidates:
+            return
+        attribute = self.rng.choice(candidates)
+        record[attribute] = apply_token_transposition(record[attribute], self.rng)
+
+    def _edit(self, record: Dict[str, str], editor) -> None:
+        attribute = self.rng.choice(EDITABLE_ATTRIBUTES)
+        value = record.get(attribute)
+        if value:
+            record[attribute] = editor(value, self.rng)
+
+    def _confuse_values(self, record: Dict[str, str]) -> None:
+        pair = self.rng.choice(
+            (("first_name", "midl_name"), ("first_name", "last_name"), ("midl_name", "last_name"))
+        )
+        left, right = pair
+        if record.get(left) and record.get(right):
+            record[left], record[right] = record[right], record[left]
+
+    def _integrate_value(self, record: Dict[str, str]) -> None:
+        middle = record.get("midl_name")
+        if not middle:
+            return
+        target = self.rng.choice(("first_name", "last_name"))
+        if record.get(target):
+            if target == "first_name":
+                record[target] = f"{record[target]} {middle}"
+            else:
+                record[target] = f"{middle} {record[target]}"
+            record["midl_name"] = ""
+
+    def _scatter_values(self, record: Dict[str, str]) -> None:
+        middle, last = record.get("midl_name"), record.get("last_name")
+        if not middle or not last:
+            return
+        # Re-distribute the token set across the two attributes differently.
+        record["midl_name"] = f"{middle} {last}".split()[0]
+        record["last_name"] = " ".join(f"{middle} {last}".split()[1:]) or last
+
+    def _outlier(self, record: Dict[str, str]) -> None:
+        kind = self.rng.choice(("age", "symbol"))
+        if kind == "age":
+            # Plant an implausible age; the snapshot writer reports it
+            # instead of the computed age (a corrupted birth date on file).
+            record["age"] = str(self.rng.choice((999, 5069, 1200, 420)))
+        else:
+            attribute = self.rng.choice(("first_name", "midl_name"))
+            if record.get(attribute):
+                record[attribute] = (
+                    record[attribute][:1]
+                    + self.rng.choice("Æ@#*%0")
+                    + record[attribute][1:]
+                )

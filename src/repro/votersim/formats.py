@@ -1,0 +1,117 @@
+"""Per-era rendering of district attributes and whitespace padding.
+
+The paper observed that "in some snapshots the formats of one or two
+attributes changed (e.g., from '64TH HOUSE' to 'NC HOUSE DISTRICT 64') so
+that each of their records were considered to be 'new'" (Section 4) and that
+"many values contain leading and trailing whitespaces" (Section 3.1.3).
+This module reproduces both phenomena: district descriptions are rendered
+through era-dependent templates, and whole snapshots may be serialised with
+fixed-width padded values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_ORDINAL_SUFFIXES = {1: "ST", 2: "ND", 3: "RD"}
+
+
+def ordinal(number: int) -> str:
+    """``1 -> 1ST``, ``2 -> 2ND``, ``11 -> 11TH``, ``23 -> 23RD`` ..."""
+    if 10 <= number % 100 <= 20:
+        suffix = "TH"
+    else:
+        suffix = _ORDINAL_SUFFIXES.get(number % 10, "TH")
+    return f"{number}{suffix}"
+
+
+#: District description templates per era.  Era 0 is the oldest.  The
+#: templates are modelled on the real drift the paper quotes:
+#: '64TH HOUSE' vs 'NC HOUSE DISTRICT 64', '1ST CONGRESSIONAL' vs
+#: 'CO. DISTRICT 1'.
+_DISTRICT_TEMPLATES: Dict[str, tuple] = {
+    "cong_dist": (
+        lambda n: f"{ordinal(n)} CONGRESSIONAL",
+        lambda n: f"CO. DISTRICT {n}",
+        lambda n: f"CONGRESSIONAL DISTRICT {n}",
+    ),
+    "nc_house": (
+        lambda n: f"{ordinal(n)} HOUSE",
+        lambda n: f"NC HOUSE DISTRICT {n}",
+        lambda n: f"NC HOUSE DIST {n}",
+    ),
+    "nc_senate": (
+        lambda n: f"{ordinal(n)} SENATE",
+        lambda n: f"NC SENATE DISTRICT {n}",
+        lambda n: f"NC SENATE DIST {n}",
+    ),
+    "super_court": (
+        lambda n: f"{ordinal(n)} SUPERIOR COURT",
+        lambda n: f"SUPERIOR COURT {n}",
+        lambda n: f"SUP. COURT DISTRICT {n}",
+    ),
+    "judic_dist": (
+        lambda n: f"{ordinal(n)} JUDICIAL",
+        lambda n: f"JUDICIAL DISTRICT {n}",
+        lambda n: f"JUD. DIST {n}",
+    ),
+    "school_dist": (
+        lambda n: f"SCHOOL #{n}",
+        lambda n: f"SCHOOL DISTRICT {n}",
+        lambda n: f"SCH DIST {n}",
+    ),
+    "county_commiss": (
+        lambda n: f"COMMISSIONER #{n}",
+        lambda n: f"COUNTY COMMISSIONER {n}",
+        lambda n: f"COMM. DISTRICT {n}",
+    ),
+}
+
+#: Generic fallback templates for district types without dedicated drift.
+_GENERIC_TEMPLATES = (
+    lambda label, n: f"{label} {n}",
+    lambda label, n: f"{label} DISTRICT {n}",
+    lambda label, n: f"{label} DIST {n}",
+)
+
+#: Age-group rendering drift the paper quotes ('66 AND ABOVE' vs 'Age Over 66').
+_AGE_GROUP_TEMPLATES = (
+    lambda low, high: f"{low} AND ABOVE" if high is None else f"{low} - {high}",
+    lambda low, high: f"Age Over {low}" if high is None else f"Age {low} to {high}",
+    lambda low, high: f"{low}+" if high is None else f"{low}-{high}",
+)
+
+AGE_GROUP_BOUNDS = ((18, 25), (26, 40), (41, 65), (66, None))
+
+
+def district_description(district_type: str, number: int, era: int) -> str:
+    """Render a district description in the style of ``era``."""
+    templates = _DISTRICT_TEMPLATES.get(district_type)
+    if templates is not None:
+        return templates[era % len(templates)](number)
+    label = district_type.replace("_", " ").upper()
+    template = _GENERIC_TEMPLATES[era % len(_GENERIC_TEMPLATES)]
+    return template(label, number)
+
+
+def age_group_label(age: int, era: int) -> str:
+    """Render the age-group attribute for ``age`` in the style of ``era``."""
+    for low, high in AGE_GROUP_BOUNDS:
+        if high is None or age <= high:
+            template = _AGE_GROUP_TEMPLATES[era % len(_AGE_GROUP_TEMPLATES)]
+            return template(low, high)
+    raise AssertionError("unreachable: AGE_GROUP_BOUNDS covers all ages")
+
+
+def pad_value(value: str, width: int = 0) -> str:
+    """Right-pad ``value`` with spaces (fixed-width export style).
+
+    With ``width=0`` a single trailing blank is appended to non-empty
+    values — the paper's "leading and trailing whitespaces" removed by the
+    trimming step.
+    """
+    if not value:
+        return value
+    if width <= len(value):
+        return value + " "
+    return value.ljust(width)

@@ -1,0 +1,84 @@
+"""Counties, cities, streets and district layouts for the simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: A representative subset of NC counties: (id, name, main city, zip prefix).
+COUNTIES: Tuple[Tuple[int, str, str, str], ...] = (
+    (1, "ALAMANCE", "BURLINGTON", "272"),
+    (2, "ALEXANDER", "TAYLORSVILLE", "286"),
+    (10, "BLADEN", "ELIZABETHTOWN", "283"),
+    (12, "BUNCOMBE", "ASHEVILLE", "288"),
+    (13, "BURKE", "MORGANTON", "286"),
+    (18, "CATAWBA", "HICKORY", "286"),
+    (25, "CUMBERLAND", "FAYETTEVILLE", "283"),
+    (26, "CURRITUCK", "CURRITUCK", "279"),
+    (31, "DURHAM", "DURHAM", "277"),
+    (34, "FORSYTH", "WINSTON-SALEM", "271"),
+    (36, "GASTON", "GASTONIA", "280"),
+    (41, "GUILFORD", "GREENSBORO", "274"),
+    (49, "IREDELL", "STATESVILLE", "286"),
+    (51, "JOHNSTON", "SMITHFIELD", "275"),
+    (60, "MECKLENBURG", "CHARLOTTE", "282"),
+    (63, "NASH", "NASHVILLE", "278"),
+    (64, "NEW HANOVER", "WILMINGTON", "284"),
+    (65, "NORTHAMPTON", "JACKSON", "278"),
+    (67, "ONSLOW", "JACKSONVILLE", "285"),
+    (68, "ORANGE", "CHAPEL HILL", "275"),
+    (74, "PITT", "GREENVILLE", "278"),
+    (76, "RANDOLPH", "ASHEBORO", "272"),
+    (78, "ROBESON", "LUMBERTON", "283"),
+    (79, "ROCKINGHAM", "WENTWORTH", "273"),
+    (80, "ROWAN", "SALISBURY", "281"),
+    (86, "STANLY", "ALBEMARLE", "280"),
+    (90, "UNION", "MONROE", "281"),
+    (92, "WAKE", "RALEIGH", "276"),
+    (95, "WATAUGA", "BOONE", "286"),
+    (96, "WAYNE", "GOLDSBORO", "275"),
+)
+
+STREET_NAMES = (
+    "MAIN", "OAK", "MAPLE", "ELM", "CEDAR", "PINE", "WALNUT", "CHURCH",
+    "MILL", "RIVER", "LAKE", "HILL", "PARK", "SPRING", "FOREST", "DOGWOOD",
+    "MAGNOLIA", "HOLLY", "LAUREL", "SYCAMORE", "CHESTNUT", "HICKORY",
+    "BIRCH", "WILLOW", "ASHE", "FRANKLIN", "WASHINGTON", "JEFFERSON",
+    "MADISON", "MONROE", "JACKSON", "HARRISON", "TYLER", "POLK", "GRANT",
+    "MEADOW", "SUNSET", "RIDGE", "VALLEY", "CREEK", "JRS RIDGE", "GLEN",
+    "FOX RUN", "DEER PATH", "QUAIL HOLLOW", "PEACHTREE", "AZALEA",
+)
+
+STREET_TYPES = ("RD", "ST", "AVE", "DR", "LN", "CT", "PL", "WAY", "BLVD", "CIR")
+
+STREET_DIRECTIONS = ("", "", "", "", "", "", "N", "S", "E", "W")
+
+
+def county_districts(county_id: int) -> Dict[str, int]:
+    """Deterministic district numbers for a county.
+
+    Real district assignments depend on the address; the simulator derives
+    them from the county id so they are stable per voter residence and
+    plausible in range.
+    """
+    return {
+        "cong_dist": county_id % 13 + 1,  # 13 congressional districts
+        "super_court": county_id % 30 + 1,
+        "judic_dist": county_id % 30 + 1,
+        "nc_senate": county_id % 50 + 1,
+        "nc_house": county_id % 120 + 1,
+        "county_commiss": county_id % 7 + 1,
+        "township": county_id % 12 + 1,
+        "school_dist": county_id % 9 + 1,
+        "fire_dist": county_id % 15 + 1,
+        "water_dist": county_id % 6 + 1,
+        "sewer_dist": county_id % 6 + 1,
+        "sanit_dist": county_id % 4 + 1,
+        "rescue_dist": county_id % 8 + 1,
+        "munic_dist": county_id % 10 + 1,
+        "dist_1": county_id % 5 + 1,
+    }
+
+
+def counties_by_id() -> Dict[int, Tuple[int, str, str, str]]:
+    """County tuples keyed by county id."""
+    return {county[0]: county for county in COUNTIES}

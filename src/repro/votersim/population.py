@@ -1,0 +1,299 @@
+"""The synthetic voter population and its life cycle.
+
+Every voter has *true* attributes (who the person actually is) and one or
+more *registrations* — what the register recorded about them at some point
+in time.  Recorded values are produced by transcribing the true values
+through the error model once per (re-)registration and then persist
+unchanged until the next re-registration.  This separation is what creates
+both the huge exact-duplicate overlap between snapshots and the realistic
+persistent errors and outdated values the paper exploits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.votersim import names as name_pools
+from repro.votersim.config import SimulationConfig
+from repro.votersim.errors import TranscriptionErrors
+from repro.votersim.geography import (
+    COUNTIES,
+    STREET_DIRECTIONS,
+    STREET_NAMES,
+    STREET_TYPES,
+)
+
+STATUS_ACTIVE = ("A", "ACTIVE")
+STATUS_INACTIVE = ("I", "INACTIVE")
+STATUS_REMOVED = ("R", "REMOVED")
+
+REMOVAL_REASONS = (
+    ("RM", "REMOVED MOVED FROM COUNTY"),
+    ("RD", "REMOVED DECEASED"),
+    ("RF", "REMOVED FELONY CONVICTION"),
+    ("RL", "REMOVED LIST MAINTENANCE"),
+)
+
+
+@dataclasses.dataclass
+class Address:
+    """A residence address plus the county that determines the districts."""
+
+    county_id: int
+    county_name: str
+    city: str
+    zip_code: str
+    house_num: str
+    street_dir: str
+    street_name: str
+    street_type: str
+
+
+@dataclasses.dataclass
+class Registration:
+    """One register entry of a voter (the recorded, possibly erroneous view).
+
+    ``recorded`` maps person-attribute names to recorded string values.
+    ``age_outlier`` holds an implausible age the register will report instead
+    of the computed one (a corrupted birth date on file).
+    """
+
+    voter_reg_num: str
+    registr_dt: str
+    address: Address
+    recorded: Dict[str, str]
+    status_cd: str = "A"
+    status_desc: str = "ACTIVE"
+    reason_cd: str = ""
+    reason_desc: str = ""
+    cancellation_dt: str = ""
+    age_outlier: Optional[int] = None
+
+
+@dataclasses.dataclass
+class Voter:
+    """A real-world person behind one NCID (one gold-standard cluster).
+
+    ``person_seq`` distinguishes the different *persons* that ever carried
+    this NCID: it starts at 0 and increments when the NCID is (incorrectly)
+    reassigned.  Clusters with more than one person are *unsound* — the
+    simulator records this so tests can check the plausibility scoring
+    against ground truth the paper does not have.
+    """
+
+    ncid: str
+    person_seq: int
+    birth_year: int
+    sex_code: str
+    first_name: str
+    midl_name: str
+    last_name: str
+    name_sufx: str
+    race_code: str
+    race_desc: str
+    ethnic_code: str
+    ethnic_desc: str
+    birth_place: str
+    party_cd: str
+    party_desc: str
+    phone_num: str
+    drivers_lic: str
+    registrations: List[Registration] = dataclasses.field(default_factory=list)
+    removed: bool = False
+
+    @property
+    def current(self) -> Registration:
+        """The voter's most recent registration."""
+        return self.registrations[-1]
+
+    @property
+    def sex_desc(self) -> str:
+        """Human-readable sex description for the code."""
+        return {"M": "MALE", "F": "FEMALE", "U": "UNDESIGNATED"}[self.sex_code]
+
+    def true_person_values(self) -> Dict[str, str]:
+        """The voter's true personal values (pre-transcription)."""
+        return {
+            "first_name": self.first_name,
+            "midl_name": self.midl_name,
+            "last_name": self.last_name,
+            "name_sufx": self.name_sufx,
+            "sex_code": self.sex_code,
+            "sex": self.sex_desc,
+            "race_code": self.race_code,
+            "race_desc": self.race_desc,
+            "ethnic_code": self.ethnic_code,
+            "ethnic_desc": self.ethnic_desc,
+            "birth_place": self.birth_place,
+            "party_cd": self.party_cd,
+            "party_desc": self.party_desc,
+            "phone_num": self.phone_num,
+            "drivers_lic": self.drivers_lic,
+        }
+
+
+def _weighted_choice(rng: random.Random, table: Tuple[Tuple, ...]) -> Tuple:
+    weights = [row[-1] for row in table]
+    return rng.choices(table, weights=weights, k=1)[0]
+
+
+class PopulationFactory:
+    """Creates voters, addresses and registrations deterministically."""
+
+    def __init__(self, config: SimulationConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        self.errors = TranscriptionErrors(config.error_rates, rng)
+        self._ncid_counter = 0
+        self._reg_counter = 0
+        #: NCIDs of removed voters eligible for (incorrect) reassignment.
+        self.reusable_ncids: List[str] = []
+
+    def next_ncid(self) -> str:
+        """Allocate a fresh NCID, or rarely reuse a removed voter's one."""
+        if self.reusable_ncids and self.rng.random() < 0.5:
+            return self.reusable_ncids.pop(0)
+        self._ncid_counter += 1
+        prefix = self.rng.choice(("AA", "AB", "BY", "CW", "DB", "DR", "EH"))
+        return f"{prefix}{100000 + self._ncid_counter}"
+
+    def next_reg_num(self) -> str:
+        """Allocate the next voter registration number."""
+        self._reg_counter += 1
+        return f"{self._reg_counter:09d}"
+
+    def make_address(self) -> Address:
+        """Generate a random residence address."""
+        county_id, county_name, city, zip_prefix = self.rng.choice(COUNTIES)
+        return Address(
+            county_id=county_id,
+            county_name=county_name,
+            city=city,
+            zip_code=f"{zip_prefix}{self.rng.randrange(100):02d}",
+            house_num=str(self.rng.randrange(1, 9999)),
+            street_dir=self.rng.choice(STREET_DIRECTIONS),
+            street_name=self.rng.choice(STREET_NAMES),
+            street_type=self.rng.choice(STREET_TYPES),
+        )
+
+    def make_voter(
+        self,
+        year: int,
+        ncid: Optional[str] = None,
+        person_seq: int = 0,
+        registration_year: Optional[int] = None,
+        relative: Optional["Voter"] = None,
+    ) -> Voter:
+        """Create a new adult voter; ``registration_year`` backdates the
+        first registration (used when bootstrapping the initial population,
+        whose members registered long before the first snapshot).
+
+        ``relative`` makes the new voter a household member of an existing
+        one: same last name, same residence address — a *different* person
+        (different NCID, own first name, demographics and age) who is
+        deliberately confusable with the relative.  Real voter data is full
+        of these hard non-duplicates."""
+        rng = self.rng
+        sex_code = rng.choices(("F", "M", "U"), weights=(51, 47, 2), k=1)[0]
+        if sex_code == "M":
+            first = rng.choice(name_pools.MALE_FIRST_NAMES)
+        elif sex_code == "F":
+            first = rng.choice(name_pools.FEMALE_FIRST_NAMES)
+        else:
+            first = rng.choice(
+                name_pools.MALE_FIRST_NAMES + name_pools.FEMALE_FIRST_NAMES
+            )
+        if relative is not None:
+            race_code, race_desc = relative.race_code, relative.race_desc
+            ethnic_code, ethnic_desc = relative.ethnic_code, relative.ethnic_desc
+        else:
+            race_code, race_desc, _w = _weighted_choice(rng, name_pools.RACES)
+            ethnic_code, ethnic_desc, _w = _weighted_choice(
+                rng, name_pools.ETHNICITIES
+            )
+        party_cd, party_desc, _w = _weighted_choice(rng, name_pools.PARTIES)
+        has_middle = rng.random() < 0.85
+        if relative is not None:
+            last_name = relative.last_name
+            # spouses are near the relative's age; children 20-40 years off
+            if rng.random() < 0.5:
+                birth_year = relative.birth_year + rng.randrange(-5, 6)
+            else:
+                birth_year = relative.birth_year + rng.randrange(20, 41)
+            birth_year = min(birth_year, year - 18)
+        else:
+            last_name = rng.choice(name_pools.LAST_NAMES)
+            birth_year = year - rng.randrange(18, 95)
+        voter = Voter(
+            ncid=ncid or self.next_ncid(),
+            person_seq=person_seq,
+            birth_year=birth_year,
+            sex_code=sex_code,
+            first_name=first,
+            midl_name=rng.choice(name_pools.MIDDLE_NAMES) if has_middle else "",
+            last_name=last_name,
+            name_sufx=rng.choice(name_pools.NAME_SUFFIXES),
+            race_code=race_code,
+            race_desc=race_desc,
+            ethnic_code=ethnic_code,
+            ethnic_desc=ethnic_desc,
+            birth_place=rng.choice(name_pools.BIRTH_PLACES),
+            party_cd=party_cd,
+            party_desc=party_desc,
+            phone_num=f"{rng.randrange(200, 999)}{rng.randrange(2000000, 9999999)}",
+            drivers_lic="Y" if rng.random() < 0.9 else "N",
+        )
+        address = None
+        if relative is not None and relative.registrations:
+            address = relative.current.address
+        self.register(
+            voter, registration_year or year, fresh_form=True, address=address
+        )
+        return voter
+
+    def register(self, voter: Voter, year: int, fresh_form: bool, address: Optional[Address] = None) -> Registration:
+        """Append a new registration for ``voter``.
+
+        ``fresh_form=True`` re-transcribes the true values through the error
+        model (a new manual form); otherwise the previous recorded values are
+        carried over (a clerical copy), with only the address updated.
+        """
+        rng = self.rng
+        if address is None:
+            address = voter.registrations[-1].address if voter.registrations else self.make_address()
+        if fresh_form or not voter.registrations:
+            recorded = self.errors.transcribe(voter.true_person_values())
+        else:
+            recorded = dict(voter.registrations[-1].recorded)
+        age_outlier = None
+        if recorded.get("age", "") not in ("", None):
+            # The error model may have planted an implausible age marker.
+            try:
+                age_outlier = int(recorded.pop("age"))
+            except ValueError:
+                recorded.pop("age", None)
+        month = rng.randrange(1, 13)
+        day = rng.randrange(1, 28)
+        registration = Registration(
+            voter_reg_num=self.next_reg_num(),
+            registr_dt=f"{year}-{month:02d}-{day:02d}",
+            address=address,
+            recorded=recorded,
+            age_outlier=age_outlier,
+        )
+        voter.registrations.append(registration)
+        return registration
+
+    def mark_removed(self, voter: Voter, year: int) -> None:
+        """Flag the voter's current registration as removed."""
+        reason_cd, reason_desc = self.rng.choice(REMOVAL_REASONS)
+        current = voter.current
+        current.status_cd, current.status_desc = STATUS_REMOVED
+        current.reason_cd = reason_cd
+        current.reason_desc = reason_desc
+        current.cancellation_dt = f"{year}-{self.rng.randrange(1, 13):02d}-{self.rng.randrange(1, 28):02d}"
+        voter.removed = True
+        if self.rng.random() < self.config.ncid_reuse_rate:
+            self.reusable_ncids.append(voter.ncid)

@@ -1,0 +1,177 @@
+"""The 90-attribute snapshot schema, split into the paper's four groups.
+
+Section 5 of the paper splits every record into four sub-documents —
+``person``, ``district``, ``election`` and ``meta`` — because most users only
+care about the personal data.  The attribute names below follow the real
+NC State Board of Elections layout (``ncvhis``/``ncvoter`` files) where the
+paper quotes them (``last_name``, ``midl_name``, ``race_desc`` ...) and fill
+the district/election groups with the statutory district types the paper
+mentions (congressional, NC house/senate, judicial, school, fire, water,
+sewer, sanitation, rescue, municipal districts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Personal data: identity, demographics, contact and residence (28).
+PERSON_ATTRIBUTES: Tuple[str, ...] = (
+    "ncid",
+    "last_name",
+    "first_name",
+    "midl_name",
+    "name_sufx",
+    "age",
+    "sex_code",
+    "sex",
+    "race_code",
+    "race_desc",
+    "ethnic_code",
+    "ethnic_desc",
+    "birth_place",
+    "party_cd",
+    "party_desc",
+    "drivers_lic",
+    "phone_num",
+    "house_num",
+    "street_dir",
+    "street_name",
+    "street_type_cd",
+    "res_city_desc",
+    "state_cd",
+    "zip_code",
+    "mail_addr1",
+    "mail_city",
+    "mail_state",
+    "mail_zipcode",
+)
+
+#: District assignments: county, precinct and statutory districts (38).
+DISTRICT_ATTRIBUTES: Tuple[str, ...] = (
+    "county_id",
+    "county_desc",
+    "precinct_abbrv",
+    "precinct_desc",
+    "municipality_abbrv",
+    "municipality_desc",
+    "ward_abbrv",
+    "ward_desc",
+    "cong_dist_abbrv",
+    "cong_dist_desc",
+    "super_court_abbrv",
+    "super_court_desc",
+    "judic_dist_abbrv",
+    "judic_dist_desc",
+    "nc_senate_abbrv",
+    "nc_senate_desc",
+    "nc_house_abbrv",
+    "nc_house_desc",
+    "county_commiss_abbrv",
+    "county_commiss_desc",
+    "township_abbrv",
+    "township_desc",
+    "school_dist_abbrv",
+    "school_dist_desc",
+    "fire_dist_abbrv",
+    "fire_dist_desc",
+    "water_dist_abbrv",
+    "water_dist_desc",
+    "sewer_dist_abbrv",
+    "sewer_dist_desc",
+    "sanit_dist_abbrv",
+    "sanit_dist_desc",
+    "rescue_dist_abbrv",
+    "rescue_dist_desc",
+    "munic_dist_abbrv",
+    "munic_dist_desc",
+    "dist_1_abbrv",
+    "dist_1_desc",
+)
+
+#: Election participation of the most recent elections (14).
+ELECTION_ATTRIBUTES: Tuple[str, ...] = (
+    "election_lbl",
+    "voting_method",
+    "voted_party_cd",
+    "voted_party_desc",
+    "pct_label",
+    "pct_description",
+    "voted_county_id",
+    "voted_county_desc",
+    "vtd_abbrv",
+    "vtd_label",
+    "prev_election_lbl",
+    "prev_voting_method",
+    "absent_ind",
+    "age_group",
+)
+
+#: Administrative metadata (10).
+META_ATTRIBUTES: Tuple[str, ...] = (
+    "snapshot_dt",
+    "load_dt",
+    "registr_dt",
+    "cancellation_dt",
+    "voter_reg_num",
+    "status_cd",
+    "voter_status_desc",
+    "reason_cd",
+    "voter_status_reason_desc",
+    "confidential_ind",
+)
+
+#: The full 90-attribute schema in serialisation order.
+ALL_ATTRIBUTES: Tuple[str, ...] = (
+    PERSON_ATTRIBUTES + DISTRICT_ATTRIBUTES + ELECTION_ATTRIBUTES + META_ATTRIBUTES
+)
+
+_GROUPS: Dict[str, str] = {}
+for _name in PERSON_ATTRIBUTES:
+    _GROUPS[_name] = "person"
+for _name in DISTRICT_ATTRIBUTES:
+    _GROUPS[_name] = "district"
+for _name in ELECTION_ATTRIBUTES:
+    _GROUPS[_name] = "election"
+for _name in META_ATTRIBUTES:
+    _GROUPS[_name] = "meta"
+
+#: Attributes excluded from the exact-duplicate record hash (Section 4):
+#: dates and the age, which change without the person changing.
+HASH_EXCLUDED_ATTRIBUTES: Tuple[str, ...] = (
+    "snapshot_dt",
+    "load_dt",
+    "registr_dt",
+    "cancellation_dt",
+    "age",
+)
+
+
+def attribute_group(attribute: str) -> str:
+    """Return ``person`` / ``district`` / ``election`` / ``meta`` for ``attribute``."""
+    try:
+        return _GROUPS[attribute]
+    except KeyError:
+        raise KeyError(f"unknown attribute {attribute!r}") from None
+
+
+def group_attributes(group: str) -> Tuple[str, ...]:
+    """Return the attribute tuple of ``group``."""
+    groups = {
+        "person": PERSON_ATTRIBUTES,
+        "district": DISTRICT_ATTRIBUTES,
+        "election": ELECTION_ATTRIBUTES,
+        "meta": META_ATTRIBUTES,
+    }
+    try:
+        return groups[group]
+    except KeyError:
+        raise KeyError(f"unknown group {group!r}") from None
+
+
+def empty_record() -> Dict[str, str]:
+    """A record with every attribute present and empty (sparse-data shape)."""
+    return {attribute: "" for attribute in ALL_ATTRIBUTES}
+
+
+assert len(ALL_ATTRIBUTES) == 90, f"schema must have 90 attributes, has {len(ALL_ATTRIBUTES)}"
+assert len(set(ALL_ATTRIBUTES)) == 90, "schema attribute names must be unique"

@@ -1,0 +1,201 @@
+"""The register simulator: population life cycle + snapshot emission."""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.votersim.config import SimulationConfig
+from repro.votersim.population import PopulationFactory, Voter
+from repro.votersim.snapshots import Snapshot, build_record, write_snapshot_tsv
+
+
+class VoterRegisterSimulator:
+    """Simulates the historical NC voter register.
+
+    Usage::
+
+        sim = VoterRegisterSimulator(SimulationConfig(initial_voters=1000))
+        snapshots = list(sim.run())
+
+    The simulation is fully deterministic given ``config.seed``.  Ground
+    truth the paper does not have — which NCIDs were reused and therefore
+    form *unsound* clusters — is exposed through :attr:`unsound_ncids` so the
+    test suite can validate the plausibility scoring.
+    """
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+        self.config.validate()
+        self.rng = random.Random(self.config.seed)
+        self.factory = PopulationFactory(self.config, self.rng)
+        #: All voter entities ever created, in creation order.
+        self.voters: List[Voter] = []
+        #: ncid -> number of distinct persons that carried it.
+        self._persons_per_ncid: Dict[str, int] = {}
+        self._started = False
+
+    # ------------------------------------------------------------ population
+
+    @property
+    def unsound_ncids(self) -> Set[str]:
+        """NCIDs carried by more than one person (ground-truth unsound)."""
+        return {ncid for ncid, count in self._persons_per_ncid.items() if count > 1}
+
+    def _add_voter(self, year: int, registration_year: Optional[int] = None) -> Voter:
+        ncid = self.factory.next_ncid()
+        person_seq = self._persons_per_ncid.get(ncid, 0)
+        relative = None
+        if self.voters and self.rng.random() < self.config.household_rate:
+            # A household member of an existing voter: same surname and
+            # address, different person — a deliberately hard non-duplicate.
+            relative = self.rng.choice(self.voters)
+        voter = self.factory.make_voter(
+            year,
+            ncid=ncid,
+            person_seq=person_seq,
+            registration_year=registration_year,
+            relative=relative,
+        )
+        self._persons_per_ncid[ncid] = person_seq + 1
+        self.voters.append(voter)
+        return voter
+
+    def _bootstrap(self) -> None:
+        # The initial population registered over the two decades before the
+        # first snapshot, so every one of them appears in it.
+        year = self.config.start_year
+        for _ in range(self.config.initial_voters):
+            backdated = year - 1 - self.rng.randrange(0, 20)
+            self._add_voter(year, registration_year=backdated)
+        self._started = True
+
+    # ---------------------------------------------------------------- events
+
+    def _advance(self, year: int, fraction_of_year: float) -> None:
+        """Apply life-cycle events over ``fraction_of_year`` ending in ``year``."""
+        config = self.config
+        rng = self.rng
+        active = [voter for voter in self.voters if not voter.removed]
+
+        for voter in active:
+            if rng.random() < config.removal_rate * fraction_of_year:
+                self.factory.mark_removed(voter, year)
+                continue
+            current = voter.current
+            if current.status_cd == "A":
+                if rng.random() < config.inactivity_rate * fraction_of_year:
+                    # List maintenance: confirmation card not returned.
+                    current.status_cd, current.status_desc = "I", "INACTIVE"
+                    current.reason_cd = "IN"
+                    current.reason_desc = "CONFIRMATION NOT RETURNED"
+            elif current.status_cd == "I":
+                if rng.random() < config.reactivation_rate * fraction_of_year:
+                    # The voter voted again: back to active.
+                    current.status_cd, current.status_desc = "A", "ACTIVE"
+                    current.reason_cd = ""
+                    current.reason_desc = ""
+            if rng.random() < config.move_rate * fraction_of_year:
+                self._move(voter, year)
+            if rng.random() < config.name_change_rate * fraction_of_year:
+                self._change_name(voter, year)
+            if rng.random() < config.party_change_rate * fraction_of_year:
+                self._change_party(voter)
+
+        newcomers = int(round(len(active) * config.new_voter_rate * fraction_of_year))
+        for _ in range(newcomers):
+            self._add_voter(year)
+
+    def _move(self, voter: Voter, year: int) -> None:
+        """Move the voter; cross-county moves retire the old registration."""
+        new_address = self.factory.make_address()
+        old = voter.current
+        if new_address.county_id != old.address.county_id:
+            old.status_cd, old.status_desc = "R", "REMOVED"
+            old.reason_cd = "RM"
+            old.reason_desc = "REMOVED MOVED FROM COUNTY"
+            old.cancellation_dt = f"{year}-{self.rng.randrange(1, 13):02d}-{self.rng.randrange(1, 28):02d}"
+            fresh = self.rng.random() < self.config.reentry_rate
+            self.factory.register(voter, year, fresh_form=fresh, address=new_address)
+        else:
+            old.address = new_address
+
+    def _change_name(self, voter: Voter, year: int) -> None:
+        """Change the true last name (marriage etc.) and re-register."""
+        from repro.votersim import names as name_pools
+
+        new_last = self.rng.choice(name_pools.LAST_NAMES)
+        if new_last == voter.last_name:
+            return
+        if self.rng.random() < 0.25:
+            # Keep the maiden name as the middle name (a common pattern the
+            # paper's Figure 3 cluster DB175272 shows).
+            voter.midl_name = voter.last_name
+        voter.last_name = new_last
+        fresh = self.rng.random() < self.config.reentry_rate
+        self.factory.register(voter, year, fresh_form=True if fresh else False)
+
+    def _change_party(self, voter: Voter) -> None:
+        from repro.votersim import names as name_pools
+
+        party_cd, party_desc, _weight = name_pools.PARTIES[
+            self.rng.randrange(len(name_pools.PARTIES))
+        ]
+        voter.party_cd, voter.party_desc = party_cd, party_desc
+        current = voter.current
+        current.recorded["party_cd"] = party_cd
+        current.recorded["party_desc"] = party_desc
+
+    # ------------------------------------------------------------- snapshots
+
+    def _emit(self, date: str) -> Snapshot:
+        config = self.config
+        year = int(date[:4])
+        era = (year - config.start_year) // config.format_era_length
+        padded = self.rng.random() < config.padded_snapshot_rate
+        records = []
+        for voter in self.voters:
+            registrations = voter.registrations
+            for index, registration in enumerate(registrations):
+                is_current = index == len(registrations) - 1
+                if not is_current:
+                    # Retired registrations linger for a while, then vanish
+                    # from later snapshots (they were purged server-side).
+                    cancelled_year = int(registration.cancellation_dt[:4] or year)
+                    if year - cancelled_year > 4:
+                        continue
+                if registration.registr_dt[:7] > date[:7]:
+                    continue  # registered after this snapshot
+                records.append(build_record(voter, registration, date, era, padded))
+        return Snapshot(date=date, records=records)
+
+    def run(self) -> Iterator[Snapshot]:
+        """Yield every snapshot in chronological order."""
+        if not self._started:
+            self._bootstrap()
+        dates = self.config.snapshot_dates()
+        previous_date = None
+        for date in dates:
+            if previous_date is not None:
+                fraction = _year_fraction(previous_date, date)
+                self._advance(int(date[:4]), fraction)
+            previous_date = date
+            yield self._emit(date)
+
+    def run_to_directory(self, directory: Path) -> List[Path]:
+        """Run the simulation, writing one TSV per snapshot; returns paths."""
+        directory = Path(directory)
+        paths = []
+        for snapshot in self.run():
+            path = directory / f"ncvoter_{snapshot.date}.tsv"
+            write_snapshot_tsv(snapshot, path)
+            paths.append(path)
+        return paths
+
+
+def _year_fraction(start: str, end: str) -> float:
+    """Approximate fraction of a year between two ISO dates."""
+    start_value = int(start[:4]) * 12 + int(start[5:7])
+    end_value = int(end[:4]) * 12 + int(end[5:7])
+    return max(1, end_value - start_value) / 12.0

@@ -1,0 +1,273 @@
+"""Snapshot records and TSV serialisation.
+
+A snapshot is the register's state at a publication date: one 90-attribute
+record per retained registration.  Records are built from the voter's
+*recorded* values (with their baked-in transcription errors), the
+snapshot-dependent attributes (age, election participation, meta dates) and
+the era-dependent district formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import zlib
+from pathlib import Path
+from typing import Dict, List
+
+from repro.votersim.formats import age_group_label, district_description, pad_value
+from repro.votersim.geography import county_districts
+from repro.votersim.population import Registration, Voter
+from repro.votersim.schema import ALL_ATTRIBUTES, empty_record
+
+#: Person attributes copied verbatim from the recorded registration values.
+_RECORDED_PERSON_ATTRIBUTES = (
+    "first_name",
+    "midl_name",
+    "last_name",
+    "name_sufx",
+    "sex_code",
+    "sex",
+    "race_code",
+    "race_desc",
+    "ethnic_code",
+    "ethnic_desc",
+    "birth_place",
+    "party_cd",
+    "party_desc",
+    "phone_num",
+    "drivers_lic",
+)
+
+VOTING_METHODS = ("IN-PERSON", "ABSENTEE", "ABSENTEE ONESTOP", "CURBSIDE", "PROVISIONAL")
+
+#: District types whose *_abbrv/_desc pairs exist in the schema.
+_DISTRICT_TYPES = (
+    "cong_dist",
+    "super_court",
+    "judic_dist",
+    "nc_senate",
+    "nc_house",
+    "county_commiss",
+    "township",
+    "school_dist",
+    "fire_dist",
+    "water_dist",
+    "sewer_dist",
+    "sanit_dist",
+    "rescue_dist",
+    "munic_dist",
+    "dist_1",
+)
+
+#: District types that only exist in some counties (sparse columns).
+_OPTIONAL_DISTRICT_TYPES = frozenset(
+    ("fire_dist", "water_dist", "sewer_dist", "sanit_dist", "rescue_dist", "munic_dist", "dist_1")
+)
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """One published register snapshot."""
+
+    date: str
+    records: List[Dict[str, str]]
+
+    @property
+    def year(self) -> int:
+        """The snapshot's publication year."""
+        return int(self.date[:4])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def stable_hash(*parts: object) -> int:
+    """Deterministic 32-bit hash (unlike ``hash()``, stable across runs)."""
+    payload = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    return zlib.crc32(payload)
+
+
+def birth_month(voter: Voter) -> int:
+    """A stable pseudo birth month derived from the voter identity."""
+    return stable_hash("birth-month", voter.ncid, voter.person_seq) % 12 + 1
+
+
+def compute_age(voter: Voter, snapshot_date: str) -> int:
+    """Age at the snapshot date given the (hidden) birth month."""
+    year = int(snapshot_date[:4])
+    month = int(snapshot_date[5:7])
+    age = year - voter.birth_year
+    if month < birth_month(voter):
+        age -= 1
+    return age
+
+
+def last_election(snapshot_date: str) -> str:
+    """Label of the most recent November election before the snapshot."""
+    year = int(snapshot_date[:4])
+    month = int(snapshot_date[5:7])
+    election_year = year if month >= 11 else year - 1
+    kind = "GENERAL" if election_year % 2 == 0 else "MUNICIPAL"
+    return f"11/{(stable_hash('eday', election_year) % 7) + 2:02d}/{election_year} {kind}"
+
+
+def _election_year(election_label: str) -> str:
+    """Extract the 4-digit year from an election label like ``11/04/2018 GENERAL``."""
+    return election_label[6:10]
+
+
+def build_record(
+    voter: Voter,
+    registration: Registration,
+    snapshot_date: str,
+    era: int,
+    padded: bool,
+) -> Dict[str, str]:
+    """Assemble the full 90-attribute snapshot record for one registration."""
+    record = empty_record()
+    record["ncid"] = voter.ncid
+    for attribute in _RECORDED_PERSON_ATTRIBUTES:
+        record[attribute] = registration.recorded.get(attribute, "")
+
+    if registration.age_outlier is not None:
+        age = registration.age_outlier
+    else:
+        age = compute_age(voter, snapshot_date)
+    record["age"] = str(age)
+
+    address = registration.address
+    record["house_num"] = address.house_num
+    record["street_dir"] = address.street_dir
+    record["street_name"] = address.street_name
+    record["street_type_cd"] = address.street_type
+    record["res_city_desc"] = address.city
+    record["state_cd"] = "NC"
+    record["zip_code"] = address.zip_code
+    if registration.recorded.get("mail_addr1", "__absent__") != "":
+        # Mail address defaults to the residence address unless blanked.
+        record["mail_addr1"] = (
+            f"{address.house_num} "
+            + (f"{address.street_dir} " if address.street_dir else "")
+            + f"{address.street_name} {address.street_type}"
+        )
+        record["mail_city"] = address.city
+        record["mail_state"] = "NC"
+        record["mail_zipcode"] = address.zip_code
+
+    _fill_district(record, address.county_id, address.county_name, era)
+    _fill_election(record, voter, registration, snapshot_date, era, age)
+    _fill_meta(record, registration, snapshot_date)
+
+    if padded:
+        for attribute, value in record.items():
+            record[attribute] = pad_value(value)
+    return record
+
+
+def _fill_district(record: Dict[str, str], county_id: int, county_name: str, era: int) -> None:
+    record["county_id"] = str(county_id)
+    record["county_desc"] = county_name
+    precinct = stable_hash("precinct", county_id) % 40 + 1
+    record["precinct_abbrv"] = f"{precinct:02d}"
+    record["precinct_desc"] = f"PRECINCT {precinct:02d}"
+    if county_id % 3 == 0:
+        record["municipality_abbrv"] = county_name[:3]
+        record["municipality_desc"] = f"CITY OF {county_name}"
+        ward = county_id % 8 + 1
+        record["ward_abbrv"] = str(ward)
+        record["ward_desc"] = district_description("ward", ward, era)
+    numbers = county_districts(county_id)
+    for district_type in _DISTRICT_TYPES:
+        number = numbers[district_type]
+        if district_type in _OPTIONAL_DISTRICT_TYPES:
+            # Sparse columns: the district only exists in some counties.
+            if stable_hash("has", district_type, county_id) % 100 >= 40:
+                continue
+        record[f"{district_type}_abbrv"] = str(number)
+        record[f"{district_type}_desc"] = district_description(district_type, number, era)
+
+
+def _fill_election(
+    record: Dict[str, str],
+    voter: Voter,
+    registration: Registration,
+    snapshot_date: str,
+    era: int,
+    age: int,
+) -> None:
+    # Election participation is recorded at registration time and stays
+    # fixed on the record until the voter re-registers; this mirrors the
+    # real register, where snapshot-to-snapshot record churn is low.
+    election = last_election(registration.registr_dt)
+    voted = stable_hash("voted", voter.ncid, voter.person_seq, election) % 100 < 60
+    registered_before = True
+    if voted and registered_before:
+        record["election_lbl"] = election
+        method = VOTING_METHODS[
+            stable_hash("method", voter.ncid, election) % len(VOTING_METHODS)
+        ]
+        record["voting_method"] = method
+        record["voted_party_cd"] = registration.recorded.get("party_cd", "")
+        record["voted_party_desc"] = registration.recorded.get("party_desc", "")
+        record["pct_label"] = record["precinct_abbrv"]
+        record["pct_description"] = record["precinct_desc"]
+        record["voted_county_id"] = record["county_id"]
+        record["voted_county_desc"] = record["county_desc"]
+        vtd = stable_hash("vtd", record["county_id"]) % 30 + 1
+        record["vtd_abbrv"] = f"{vtd:02d}"
+        record["vtd_label"] = f"VTD {vtd:02d}"
+        record["absent_ind"] = "Y" if "ABSENTEE" in method else "N"
+    previous = last_election(f"{int(_election_year(election)) - 1}-12-01")
+    voted_previous = (
+        stable_hash("voted", voter.ncid, voter.person_seq, previous) % 100 < 60
+    )
+    if voted_previous and registration.registr_dt[:4] <= _election_year(previous):
+        record["prev_election_lbl"] = previous
+        record["prev_voting_method"] = VOTING_METHODS[
+            stable_hash("method", voter.ncid, previous) % len(VOTING_METHODS)
+        ]
+    if 18 <= age <= 130:
+        record["age_group"] = age_group_label(age, era)
+
+
+def _fill_meta(record: Dict[str, str], registration: Registration, snapshot_date: str) -> None:
+    record["snapshot_dt"] = snapshot_date
+    load_day = stable_hash("load", snapshot_date) % 10 + 1
+    record["load_dt"] = f"{snapshot_date[:8]}{min(28, int(snapshot_date[8:]) + load_day):02d}"
+    record["registr_dt"] = registration.registr_dt
+    record["cancellation_dt"] = registration.cancellation_dt
+    record["voter_reg_num"] = registration.voter_reg_num
+    record["status_cd"] = registration.status_cd
+    record["voter_status_desc"] = registration.status_desc
+    record["reason_cd"] = registration.reason_cd
+    record["voter_status_reason_desc"] = registration.reason_desc
+    record["confidential_ind"] = "N"
+
+
+def write_snapshot_tsv(snapshot: Snapshot, path: Path) -> None:
+    """Write ``snapshot`` as a TSV file with the 90-attribute header."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t", lineterminator="\n")
+        writer.writerow(ALL_ATTRIBUTES)
+        for record in snapshot.records:
+            writer.writerow([record.get(attribute, "") for attribute in ALL_ATTRIBUTES])
+
+
+def read_snapshot_tsv(path: Path) -> Snapshot:
+    """Read a snapshot TSV previously written by :func:`write_snapshot_tsv`.
+
+    The snapshot date is taken from the ``snapshot_dt`` of the first record
+    (trimmed, because padded snapshots pad meta values too).
+    """
+    path = Path(path)
+    records: List[Dict[str, str]] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter="\t")
+        header = next(reader)
+        for row in reader:
+            records.append(dict(zip(header, row)))
+    date = records[0]["snapshot_dt"].strip() if records else ""
+    return Snapshot(date=date, records=records)

@@ -1,0 +1,55 @@
+"""Shared fixtures: a small simulated register and generated test data.
+
+The expensive artefacts (simulation, generation, scoring) are session-scoped
+so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.versioning import UpdateProcess
+from repro.votersim import SimulationConfig, VoterRegisterSimulator
+
+
+TEST_CONFIG = SimulationConfig(
+    initial_voters=300,
+    years=6,
+    snapshots_per_year=2,
+    seed=20210323,
+    # Force a healthy number of unsound clusters so the plausibility tests
+    # have ground truth to validate against.
+    ncid_reuse_rate=0.5,
+    removal_rate=0.04,
+)
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    """A finished simulation run (snapshots already consumed)."""
+    sim = VoterRegisterSimulator(TEST_CONFIG)
+    sim._snapshots = list(sim.run())
+    return sim
+
+
+@pytest.fixture(scope="session")
+def snapshots(simulator):
+    """All snapshots of the session simulation, oldest first."""
+    return simulator._snapshots
+
+
+@pytest.fixture(scope="session")
+def generator(snapshots):
+    """A published TRIMMED-level generation with statistics computed."""
+    gen = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    UpdateProcess(gen).run(snapshots)
+    return gen
+
+
+@pytest.fixture(scope="session")
+def person_generator(snapshots):
+    """A PERSON-level generation (no statistics, used for stats tests)."""
+    gen = TestDataGenerator(removal=RemovalLevel.PERSON)
+    gen.import_snapshots(snapshots)
+    return gen

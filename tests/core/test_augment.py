@@ -1,0 +1,166 @@
+"""Tests for the pollution-augmentation extension (Section 8 future work)."""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.augment import AugmentationPlan, Augmenter, strip_synthetic
+from repro.core.clusters import record_view
+from repro.core.versioning import UpdateProcess
+from repro.votersim.schema import empty_record
+from repro.votersim.snapshots import Snapshot
+
+
+def make_record(ncid="AA1", last_name="WILLIAMS", **overrides):
+    record = empty_record()
+    record.update(
+        ncid=ncid,
+        last_name=last_name,
+        first_name="DEBRA",
+        midl_name="OEHRLE",
+        sex_code="F",
+        birth_place="NORTH CAROLINA",
+        age="45",
+        snapshot_dt="2012-01-01",
+    )
+    record.update(overrides)
+    return record
+
+
+@pytest.fixture
+def small_generator():
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    generator.import_snapshot(
+        Snapshot("2012-01-01", [make_record(f"AA{i}") for i in range(20)])
+    )
+    return generator
+
+
+class TestAugmenter:
+    def test_adds_records_to_selected_share(self, small_generator):
+        plan = AugmentationPlan(share_of_clusters=1.0, duplicates_per_cluster=2, seed=1)
+        stats = Augmenter(small_generator, plan).augment()
+        assert stats.clusters_touched == 20
+        assert stats.records_added > 20  # a few corruptions may collide
+        assert small_generator.record_count == 20 + stats.records_added
+
+    def test_zero_share_adds_nothing(self, small_generator):
+        plan = AugmentationPlan(share_of_clusters=0.0, seed=1)
+        stats = Augmenter(small_generator, plan).augment()
+        assert stats.records_added == 0
+
+    def test_synthetic_records_marked_with_provenance(self, small_generator):
+        plan = AugmentationPlan(share_of_clusters=1.0, seed=2)
+        Augmenter(small_generator, plan).augment()
+        cluster = small_generator.cluster("AA0")
+        synthetic = [r for r in cluster["records"] if r.get("synthetic")]
+        assert synthetic
+        record = synthetic[0]
+        assert record["augmented_from"] == 0
+        assert record["snapshots"] == []
+        assert all(":" in label for label in record["corruptions"])
+
+    def test_synthetic_records_differ_from_source(self, small_generator):
+        plan = AugmentationPlan(
+            share_of_clusters=1.0, errors_per_duplicate=2.0, seed=3
+        )
+        Augmenter(small_generator, plan).augment()
+        for cluster in small_generator.clusters():
+            for record in cluster["records"]:
+                if record.get("synthetic"):
+                    source = cluster["records"][record["augmented_from"]]
+                    assert record["hash"] != source["hash"]
+
+    def test_hashes_registered_for_future_dedup(self, small_generator):
+        plan = AugmentationPlan(share_of_clusters=1.0, seed=4)
+        Augmenter(small_generator, plan).augment()
+        cluster = small_generator.cluster("AA1")
+        assert len(cluster["meta"]["hashes"]) == len(cluster["records"])
+
+    def test_gold_standard_stays_sound(self, small_generator):
+        plan = AugmentationPlan(share_of_clusters=1.0, seed=5)
+        Augmenter(small_generator, plan).augment()
+        # all records of a cluster still share the NCID attribute
+        for cluster in small_generator.clusters():
+            for record in cluster["records"]:
+                person = record["person"]
+                assert person.get("ncid", cluster["ncid"]) == cluster["ncid"]
+
+    def test_strip_synthetic_recovers_original(self, small_generator):
+        before = {
+            cluster["ncid"]: len(cluster["records"])
+            for cluster in small_generator.clusters()
+        }
+        plan = AugmentationPlan(share_of_clusters=1.0, seed=6)
+        Augmenter(small_generator, plan).augment()
+        for cluster in small_generator.clusters():
+            assert len(strip_synthetic(cluster)) == before[cluster["ncid"]]
+
+    def test_deterministic_given_seed(self):
+        def build():
+            generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+            generator.import_snapshot(
+                Snapshot("2012-01-01", [make_record(f"AA{i}") for i in range(10)])
+            )
+            Augmenter(generator, AugmentationPlan(share_of_clusters=1.0, seed=9)).augment()
+            return [
+                record_view(record, ("person",))
+                for cluster in generator.clusters()
+                for record in cluster["records"]
+            ]
+
+        assert build() == build()
+
+    def test_plan_validation(self, small_generator):
+        with pytest.raises(ValueError):
+            Augmenter(small_generator, AugmentationPlan(share_of_clusters=1.5))
+        with pytest.raises(ValueError):
+            Augmenter(small_generator, AugmentationPlan(duplicates_per_cluster=0))
+        with pytest.raises(ValueError):
+            Augmenter(small_generator, AugmentationPlan(errors_per_duplicate=-1))
+
+
+class TestAugmentationInUpdateCycle:
+    def test_synthetic_records_versioned_and_scored(self, small_generator):
+        small_generator.publish("organic only")
+        plan = AugmentationPlan(share_of_clusters=1.0, seed=7)
+        process = UpdateProcess(small_generator)
+        Augmenter(small_generator, plan).augment()
+        process.update_statistics()
+        small_generator.publish("augmented")
+
+        cluster = small_generator.cluster("AA0")
+        synthetic = [r for r in cluster["records"] if r.get("synthetic")]
+        assert synthetic
+        record = synthetic[0]
+        assert record["first_version"] == 2
+        assert "2" in record["heterogeneity_person"]
+        # version 1 reconstruction excludes all synthetic records
+        v1 = small_generator.records_at_version(cluster, 1)
+        assert all(not r.get("synthetic") for r in v1)
+
+    def test_augmentation_raises_heterogeneity(self, small_generator):
+        from repro.core.heterogeneity import HeterogeneityScorer
+        from repro.votersim.schema import PERSON_ATTRIBUTES
+
+        scorer = HeterogeneityScorer.from_clusters(
+            small_generator.clusters(),
+            ("person",),
+            tuple(a for a in PERSON_ATTRIBUTES if a != "ncid"),
+        )
+
+        def average_heterogeneity():
+            scores = []
+            for cluster in small_generator.clusters():
+                records = [record_view(r, ("person",)) for r in cluster["records"]]
+                if len(records) > 1:
+                    scores.extend(scorer.pair_heterogeneities(records))
+            return sum(scores) / len(scores) if scores else 0.0
+
+        before = average_heterogeneity()
+        plan = AugmentationPlan(
+            share_of_clusters=1.0, duplicates_per_cluster=2,
+            errors_per_duplicate=2.5, seed=8,
+        )
+        Augmenter(small_generator, plan).augment()
+        after = average_heterogeneity()
+        assert after > before

@@ -1,0 +1,98 @@
+"""Belatedly published snapshots (Section 5.1).
+
+"We have observed that they publish some old snapshots belatedly (e.g.,
+the snapshot from 2010-11-02 was published in May 2019)."  Reproducibility
+therefore keys on the *import* version (monotone), never the snapshot date
+(not monotone).  These tests pin that behaviour.
+"""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.versioning import UpdateProcess
+
+
+@pytest.fixture(scope="module")
+def ordered_and_belated(snapshots):
+    """Two generators: chronological import vs belated middle snapshot."""
+    ordered = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    UpdateProcess(ordered).run(snapshots, compute_statistics=False)
+
+    belated = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    process = UpdateProcess(belated)
+    middle = len(snapshots) // 2
+    # everything except one middle snapshot, then the stragglers later
+    process.run(
+        snapshots[:middle] + snapshots[middle + 1 :], compute_statistics=False
+    )
+    process.run([snapshots[middle]], compute_statistics=False)
+    return ordered, belated
+
+
+class TestBelatedImport:
+    def test_same_clusters_regardless_of_order(self, ordered_and_belated):
+        ordered, belated = ordered_and_belated
+        assert ordered.cluster_count == belated.cluster_count
+
+    def test_same_record_contents(self, ordered_and_belated):
+        ordered, belated = ordered_and_belated
+        for ncid, cluster in ordered._clusters.items():
+            other = belated.cluster(ncid)
+            assert other is not None
+            assert sorted(cluster["meta"]["hashes"]) == sorted(
+                other["meta"]["hashes"]
+            )
+
+    def test_belated_snapshot_membership_registered(self, ordered_and_belated, snapshots):
+        # The belated snapshot's records mostly already exist (it overlaps
+        # its neighbours), so it may add no *new* records — but every one
+        # of its records must list the belated date in its snapshots array.
+        _ordered, belated = ordered_and_belated
+        middle_date = snapshots[len(snapshots) // 2].date
+        members = sum(
+            1
+            for cluster in belated.clusters()
+            for record in cluster["records"]
+            if middle_date in record["snapshots"]
+        )
+        assert members > 0
+        versions = {
+            record["first_version"]
+            for cluster in belated.clusters()
+            for record in cluster["records"]
+        }
+        assert versions <= {1, 2}
+
+    def test_version_reconstruction_uses_import_order_not_dates(
+        self, ordered_and_belated, snapshots
+    ):
+        _ordered, belated = ordered_and_belated
+        middle_date = snapshots[len(snapshots) // 2].date
+        for cluster in belated.clusters():
+            v1 = belated.records_at_version(cluster, 1)
+            # nothing introduced by the belated snapshot may appear at v1 —
+            # even though its snapshot date is older than some v1 records
+            for record in cluster["records"]:
+                if record["first_version"] == 2:
+                    assert record not in v1
+                    assert middle_date in record["snapshots"]
+
+    def test_snapshot_subset_reconstruction_still_complete(
+        self, ordered_and_belated, snapshots
+    ):
+        """Restricting to a date interval includes belated records."""
+        ordered, belated = ordered_and_belated
+        middle_date = snapshots[len(snapshots) // 2].date
+        count_ordered = sum(
+            len(ordered.records_in_snapshots(cluster, [middle_date]))
+            for cluster in ordered.clusters()
+        )
+        count_belated = sum(
+            len(belated.records_in_snapshots(cluster, [middle_date]))
+            for cluster in belated.clusters()
+        )
+        assert count_ordered == count_belated > 0
+
+    def test_total_records_equal_after_all_imports(self, ordered_and_belated):
+        ordered, belated = ordered_and_belated
+        assert ordered.record_count == belated.record_count

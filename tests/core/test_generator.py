@@ -1,0 +1,210 @@
+"""Tests for the test-data generator (import, dedup, gold standard)."""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.votersim.schema import empty_record
+from repro.votersim.snapshots import Snapshot
+
+
+def make_record(ncid="AA1", last_name="SMITH", **overrides):
+    record = empty_record()
+    record.update(
+        ncid=ncid,
+        last_name=last_name,
+        first_name="JOHN",
+        sex_code="M",
+        age="40",
+        snapshot_dt="2012-01-01",
+    )
+    record.update(overrides)
+    return record
+
+
+class TestImport:
+    def test_new_cluster_created_per_ncid(self):
+        generator = TestDataGenerator()
+        snapshot = Snapshot("2012-01-01", [make_record("AA1"), make_record("AA2")])
+        stats = generator.import_snapshot(snapshot)
+        assert stats.new_clusters == 2
+        assert generator.cluster_count == 2
+
+    def test_exact_duplicate_skipped(self):
+        generator = TestDataGenerator(removal=RemovalLevel.EXACT)
+        record = make_record()
+        generator.import_snapshot(Snapshot("2012-01-01", [record]))
+        stats = generator.import_snapshot(
+            Snapshot("2012-06-01", [dict(record, snapshot_dt="2012-06-01")])
+        )
+        assert stats.new_records == 0
+        assert stats.skipped == 1
+        assert generator.record_count == 1
+
+    def test_skipped_record_still_tracked_in_snapshots(self):
+        generator = TestDataGenerator(removal=RemovalLevel.EXACT)
+        record = make_record()
+        generator.import_snapshot(Snapshot("2012-01-01", [record]))
+        generator.import_snapshot(
+            Snapshot("2012-06-01", [dict(record, snapshot_dt="2012-06-01")])
+        )
+        cluster = generator.cluster("AA1")
+        assert cluster["records"][0]["snapshots"] == ["2012-01-01", "2012-06-01"]
+
+    def test_changed_value_creates_new_record(self):
+        generator = TestDataGenerator(removal=RemovalLevel.EXACT)
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        generator.import_snapshot(
+            Snapshot("2012-06-01", [make_record(last_name="SMYTH")])
+        )
+        assert generator.record_count == 2
+
+    def test_age_change_alone_does_not_create_record(self):
+        generator = TestDataGenerator(removal=RemovalLevel.EXACT)
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record(age="40")]))
+        stats = generator.import_snapshot(
+            Snapshot("2013-01-01", [make_record(age="41", snapshot_dt="2013-01-01")])
+        )
+        assert stats.new_records == 0
+
+    def test_whitespace_variant_new_at_exact_level(self):
+        generator = TestDataGenerator(removal=RemovalLevel.EXACT)
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        stats = generator.import_snapshot(
+            Snapshot("2012-06-01", [make_record(last_name="SMITH ")])
+        )
+        assert stats.new_records == 1
+
+    def test_whitespace_variant_skipped_at_trimming_level(self):
+        generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        stats = generator.import_snapshot(
+            Snapshot("2012-06-01", [make_record(last_name="SMITH ")])
+        )
+        assert stats.new_records == 0
+
+    def test_district_change_ignored_at_person_level(self):
+        generator = TestDataGenerator(removal=RemovalLevel.PERSON)
+        generator.import_snapshot(
+            Snapshot("2012-01-01", [make_record(county_desc="WAKE")])
+        )
+        stats = generator.import_snapshot(
+            Snapshot("2012-06-01", [make_record(county_desc="DURHAM")])
+        )
+        assert stats.new_records == 0
+
+    def test_none_level_imports_everything(self):
+        generator = TestDataGenerator(removal=RemovalLevel.NONE)
+        record = make_record()
+        generator.import_snapshot(Snapshot("2012-01-01", [record]))
+        stats = generator.import_snapshot(Snapshot("2012-06-01", [dict(record)]))
+        assert stats.new_records == 1
+        assert generator.record_count == 2
+
+    def test_blank_ncid_skipped(self):
+        generator = TestDataGenerator()
+        stats = generator.import_snapshot(Snapshot("2012-01-01", [make_record(ncid=" ")]))
+        assert stats.new_records == 0
+        assert generator.cluster_count == 0
+
+    def test_import_stats_rates(self):
+        generator = TestDataGenerator()
+        stats = generator.import_snapshot(
+            Snapshot("2012-01-01", [make_record("AA1"), make_record("AA2")])
+        )
+        assert stats.new_record_rate == 1.0
+        assert stats.new_object_rate == 1.0
+
+
+class TestGoldStandard:
+    def test_pairs_within_clusters_only(self):
+        generator = TestDataGenerator(removal=RemovalLevel.EXACT)
+        generator.import_snapshot(
+            Snapshot(
+                "2012-01-01",
+                [make_record("AA1"), make_record("AA1", last_name="SMYTH"), make_record("AA2")],
+            )
+        )
+        pairs = list(generator.gold_pairs())
+        assert pairs == [(("AA1", 0), ("AA1", 1))]
+
+    def test_duplicate_pair_count(self):
+        generator = TestDataGenerator(removal=RemovalLevel.NONE)
+        records = [make_record("AA1", first_name=str(i)) for i in range(4)]
+        generator.import_snapshot(Snapshot("2012-01-01", records))
+        assert generator.duplicate_pair_count == 6
+
+
+class TestPublish:
+    def test_publish_writes_clusters_to_store(self):
+        generator = TestDataGenerator()
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        version = generator.publish("initial")
+        assert version == 1
+        stored = generator.database["clusters"].find_one({"_id": "AA1"})
+        assert stored["records"][0]["person"]["last_name"] == "SMITH"
+
+    def test_version_document_written(self):
+        generator = TestDataGenerator()
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        generator.publish("initial")
+        version_doc = generator.database["versions"].find_one({"_id": 1})
+        assert version_doc["records"] == 1
+        assert version_doc["clusters"] == 1
+        assert version_doc["snapshots"] == ["2012-01-01"]
+
+    def test_incremental_publish_updates_store(self):
+        generator = TestDataGenerator()
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        generator.publish()
+        generator.import_snapshot(
+            Snapshot("2013-01-01", [make_record(last_name="SMYTH", snapshot_dt="2013-01-01")])
+        )
+        generator.publish()
+        stored = generator.database["clusters"].find_one({"_id": "AA1"})
+        assert len(stored["records"]) == 2
+        assert generator.current_version == 2
+
+    def test_first_version_tags(self):
+        generator = TestDataGenerator()
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        generator.publish()
+        generator.import_snapshot(
+            Snapshot("2013-01-01", [make_record(last_name="SMYTH")])
+        )
+        generator.publish()
+        cluster = generator.cluster("AA1")
+        assert cluster["records"][0]["first_version"] == 1
+        assert cluster["records"][1]["first_version"] == 2
+
+
+class TestReconstruction:
+    def make_two_version_cluster(self):
+        generator = TestDataGenerator()
+        generator.import_snapshot(Snapshot("2012-01-01", [make_record()]))
+        generator.publish()
+        generator.import_snapshot(
+            Snapshot("2013-01-01", [make_record(last_name="SMYTH", snapshot_dt="2013-01-01")])
+        )
+        generator.publish()
+        return generator
+
+    def test_records_at_version(self):
+        generator = self.make_two_version_cluster()
+        cluster = generator.cluster("AA1")
+        assert len(generator.records_at_version(cluster, 1)) == 1
+        assert len(generator.records_at_version(cluster, 2)) == 2
+
+    def test_records_in_snapshots(self):
+        generator = self.make_two_version_cluster()
+        cluster = generator.cluster("AA1")
+        subset = generator.records_in_snapshots(cluster, ["2012-01-01"])
+        assert len(subset) == 1
+        assert subset[0]["person"]["last_name"] == "SMITH"
+
+    def test_inserts_per_snapshot_map(self):
+        generator = self.make_two_version_cluster()
+        cluster = generator.cluster("AA1")
+        assert cluster["meta"]["inserts_per_snapshot"] == {
+            "2012-01-01": 1,
+            "2013-01-01": 1,
+        }

@@ -1,0 +1,77 @@
+"""Tests for record hashing and the removal levels."""
+
+import hashlib
+
+import pytest
+
+from repro.core import RemovalLevel, record_hash
+from repro.core.hashing import default_hash_attributes
+from repro.votersim.schema import (
+    ALL_ATTRIBUTES,
+    HASH_EXCLUDED_ATTRIBUTES,
+    PERSON_ATTRIBUTES,
+)
+
+
+class TestRecordHash:
+    def test_is_md5(self):
+        digest = record_hash({"last_name": "SMITH"}, attributes=("last_name",))
+        assert digest == hashlib.md5(b"SMITH").hexdigest()
+
+    def test_excluded_attributes_do_not_matter(self):
+        base = {a: "X" for a in ALL_ATTRIBUTES}
+        changed = dict(base)
+        for attribute in HASH_EXCLUDED_ATTRIBUTES:
+            changed[attribute] = "DIFFERENT"
+        assert record_hash(base) == record_hash(changed)
+
+    def test_included_attributes_do_matter(self):
+        base = {a: "X" for a in ALL_ATTRIBUTES}
+        changed = dict(base, last_name="OTHER")
+        assert record_hash(base) != record_hash(changed)
+
+    def test_trim_option(self):
+        padded = {"last_name": " SMITH "}
+        plain = {"last_name": "SMITH"}
+        assert record_hash(padded, ("last_name",), trim=True) == record_hash(
+            plain, ("last_name",), trim=True
+        )
+        assert record_hash(padded, ("last_name",), trim=False) != record_hash(
+            plain, ("last_name",), trim=False
+        )
+
+    def test_separator_prevents_boundary_shifts(self):
+        left = {"a": "AB", "b": "C"}
+        right = {"a": "A", "b": "BC"}
+        assert record_hash(left, ("a", "b")) != record_hash(right, ("a", "b"))
+
+    def test_missing_attribute_hashes_as_empty(self):
+        assert record_hash({}, ("a",)) == record_hash({"a": ""}, ("a",))
+        assert record_hash({"a": None}, ("a",)) == record_hash({"a": ""}, ("a",))
+
+    def test_default_attributes_exclude_dates_and_age(self):
+        defaults = default_hash_attributes()
+        assert set(defaults) == set(ALL_ATTRIBUTES) - set(HASH_EXCLUDED_ATTRIBUTES)
+
+
+class TestRemovalLevel:
+    def test_none_has_no_hash_attributes(self):
+        assert RemovalLevel.NONE.hash_attributes is None
+
+    def test_exact_hashes_everything_but_exclusions(self):
+        attributes = RemovalLevel.EXACT.hash_attributes
+        assert set(attributes) == set(ALL_ATTRIBUTES) - set(HASH_EXCLUDED_ATTRIBUTES)
+
+    def test_person_hashes_person_attributes_only(self):
+        attributes = RemovalLevel.PERSON.hash_attributes
+        assert set(attributes) == set(PERSON_ATTRIBUTES) - set(HASH_EXCLUDED_ATTRIBUTES)
+
+    def test_trim_flags(self):
+        assert not RemovalLevel.EXACT.trims
+        assert RemovalLevel.TRIMMED.trims
+        assert RemovalLevel.PERSON.trims
+
+    def test_level_values_match_paper_rows(self):
+        assert [level.value for level in RemovalLevel] == [
+            "none", "exact", "trimming", "person",
+        ]

@@ -1,0 +1,153 @@
+"""Tests for the heterogeneity scoring (Section 6.3)."""
+
+import math
+
+import pytest
+
+from repro.core.heterogeneity import (
+    HeterogeneityScorer,
+    entropy,
+    entropy_weights,
+    four_way_similarity,
+)
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        assert entropy(["a", "b", "c", "d"]) == pytest.approx(2.0)
+
+    def test_constant_distribution(self):
+        assert entropy(["x"] * 10) == 0.0
+
+    def test_empty(self):
+        assert entropy([]) == 0.0
+
+    def test_skewed_less_than_uniform(self):
+        skewed = entropy(["a"] * 9 + ["b"])
+        uniform = entropy(["a"] * 5 + ["b"] * 5)
+        assert skewed < uniform
+
+
+class TestEntropyWeights:
+    def test_normalised(self):
+        records = [
+            {"unique": str(i), "constant": "X"} for i in range(10)
+        ]
+        weights = entropy_weights(records, ("unique", "constant"))
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["unique"] == pytest.approx(1.0)
+        assert weights["constant"] == 0.0
+
+    def test_all_constant_falls_back_to_uniform(self):
+        records = [{"a": "X", "b": "Y"}] * 5
+        weights = entropy_weights(records, ("a", "b"))
+        assert weights == {"a": 0.5, "b": 0.5}
+
+    def test_missing_values_counted_as_empty(self):
+        records = [{"a": "X"}, {}]
+        weights = entropy_weights(records, ("a",))
+        assert weights["a"] == 1.0
+
+
+class TestFourWaySimilarity:
+    def test_identical(self):
+        assert four_way_similarity("SMITH", "SMITH") == 1.0
+
+    def test_case_difference_weighs_half(self):
+        # lowercased comparisons are perfect, cased ones are not
+        score = four_way_similarity("SMITH", "smith")
+        assert 0.5 <= score < 1.0
+
+    def test_token_confusion_weighs_half(self):
+        # Monge-Elkan forgives the order, Damerau-Levenshtein does not
+        score = four_way_similarity("JOSE JUAN", "JUAN JOSE")
+        assert 0.5 < score < 1.0
+
+    def test_unrelated_values_low(self):
+        assert four_way_similarity("AAAA", "ZZZZ") < 0.3
+
+    def test_symmetric(self):
+        assert four_way_similarity("ABC", "ABD") == four_way_similarity("ABD", "ABC")
+
+
+class TestHeterogeneityScorer:
+    def scorer(self):
+        return HeterogeneityScorer({"a": 0.5, "b": 0.3, "c": 0.2})
+
+    def test_identical_records_zero(self):
+        scorer = self.scorer()
+        record = {"a": "X", "b": "Y", "c": "Z"}
+        assert scorer.pair_heterogeneity(record, record) == 0.0
+
+    def test_single_attribute_difference_bounded_by_weight(self):
+        scorer = self.scorer()
+        left = {"a": "X", "b": "Y", "c": "Z"}
+        right = {"a": "COMPLETELY-DIFFERENT", "b": "Y", "c": "Z"}
+        score = scorer.pair_heterogeneity(left, right)
+        assert 0.0 < score <= 0.5
+
+    def test_empty_vs_value_costs_full_weight(self):
+        scorer = self.scorer()
+        left = {"a": "", "b": "Y", "c": "Z"}
+        right = {"a": "XXXX", "b": "Y", "c": "Z"}
+        assert scorer.pair_heterogeneity(left, right) == pytest.approx(0.5)
+
+    def test_cluster_heterogeneity_of_identical_records(self):
+        scorer = self.scorer()
+        records = [{"a": "X"}] * 3
+        assert scorer.cluster_heterogeneity(records) == 0.0
+
+    def test_singleton_cluster(self):
+        scorer = self.scorer()
+        assert scorer.cluster_heterogeneity([{"a": "X"}]) == 0.0
+        assert scorer.record_heterogeneities([{"a": "X"}]) == [0.0]
+
+    def test_cluster_average_equals_pair_average_for_two(self):
+        scorer = self.scorer()
+        records = [{"a": "X", "b": "Y"}, {"a": "Q", "b": "Y"}]
+        pair = scorer.pair_heterogeneity(records[0], records[1])
+        assert scorer.cluster_heterogeneity(records) == pytest.approx(pair)
+
+    def test_pair_heterogeneities_count(self):
+        scorer = self.scorer()
+        records = [{"a": str(i)} for i in range(4)]
+        assert len(scorer.pair_heterogeneities(records)) == 6
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneityScorer({})
+
+    def test_from_records_learns_entropy_weights(self):
+        records = [{"id": str(i), "const": "K"} for i in range(8)]
+        scorer = HeterogeneityScorer.from_records(records, ("id", "const"))
+        left = dict(records[0])
+        right = dict(records[0], const="OTHER")
+        # 'const' has zero entropy -> differences there are free
+        assert scorer.pair_heterogeneity(left, right) == 0.0
+
+    def test_from_clusters_uses_one_record_per_cluster(self):
+        clusters = [
+            {"records": [
+                {"person": {"x": "A"}},
+                {"person": {"x": "B"}},  # duplicate variant must be ignored
+            ]},
+            {"records": [{"person": {"x": "A"}}]},
+        ]
+        scorer = HeterogeneityScorer.from_clusters(clusters, ("person",), ("x",))
+        # representatives are A and A -> zero entropy -> uniform fallback
+        assert scorer.weights["x"] == 1.0
+
+    def test_score_cluster_document_maps(self):
+        scorer = self.scorer()
+        cluster = {
+            "records": [
+                {"person": {"a": "X"}, "first_version": 1},
+                {"person": {"a": "X"}, "first_version": 1},
+                {"person": {"a": "Y"}, "first_version": 2},
+            ]
+        }
+        all_maps = scorer.score_cluster_document(cluster, ("person",))
+        assert set(all_maps) == {1, 2}
+        new_only = scorer.score_cluster_document(cluster, ("person",), version=2)
+        assert set(new_only) == {2}
+        assert set(new_only[2]) == {0, 1}

@@ -1,0 +1,249 @@
+"""Tests for the irregularity census (Section 6.4, Table 4)."""
+
+import pytest
+
+from repro.core.irregularities import (
+    IrregularityCensus,
+    is_abbreviation,
+    is_different_representation,
+    is_integrated_value,
+    is_missing,
+    is_ocr_error,
+    is_outlier,
+    is_phonetic_error,
+    is_postfix,
+    is_prefix,
+    is_scattered_value,
+    is_token_transposition,
+    is_typo,
+    is_value_confusion,
+)
+
+
+class TestSingletonDetectors:
+    def test_outlier_age(self):
+        assert is_outlier("age", "5069")
+        assert is_outlier("age", "111")
+        assert is_outlier("age", "abc")
+        assert not is_outlier("age", "45")
+        assert not is_outlier("age", "110")
+
+    def test_outlier_name_characters(self):
+        # paper example: the first name 'X ÆA-12'
+        assert is_outlier("first_name", "X ÆA-12")
+        assert not is_outlier("first_name", "MARY-ANN O'NEIL JR.")
+
+    def test_outlier_empty_is_not_outlier(self):
+        assert not is_outlier("age", "")
+
+    def test_abbreviation(self):
+        assert is_abbreviation("A")
+        assert is_abbreviation("A.")
+        assert is_abbreviation("b,")
+        assert not is_abbreviation("AB")
+        assert not is_abbreviation("")
+        assert not is_abbreviation("A..")
+
+    def test_missing(self):
+        for marker in (None, "", "  ", "-", "N/A", "unknown", "NULL", "none"):
+            assert is_missing(marker), marker
+        assert not is_missing("SMITH")
+        assert not is_missing("0")
+
+
+class TestPairDetectors:
+    def test_typo(self):
+        # paper example: ADELL vs ADEL
+        assert is_typo("ADELL", "ADEL")
+        assert is_typo("OEHRIE", "OEHRLE")
+        assert is_typo("MARTHA", "MARHTA")  # transposition counts
+
+    def test_typo_requires_length_over_two(self):
+        assert not is_typo("AB", "AC")
+        assert not is_typo("AB", "A")
+
+    def test_typo_case_insensitive(self):
+        assert not is_typo("SMITH", "smith")  # same after lowercasing
+        assert is_typo("SMITH", "smyth")
+
+    def test_ocr_error(self):
+        # paper example: 'DICOL3' (digit confused with letter)
+        assert is_ocr_error("NICOLE", "NIC0LE")
+        assert is_ocr_error("DICOLE", "DICOL3")
+        assert not is_ocr_error("NICOLE", "NICOLE")
+
+    def test_ocr_requires_digit_side(self):
+        assert not is_ocr_error("NICOLE", "NICOLA")  # letter vs letter
+
+    def test_ocr_differing_digits_rejected(self):
+        assert not is_ocr_error("AB1", "AB2")  # both digits, not identical
+
+    def test_ocr_length_must_match(self):
+        assert not is_ocr_error("ABC", "ABC1")
+
+    def test_phonetic(self):
+        assert is_phonetic_error("BAILEY", "BAYLEE")
+        assert is_phonetic_error("SMITH", "SMYTH")
+        assert not is_phonetic_error("SMITH", "JONES")
+
+    def test_phonetic_requires_actual_difference(self):
+        assert not is_phonetic_error("SMITH", "SMITH")
+        assert not is_phonetic_error("O'NEIL", "ONEIL")  # same letters
+
+    def test_prefix(self):
+        # paper example: KIM vs KIMBERLY
+        assert is_prefix("KIM", "KIMBERLY")
+        assert is_prefix("KIMBERLY", "KIM")
+        assert is_prefix("A.", "ANN")  # punctuation stripped
+        assert not is_prefix("KIM", "KIM")
+        assert not is_prefix("BERLY", "KIMBERLY")
+
+    def test_postfix(self):
+        # paper example: BRAGG matched as postfix
+        assert is_postfix("BRAGG", "FORT BRAGG")
+        assert not is_postfix("BRAGG", "BRAGG")
+        assert not is_postfix("FORT", "FORT BRAGG")
+
+    def test_different_representation(self):
+        # paper example: 'JRS RIDGE' vs 'JRS-RIDGE'
+        assert is_different_representation("JRS RIDGE", "JRS-RIDGE")
+        assert is_different_representation("O'NEIL", "ONEIL")
+        assert not is_different_representation("SMITH", "SMYTH")
+        assert not is_different_representation("SAME", "SAME")
+
+    def test_token_transposition(self):
+        # paper example: 'ANH THI' vs 'THI ANH'
+        assert is_token_transposition("ANH THI", "THI ANH")
+        assert not is_token_transposition("ANH THI", "ANH THI")
+        assert not is_token_transposition("ANH", "ANH")
+        assert not is_token_transposition("A B", "A C")
+
+
+class TestMultiAttributeDetectors:
+    def test_value_confusion(self):
+        # paper example: (JOSE, JUAN) confused between first and middle name
+        left = {"first_name": "JOSE", "midl_name": "JUAN"}
+        right = {"first_name": "JUAN", "midl_name": "JOSE"}
+        assert is_value_confusion(left, right, "first_name", "midl_name")
+
+    def test_value_confusion_requires_difference(self):
+        same = {"first_name": "ANA", "midl_name": "ANA"}
+        assert not is_value_confusion(same, same, "first_name", "midl_name")
+
+    def test_integrated_value(self):
+        # middle name integrated into the last name field
+        left = {"midl_name": "MAN", "last_name": "LI"}
+        right = {"midl_name": "", "last_name": "MAN LI"}
+        assert is_integrated_value(left, right, "last_name", "midl_name")
+
+    def test_integrated_value_symmetric(self):
+        left = {"midl_name": "", "last_name": "MAN LI"}
+        right = {"midl_name": "MAN", "last_name": "LI"}
+        assert is_integrated_value(left, right, "last_name", "midl_name")
+
+    def test_scattered_values(self):
+        # same token set distributed differently over two attributes
+        left = {"midl_name": "AN LE", "last_name": "MA"}
+        right = {"midl_name": "AN", "last_name": "LE MA"}
+        assert is_scattered_value(left, right, "midl_name", "last_name")
+
+    def test_scattered_excludes_confusion(self):
+        left = {"midl_name": "AN", "last_name": "LE"}
+        right = {"midl_name": "LE", "last_name": "AN"}
+        assert not is_scattered_value(left, right, "midl_name", "last_name")
+
+    def test_scattered_excludes_integration(self):
+        left = {"midl_name": "MAN", "last_name": "LI"}
+        right = {"midl_name": "", "last_name": "MAN LI"}
+        assert not is_scattered_value(left, right, "last_name", "midl_name")
+
+
+class TestCensus:
+    def test_counts_and_normalisation(self):
+        census = IrregularityCensus(("first_name", "midl_name", "last_name", "age"))
+        cluster = [
+            {"first_name": "DEBRA", "midl_name": "A", "last_name": "WILLIAMS", "age": "45"},
+            {"first_name": "DEBRA", "midl_name": "", "last_name": "WILLIAMS", "age": "5069"},
+        ]
+        census.add_cluster(cluster)
+        assert census.records_seen == 2
+        assert census.pairs_seen == 1
+        abbreviation = census.count("abbreviation")
+        assert abbreviation.total == 1
+        assert abbreviation.percentage == 0.5
+        assert abbreviation.most_common_attribute == "midl_name"
+        outlier = census.count("outlier")
+        assert outlier.total == 1
+        missing = census.count("missing")
+        assert missing.total == 1
+
+    def test_pair_detection_through_census(self):
+        census = IrregularityCensus(("first_name", "midl_name", "last_name"))
+        census.add_pair(
+            {"first_name": "JOSE", "midl_name": "JUAN", "last_name": "GARCIA"},
+            {"first_name": "JUAN", "midl_name": "JOSE", "last_name": "GARCIA"},
+        )
+        assert census.count("value_confusion").total == 1
+        assert census.count("value_confusion").most_common_attribute == (
+            "first_name/midl_name"
+        )
+
+    def test_typo_counted_per_attribute(self):
+        census = IrregularityCensus(("last_name",))
+        census.add_pair({"last_name": "ADELL"}, {"last_name": "ADEL"})
+        row = census.count("typo")
+        assert row.total == 1
+        assert row.by_attribute == {"last_name": 1}
+
+    def test_row_listing_covers_all_13_types(self):
+        census = IrregularityCensus(("last_name",))
+        assert len(census.counts()) == 13
+
+    def test_unknown_type_raises(self):
+        census = IrregularityCensus(("last_name",))
+        with pytest.raises(KeyError):
+            census.count("nonsense")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            IrregularityCensus(())
+
+    def test_session_dataset_contains_diverse_errors(self, generator):
+        from repro.core.clusters import record_view
+
+        census = IrregularityCensus(
+            ("first_name", "midl_name", "last_name", "age", "birth_place")
+        )
+        for cluster in generator.clusters():
+            records = [record_view(r, ("person",)) for r in cluster["records"]]
+            census.add_cluster(records)
+        assert census.count("missing").total > 0
+        assert census.count("abbreviation").total > 0
+        assert census.count("typo").total > 0
+
+
+class TestExamples:
+    def test_examples_captured(self):
+        census = IrregularityCensus(("last_name",))
+        census.add_pair({"last_name": "ADELL"}, {"last_name": "ADEL"})
+        examples = census.examples("typo")
+        assert examples == ["'ADELL' vs 'ADEL'"]
+
+    def test_examples_capped(self):
+        census = IrregularityCensus(("last_name",))
+        census.max_examples = 2
+        for index in range(5):
+            census.add_record({"last_name": ""})
+        assert len(census.examples("missing")) == 2
+
+    def test_no_examples_for_unseen_type(self):
+        census = IrregularityCensus(("last_name",))
+        assert census.examples("ocr") == []
+
+    def test_confusion_example_format(self):
+        census = IrregularityCensus(("first_name", "midl_name", "last_name"))
+        census.add_pair(
+            {"first_name": "JOSE", "midl_name": "JUAN"},
+            {"first_name": "JUAN", "midl_name": "JOSE"},
+        )
+        assert census.examples("value_confusion") == ["(JOSE, JUAN) vs (JUAN, JOSE)"]

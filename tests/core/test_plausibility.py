@@ -1,0 +1,191 @@
+"""Tests for the plausibility scoring (Section 6.2)."""
+
+import pytest
+
+from repro.core.plausibility import (
+    WEIGHTS,
+    birth_place_similarity,
+    cluster_plausibility,
+    name_similarity,
+    pair_plausibility,
+    pair_plausibilities,
+    score_cluster,
+    sex_similarity,
+    year_of_birth,
+    year_of_birth_similarity,
+)
+
+
+def person(first="DEBRA", middle="OEHRLE", last="WILLIAMS", sex="F",
+           age="45", birth_place="NORTH CAROLINA"):
+    return {
+        "first_name": first,
+        "midl_name": middle,
+        "last_name": last,
+        "sex_code": sex,
+        "age": age,
+        "birth_place": birth_place,
+    }
+
+
+class TestNameSimilarity:
+    def test_identical(self):
+        assert name_similarity(person(), person()) == 1.0
+
+    def test_order_confusion_not_penalised(self):
+        confused = person(first="WILLIAMS", middle="DEBRA", last="OEHRLE")
+        assert name_similarity(person(), confused) == 1.0
+
+    def test_abbreviated_middle_not_penalised(self):
+        abbreviated = person(middle="O")
+        assert name_similarity(person(), abbreviated) == 1.0
+
+    def test_missing_middle_not_penalised(self):
+        assert name_similarity(person(), person(middle="")) == 1.0
+
+    def test_fully_missing_names_neutral(self):
+        empty = person(first="", middle="", last="")
+        assert name_similarity(person(), empty) == 1.0
+
+    def test_different_person_scores_low(self):
+        other = person(first="JOSHUA", middle="", last="BETHEA")
+        assert name_similarity(person(), other) < 0.6
+
+    def test_typo_partially_compensated(self):
+        typo = person(middle="OEHRIE")
+        assert name_similarity(person(), typo) > 0.9
+
+
+class TestSexSimilarity:
+    def test_agreement(self):
+        assert sex_similarity({"sex_code": "F"}, {"sex_code": "F"}) == 1.0
+
+    def test_disagreement(self):
+        assert sex_similarity({"sex_code": "F"}, {"sex_code": "M"}) == 0.0
+
+    def test_undesignated_is_neutral(self):
+        assert sex_similarity({"sex_code": "U"}, {"sex_code": "M"}) == 1.0
+
+    def test_missing_is_neutral(self):
+        assert sex_similarity({}, {"sex_code": "M"}) == 1.0
+        assert sex_similarity({"sex_code": ""}, {"sex_code": "F"}) == 1.0
+
+    def test_case_and_whitespace_tolerant(self):
+        assert sex_similarity({"sex_code": " f "}, {"sex_code": "F"}) == 1.0
+
+
+class TestYearOfBirth:
+    def test_derivation(self):
+        assert year_of_birth({"age": "45"}, "2012-01-01") == 1967
+
+    def test_missing_inputs(self):
+        assert year_of_birth({"age": ""}, "2012-01-01") is None
+        assert year_of_birth({"age": "45"}, "") is None
+        assert year_of_birth({"age": "xx"}, "2012-01-01") is None
+
+    def test_similarity_formula(self):
+        # 1 - min(1, max(0, |delta| - 1) / 10)
+        assert year_of_birth_similarity(1967, 1967) == 1.0
+        assert year_of_birth_similarity(1967, 1968) == 1.0  # tolerance 1
+        assert year_of_birth_similarity(1967, 1969) == pytest.approx(0.9)
+        assert year_of_birth_similarity(1967, 1977) == pytest.approx(0.1)
+        assert year_of_birth_similarity(1967, 1978) == 0.0
+        assert year_of_birth_similarity(1967, 2000) == 0.0
+
+    def test_missing_is_neutral(self):
+        assert year_of_birth_similarity(None, 1967) == 1.0
+        assert year_of_birth_similarity(1967, None) == 1.0
+
+
+class TestBirthPlace:
+    def test_identical(self):
+        assert birth_place_similarity(person(), person()) == 1.0
+
+    def test_missing_neutral(self):
+        assert birth_place_similarity(person(), person(birth_place="")) == 1.0
+
+    def test_different_penalised(self):
+        score = birth_place_similarity(
+            person(), person(birth_place="KOREA")
+        )
+        assert score < 0.5
+
+
+class TestPairPlausibility:
+    def test_weights_sum(self):
+        assert WEIGHTS["name"] == 0.5
+        assert WEIGHTS["sex"] == WEIGHTS["yob"] == WEIGHTS["birth_place"] == 0.15
+
+    def test_identical_records(self):
+        assert pair_plausibility(person(), person(), "2012-01-01", "2012-01-01") == 1.0
+
+    def test_sex_conflict_weighting(self):
+        conflicting = person(sex="M")
+        score = pair_plausibility(person(), conflicting, "2012-01-01", "2012-01-01")
+        # only the sex component (0.15 of 0.95) is lost
+        assert score == pytest.approx(1 - 0.15 / 0.95)
+
+    def test_figure3_unsound_cluster_scores_low(self):
+        fields = person(first="MARY", middle="ELIZABETH", last="FIELDS",
+                        sex="F", age="61")
+        bethea = person(first="JOSHUA", middle="ELIZABETH", last="BETHEA",
+                        sex="M", age="93")
+        score = pair_plausibility(fields, bethea, "2012-01-01", "2012-01-01")
+        assert score < 0.6
+
+    def test_figure3_erroneous_cluster_scores_higher(self):
+        original = person()
+        mixed = person(first="WILLIAMS", middle="DEBRA", last="OEHRIE", age="47")
+        erroneous = pair_plausibility(original, mixed, "2012-01-01", "2014-01-01")
+        unsound = pair_plausibility(
+            person(first="MARY", middle="ELIZABETH", last="FIELDS", sex="F", age="61"),
+            person(first="JOSHUA", middle="ELIZABETH", last="BETHEA", sex="M", age="93"),
+            "2012-01-01", "2012-01-01",
+        )
+        assert erroneous > unsound
+
+
+class TestClusterPlausibility:
+    def make_cluster(self, *people_records, versions=None):
+        records = []
+        for index, flat in enumerate(people_records):
+            records.append(
+                {
+                    "person": {k: v for k, v in flat.items() if v},
+                    "meta": {},
+                    "snapshots": ["2012-01-01"],
+                    "first_version": (versions or {}).get(index, 1),
+                    "plausibility": {},
+                }
+            )
+        return {"_id": "X", "ncid": "X", "records": records}
+
+    def test_singleton_is_fully_plausible(self):
+        cluster = self.make_cluster(person())
+        assert cluster_plausibility(cluster) == 1.0
+
+    def test_minimum_over_pairs(self):
+        sound = person()
+        foreign = person(first="JOSHUA", middle="", last="BETHEA", sex="M", age="93")
+        cluster = self.make_cluster(sound, sound, foreign)
+        assert cluster_plausibility(cluster) == min(pair_plausibilities(cluster))
+        assert cluster_plausibility(cluster) < 0.7
+
+    def test_version_restriction(self):
+        sound = person()
+        foreign = person(first="JOSHUA", middle="", last="BETHEA", sex="M", age="93")
+        cluster = self.make_cluster(sound, foreign, versions={0: 1, 1: 2})
+        assert cluster_plausibility(cluster, version=1) == 1.0
+        assert cluster_plausibility(cluster, version=2) < 1.0
+
+    def test_score_cluster_maps_layout(self):
+        cluster = self.make_cluster(person(), person(), person())
+        maps = score_cluster(cluster)
+        assert set(maps) == {1, 2}
+        assert set(maps[2]) == {0, 1}
+        assert all(score == 1.0 for row in maps.values() for score in row.values())
+
+    def test_stored_maps_used_when_present(self):
+        cluster = self.make_cluster(person(), person())
+        cluster["records"][1]["plausibility"] = {"1": {"0": 0.42}}
+        assert cluster_plausibility(cluster) == 0.42

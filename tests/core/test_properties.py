@@ -1,0 +1,137 @@
+"""Property-based tests of the core pipeline invariants (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RemovalLevel, TestDataGenerator, record_hash
+from repro.core.clusters import full_view, split_record
+from repro.core.irregularities import (
+    is_different_representation,
+    is_ocr_error,
+    is_phonetic_error,
+    is_postfix,
+    is_prefix,
+    is_token_transposition,
+    is_typo,
+)
+from repro.core.plausibility import pair_plausibility, year_of_birth_similarity
+from repro.votersim.schema import ALL_ATTRIBUTES, empty_record
+from repro.votersim.snapshots import Snapshot
+
+value_text = st.text(alphabet=string.ascii_uppercase + " .-'", max_size=10)
+attribute = st.sampled_from(ALL_ATTRIBUTES[:20])
+partial_record = st.dictionaries(attribute, value_text, max_size=6)
+
+
+@given(partial_record)
+@settings(max_examples=150)
+def test_record_hash_deterministic(record):
+    assert record_hash(record) == record_hash(record)
+
+
+@given(partial_record, st.sampled_from(["snapshot_dt", "load_dt", "age"]), value_text)
+@settings(max_examples=150)
+def test_record_hash_ignores_excluded_attributes(record, excluded, value):
+    changed = dict(record)
+    changed[excluded] = value
+    assert record_hash(record) == record_hash(changed)
+
+
+@given(partial_record, value_text)
+@settings(max_examples=150)
+def test_record_hash_trim_equivalence(record, value):
+    padded = dict(record, last_name=f"  {value}  ")
+    plain = dict(record, last_name=value.strip())
+    assert record_hash(padded, trim=True) == record_hash(plain, trim=True)
+
+
+@given(partial_record)
+@settings(max_examples=150)
+def test_split_record_round_trips_nonempty_values(record):
+    parts = split_record(record)
+    flattened = full_view(parts)
+    expected = {
+        k: v for k, v in record.items() if v is not None and str(v).strip() != ""
+    }
+    assert flattened == expected
+
+
+@given(st.lists(st.tuples(st.sampled_from(["A1", "B2", "C3"]), value_text), max_size=12))
+@settings(max_examples=100)
+def test_generator_cluster_invariants(rows):
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    records = []
+    for ncid, last_name in rows:
+        record = empty_record()
+        record.update(ncid=ncid, last_name=last_name, snapshot_dt="2012-01-01")
+        records.append(record)
+    generator.import_snapshot(Snapshot("2012-01-01", records))
+    # invariant: record count equals total hashes; cluster sizes sum up
+    assert generator.record_count == sum(
+        len(cluster["meta"]["hashes"]) for cluster in generator.clusters()
+    )
+    for cluster in generator.clusters():
+        assert len(cluster["records"]) == len(set(cluster["meta"]["hashes"]))
+
+
+@given(st.integers(1900, 2000), st.integers(1900, 2000))
+def test_year_of_birth_similarity_properties(left, right):
+    score = year_of_birth_similarity(left, right)
+    assert 0.0 <= score <= 1.0
+    assert score == year_of_birth_similarity(right, left)
+    if abs(left - right) <= 1:
+        assert score == 1.0
+    if abs(left - right) >= 11:
+        assert score == 0.0
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["first_name", "midl_name", "last_name", "sex_code", "age", "birth_place"]),
+        value_text,
+        max_size=6,
+    ),
+)
+@settings(max_examples=150)
+def test_pair_plausibility_reflexive_and_bounded(record):
+    score = pair_plausibility(record, record, "2012-01-01", "2012-01-01")
+    assert score == 1.0
+    other = dict(record, last_name="COMPLETELYDIFFERENT")
+    cross = pair_plausibility(record, other, "2012-01-01", "2012-01-01")
+    assert 0.0 <= cross <= 1.0
+
+
+word = st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=8)
+
+
+@given(word, word)
+@settings(max_examples=200)
+def test_pair_detectors_are_symmetric(left, right):
+    for detector in (
+        is_typo,
+        is_ocr_error,
+        is_phonetic_error,
+        is_different_representation,
+        is_token_transposition,
+    ):
+        assert detector(left, right) == detector(right, left), detector
+
+    # prefix/postfix are symmetric in the pair (they pick the shorter side)
+    assert is_prefix(left, right) == is_prefix(right, left)
+    assert is_postfix(left, right) == is_postfix(right, left)
+
+
+@given(word)
+def test_no_detector_fires_on_identical_values(value):
+    for detector in (
+        is_typo,
+        is_ocr_error,
+        is_phonetic_error,
+        is_prefix,
+        is_postfix,
+        is_different_representation,
+        is_token_transposition,
+    ):
+        assert not detector(value, value), detector

@@ -1,0 +1,153 @@
+"""Tests for unsound-cluster repair (Figure 3's DR19657 scenario)."""
+
+import pytest
+
+from repro.core.plausibility import cluster_plausibility
+from repro.core.repair import RepairResult, apply_repair, repair_clusters, split_cluster
+
+
+def person(first, middle, last, sex, age):
+    return {
+        "first_name": first,
+        "midl_name": middle,
+        "last_name": last,
+        "sex_code": sex,
+        "age": age,
+    }
+
+
+def make_cluster(ncid, *people):
+    return {
+        "_id": ncid,
+        "ncid": ncid,
+        "records": [
+            {
+                "person": {k: v for k, v in flat.items() if v},
+                "hash": f"h{index}",
+                "first_version": 1,
+                "snapshots": ["2012-01-01"],
+                "plausibility": {},
+                "heterogeneity": {},
+                "heterogeneity_person": {},
+            }
+            for index, flat in enumerate(people)
+        ],
+        "meta": {"hashes": [f"h{i}" for i in range(len(people))],
+                 "inserts_per_snapshot": {}, "first_version": 1},
+    }
+
+
+FIELDS = person("MARY", "ELIZABETH", "FIELDS", "F", "61")
+FIELDS2 = person("MARY", "E", "FIELDS", "F", "62")
+BETHEA = person("JOSHUA", "", "BETHEA", "M", "93")
+BETHEA2 = person("JOSHUA", "ELIZABETH", "BETHEA", "M", "95")
+
+
+class TestSplitCluster:
+    def test_sound_cluster_not_split(self):
+        cluster = make_cluster("A", FIELDS, FIELDS2)
+        result = split_cluster(cluster, threshold=0.8)
+        assert not result.was_split
+        assert result.groups == [[0, 1]]
+
+    def test_figure3_style_cluster_split_into_two_groups(self):
+        # DR19657: "two very homogeneous groups" under one NCID
+        cluster = make_cluster("DR19657", FIELDS, FIELDS2, BETHEA, BETHEA2)
+        result = split_cluster(cluster, threshold=0.8)
+        assert result.was_split
+        assert sorted(result.groups) == [[0, 1], [2, 3]]
+
+    def test_single_linkage_keeps_chains_together(self):
+        # old name -> married name -> married name with typo: endpoint pair
+        # may score below the threshold, but the chain connects them.
+        original = person("DEBRA", "OEHRLE", "WILLIAMS", "F", "45")
+        married = person("DEBRA", "WILLIAMS", "OEHRLE", "F", "47")
+        married_typo = person("DEBRA", "WILLIAMS", "OEHRIE", "F", "49")
+        cluster = make_cluster("B", original, married, married_typo)
+        result = split_cluster(cluster, threshold=0.9)
+        assert not result.was_split
+
+    def test_min_within_plausibility_reported(self):
+        cluster = make_cluster("C", FIELDS, FIELDS2)
+        result = split_cluster(cluster, threshold=0.5)
+        assert result.min_within_plausibility == pytest.approx(
+            cluster_plausibility(cluster)
+        )
+
+    def test_singleton_cluster(self):
+        cluster = make_cluster("D", FIELDS)
+        result = split_cluster(cluster)
+        assert result.groups == [[0]]
+        assert not result.was_split
+
+    def test_threshold_one_splits_everything_fuzzy(self):
+        cluster = make_cluster("E", FIELDS, FIELDS2)
+        result = split_cluster(cluster, threshold=1.0)
+        # FIELDS vs FIELDS2 differ (abbrev is compensated -> may stay 1.0);
+        # a genuinely different record must split:
+        cluster2 = make_cluster("F", FIELDS, BETHEA)
+        assert split_cluster(cluster2, threshold=1.0).was_split
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            split_cluster(make_cluster("G", FIELDS), threshold=1.5)
+
+    def test_stored_maps_used(self):
+        cluster = make_cluster("H", FIELDS, FIELDS2)
+        cluster["records"][1]["plausibility"] = {"1": {"0": 0.1}}
+        result = split_cluster(cluster, threshold=0.8)
+        assert result.was_split  # the stored low score wins
+
+    def test_custom_scorer(self):
+        cluster = make_cluster("I", FIELDS, BETHEA)
+        always_one = lambda left, right: 1.0
+        assert not split_cluster(cluster, scorer=always_one).was_split
+
+
+class TestRepairClusters:
+    def test_one_result_per_cluster(self):
+        clusters = [
+            make_cluster("A", FIELDS, FIELDS2),
+            make_cluster("B", FIELDS, BETHEA),
+        ]
+        results = repair_clusters(clusters, threshold=0.8)
+        assert len(results) == 2
+        assert not results[0].was_split
+        assert results[1].was_split
+
+
+class TestApplyRepair:
+    def test_unsplit_cluster_returned_unchanged(self):
+        cluster = make_cluster("A", FIELDS, FIELDS2)
+        result = split_cluster(cluster, threshold=0.8)
+        assert apply_repair(cluster, result) == [cluster]
+
+    def test_split_produces_suffixed_clusters(self):
+        cluster = make_cluster("DR19657", FIELDS, FIELDS2, BETHEA, BETHEA2)
+        result = split_cluster(cluster, threshold=0.8)
+        repaired = apply_repair(cluster, result)
+        assert [c["ncid"] for c in repaired] == ["DR19657/0", "DR19657/1"]
+        assert all(c["meta"]["repaired_from"] == "DR19657" for c in repaired)
+        assert sum(len(c["records"]) for c in repaired) == 4
+
+    def test_split_clusters_are_plausible(self):
+        cluster = make_cluster("X", FIELDS, FIELDS2, BETHEA, BETHEA2)
+        repaired = apply_repair(cluster, split_cluster(cluster, threshold=0.8))
+        for sub in repaired:
+            assert cluster_plausibility(sub) >= 0.8
+
+    def test_similarity_maps_reset_on_split(self):
+        cluster = make_cluster("Y", FIELDS, BETHEA)
+        cluster["records"][1]["plausibility"] = {"1": {"0": 0.2}}
+        repaired = apply_repair(cluster, split_cluster(cluster, threshold=0.8))
+        for sub in repaired:
+            for record in sub["records"]:
+                assert record["plausibility"] == {}
+
+    def test_hashes_partitioned(self):
+        cluster = make_cluster("Z", FIELDS, FIELDS2, BETHEA)
+        repaired = apply_repair(cluster, split_cluster(cluster, threshold=0.8))
+        all_hashes = sorted(
+            digest for sub in repaired for digest in sub["meta"]["hashes"]
+        )
+        assert all_hashes == ["h0", "h1", "h2"]

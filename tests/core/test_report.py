@@ -1,0 +1,100 @@
+"""Tests for the table rendering module."""
+
+import pytest
+
+from repro.core.irregularities import IrregularityCensus
+from repro.core.levels import RemovalLevel
+from repro.core.statistics import RemovalStats, YearStats
+from repro.datasets.base import DatasetCharacteristics
+from repro.report import (
+    render_characteristics,
+    render_comparison,
+    render_irregularities,
+    render_removal_stats,
+    render_table,
+    render_year_stats,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("a", "long"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0] == "  a  long"
+        assert lines[1] == "  1     2"
+        assert lines[2] == "333     4"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(("a",), [("1", "2")])
+
+    def test_empty_rows(self):
+        assert render_table(("a", "b"), []) == "a  b"
+
+
+class TestRenderYearStats:
+    def test_includes_total_row(self):
+        rows = [
+            YearStats(2008, 1, 100, 90, 80),
+            YearStats(2009, 2, 120, 30, 5),
+        ]
+        text = render_year_stats(rows)
+        assert "2008" in text and "2009" in text
+        assert "total" in text
+        assert "54.5%" in text  # (90+30)/(100+120)
+
+    def test_empty(self):
+        text = render_year_stats([])
+        assert "year" in text
+
+
+class TestRenderRemovalStats:
+    def test_all_levels_rendered(self):
+        rows = [
+            RemovalStats(RemovalLevel.NONE, 100, 500, 10.0, 30, 0, 0, 10),
+            RemovalStats(RemovalLevel.EXACT, 50, 120, 5.0, 15, 50, 380, 10),
+        ]
+        text = render_removal_stats(rows)
+        assert "none" in text and "exact" in text
+        assert "50.0%" in text  # 50 removed of the original 100 records
+        assert "76.0%" in text  # 380 removed of 500
+
+
+class TestRenderCharacteristics:
+    def test_render(self):
+        rows = [
+            DatasetCharacteristics("Cora", 1879, 17, 64578, 182, 118, 238, 10.32),
+        ]
+        text = render_characteristics(rows)
+        assert "Cora" in text
+        assert "64578" in text
+        assert "10.32" in text
+
+
+class TestRenderIrregularities:
+    def make_census(self):
+        census = IrregularityCensus(("last_name", "midl_name"))
+        census.add_cluster(
+            [
+                {"last_name": "ADELL", "midl_name": "A"},
+                {"last_name": "ADEL", "midl_name": ""},
+            ]
+        )
+        return census
+
+    def test_rows_and_examples(self):
+        text = render_irregularities(self.make_census())
+        assert "typo" in text
+        assert "'ADELL' vs 'ADEL'" in text
+        assert "abbreviation" in text
+
+    def test_comparison_table(self):
+        left = self.make_census()
+        right = IrregularityCensus(("last_name",))
+        right.add_record({"last_name": "SMITH"})
+        text = render_comparison(
+            {"NC": left, "Census": right}, ("typo", "missing")
+        )
+        assert "NC" in text and "Census" in text
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + two error types

@@ -1,0 +1,102 @@
+"""Tests for the generation statistics (Tables 1, 2 and Figure 1)."""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.statistics import (
+    cluster_size_histogram,
+    removal_stats,
+    size_histogram_of_sizes,
+    snapshot_year_stats,
+)
+
+
+class TestSnapshotYearStats:
+    def test_aggregation_by_year(self, generator):
+        rows = snapshot_year_stats(generator.import_stats)
+        assert [row.year for row in rows] == list(range(2008, 2014))
+        assert all(row.snapshots == 2 for row in rows)
+
+    def test_first_year_dominates_new_objects(self, generator):
+        rows = snapshot_year_stats(generator.import_stats)
+        first = rows[0]
+        assert first.new_objects == max(row.new_objects for row in rows)
+        assert first.new_record_rate > 0.5
+
+    def test_later_years_still_contribute(self, generator):
+        rows = snapshot_year_stats(generator.import_stats)
+        assert all(row.new_records > 0 for row in rows)
+        assert all(row.new_objects > 0 for row in rows[1:])
+
+    def test_rates_bounded(self, generator):
+        for row in snapshot_year_stats(generator.import_stats):
+            assert 0.0 <= row.new_record_rate <= 1.0
+            assert 0.0 <= row.new_object_rate <= 1.0
+
+    def test_totals_consistent(self, generator):
+        rows = snapshot_year_stats(generator.import_stats)
+        assert sum(row.new_records for row in rows) == generator.record_count
+        assert sum(row.new_objects for row in rows) == generator.cluster_count
+
+
+class TestRemovalStats:
+    @pytest.fixture(scope="class")
+    def stats(self, snapshots):
+        return removal_stats(snapshots)
+
+    def test_all_levels_present(self, stats):
+        assert [row.level for row in stats] == list(RemovalLevel)
+
+    def test_record_counts_strictly_decreasing(self, stats):
+        counts = [row.records for row in stats]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+    def test_cluster_count_invariant_across_levels(self, stats):
+        # "The number of objects (i.e., clusters) was always 13.51 M"
+        cluster_counts = {row.clusters for row in stats}
+        assert len(cluster_counts) == 1
+
+    def test_avg_cluster_size_ordering(self, stats):
+        sizes = [row.avg_cluster_size for row in stats]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_baseline_removes_nothing(self, stats):
+        baseline = stats[0]
+        assert baseline.removed_records == 0
+        assert baseline.removed_pairs == 0
+
+    def test_exact_duplicate_share_is_high(self, stats):
+        exact = stats[1]
+        # paper: 67.3 % of records removed at the 'exact' level
+        assert exact.removed_record_share > 0.4
+
+    def test_removed_pair_share_exceeds_record_share(self, stats):
+        # removing n of a cluster's records removes O(n^2) pairs
+        for row in stats[1:]:
+            assert row.removed_pair_share >= row.removed_record_share
+
+    def test_person_level_removes_most(self, stats):
+        assert stats[3].removed_record_share > stats[2].removed_record_share
+        assert stats[3].removed_record_share > 0.8
+
+
+class TestClusterSizeHistogram:
+    def test_histogram_totals(self, generator):
+        histogram = cluster_size_histogram(generator)
+        assert sum(histogram.values()) == generator.cluster_count
+        assert sum(size * count for size, count in histogram.items()) == (
+            generator.record_count
+        )
+
+    def test_sorted_by_size(self, generator):
+        sizes = list(cluster_size_histogram(generator))
+        assert sizes == sorted(sizes)
+
+    def test_small_clusters_dominate(self, generator):
+        histogram = cluster_size_histogram(generator)
+        small = sum(count for size, count in histogram.items() if size <= 4)
+        assert small > sum(histogram.values()) / 2
+
+    def test_raw_size_histogram(self):
+        assert size_histogram_of_sizes([1, 1, 2, 3, 3, 3]) == {1: 2, 2: 1, 3: 3}

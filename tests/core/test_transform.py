@@ -1,0 +1,145 @@
+"""Tests for the customisation transformations (Section 3.2)."""
+
+import pytest
+
+from repro.core.customize import CustomizationResult
+from repro.core.transform import (
+    drop_attributes,
+    map_values,
+    merge_attributes,
+    rename_attribute,
+    select_by_cluster_size,
+    transform_result,
+)
+
+
+RECORDS = [
+    {"first_name": "DEBRA", "midl_name": "OEHRLE", "last_name": "WILLIAMS", "age": "45"},
+    {"first_name": "JOSHUA", "midl_name": "", "last_name": "BETHEA", "age": "93"},
+]
+
+
+class TestDropAttributes:
+    def test_removes_attributes(self):
+        result = drop_attributes(RECORDS, ("age",))
+        assert all("age" not in record for record in result)
+        assert all("last_name" in record for record in result)
+
+    def test_input_not_mutated(self):
+        drop_attributes(RECORDS, ("age",))
+        assert "age" in RECORDS[0]
+
+    def test_unknown_attributes_ignored(self):
+        result = drop_attributes(RECORDS, ("ghost",))
+        assert result == RECORDS
+
+
+class TestMergeAttributes:
+    def test_merges_in_source_order(self):
+        result = merge_attributes(
+            RECORDS, "full_name", ("first_name", "midl_name", "last_name")
+        )
+        assert result[0]["full_name"] == "DEBRA OEHRLE WILLIAMS"
+        assert "first_name" not in result[0]
+
+    def test_empty_sources_skipped(self):
+        result = merge_attributes(
+            RECORDS, "full_name", ("first_name", "midl_name", "last_name")
+        )
+        assert result[1]["full_name"] == "JOSHUA BETHEA"
+
+    def test_custom_separator(self):
+        result = merge_attributes(RECORDS, "n", ("last_name", "first_name"), ", ")
+        assert result[0]["n"] == "WILLIAMS, DEBRA"
+
+    def test_empty_source_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_attributes(RECORDS, "x", ())
+
+
+class TestRenameAndMap:
+    def test_rename(self):
+        result = rename_attribute(RECORDS, "midl_name", "middle")
+        assert result[0]["middle"] == "OEHRLE"
+        assert "midl_name" not in result[0]
+
+    def test_rename_missing_is_noop(self):
+        assert rename_attribute(RECORDS, "ghost", "spirit") == RECORDS
+
+    def test_map_values(self):
+        result = map_values(RECORDS, ("last_name",), str.title)
+        assert result[0]["last_name"] == "Williams"
+        assert result[0]["first_name"] == "DEBRA"  # untouched
+
+    def test_map_skips_empty_values(self):
+        result = map_values(RECORDS, ("midl_name",), str.title)
+        assert result[1]["midl_name"] == ""
+
+
+class TestTransformResult:
+    def make_result(self):
+        return CustomizationResult(
+            name="t",
+            heterogeneity_range=(0.0, 1.0),
+            records=[dict(record) for record in RECORDS],
+            cluster_of=["A", "B"],
+            gold_pairs=set(),
+        )
+
+    def test_gold_standard_preserved(self):
+        result = self.make_result()
+        result.gold_pairs.add((0, 1))
+        transformed = transform_result(
+            result,
+            drop=("age",),
+            merge={"full_name": ("first_name", "midl_name", "last_name")},
+            value_transforms={"full_name": str.title},
+        )
+        assert transformed.gold_pairs == {(0, 1)}
+        assert transformed.cluster_of == ["A", "B"]
+        assert transformed.records[0] == {"full_name": "Debra Oehrle Williams"}
+
+    def test_original_untouched(self):
+        result = self.make_result()
+        transform_result(result, drop=("age",))
+        assert "age" in result.records[0]
+
+
+class TestSelectByClusterSize:
+    def test_distribution_honoured(self, generator):
+        result = select_by_cluster_size(generator, {2: 10, 3: 5}, seed=1)
+        sizes = sorted(result.cluster_sizes().values())
+        assert sizes == [2] * 10 + [3] * 5
+
+    def test_truncation_keeps_record_order(self, generator):
+        from repro.core.clusters import record_view
+
+        result = select_by_cluster_size(generator, {2: 5}, seed=2)
+        by_cluster = {}
+        for record, ncid in zip(result.records, result.cluster_of):
+            by_cluster.setdefault(ncid, []).append(record)
+        for ncid, flats in by_cluster.items():
+            cluster = generator.cluster(ncid)
+            expected = [record_view(r, ("person",)) for r in cluster["records"][:2]]
+            assert flats == expected
+
+    def test_gold_pairs_consistent(self, generator):
+        result = select_by_cluster_size(generator, {3: 4}, seed=3)
+        assert len(result.gold_pairs) == 4 * 3
+        for i, j in result.gold_pairs:
+            assert result.cluster_of[i] == result.cluster_of[j]
+
+    def test_unsatisfiable_request_raises(self, generator):
+        with pytest.raises(ValueError):
+            select_by_cluster_size(generator, {50: 1000})
+
+    def test_deterministic(self, generator):
+        first = select_by_cluster_size(generator, {2: 8}, seed=9)
+        second = select_by_cluster_size(generator, {2: 8}, seed=9)
+        assert first.records == second.records
+
+    def test_validation(self, generator):
+        with pytest.raises(ValueError):
+            select_by_cluster_size(generator, {})
+        with pytest.raises(ValueError):
+            select_by_cluster_size(generator, {0: 1})

@@ -1,0 +1,149 @@
+"""Tests for the store integrity validator."""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.augment import AugmentationPlan, Augmenter
+from repro.core.validate import validate_cluster, validate_store
+from repro.core.versioning import UpdateProcess
+from repro.docstore import Database
+from repro.votersim.schema import empty_record
+from repro.votersim.snapshots import Snapshot
+
+
+def make_record(ncid="AA1", last_name="SMITH", **overrides):
+    record = empty_record()
+    record.update(
+        ncid=ncid, last_name=last_name, first_name="JOHN",
+        sex_code="M", age="40", snapshot_dt="2012-01-01",
+    )
+    record.update(overrides)
+    return record
+
+
+@pytest.fixture
+def published_generator():
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    process = UpdateProcess(generator)
+    process.run(
+        [Snapshot("2012-01-01", [make_record("AA1"), make_record("AA2")])]
+    )
+    process.run(
+        [Snapshot("2013-01-01", [make_record("AA1", last_name="SMYTH",
+                                             snapshot_dt="2013-01-01")])]
+    )
+    return generator
+
+
+class TestValidStore:
+    def test_clean_store_passes(self, published_generator):
+        report = validate_store(published_generator.database)
+        assert report.ok, report.errors
+        assert report.clusters_checked == 2
+        assert report.records_checked == 3
+
+    def test_session_store_passes(self, generator):
+        report = validate_store(generator.database)
+        assert report.ok, report.errors
+
+    def test_augmented_store_passes(self, published_generator):
+        Augmenter(
+            published_generator, AugmentationPlan(share_of_clusters=1.0, seed=1)
+        ).augment()
+        published_generator.publish("augmented")
+        report = validate_store(published_generator.database)
+        assert report.ok, report.errors
+
+    def test_persisted_store_passes(self, published_generator, tmp_path):
+        published_generator.database.save(tmp_path)
+        report = validate_store(Database.load(tmp_path))
+        assert report.ok, report.errors
+
+
+class TestViolationsDetected:
+    def _store(self, published_generator):
+        return published_generator.database
+
+    def test_unpublished_store_flagged(self):
+        database = Database("x")
+        database.create_collection("clusters")
+        database.create_collection("versions")
+        report = validate_store(database)
+        assert not report.ok
+        assert any("never published" in error for error in report.errors)
+
+    def test_tampered_value_breaks_hash(self, published_generator):
+        database = self._store(published_generator)
+        database["clusters"].update_one(
+            {"_id": "AA1"}, {"$set": {"records.0.person.last_name": "TAMPERED"}}
+        )
+        report = validate_store(database)
+        assert any("hash does not match" in error for error in report.errors)
+
+    def test_hash_mirror_violation(self, published_generator):
+        database = self._store(published_generator)
+        database["clusters"].update_one(
+            {"_id": "AA2"}, {"$push": {"meta.hashes": "deadbeef"}}
+        )
+        report = validate_store(database)
+        assert any("mirror" in error for error in report.errors)
+
+    def test_version_out_of_range(self, published_generator):
+        database = self._store(published_generator)
+        database["clusters"].update_one(
+            {"_id": "AA1"}, {"$set": {"records.0.first_version": 99}}
+        )
+        report = validate_store(database)
+        assert any("outside [1, 2]" in error for error in report.errors)
+
+    def test_forward_similarity_reference(self, published_generator):
+        database = self._store(published_generator)
+        database["clusters"].update_one(
+            {"_id": "AA1"},
+            {"$set": {"records.0.plausibility": {"2": {"5": 0.5}}}},
+        )
+        report = validate_store(database)
+        assert any("earlier index" in error for error in report.errors)
+
+    def test_score_out_of_bounds(self, published_generator):
+        database = self._store(published_generator)
+        database["clusters"].update_one(
+            {"_id": "AA1"},
+            {"$set": {"records.1.plausibility": {"2": {"0": 1.7}}}},
+        )
+        report = validate_store(database)
+        assert any("outside [0, 1]" in error for error in report.errors)
+
+    def test_count_mismatch_with_version_doc(self, published_generator):
+        database = self._store(published_generator)
+        database["clusters"].delete_many({"_id": "AA2"})
+        report = validate_store(database)
+        assert any("store contains" in error for error in report.errors)
+
+
+class TestValidateCluster:
+    def test_missing_ncid(self):
+        errors = validate_cluster({"_id": "X", "records": [], "meta": {"hashes": []}})
+        assert any("missing ncid" in error for error in errors)
+
+    def test_id_mismatch(self):
+        errors = validate_cluster(
+            {"_id": "X", "ncid": "Y", "records": [], "meta": {"hashes": []}}
+        )
+        assert any("_id" in error for error in errors)
+
+    def test_records_must_be_list(self):
+        errors = validate_cluster({"_id": "X", "ncid": "X", "records": "nope"})
+        assert any("not a list" in error for error in errors)
+
+    def test_duplicate_hashes_flagged(self):
+        cluster = {
+            "_id": "X", "ncid": "X",
+            "records": [
+                {"hash": "h", "first_version": 1},
+                {"hash": "h", "first_version": 1},
+            ],
+            "meta": {"hashes": ["h", "h"]},
+        }
+        errors = validate_cluster(cluster, check_hashes=False)
+        assert any("duplicate hashes" in error for error in errors)

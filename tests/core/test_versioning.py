@@ -1,0 +1,128 @@
+"""Tests for the update process and version-similarity maps (Section 5)."""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.plausibility import cluster_plausibility
+from repro.core.versioning import UpdateProcess, similarity_at_version
+from repro.votersim.schema import empty_record
+from repro.votersim.snapshots import Snapshot
+
+
+def make_record(ncid="AA1", last_name="SMITH", snapshot="2012-01-01", **overrides):
+    record = empty_record()
+    record.update(
+        ncid=ncid,
+        last_name=last_name,
+        first_name="JOHN",
+        midl_name="Q",
+        sex_code="M",
+        sex="MALE",
+        age="40",
+        birth_place="NORTH CAROLINA",
+        snapshot_dt=snapshot,
+    )
+    record.update(overrides)
+    return record
+
+
+@pytest.fixture
+def updated_generator():
+    generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    process = UpdateProcess(generator)
+    process.run([Snapshot("2012-01-01", [make_record(), make_record("AA2")])])
+    process.run(
+        [
+            Snapshot(
+                "2013-01-01",
+                [make_record(last_name="SMYTH", snapshot="2013-01-01", age="41")],
+            )
+        ]
+    )
+    return generator
+
+
+class TestUpdateProcess:
+    def test_each_run_bumps_version(self, updated_generator):
+        assert updated_generator.current_version == 2
+
+    def test_version_documents(self, updated_generator):
+        versions = updated_generator.database["versions"]
+        assert versions.count_documents() == 2
+        second = versions.find_one({"_id": 2})
+        assert second["records"] == 3
+
+    def test_statistics_only_update(self):
+        generator = TestDataGenerator()
+        process = UpdateProcess(generator)
+        process.run([Snapshot("2012-01-01", [make_record()])], compute_statistics=False)
+        version = process.run(note="recompute stats")
+        assert version == 2
+        note = generator.database["versions"].find_one({"_id": 2})["note"]
+        assert note == "recompute stats"
+
+    def test_plausibility_maps_written_incrementally(self, updated_generator):
+        cluster = updated_generator.cluster("AA1")
+        first, second = cluster["records"]
+        assert first["plausibility"] == {}  # nothing earlier to compare to
+        assert set(second["plausibility"]) == {"2"}
+        assert set(second["plausibility"]["2"]) == {"0"}
+
+    def test_heterogeneity_maps_both_scopes(self, updated_generator):
+        cluster = updated_generator.cluster("AA1")
+        second = cluster["records"][1]
+        assert "2" in second["heterogeneity"]
+        assert "2" in second["heterogeneity_person"]
+
+    def test_scores_not_recomputed_for_old_pairs(self):
+        generator = TestDataGenerator()
+        process = UpdateProcess(generator)
+        process.run([Snapshot("2012-01-01", [make_record(), make_record(last_name="SMYTHE")])])
+        cluster = generator.cluster("AA1")
+        original = dict(cluster["records"][1]["plausibility"])
+        process.run([Snapshot("2013-01-01", [make_record(last_name="SCHMIDT", snapshot="2013-01-01")])])
+        cluster = generator.cluster("AA1")
+        assert cluster["records"][1]["plausibility"] == original  # untouched
+        assert "2" in cluster["records"][2]["plausibility"]
+
+
+class TestSimilarityAtVersion:
+    def test_merges_maps_up_to_version(self):
+        record = {
+            "plausibility": {
+                "1": {"0": 0.9},
+                "3": {"1": 0.8, "2": 0.7},
+            }
+        }
+        assert similarity_at_version(record, "plausibility", 1) == {0: 0.9}
+        assert similarity_at_version(record, "plausibility", 2) == {0: 0.9}
+        assert similarity_at_version(record, "plausibility", 3) == {
+            0: 0.9, 1: 0.8, 2: 0.7,
+        }
+
+    def test_missing_kind_is_empty(self):
+        assert similarity_at_version({}, "plausibility", 5) == {}
+
+
+class TestHistoricalReconstruction:
+    def test_plausibility_of_old_version_reproducible(self, updated_generator):
+        cluster = updated_generator.cluster("AA1")
+        # at version 1 the cluster had a single record -> plausibility 1.0
+        assert cluster_plausibility(cluster, version=1) == 1.0
+        # at version 2 both records exist -> score possibly below 1
+        assert cluster_plausibility(cluster, version=2) <= 1.0
+
+    def test_stored_scores_match_recomputation(self, updated_generator):
+        from repro.core.plausibility import pair_plausibility
+        from repro.core.clusters import record_view
+
+        cluster = updated_generator.cluster("AA1")
+        first, second = cluster["records"]
+        stored = second["plausibility"]["2"]["0"]
+        recomputed = pair_plausibility(
+            record_view(first, ("person",)),
+            record_view(second, ("person",)),
+            first["snapshots"][0],
+            second["snapshots"][0],
+        )
+        assert stored == pytest.approx(recomputed, abs=1e-5)

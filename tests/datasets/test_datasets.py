@@ -1,0 +1,135 @@
+"""Tests for the Cora / Census / CDDB synthesizers (Table 3 shapes)."""
+
+import pytest
+
+from repro.datasets import synthesize_cddb, synthesize_census, synthesize_cora
+from repro.datasets.base import (
+    BenchmarkDataset,
+    composition_totals,
+    expand_composition,
+)
+
+
+@pytest.fixture(scope="module")
+def cora():
+    return synthesize_cora()
+
+
+@pytest.fixture(scope="module")
+def census():
+    return synthesize_census()
+
+
+@pytest.fixture(scope="module")
+def cddb():
+    return synthesize_cddb()
+
+
+class TestCompositionHelpers:
+    def test_expand(self):
+        assert expand_composition({1: 2, 3: 1}) == [1, 1, 3]
+
+    def test_totals(self):
+        records, clusters, pairs = composition_totals({2: 3, 4: 1})
+        assert records == 10
+        assert clusters == 4
+        assert pairs == 9
+
+    def test_invalid_composition(self):
+        with pytest.raises(ValueError):
+            expand_composition({0: 1})
+
+
+class TestTable3Characteristics:
+    """The synthesized datasets must match Table 3 exactly."""
+
+    def test_cora(self, cora):
+        ch = cora.characteristics()
+        assert ch.records == 1879
+        assert ch.attributes == 17
+        assert ch.duplicate_pairs == 64578
+        assert ch.clusters == 182
+        assert ch.non_singletons == 118
+        assert ch.max_cluster_size == 238
+        assert ch.avg_cluster_size == pytest.approx(10.32, abs=0.01)
+
+    def test_census(self, census):
+        ch = census.characteristics()
+        assert ch.records == 841
+        assert ch.attributes == 6
+        assert ch.duplicate_pairs == 376
+        assert ch.clusters == 483
+        assert ch.non_singletons == 345
+        assert ch.max_cluster_size == 4
+        assert ch.avg_cluster_size == pytest.approx(1.74, abs=0.01)
+
+    def test_cddb(self, cddb):
+        ch = cddb.characteristics()
+        assert ch.records == 9763
+        assert ch.attributes == 7
+        assert ch.duplicate_pairs == 300
+        assert ch.clusters == 9508
+        assert ch.non_singletons == 221
+        assert ch.max_cluster_size == 6
+        assert ch.avg_cluster_size == pytest.approx(1.03, abs=0.01)
+
+
+class TestDatasetIntegrity:
+    def test_gold_pairs_within_clusters(self, census):
+        for i, j in census.gold_pairs:
+            assert census.cluster_of[i] == census.cluster_of[j]
+
+    def test_records_have_declared_attributes(self, cora):
+        for record in cora.records[:50]:
+            assert set(record) <= set(cora.attributes)
+
+    def test_deterministic(self):
+        assert synthesize_census(seed=7).records == synthesize_census(seed=7).records
+
+    def test_seed_changes_data(self):
+        assert synthesize_census(seed=7).records != synthesize_census(seed=8).records
+
+    def test_shuffled_not_cluster_ordered(self, cora):
+        # records of a cluster must not be stored contiguously
+        contiguous = all(
+            cora.cluster_of[i] <= cora.cluster_of[i + 1]
+            for i in range(len(cora.cluster_of) - 1)
+        )
+        assert not contiguous
+
+    def test_duplicates_are_fuzzy_not_exact(self, census):
+        exact_pairs = 0
+        clusters = census.clusters()
+        for members in clusters.values():
+            for j in range(1, len(members)):
+                if members[j] == members[0]:
+                    exact_pairs += 1
+        # the corruption pipeline leaves few, if any, exact duplicates
+        assert exact_pairs < census.characteristics().duplicate_pairs / 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkDataset("x", ("a",), [{"a": 1}], [0, 1])
+
+
+class TestErrorProfiles:
+    def test_census_dominated_by_last_name_typos(self, census):
+        from repro.core.irregularities import IrregularityCensus
+
+        irregularities = IrregularityCensus(census.attributes, multi_attribute_pairs=())
+        for members in census.clusters().values():
+            irregularities.add_cluster(members)
+        typo = irregularities.count("typo")
+        assert typo.most_common_attribute == "last_name"
+        assert typo.percentage > 0.3
+
+    def test_cora_heterogeneity_in_paper_ballpark(self, cora):
+        from repro.core.heterogeneity import HeterogeneityScorer
+
+        representatives = [members[0] for members in cora.clusters().values()]
+        scorer = HeterogeneityScorer.from_records(representatives, cora.attributes)
+        scores = []
+        for members in list(cora.clusters().values())[:40]:
+            scores.extend(scorer.pair_heterogeneities(members))
+        average = sum(scores) / len(scores)
+        assert 0.1 < average < 0.35  # paper: 0.171

@@ -1,0 +1,101 @@
+"""Tests for dataset CSV serialisation."""
+
+import csv
+
+import pytest
+
+from repro.datasets import synthesize_census
+from repro.datasets.io import gold_path_for, load_dataset, save_dataset
+
+
+RECORDS = [
+    {"first_name": "DEBRA", "last_name": "WILLIAMS"},
+    {"first_name": "DEBRA", "last_name": "WILLAMS"},
+    {"first_name": "JOSHUA", "last_name": "BETHEA"},
+]
+CLUSTERS = ["A", "A", "B"]
+
+
+class TestSaveDataset:
+    def test_writes_both_files(self, tmp_path):
+        data, gold = save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS)
+        assert data.exists() and gold.exists()
+        assert gold == gold_path_for(data)
+
+    def test_header_and_rows(self, tmp_path):
+        data, _gold = save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS)
+        rows = list(csv.reader(data.open()))
+        assert rows[0] == ["record_id", "cluster_id", "first_name", "last_name"]
+        assert rows[1] == ["0", "A", "DEBRA", "WILLIAMS"]
+
+    def test_gold_pairs_written(self, tmp_path):
+        _data, gold = save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS)
+        rows = list(csv.reader(gold.open()))
+        assert rows == [["left", "right"], ["0", "1"]]
+
+    def test_explicit_attribute_order(self, tmp_path):
+        data, _ = save_dataset(
+            tmp_path / "d.csv", RECORDS, CLUSTERS,
+            attributes=("last_name", "first_name"),
+        )
+        header = next(csv.reader(data.open()))
+        assert header[2:] == ["last_name", "first_name"]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS[:2])
+
+
+class TestLoadDataset:
+    def test_round_trip(self, tmp_path):
+        save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS)
+        dataset = load_dataset(tmp_path / "d.csv")
+        assert dataset.records == RECORDS
+        assert dataset.gold_pairs == {(0, 1)}
+        assert dataset.name == "d"
+
+    def test_synthesized_dataset_round_trip(self, tmp_path):
+        census = synthesize_census()
+        save_dataset(
+            tmp_path / "census.csv", census.records, census.cluster_of,
+            attributes=census.attributes,
+        )
+        loaded = load_dataset(tmp_path / "census.csv")
+        assert loaded.characteristics().records == 841
+        assert loaded.gold_pairs == census.gold_pairs
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_tampered_gold_detected(self, tmp_path):
+        data, gold = save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS)
+        gold.write_text("left,right\n0,2\n")  # wrong pair
+        with pytest.raises(ValueError):
+            load_dataset(data)
+
+    def test_missing_gold_tolerated(self, tmp_path):
+        data, gold = save_dataset(tmp_path / "d.csv", RECORDS, CLUSTERS)
+        gold.unlink()
+        dataset = load_dataset(data)
+        assert dataset.gold_pairs == {(0, 1)}  # reconstructed from labels
+
+    def test_cli_customize_output_loadable(self, tmp_path, generator):
+        from repro.core import customize
+        from repro.core.heterogeneity import HeterogeneityScorer
+        from repro.votersim.schema import PERSON_ATTRIBUTES
+
+        attributes = tuple(a for a in PERSON_ATTRIBUTES if a != "ncid")
+        scorer = HeterogeneityScorer.from_clusters(
+            generator.clusters(), ("person",), attributes
+        )
+        result = customize(generator, 0.0, 0.5, target_clusters=10, scorer=scorer)
+        save_dataset(
+            tmp_path / "nc.csv", result.records, result.cluster_of, attributes
+        )
+        loaded = load_dataset(tmp_path / "nc.csv")
+        assert loaded.characteristics().records == result.record_count
+        # gold pairs survive the label -> integer-id translation
+        assert len(loaded.gold_pairs) == len(result.gold_pairs)

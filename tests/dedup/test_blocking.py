@@ -1,0 +1,85 @@
+"""Tests for Sorted Neighborhood blocking."""
+
+import pytest
+
+from repro.dedup import (
+    SortedNeighborhood,
+    multipass_sorted_neighborhood,
+    pick_blocking_keys,
+)
+
+
+RECORDS = [
+    {"last_name": "ADAMS", "zip": "27601"},
+    {"last_name": "ADAMSON", "zip": "27601"},
+    {"last_name": "BAKER", "zip": "28801"},
+    {"last_name": "BAKKER", "zip": "28801"},
+    {"last_name": "YOUNG", "zip": "27601"},
+]
+
+
+class TestPickBlockingKeys:
+    def test_most_unique_first(self):
+        records = [{"id": str(i), "const": "X"} for i in range(10)]
+        keys = pick_blocking_keys(records, ("const", "id"), count=1)
+        assert keys == ["id"]
+
+    def test_count_respected(self):
+        keys = pick_blocking_keys(RECORDS, ("last_name", "zip"), count=2)
+        assert len(keys) == 2
+
+    def test_deterministic_tie_break(self):
+        records = [{"a": str(i), "b": str(i)} for i in range(5)]
+        assert pick_blocking_keys(records, ("b", "a"), count=1) == ["a"]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            pick_blocking_keys(RECORDS, ("zip",), count=0)
+
+
+class TestSortedNeighborhood:
+    def test_window_two_links_sorted_neighbours(self):
+        pass_ = SortedNeighborhood("last_name", window=2)
+        pairs = pass_.candidates(RECORDS)
+        assert (0, 1) in pairs  # ADAMS / ADAMSON adjacent
+        assert (2, 3) in pairs  # BAKER / BAKKER adjacent
+        assert (0, 4) not in pairs  # ADAMS / YOUNG far apart
+
+    def test_pairs_normalised(self):
+        pairs = SortedNeighborhood("last_name", window=3).candidates(RECORDS)
+        assert all(i < j for i, j in pairs)
+
+    def test_window_covers_everything_when_large(self):
+        pairs = SortedNeighborhood("last_name", window=50).candidates(RECORDS)
+        assert len(pairs) == 10  # C(5, 2)
+
+    def test_candidate_count_bounded_by_window(self):
+        pass_ = SortedNeighborhood("last_name", window=2)
+        pairs = pass_.candidates(RECORDS)
+        assert len(pairs) <= len(RECORDS) * 1  # w-1 per record
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhood("x", window=1)
+
+    def test_empty_records(self):
+        assert SortedNeighborhood("x", window=5).candidates([]) == set()
+
+
+class TestMultipass:
+    def test_union_of_passes(self):
+        single_name = SortedNeighborhood("last_name", 2).candidates(RECORDS)
+        single_zip = SortedNeighborhood("zip", 2).candidates(RECORDS)
+        multi = multipass_sorted_neighborhood(RECORDS, ["last_name", "zip"], 2)
+        assert multi == single_name | single_zip
+
+    def test_multipass_recovers_pairs_single_pass_misses(self):
+        # ADAMS and YOUNG share a zip but sort far apart by name
+        multi = multipass_sorted_neighborhood(RECORDS, ["last_name", "zip"], 2)
+        zip_sorted_only = multipass_sorted_neighborhood(RECORDS, ["zip"], 2)
+        name_sorted_only = multipass_sorted_neighborhood(RECORDS, ["last_name"], 2)
+        assert multi >= zip_sorted_only
+        assert multi >= name_sorted_only
+
+    def test_no_passes_yields_nothing(self):
+        assert multipass_sorted_neighborhood(RECORDS, [], 5) == set()

@@ -1,0 +1,118 @@
+"""Tests for threshold sweeps and P/R/F1."""
+
+import pytest
+
+from repro.dedup import (
+    EvaluationPoint,
+    best_f1,
+    confusion_counts,
+    evaluate_thresholds,
+    f1_score,
+    precision_recall_f1,
+    score_candidates,
+)
+
+
+class TestBasicMetrics:
+    def test_confusion_counts(self):
+        predicted = {(0, 1), (0, 2), (3, 4)}
+        gold = {(0, 1), (3, 4), (5, 6)}
+        assert confusion_counts(predicted, gold) == (2, 1, 1)
+
+    def test_precision_recall_f1(self):
+        predicted = {(0, 1), (0, 2)}
+        gold = {(0, 1)}
+        precision, recall, f1 = precision_recall_f1(predicted, gold)
+        assert precision == 0.5
+        assert recall == 1.0
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_empty_prediction_has_precision_one(self):
+        precision, recall, f1 = precision_recall_f1(set(), {(0, 1)})
+        assert precision == 1.0
+        assert recall == 0.0
+        assert f1 == 0.0
+
+    def test_f1_score_helper(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_evaluation_point_properties(self):
+        point = EvaluationPoint(0.5, true_positives=8, false_positives=2, false_negatives=2)
+        assert point.precision == 0.8
+        assert point.recall == 0.8
+        assert point.f1 == pytest.approx(0.8)
+
+
+class TestScoreCandidates:
+    def test_scores_each_pair_once(self):
+        records = [{"v": "A"}, {"v": "A"}, {"v": "B"}]
+        similarities = score_candidates(
+            records, [(0, 1), (0, 2)], lambda l, r: 1.0 if l == r else 0.0
+        )
+        assert similarities == {(0, 1): 1.0, (0, 2): 0.0}
+
+
+class TestEvaluateThresholds:
+    def sweep(self):
+        similarities = {
+            (0, 1): 0.9,  # gold
+            (0, 2): 0.8,  # not gold
+            (1, 2): 0.6,  # gold
+            (3, 4): 0.2,  # not gold
+        }
+        gold = {(0, 1), (1, 2), (5, 6)}
+        return evaluate_thresholds(similarities, gold, [0.1, 0.5, 0.7, 0.95])
+
+    def test_points_in_threshold_order(self):
+        points = self.sweep()
+        assert [p.threshold for p in points] == [0.1, 0.5, 0.7, 0.95]
+
+    def test_low_threshold_high_recall(self):
+        points = self.sweep()
+        low = points[0]
+        assert low.true_positives == 2
+        assert low.false_positives == 2
+        assert low.false_negatives == 1  # the never-scored gold pair (5, 6)
+
+    def test_high_threshold_high_precision(self):
+        points = self.sweep()
+        high = points[-1]
+        assert high.true_positives == 0
+        assert high.false_positives == 0
+
+    def test_mid_threshold(self):
+        points = self.sweep()
+        mid = points[1]  # 0.5
+        assert mid.true_positives == 2
+        assert mid.false_positives == 1
+
+    def test_unscored_gold_pairs_count_as_false_negatives(self):
+        # blocking losses are charged against recall, as in the paper
+        points = evaluate_thresholds({}, {(0, 1)}, [0.5])
+        assert points[0].false_negatives == 1
+        assert points[0].recall == 0.0
+
+    def test_monotone_recall_decreasing_in_threshold(self):
+        points = self.sweep()
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_pair_on_threshold_boundary_included(self):
+        points = evaluate_thresholds({(0, 1): 0.5}, {(0, 1)}, [0.5])
+        assert points[0].true_positives == 1
+
+
+class TestBestF1:
+    def test_picks_maximum(self):
+        points = [
+            EvaluationPoint(0.3, 5, 5, 0),
+            EvaluationPoint(0.5, 5, 1, 0),
+            EvaluationPoint(0.7, 2, 0, 3),
+        ]
+        assert best_f1(points).threshold == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_f1([])

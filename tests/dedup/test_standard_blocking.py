@@ -1,0 +1,67 @@
+"""Tests for standard (key-based) blocking."""
+
+import pytest
+
+from repro.dedup import StandardBlocking, multipass_blocking
+from repro.textsim import soundex
+
+
+RECORDS = [
+    {"last_name": "SMITH", "zip": "27601"},   # 0
+    {"last_name": "SMYTH", "zip": "28801"},   # 1 (same soundex as SMITH)
+    {"last_name": "JONES", "zip": "27601"},   # 2
+    {"last_name": "JONES", "zip": "28801"},   # 3
+    {"last_name": "", "zip": "27601"},        # 4 (empty key)
+]
+
+
+class TestStandardBlocking:
+    def test_equal_keys_blocked(self):
+        blocker = StandardBlocking.on_attribute("last_name")
+        pairs = blocker.candidates(RECORDS)
+        assert (2, 3) in pairs
+        assert (0, 1) not in pairs  # SMITH != SMYTH literally
+
+    def test_transform_applied(self):
+        blocker = StandardBlocking.on_attribute("last_name", transform=soundex)
+        pairs = blocker.candidates(RECORDS)
+        assert (0, 1) in pairs  # same soundex code
+
+    def test_empty_keys_never_block(self):
+        blocker = StandardBlocking.on_attribute("last_name")
+        pairs = blocker.candidates(RECORDS)
+        assert all(4 not in pair for pair in pairs)
+
+    def test_pairs_normalised(self):
+        pairs = StandardBlocking.on_attribute("zip").candidates(RECORDS)
+        assert all(i < j for i, j in pairs)
+
+    def test_oversized_blocks_skipped(self):
+        many = [{"k": "SAME"} for _ in range(10)]
+        small = StandardBlocking.on_attribute("k", max_block_size=5)
+        assert small.candidates(many) == set()
+        large = StandardBlocking.on_attribute("k", max_block_size=50)
+        assert len(large.candidates(many)) == 45
+
+    def test_custom_key_function(self):
+        blocker = StandardBlocking(
+            lambda record: (record.get("zip") or "")[:3]
+        )
+        pairs = blocker.candidates(RECORDS)
+        assert (0, 2) in pairs  # zip prefix 276
+        assert (1, 3) in pairs  # zip prefix 288
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            StandardBlocking(lambda record: "x", max_block_size=1)
+
+
+class TestMultipassBlocking:
+    def test_union_of_passes(self):
+        by_name = StandardBlocking.on_attribute("last_name", transform=soundex)
+        by_zip = StandardBlocking.on_attribute("zip")
+        union = multipass_blocking(RECORDS, [by_name, by_zip])
+        assert union == by_name.candidates(RECORDS) | by_zip.candidates(RECORDS)
+
+    def test_no_blockers(self):
+        assert multipass_blocking(RECORDS, []) == set()

@@ -1,0 +1,242 @@
+"""Tests for the aggregation pipeline."""
+
+import pytest
+
+from repro.docstore import Collection
+from repro.docstore.aggregation import evaluate, run_pipeline
+from repro.docstore.errors import QueryError
+
+
+@pytest.fixture
+def sales():
+    collection = Collection("sales")
+    collection.insert_many(
+        [
+            {"_id": 1, "region": "east", "amount": 10, "items": ["a", "b"]},
+            {"_id": 2, "region": "west", "amount": 25, "items": ["c"]},
+            {"_id": 3, "region": "east", "amount": 5, "items": []},
+            {"_id": 4, "region": "west", "amount": 40, "items": ["a"]},
+        ]
+    )
+    return collection
+
+
+class TestExpressions:
+    def test_field_reference(self):
+        assert evaluate("$a.b", {"a": {"b": 7}}) == 7
+
+    def test_missing_reference_is_none(self):
+        assert evaluate("$nope", {}) is None
+
+    def test_literals_pass_through(self):
+        assert evaluate(42, {}) == 42
+        assert evaluate("plain", {}) == "plain"
+        assert evaluate({"$literal": "$a"}, {"a": 1}) == "$a"
+
+    def test_arithmetic(self):
+        doc = {"a": 10, "b": 4}
+        assert evaluate({"$add": ["$a", "$b", 1]}, doc) == 15
+        assert evaluate({"$subtract": ["$a", "$b"]}, doc) == 6
+        assert evaluate({"$multiply": ["$a", 2]}, doc) == 20
+        assert evaluate({"$divide": ["$a", "$b"]}, doc) == 2.5
+
+    def test_divide_by_zero_is_none(self):
+        assert evaluate({"$divide": [1, 0]}, {}) is None
+
+    def test_size_and_concat(self):
+        doc = {"xs": [1, 2, 3], "a": "foo", "b": "bar"}
+        assert evaluate({"$size": "$xs"}, doc) == 3
+        assert evaluate({"$concat": ["$a", "-", "$b"]}, doc) == "foo-bar"
+
+    def test_cond_and_ifnull(self):
+        doc = {"n": 5}
+        assert evaluate({"$cond": ["$n", "big", "small"]}, doc) == "big"
+        assert evaluate({"$cond": {"if": "$missing", "then": "x", "else": "y"}}, doc) == "y"
+        assert evaluate({"$ifNull": ["$missing", "fallback"]}, doc) == "fallback"
+        assert evaluate({"$ifNull": ["$n", "fallback"]}, doc) == 5
+
+    def test_min_max_avg(self):
+        doc = {"a": 1, "b": 9}
+        assert evaluate({"$min": ["$a", "$b"]}, doc) == 1
+        assert evaluate({"$max": ["$a", "$b"]}, doc) == 9
+        assert evaluate({"$avg": ["$a", "$b"]}, doc) == 5
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            evaluate({"$frobnicate": []}, {})
+
+
+class TestStages:
+    def test_match(self, sales):
+        result = sales.aggregate([{"$match": {"region": "east"}}])
+        assert {doc["_id"] for doc in result} == {1, 3}
+
+    def test_project_inclusion(self, sales):
+        result = sales.aggregate(
+            [{"$match": {"_id": 1}}, {"$project": {"amount": 1, "_id": 0}}]
+        )
+        assert result == [{"amount": 10}]
+
+    def test_project_computed(self, sales):
+        result = sales.aggregate(
+            [{"$match": {"_id": 2}}, {"$project": {"double": {"$multiply": ["$amount", 2]}, "_id": 0}}]
+        )
+        assert result == [{"double": 50}]
+
+    def test_project_exclusion(self, sales):
+        result = sales.aggregate([{"$match": {"_id": 1}}, {"$project": {"items": 0}}])
+        assert result == [{"_id": 1, "region": "east", "amount": 10}]
+
+    def test_add_fields(self, sales):
+        result = sales.aggregate(
+            [{"$match": {"_id": 1}}, {"$addFields": {"flag": True}}]
+        )
+        assert result[0]["flag"] is True
+        assert result[0]["amount"] == 10
+
+    def test_group_sum_avg(self, sales):
+        result = sales.aggregate(
+            [
+                {"$group": {"_id": "$region", "total": {"$sum": "$amount"}, "mean": {"$avg": "$amount"}}},
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        assert result == [
+            {"_id": "east", "total": 15, "mean": 7.5},
+            {"_id": "west", "total": 65, "mean": 32.5},
+        ]
+
+    def test_group_min_max_first_last(self, sales):
+        result = sales.aggregate(
+            [
+                {"$sort": {"amount": 1}},
+                {"$group": {"_id": None, "lo": {"$min": "$amount"}, "hi": {"$max": "$amount"},
+                            "first": {"$first": "$_id"}, "last": {"$last": "$_id"}}},
+            ]
+        )
+        assert result == [{"_id": None, "lo": 5, "hi": 40, "first": 3, "last": 4}]
+
+    def test_group_push_and_add_to_set(self, sales):
+        result = sales.aggregate(
+            [
+                {"$group": {"_id": "$region", "ids": {"$push": "$_id"}}},
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        assert result[0]["ids"] == [1, 3]
+
+    def test_group_count_via_sum_one(self, sales):
+        result = sales.aggregate(
+            [{"$group": {"_id": None, "n": {"$sum": 1}}}]
+        )
+        assert result == [{"_id": None, "n": 4}]
+
+    def test_group_requires_id(self, sales):
+        with pytest.raises(QueryError):
+            sales.aggregate([{"$group": {"total": {"$sum": 1}}}])
+
+    def test_unwind(self, sales):
+        result = sales.aggregate(
+            [{"$match": {"_id": 1}}, {"$unwind": "$items"}]
+        )
+        assert [doc["items"] for doc in result] == ["a", "b"]
+
+    def test_unwind_drops_empty_arrays(self, sales):
+        result = sales.aggregate([{"$unwind": "$items"}])
+        assert all(doc["_id"] != 3 for doc in result)
+
+    def test_unwind_preserve_empty(self, sales):
+        result = sales.aggregate(
+            [{"$unwind": {"path": "$items", "preserveNullAndEmptyArrays": True}}]
+        )
+        assert any(doc["_id"] == 3 for doc in result)
+
+    def test_sort_skip_limit(self, sales):
+        result = sales.aggregate(
+            [{"$sort": {"amount": -1}}, {"$skip": 1}, {"$limit": 2}]
+        )
+        assert [doc["amount"] for doc in result] == [25, 10]
+
+    def test_count_stage(self, sales):
+        assert sales.aggregate(
+            [{"$match": {"region": "west"}}, {"$count": "n"}]
+        ) == [{"n": 2}]
+
+    def test_unknown_stage(self, sales):
+        with pytest.raises(QueryError):
+            sales.aggregate([{"$lookup": {}}])
+
+    def test_stage_must_be_single_key(self, sales):
+        with pytest.raises(QueryError):
+            sales.aggregate([{"$match": {}, "$limit": 1}])
+
+    def test_pipeline_is_lazy_until_consumed(self):
+        stream = run_pipeline(iter([{"a": 1}, {"a": 2}]), [{"$match": {"a": 1}}])
+        assert list(stream) == [{"a": 1}]
+
+
+class TestCustomizationStylePipeline:
+    """The kind of pipeline the paper's users run to extract subsets."""
+
+    def test_select_large_clusters_and_flatten(self):
+        collection = Collection("clusters")
+        collection.insert_many(
+            [
+                {"_id": "A", "records": [{"person": {"n": 1}}, {"person": {"n": 2}}]},
+                {"_id": "B", "records": [{"person": {"n": 3}}]},
+            ]
+        )
+        result = collection.aggregate(
+            [
+                {"$addFields": {"size": {"$size": "$records"}}},
+                {"$match": {"size": {"$gte": 2}}},
+                {"$unwind": "$records"},
+                {"$project": {"n": "$records.person.n", "_id": 1}},
+            ]
+        )
+        assert result == [{"_id": "A", "n": 1}, {"_id": "A", "n": 2}]
+
+
+class TestReplaceRootAndSortByCount:
+    def test_replace_root_promotes_subdocument(self):
+        collection = Collection("clusters")
+        collection.insert_one(
+            {"_id": "A", "records": [{"person": {"n": 1}}, {"person": {"n": 2}}]}
+        )
+        result = collection.aggregate(
+            [
+                {"$unwind": "$records"},
+                {"$replaceRoot": {"newRoot": "$records"}},
+            ]
+        )
+        assert result == [{"person": {"n": 1}}, {"person": {"n": 2}}]
+
+    def test_replace_root_requires_document(self):
+        collection = Collection("c")
+        collection.insert_one({"x": 5})
+        with pytest.raises(QueryError):
+            collection.aggregate([{"$replaceRoot": {"newRoot": "$x"}}])
+
+    def test_replace_root_spec_validated(self):
+        collection = Collection("c")
+        collection.insert_one({"x": {}})
+        with pytest.raises(QueryError):
+            collection.aggregate([{"$replaceRoot": "$x"}])
+
+    def test_sort_by_count(self, sales):
+        result = sales.aggregate([{"$sortByCount": "$region"}])
+        assert result == [
+            {"_id": "east", "count": 2},
+            {"_id": "west", "count": 2},
+        ] or result == [
+            {"_id": "west", "count": 2},
+            {"_id": "east", "count": 2},
+        ]
+
+    def test_sort_by_count_orders_descending(self):
+        collection = Collection("c")
+        collection.insert_many(
+            [{"k": "a"}, {"k": "a"}, {"k": "a"}, {"k": "b"}]
+        )
+        result = collection.aggregate([{"$sortByCount": "$k"}])
+        assert result == [{"_id": "a", "count": 3}, {"_id": "b", "count": 1}]

@@ -1,0 +1,202 @@
+"""Tests for collection CRUD, indexes and query routing."""
+
+import pytest
+
+from repro.docstore import Collection, Database, DuplicateKeyError, QueryError
+
+
+@pytest.fixture
+def people():
+    collection = Collection("people")
+    collection.insert_many(
+        [
+            {"_id": "p1", "name": "ANNA", "age": 33, "tags": ["a", "b"]},
+            {"_id": "p2", "name": "BRUNO", "age": 41},
+            {"_id": "p3", "name": "CARLA", "age": 27, "tags": ["b"]},
+        ]
+    )
+    return collection
+
+
+class TestInsert:
+    def test_insert_assigns_integer_id(self):
+        collection = Collection("c")
+        assigned = collection.insert_one({"x": 1})
+        assert isinstance(assigned, int)
+        assert collection.find_one({"x": 1})["_id"] == assigned
+
+    def test_explicit_id_preserved(self):
+        collection = Collection("c")
+        assert collection.insert_one({"_id": "abc"}) == "abc"
+
+    def test_duplicate_id_rejected(self):
+        collection = Collection("c")
+        collection.insert_one({"_id": 1})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"_id": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(QueryError):
+            Collection("c").insert_one([1, 2])
+
+    def test_insert_copies_input(self):
+        collection = Collection("c")
+        document = {"x": {"y": 1}}
+        collection.insert_one(document)
+        document["x"]["y"] = 99
+        assert collection.find_one({})["x"]["y"] == 1
+
+
+class TestFind:
+    def test_find_all(self, people):
+        assert len(people.find()) == 3
+
+    def test_find_filtered(self, people):
+        results = people.find({"age": {"$gt": 30}})
+        assert {doc["_id"] for doc in results} == {"p1", "p2"}
+
+    def test_find_one(self, people):
+        assert people.find_one({"name": "CARLA"})["_id"] == "p3"
+        assert people.find_one({"name": "NOBODY"}) is None
+
+    def test_find_returns_copies(self, people):
+        result = people.find_one({"_id": "p1"})
+        result["name"] = "MUTATED"
+        assert people.find_one({"_id": "p1"})["name"] == "ANNA"
+
+    def test_sort_and_limit(self, people):
+        results = people.find(sort=[("age", -1)], limit=2)
+        assert [doc["_id"] for doc in results] == ["p2", "p1"]
+
+    def test_sort_ascending(self, people):
+        results = people.find(sort=[("age", 1)])
+        assert [doc["age"] for doc in results] == [27, 33, 41]
+
+    def test_projection(self, people):
+        results = people.find({"_id": "p1"}, projection={"name": 1, "_id": 0})
+        assert results == [{"name": "ANNA"}]
+
+    def test_count(self, people):
+        assert people.count_documents() == 3
+        assert people.count_documents({"tags": "b"}) == 2
+
+
+class TestUpdate:
+    def test_set(self, people):
+        assert people.update_one({"_id": "p1"}, {"$set": {"age": 34}}) == 1
+        assert people.find_one({"_id": "p1"})["age"] == 34
+
+    def test_set_nested_path(self, people):
+        people.update_one({"_id": "p1"}, {"$set": {"meta.score": 0.5}})
+        assert people.find_one({"_id": "p1"})["meta"] == {"score": 0.5}
+
+    def test_unset(self, people):
+        people.update_one({"_id": "p1"}, {"$unset": {"tags": ""}})
+        assert "tags" not in people.find_one({"_id": "p1"})
+
+    def test_inc(self, people):
+        people.update_one({"_id": "p2"}, {"$inc": {"age": 2}})
+        assert people.find_one({"_id": "p2"})["age"] == 43
+
+    def test_inc_creates_field(self, people):
+        people.update_one({"_id": "p2"}, {"$inc": {"visits": 1}})
+        assert people.find_one({"_id": "p2"})["visits"] == 1
+
+    def test_push(self, people):
+        people.update_one({"_id": "p3"}, {"$push": {"tags": "c"}})
+        assert people.find_one({"_id": "p3"})["tags"] == ["b", "c"]
+
+    def test_push_creates_array(self, people):
+        people.update_one({"_id": "p2"}, {"$push": {"tags": "z"}})
+        assert people.find_one({"_id": "p2"})["tags"] == ["z"]
+
+    def test_update_many(self, people):
+        touched = people.update_many({"age": {"$gt": 30}}, {"$set": {"adult": True}})
+        assert touched == 2
+
+    def test_update_requires_operators(self, people):
+        with pytest.raises(QueryError):
+            people.update_one({"_id": "p1"}, {"age": 1})
+
+    def test_id_is_immutable(self, people):
+        with pytest.raises(QueryError):
+            people.update_one({"_id": "p1"}, {"$set": {"_id": "zz"}})
+
+    def test_replace_one_keeps_id(self, people):
+        assert people.replace_one({"_id": "p1"}, {"name": "NEW"}) == 1
+        replaced = people.find_one({"_id": "p1"})
+        assert replaced == {"_id": "p1", "name": "NEW"}
+
+    def test_replace_missing_returns_zero(self, people):
+        assert people.replace_one({"_id": "nope"}, {"x": 1}) == 0
+
+
+class TestDelete:
+    def test_delete_many(self, people):
+        assert people.delete_many({"tags": "b"}) == 2
+        assert people.count_documents() == 1
+
+    def test_delete_frees_id(self, people):
+        people.delete_many({"_id": "p1"})
+        people.insert_one({"_id": "p1", "name": "REBORN"})
+        assert people.find_one({"_id": "p1"})["name"] == "REBORN"
+
+
+class TestIndexRouting:
+    def test_hash_index_returns_same_results_as_scan(self, people):
+        expected = people.find({"name": "ANNA"})
+        people.create_index("name")
+        assert people.find({"name": "ANNA"}) == expected
+
+    def test_index_maintained_across_updates(self, people):
+        people.create_index("name")
+        people.update_one({"_id": "p1"}, {"$set": {"name": "ZARA"}})
+        assert people.find({"name": "ZARA"})[0]["_id"] == "p1"
+        assert people.find({"name": "ANNA"}) == []
+
+    def test_index_maintained_across_deletes(self, people):
+        people.create_index("name")
+        people.delete_many({"_id": "p1"})
+        assert people.find({"name": "ANNA"}) == []
+
+    def test_id_lookup_fast_path(self, people):
+        assert people.find({"_id": "p2"})[0]["name"] == "BRUNO"
+        assert people.find({"_id": "unknown"}) == []
+
+    def test_create_index_idempotent(self, people):
+        first = people.create_index("name")
+        second = people.create_index("name")
+        assert first == second
+        assert people.index_names() == ["name_hash"]
+
+    def test_multikey_index_on_arrays(self, people):
+        people.create_index("tags")
+        results = people.find({"tags": "b"})
+        assert {doc["_id"] for doc in results} == {"p1", "p3"}
+
+
+class TestDatabase:
+    def test_lazy_collection_creation(self):
+        db = Database("test")
+        db["one"].insert_one({"x": 1})
+        assert db.collection_names() == ["one"]
+        assert "one" in db
+
+    def test_create_existing_rejected(self):
+        db = Database("test")
+        db.create_collection("c")
+        with pytest.raises(Exception):
+            db.create_collection("c")
+
+    def test_get_without_create(self):
+        from repro.docstore import CollectionNotFound
+
+        db = Database("test")
+        with pytest.raises(CollectionNotFound):
+            db.get_collection("missing", create=False)
+
+    def test_drop_collection(self):
+        db = Database("test")
+        db["a"].insert_one({})
+        db.drop_collection("a")
+        assert db.collection_names() == []

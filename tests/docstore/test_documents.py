@@ -1,0 +1,104 @@
+"""Tests for dotted-path document access."""
+
+import pytest
+
+from repro.docstore import get_path, set_path, unset_path
+from repro.docstore.documents import MISSING, flatten, iter_index_keys, resolve_path
+
+
+class TestGetPath:
+    def test_top_level(self):
+        assert get_path({"a": 1}, "a") == 1
+
+    def test_nested(self):
+        assert get_path({"a": {"b": {"c": 3}}}, "a.b.c") == 3
+
+    def test_absent_returns_default(self):
+        assert get_path({"a": 1}, "b") is None
+        assert get_path({"a": 1}, "b", default=42) == 42
+
+    def test_absent_intermediate(self):
+        assert get_path({"a": {"b": 1}}, "a.c.d") is None
+
+    def test_numeric_segment_indexes_lists(self):
+        doc = {"records": [{"x": 1}, {"x": 2}]}
+        assert get_path(doc, "records.1.x") == 2
+
+    def test_numeric_segment_out_of_range(self):
+        assert get_path({"records": [1]}, "records.5") is None
+
+    def test_broadcast_over_list(self):
+        doc = {"records": [{"x": 1}, {"x": 2}, {"y": 3}]}
+        assert get_path(doc, "records.x") == [1, 2]
+
+    def test_broadcast_no_hits(self):
+        assert get_path({"records": [{"y": 1}]}, "records.x") is None
+
+    def test_resolve_distinguishes_none_from_missing(self):
+        assert resolve_path({"a": None}, "a") is None
+        assert resolve_path({}, "a") is MISSING
+
+
+class TestSetPath:
+    def test_top_level(self):
+        doc = {}
+        set_path(doc, "a", 1)
+        assert doc == {"a": 1}
+
+    def test_creates_intermediates(self):
+        doc = {}
+        set_path(doc, "a.b.c", 3)
+        assert doc == {"a": {"b": {"c": 3}}}
+
+    def test_overwrites_scalar_intermediate(self):
+        doc = {"a": 5}
+        set_path(doc, "a.b", 1)
+        assert doc == {"a": {"b": 1}}
+
+    def test_list_element(self):
+        doc = {"xs": [{"v": 1}, {"v": 2}]}
+        set_path(doc, "xs.1.v", 9)
+        assert doc["xs"][1]["v"] == 9
+
+
+class TestUnsetPath:
+    def test_removes_existing(self):
+        doc = {"a": {"b": 1, "c": 2}}
+        assert unset_path(doc, "a.b") is True
+        assert doc == {"a": {"c": 2}}
+
+    def test_absent_returns_false(self):
+        assert unset_path({"a": 1}, "b") is False
+        assert unset_path({"a": {"b": 1}}, "a.c") is False
+
+    def test_through_list(self):
+        doc = {"xs": [{"v": 1}]}
+        assert unset_path(doc, "xs.0.v") is True
+        assert doc == {"xs": [{}]}
+
+
+class TestIterIndexKeys:
+    def test_scalar(self):
+        assert list(iter_index_keys({"a": 5}, "a")) == [5]
+
+    def test_absent_yields_none(self):
+        assert list(iter_index_keys({}, "a")) == [None]
+
+    def test_multikey_arrays(self):
+        assert list(iter_index_keys({"a": [1, 2, 3]}, "a")) == [1, 2, 3]
+
+    def test_empty_array_yields_none(self):
+        assert list(iter_index_keys({"a": []}, "a")) == [None]
+
+    def test_dict_values_are_frozen_hashable(self):
+        keys = list(iter_index_keys({"a": {"x": 1}}, "a"))
+        assert len(keys) == 1
+        hash(keys[0])  # must not raise
+
+
+class TestFlatten:
+    def test_flat_document(self):
+        assert flatten({"a": 1, "b": 2}) == [("a", 1), ("b", 2)]
+
+    def test_nested_document(self):
+        assert flatten({"a": {"b": 1}, "c": 2}) == [("a.b", 1), ("c", 2)]

@@ -1,0 +1,129 @@
+"""Tests for the extended collection operations ($addToSet, $pull, $rename,
+distinct, skip)."""
+
+import pytest
+
+from repro.docstore import Collection, QueryError
+
+
+@pytest.fixture
+def coll():
+    collection = Collection("c")
+    collection.insert_many(
+        [
+            {"_id": 1, "tags": ["a", "b"], "n": 5, "city": "DURHAM"},
+            {"_id": 2, "tags": ["b"], "n": 3, "city": "RALEIGH"},
+            {"_id": 3, "n": 8, "city": "DURHAM"},
+        ]
+    )
+    return collection
+
+
+class TestAddToSet:
+    def test_adds_new_element(self, coll):
+        coll.update_one({"_id": 2}, {"$addToSet": {"tags": "z"}})
+        assert coll.find_one({"_id": 2})["tags"] == ["b", "z"]
+
+    def test_skips_existing_element(self, coll):
+        coll.update_one({"_id": 1}, {"$addToSet": {"tags": "a"}})
+        assert coll.find_one({"_id": 1})["tags"] == ["a", "b"]
+
+    def test_creates_array(self, coll):
+        coll.update_one({"_id": 3}, {"$addToSet": {"tags": "x"}})
+        assert coll.find_one({"_id": 3})["tags"] == ["x"]
+
+    def test_non_array_target_rejected(self, coll):
+        with pytest.raises(QueryError):
+            coll.update_one({"_id": 1}, {"$addToSet": {"n": 1}})
+
+
+class TestPull:
+    def test_removes_matching_elements(self, coll):
+        coll.update_one({"_id": 1}, {"$pull": {"tags": "a"}})
+        assert coll.find_one({"_id": 1})["tags"] == ["b"]
+
+    def test_missing_array_is_noop(self, coll):
+        assert coll.update_one({"_id": 3}, {"$pull": {"tags": "a"}}) == 1
+        assert "tags" not in coll.find_one({"_id": 3})
+
+    def test_non_array_target_rejected(self, coll):
+        with pytest.raises(QueryError):
+            coll.update_one({"_id": 1}, {"$pull": {"n": 5}})
+
+
+class TestRename:
+    def test_renames_field(self, coll):
+        coll.update_one({"_id": 1}, {"$rename": {"city": "town"}})
+        doc = coll.find_one({"_id": 1})
+        assert doc["town"] == "DURHAM"
+        assert "city" not in doc
+
+    def test_missing_source_is_noop(self, coll):
+        coll.update_one({"_id": 1}, {"$rename": {"ghost": "spirit"}})
+        assert "spirit" not in coll.find_one({"_id": 1})
+
+    def test_nested_target(self, coll):
+        coll.update_one({"_id": 1}, {"$rename": {"city": "address.city"}})
+        assert coll.find_one({"_id": 1})["address"] == {"city": "DURHAM"}
+
+    def test_id_protected(self, coll):
+        with pytest.raises(QueryError):
+            coll.update_one({"_id": 1}, {"$rename": {"_id": "other"}})
+
+    def test_index_follows_rename(self, coll):
+        coll.create_index("city")
+        coll.update_one({"_id": 1}, {"$rename": {"city": "town"}})
+        assert {d["_id"] for d in coll.find({"city": "DURHAM"})} == {3}
+
+
+class TestDistinct:
+    def test_scalar_values(self, coll):
+        assert coll.distinct("city") == ["DURHAM", "RALEIGH"]
+
+    def test_array_values_expanded(self, coll):
+        assert coll.distinct("tags") == ["a", "b"]
+
+    def test_with_filter(self, coll):
+        assert coll.distinct("city", {"n": {"$gt": 4}}) == ["DURHAM"]
+
+    def test_absent_path(self, coll):
+        assert coll.distinct("ghost") == []
+
+
+class TestSkip:
+    def test_skip_with_sort(self, coll):
+        results = coll.find(sort=[("n", 1)], skip=1)
+        assert [d["n"] for d in results] == [5, 8]
+
+    def test_skip_with_limit(self, coll):
+        results = coll.find(sort=[("n", 1)], skip=1, limit=1)
+        assert [d["n"] for d in results] == [5]
+
+    def test_skip_past_end(self, coll):
+        assert coll.find(skip=99) == []
+
+
+class TestExplain:
+    def test_full_scan_without_index(self, coll):
+        plan = coll.explain({"city": "DURHAM"})
+        assert plan["plan"] == "full_scan"
+        assert plan["candidates"] == 3
+
+    def test_index_lookup(self, coll):
+        coll.create_index("city")
+        plan = coll.explain({"city": "DURHAM"})
+        assert plan["plan"] == "index_lookup"
+        assert plan["candidates"] == 2
+
+    def test_id_lookup(self, coll):
+        plan = coll.explain({"_id": 2})
+        assert plan["plan"] == "id_lookup"
+        assert plan["candidates"] == 1
+
+    def test_empty_filter_is_full_scan(self, coll):
+        assert coll.explain()["plan"] == "full_scan"
+
+    def test_operator_conditions_do_not_use_hash_index(self, coll):
+        coll.create_index("n")
+        plan = coll.explain({"n": {"$gt": 4}})
+        assert plan["plan"] == "full_scan"

@@ -1,0 +1,91 @@
+"""Tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.docstore.indexes import HashIndex, SortedIndex, build_index
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        index = HashIndex("ncid")
+        index.add(1, {"ncid": "AA1"})
+        index.add(2, {"ncid": "AA2"})
+        index.add(3, {"ncid": "AA1"})
+        assert index.lookup("AA1") == {1, 3}
+        assert index.lookup("AA2") == {2}
+        assert index.lookup("ZZ9") == set()
+
+    def test_remove(self):
+        index = HashIndex("x")
+        index.add(1, {"x": 5})
+        index.remove(1, {"x": 5})
+        assert index.lookup(5) == set()
+        assert len(index) == 0
+
+    def test_missing_field_indexed_under_none(self):
+        index = HashIndex("x")
+        index.add(1, {})
+        assert index.lookup(None) == {1}
+
+    def test_multikey(self):
+        index = HashIndex("tags")
+        index.add(1, {"tags": ["a", "b"]})
+        assert index.lookup("a") == {1}
+        assert index.lookup("b") == {1}
+        index.remove(1, {"tags": ["a", "b"]})
+        assert len(index) == 0
+
+
+class TestSortedIndex:
+    def make(self):
+        index = SortedIndex("n")
+        for doc_id, value in enumerate([5, 1, 9, 3, 7], start=1):
+            index.add(doc_id, {"n": value})
+        return index
+
+    def test_closed_range(self):
+        index = self.make()
+        assert index.range(3, 7) == {1, 4, 5}  # values 5, 3, 7
+
+    def test_open_ended_ranges(self):
+        index = self.make()
+        assert index.range(low=7) == {3, 5}  # 9, 7
+        assert index.range(high=3) == {2, 4}  # 1, 3
+
+    def test_exclusive_bounds(self):
+        index = self.make()
+        assert index.range(3, 7, include_low=False, include_high=False) == {1}
+
+    def test_fully_open_scans_everything(self):
+        index = self.make()
+        assert index.range() == {1, 2, 3, 4, 5}
+
+    def test_remove(self):
+        index = self.make()
+        index.remove(1, {"n": 5})
+        assert index.range(5, 5) == set()
+        assert len(index) == 4
+
+    def test_mixed_types_do_not_raise(self):
+        index = SortedIndex("n")
+        index.add(1, {"n": 5})
+        index.add(2, {"n": "abc"})
+        assert index.range(1, 9) == {1}
+        assert index.range("a", "z") == {2}
+
+    def test_none_values_not_indexed(self):
+        index = SortedIndex("n")
+        index.add(1, {})
+        assert len(index) == 0
+
+    def test_first_ids(self):
+        index = self.make()
+        assert index.first_ids(2) == [2, 4]  # values 1 and 3
+
+
+class TestBuildIndex:
+    def test_factory(self):
+        assert isinstance(build_index("hash", "x"), HashIndex)
+        assert isinstance(build_index("sorted", "x"), SortedIndex)
+        with pytest.raises(ValueError):
+            build_index("btree", "x")

@@ -1,0 +1,63 @@
+"""Tests for JSONL persistence of databases."""
+
+import pytest
+
+from repro.docstore import Database
+
+
+@pytest.fixture
+def populated(tmp_path):
+    db = Database("ncvoter")
+    clusters = db["clusters"]
+    clusters.insert_many(
+        [
+            {"_id": "AA1", "ncid": "AA1", "records": [{"person": {"last_name": "SMITH"}}]},
+            {"_id": "AA2", "ncid": "AA2", "records": []},
+        ]
+    )
+    clusters.create_index("ncid")
+    db["versions"].insert_one({"_id": 1, "note": "initial"})
+    return db, tmp_path
+
+
+class TestRoundTrip:
+    def test_save_creates_files(self, populated):
+        db, tmp_path = populated
+        db.save(tmp_path)
+        assert (tmp_path / "manifest.json").exists()
+        assert (tmp_path / "clusters.jsonl").exists()
+        assert (tmp_path / "versions.jsonl").exists()
+
+    def test_documents_survive(self, populated):
+        db, tmp_path = populated
+        db.save(tmp_path)
+        loaded = Database.load(tmp_path)
+        assert loaded["clusters"].count_documents() == 2
+        doc = loaded["clusters"].find_one({"_id": "AA1"})
+        assert doc["records"][0]["person"]["last_name"] == "SMITH"
+
+    def test_indexes_rebuilt(self, populated):
+        db, tmp_path = populated
+        db.save(tmp_path)
+        loaded = Database.load(tmp_path)
+        assert loaded["clusters"].index_names() == ["ncid_hash"]
+        assert loaded["clusters"].find({"ncid": "AA2"})[0]["_id"] == "AA2"
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Database.load(tmp_path / "nowhere")
+
+    def test_unicode_values_survive(self, tmp_path):
+        db = Database("u")
+        db["c"].insert_one({"_id": 1, "name": "X ÆA-12 MÜLLER"})
+        db.save(tmp_path)
+        loaded = Database.load(tmp_path)
+        assert loaded["c"].find_one({"_id": 1})["name"] == "X ÆA-12 MÜLLER"
+
+    def test_save_is_deterministic(self, populated):
+        db, tmp_path = populated
+        db.save(tmp_path / "a")
+        db.save(tmp_path / "b")
+        content_a = (tmp_path / "a" / "clusters.jsonl").read_text()
+        content_b = (tmp_path / "b" / "clusters.jsonl").read_text()
+        assert content_a == content_b

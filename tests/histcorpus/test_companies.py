@@ -1,0 +1,172 @@
+"""Tests for the company-register domain (the generalised pipeline)."""
+
+import statistics
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.core.clusters import record_view
+from repro.core.versioning import UpdateProcess
+from repro.histcorpus import (
+    COMPANY_PROFILE,
+    CompanyRegisterConfig,
+    CompanyRegisterSimulator,
+    company_pair_plausibility,
+    score_company_cluster,
+)
+from repro.histcorpus.plausibility import company_cluster_plausibility
+
+
+@pytest.fixture(scope="module")
+def company_simulator():
+    config = CompanyRegisterConfig(
+        initial_companies=200,
+        years=6,
+        seed=5,
+        id_reuse_rate=0.4,
+        dissolution_rate=0.06,
+    )
+    sim = CompanyRegisterSimulator(config)
+    sim._snapshots = list(sim.run())
+    return sim
+
+
+@pytest.fixture(scope="module")
+def company_generator(company_simulator):
+    generator = TestDataGenerator(
+        removal=RemovalLevel.TRIMMED, profile=COMPANY_PROFILE
+    )
+    UpdateProcess(generator, plausibility_fn=score_company_cluster).run(
+        company_simulator._snapshots
+    )
+    return generator
+
+
+class TestProfile:
+    def test_profile_shape(self):
+        assert COMPANY_PROFILE.id_attribute == "reg_id"
+        assert COMPANY_PROFILE.primary_group == "company"
+        assert set(COMPANY_PROFILE.group_names) == {
+            "company", "address", "officers", "meta",
+        }
+
+    def test_hash_exclusions_are_dates(self):
+        assert set(COMPANY_PROFILE.hash_excluded) == {
+            "snapshot_dt", "registr_dt", "dissolution_dt",
+        }
+
+
+class TestSimulator:
+    def test_deterministic(self):
+        config = CompanyRegisterConfig(initial_companies=40, years=3, seed=1)
+        first = [s.records for s in CompanyRegisterSimulator(config).run()]
+        second = [s.records for s in CompanyRegisterSimulator(config).run()]
+        assert first == second
+
+    def test_register_grows(self, company_simulator):
+        sizes = [len(s) for s in company_simulator._snapshots]
+        assert sizes[-1] > sizes[0]
+
+    def test_records_cover_schema(self, company_simulator):
+        record = company_simulator._snapshots[0].records[0]
+        assert set(record) == set(COMPANY_PROFILE.all_attributes)
+
+    def test_dissolved_companies_stay_in_register(self, company_simulator):
+        last = company_simulator._snapshots[-1]
+        statuses = {r["status"] for r in last.records}
+        assert statuses == {"ACTIVE", "DISSOLVED"}
+
+    def test_id_reuse_creates_unsound_clusters(self, company_simulator):
+        assert company_simulator.unsound_ids
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CompanyRegisterSimulator(CompanyRegisterConfig(initial_companies=0))
+        with pytest.raises(ValueError):
+            CompanyRegisterSimulator(CompanyRegisterConfig(move_rate=1.5))
+
+
+class TestGeneralizedPipeline:
+    def test_clusters_keyed_by_reg_id(self, company_generator):
+        cluster = next(company_generator.clusters())
+        assert cluster["ncid"].startswith("C2")
+
+    def test_records_split_into_company_groups(self, company_generator):
+        cluster = company_generator.database["clusters"].find_one(
+            {"records.0": {"$exists": True}}
+        )
+        record = cluster["records"][0]
+        assert "company" in record and "address" in record
+        assert "company_name" in record["company"]
+
+    def test_overlap_compresses_like_voters(self, company_simulator):
+        raw = sum(len(s) for s in company_simulator._snapshots)
+        generator = TestDataGenerator(
+            removal=RemovalLevel.TRIMMED, profile=COMPANY_PROFILE
+        )
+        generator.import_snapshots(company_simulator._snapshots)
+        assert generator.record_count < 0.5 * raw
+
+    def test_heterogeneity_maps_written(self, company_generator):
+        for cluster in company_generator.clusters():
+            if len(cluster["records"]) > 1:
+                assert cluster["records"][1]["heterogeneity_person"]
+                break
+
+    def test_plausibility_separates_unsound(self, company_simulator, company_generator):
+        unsound_ids = company_simulator.unsound_ids
+        sound, unsound = [], []
+        for cluster in company_generator.clusters():
+            if len(cluster["records"]) < 2:
+                continue
+            score = company_cluster_plausibility(cluster)
+            (unsound if cluster["ncid"] in unsound_ids else sound).append(score)
+        assert unsound, "fixture must materialise unsound clusters"
+        assert statistics.mean(unsound) < statistics.mean(sound) - 0.2
+
+
+class TestCompanyPlausibility:
+    def company(self, **overrides):
+        base = {
+            "company_name": "SUMMIT BUILDERS",
+            "founding_year": "1995",
+            "industry_code": "23",
+            "state": "NC",
+        }
+        base.update(overrides)
+        return base
+
+    def test_identical(self):
+        assert company_pair_plausibility(self.company(), self.company()) == 1.0
+
+    def test_rename_hurts_but_other_evidence_remains(self):
+        renamed = self.company(company_name="GRANITE HOLDINGS")
+        score = company_pair_plausibility(self.company(), renamed)
+        assert 0.3 < score < 0.9
+
+    def test_typo_mostly_compensated(self):
+        typo = self.company(company_name="SUMIT BUILDERS")
+        assert company_pair_plausibility(self.company(), typo) > 0.9
+
+    def test_token_swap_free(self):
+        swapped = self.company(company_name="BUILDERS SUMMIT")
+        assert company_pair_plausibility(self.company(), swapped) == 1.0
+
+    def test_founding_year_tolerance(self):
+        near = self.company(founding_year="1996")
+        far = self.company(founding_year="1950")
+        assert company_pair_plausibility(self.company(), near) == 1.0
+        assert company_pair_plausibility(self.company(), far) < 1.0
+
+    def test_missing_values_neutral(self):
+        sparse = self.company(industry_code="", founding_year="")
+        assert company_pair_plausibility(self.company(), sparse) == 1.0
+
+    def test_different_company_scores_low(self):
+        other = {
+            "company_name": "COASTAL PHARMACY",
+            "founding_year": "2011",
+            "industry_code": "62",
+            "state": "SC",
+        }
+        assert company_pair_plausibility(self.company(), other) < 0.4

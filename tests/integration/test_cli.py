@@ -1,0 +1,216 @@
+"""Tests for the command-line interface (full workflow on tmp dirs)."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """simulate + generate once; downstream commands reuse the store."""
+    root = tmp_path_factory.mktemp("cli")
+    snaps = root / "snaps"
+    store = root / "store"
+    assert main([
+        "simulate", "--out", str(snaps), "--voters", "120", "--years", "3",
+        "--seed", "3",
+    ]) == 0
+    assert main([
+        "generate", "--snapshots", str(snaps), "--store", str(store),
+    ]) == 0
+    return root, snaps, store
+
+
+class TestSimulate:
+    def test_writes_tsvs(self, workspace):
+        _root, snaps, _store = workspace
+        paths = list(snaps.glob("*.tsv"))
+        assert len(paths) == 6
+        header = paths[0].read_text().splitlines()[0]
+        assert header.startswith("ncid\t")
+
+
+class TestGenerate:
+    def test_store_created_with_collections(self, workspace):
+        _root, _snaps, store = workspace
+        assert (store / "manifest.json").exists()
+        assert (store / "clusters.jsonl").exists()
+        assert (store / "versions.jsonl").exists()
+        assert (store / "import_stats.jsonl").exists()
+
+    def test_removal_level_option(self, workspace, tmp_path):
+        _root, snaps, _store = workspace
+        person_store = tmp_path / "person-store"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(person_store),
+            "--removal", "person",
+        ]) == 0
+        trimmed_store = workspace[2]
+        assert _store_records(person_store) < _store_records(trimmed_store)
+
+
+class TestStats:
+    def test_prints_summary(self, workspace, capsys):
+        _root, _snaps, store = workspace
+        assert main(["stats", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "clusters:" in output
+        assert "version 1:" in output
+        assert "new records" in output
+
+    def test_empty_store_fails(self, tmp_path, capsys):
+        from repro.docstore import Database
+
+        empty = Database("empty")
+        empty.create_collection("clusters")
+        empty.create_collection("versions")
+        empty.save(tmp_path / "empty")
+        assert main(["stats", "--store", str(tmp_path / "empty")]) == 1
+
+
+class TestCustomizeAndEvaluate:
+    def test_round_trip(self, workspace, capsys):
+        root, _snaps, store = workspace
+        out = root / "nc.csv"
+        assert main([
+            "customize", "--store", str(store), "--out", str(out),
+            "--h-lo", "0.0", "--h-hi", "0.6", "--clusters", "30",
+        ]) == 0
+        gold = out.with_suffix(".gold.csv")
+        assert out.exists() and gold.exists()
+
+        with out.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:2] == ["record_id", "cluster_id"]
+        assert len(rows) > 1
+
+        capsys.readouterr()
+        assert main(["evaluate", "--dataset", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "best F1" in output
+        assert "ME/Lev" in output
+
+    def test_invalid_range_rejected(self, workspace):
+        root, _snaps, store = workspace
+        with pytest.raises(ValueError):
+            main([
+                "customize", "--store", str(store),
+                "--out", str(root / "x.csv"), "--h-lo", "0.9", "--h-hi", "0.1",
+            ])
+
+
+def _store_records(store) -> int:
+    from repro.docstore import Database
+
+    database = Database.load(store)
+    result = database["clusters"].aggregate(
+        [
+            {"$addFields": {"size": {"$size": "$records"}}},
+            {"$group": {"_id": None, "records": {"$sum": "$size"}}},
+        ]
+    )
+    return result[0]["records"] if result else 0
+
+
+class TestAugmentCommand:
+    def test_augment_grows_store(self, workspace, capsys):
+        root, _snaps, store = workspace
+        before = _store_records(store)
+        assert main([
+            "augment", "--store", str(store), "--share", "1.0",
+            "--duplicates", "1", "--seed", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "synthetic records" in output
+        assert _store_records(store) > before
+
+    def test_augmented_store_still_loads(self, workspace):
+        _root, _snaps, store = workspace
+        from repro.docstore import Database
+
+        database = Database.load(store)
+        synthetic = database["clusters"].aggregate(
+            [
+                {"$unwind": "$records"},
+                {"$match": {"records.synthetic": True}},
+                {"$count": "n"},
+            ]
+        )
+        assert synthetic and synthetic[0]["n"] > 0
+
+
+class TestRepairCommand:
+    @pytest.fixture()
+    def unsound_store(self, tmp_path):
+        """A store containing one cluster with two different people."""
+        from repro.core import RemovalLevel, TestDataGenerator
+        from repro.votersim.schema import empty_record
+        from repro.votersim.snapshots import Snapshot
+
+        def rec(ncid, first, last, sex, age):
+            record = empty_record()
+            record.update(
+                ncid=ncid, first_name=first, last_name=last,
+                sex_code=sex, sex="", age=age, snapshot_dt="2012-01-01",
+            )
+            return record
+
+        generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        generator.import_snapshot(
+            Snapshot("2012-01-01", [
+                rec("X1", "MARY", "FIELDS", "F", "61"),
+                rec("X1", "JOSHUA", "BETHEA", "M", "93"),
+                rec("X2", "ANNA", "SMITH", "F", "30"),
+                rec("X2", "ANNA", "SMYTH", "F", "31"),
+            ])
+        )
+        generator.publish("fixture")
+        store = tmp_path / "store"
+        generator.database.save(store)
+        return store
+
+    def test_report_only(self, unsound_store, capsys):
+        assert main(["repair", "--store", str(unsound_store)]) == 0
+        output = capsys.readouterr().out
+        assert "X1" in output
+        assert "split into 2 groups" in output
+        assert "X2" not in output  # sound cluster not reported
+
+    def test_apply_splits_store(self, unsound_store, capsys):
+        assert main([
+            "repair", "--store", str(unsound_store), "--apply",
+        ]) == 0
+        from repro.docstore import Database
+
+        database = Database.load(unsound_store)
+        ids = {doc["_id"] for doc in database["clusters"].all()}
+        assert "X1" not in ids
+        assert {"X1/0", "X1/1", "X2"} <= ids
+
+
+class TestValidateCommand:
+    def test_sound_store_passes(self, workspace, capsys):
+        _root, _snaps, store = workspace
+        assert main(["validate", "--store", str(store)]) == 0
+        assert "store is sound" in capsys.readouterr().out
+
+    def test_tampered_store_fails(self, workspace, tmp_path, capsys):
+        _root, snaps, _store = workspace
+        tampered = tmp_path / "tampered"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(tampered),
+        ]) == 0
+        from repro.docstore import Database
+
+        database = Database.load(tampered)
+        first = database["clusters"].find_one({})
+        database["clusters"].update_one(
+            {"_id": first["_id"]},
+            {"$set": {"records.0.person.last_name": "TAMPERED"}},
+        )
+        database.save(tampered)
+        capsys.readouterr()
+        assert main(["validate", "--store", str(tampered)]) == 1
+        assert "VIOLATION" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Integration: the TSV file path (the paper's actual input format)."""
+
+import pytest
+
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.votersim import (
+    SimulationConfig,
+    VoterRegisterSimulator,
+    read_snapshot_tsv,
+)
+
+
+class TestTsvPipeline:
+    @pytest.fixture(scope="class")
+    def tsv_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("snapshots")
+        config = SimulationConfig(initial_voters=100, years=3, seed=77)
+        VoterRegisterSimulator(config).run_to_directory(directory)
+        return directory
+
+    def test_import_from_tsv_files(self, tsv_dir):
+        generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        for path in sorted(tsv_dir.glob("*.tsv")):
+            snapshot = read_snapshot_tsv(path)
+            generator.import_snapshot(snapshot)
+        assert generator.cluster_count >= 100
+        assert generator.record_count >= generator.cluster_count
+
+    def test_tsv_import_equals_in_memory_import(self, tsv_dir):
+        config = SimulationConfig(initial_voters=100, years=3, seed=77)
+        in_memory = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        in_memory.import_snapshots(VoterRegisterSimulator(config).run())
+
+        from_tsv = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+        for path in sorted(tsv_dir.glob("*.tsv")):
+            from_tsv.import_snapshot(read_snapshot_tsv(path))
+
+        assert from_tsv.record_count == in_memory.record_count
+        assert from_tsv.cluster_count == in_memory.cluster_count
+        assert from_tsv.duplicate_pair_count == in_memory.duplicate_pair_count
+
+    def test_snapshot_dates_parse_from_file(self, tsv_dir):
+        paths = sorted(tsv_dir.glob("*.tsv"))
+        snapshot = read_snapshot_tsv(paths[0])
+        assert snapshot.date.startswith("20")
+        assert len(snapshot.date) == 10

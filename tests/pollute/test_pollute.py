@@ -1,0 +1,165 @@
+"""Tests for the corruptor suite and the baseline generators."""
+
+import random
+
+import pytest
+
+from repro.pollute import (
+    CorruptorSuite,
+    FebrlStyleSynthesizer,
+    GeCoStylePolluter,
+    PollutionProfile,
+    default_corruptors,
+)
+from repro.pollute.corruptors import (
+    corrupt_abbreviate,
+    corrupt_case,
+    corrupt_missing,
+    corrupt_truncate,
+)
+from repro.pollute.synthesizer import SynthesizerConfig
+
+
+@pytest.fixture
+def rng():
+    return random.Random(17)
+
+
+class TestCorruptors:
+    def test_registry_complete(self):
+        registry = default_corruptors()
+        assert set(registry) == {
+            "typo", "ocr", "phonetic", "representation", "token_transposition",
+            "missing", "abbreviate", "truncate", "case",
+        }
+
+    def test_missing(self, rng):
+        assert corrupt_missing("ANYTHING", rng) == ""
+
+    def test_abbreviate(self, rng):
+        assert corrupt_abbreviate("KIMBERLY ANN", rng) in ("K", "K.")
+        assert corrupt_abbreviate("", rng) == ""
+
+    def test_truncate_is_prefix(self, rng):
+        value = "CHRISTOPHER"
+        truncated = corrupt_truncate(value, rng)
+        assert value.startswith(truncated)
+        assert len(truncated) < len(value)
+
+    def test_case_flip(self, rng):
+        assert corrupt_case("SMITH", rng) == "Smith"
+        assert corrupt_case("Smith", rng) == "SMITH"
+
+    def test_suite_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            CorruptorSuite({"frobnicate": 1.0})
+        with pytest.raises(ValueError):
+            CorruptorSuite({})
+
+    def test_corrupt_record_touches_requested_attributes_only(self, rng):
+        suite = CorruptorSuite({"missing": 1.0})
+        record = {"a": "X", "b": "Y"}
+        corrupted = suite.corrupt_record(record, rng, ("a",), errors_per_record=1.0)
+        assert corrupted["b"] == "Y"
+        assert corrupted["a"] == ""
+
+    def test_corrupt_record_does_not_mutate_input(self, rng):
+        suite = CorruptorSuite({"missing": 1.0})
+        record = {"a": "X"}
+        suite.corrupt_record(record, rng, ("a",))
+        assert record == {"a": "X"}
+
+    def test_fractional_error_rate(self):
+        suite = CorruptorSuite({"missing": 1.0})
+        blanked = 0
+        for seed in range(200):
+            corrupted = suite.corrupt_record(
+                {"a": "X"}, random.Random(seed), ("a",), errors_per_record=0.5
+            )
+            if corrupted["a"] == "":
+                blanked += 1
+        assert 60 < blanked < 140  # ~50 %
+
+
+class TestGeCoStylePolluter:
+    def test_pollution_adds_duplicates(self):
+        clean = [{"name": f"PERSON{i}", "city": "RALEIGH"} for i in range(100)]
+        polluter = GeCoStylePolluter(("name", "city"), seed=3)
+        result = polluter.pollute(clean)
+        assert len(result.records) > 100
+        assert result.gold_pairs
+
+    def test_gold_pairs_reference_same_cluster(self):
+        clean = [{"name": f"P{i}"} for i in range(50)]
+        result = GeCoStylePolluter(("name",), seed=1).pollute(clean)
+        for i, j in result.gold_pairs:
+            assert result.cluster_of[i] == result.cluster_of[j]
+            assert i < j
+
+    def test_zero_share_pollutes_nothing(self):
+        clean = [{"name": f"P{i}"} for i in range(20)]
+        profile = PollutionProfile(duplicate_share=0.0)
+        result = GeCoStylePolluter(("name",), profile, seed=1).pollute(clean)
+        assert len(result.records) == 20
+        assert not result.gold_pairs
+
+    def test_max_duplicates_respected(self):
+        clean = [{"name": "P"}]
+        profile = PollutionProfile(duplicate_share=1.0, max_duplicates_per_record=2)
+        result = GeCoStylePolluter(("name",), profile, seed=1).pollute(clean)
+        assert len(result.records) <= 3
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            PollutionProfile(duplicate_share=1.5).validate()
+        with pytest.raises(ValueError):
+            PollutionProfile(max_duplicates_per_record=0).validate()
+        with pytest.raises(ValueError):
+            GeCoStylePolluter((), seed=1)
+
+    def test_deterministic(self):
+        clean = [{"name": f"P{i}"} for i in range(30)]
+        first = GeCoStylePolluter(("name",), seed=9).pollute(clean)
+        second = GeCoStylePolluter(("name",), seed=9).pollute(clean)
+        assert first.records == second.records
+
+
+class TestFebrlStyleSynthesizer:
+    def test_counts(self):
+        config = SynthesizerConfig(originals=200, duplicates=50, seed=1)
+        dataset = FebrlStyleSynthesizer(config).generate()
+        assert dataset.record_count == 250
+        assert len(dataset.gold_pairs) >= 50
+
+    def test_gold_pairs_valid(self):
+        dataset = FebrlStyleSynthesizer(SynthesizerConfig(originals=50, duplicates=20)).generate()
+        for i, j in dataset.gold_pairs:
+            assert dataset.cluster_of[i] == dataset.cluster_of[j]
+
+    def test_max_duplicates_per_original(self):
+        config = SynthesizerConfig(
+            originals=5, duplicates=10, max_duplicates_per_original=2, seed=2
+        )
+        dataset = FebrlStyleSynthesizer(config).generate()
+        from collections import Counter
+
+        counts = Counter(dataset.cluster_of)
+        assert max(counts.values()) <= 3  # original + 2 duplicates
+
+    def test_records_have_febrl_attributes(self):
+        from repro.pollute.synthesizer import FEBRL_ATTRIBUTES
+
+        dataset = FebrlStyleSynthesizer(SynthesizerConfig(originals=10, duplicates=0)).generate()
+        assert set(dataset.records[0]) == set(FEBRL_ATTRIBUTES)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FebrlStyleSynthesizer(SynthesizerConfig(originals=0))
+        with pytest.raises(ValueError):
+            FebrlStyleSynthesizer(SynthesizerConfig(duplicates=-1))
+
+    def test_scalability_smoke(self):
+        # synthesization is the fast family: thousands of records instantly
+        config = SynthesizerConfig(originals=2000, duplicates=500, seed=3)
+        dataset = FebrlStyleSynthesizer(config).generate()
+        assert dataset.record_count == 2500

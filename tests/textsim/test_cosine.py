@@ -1,0 +1,106 @@
+"""Tests for cosine / TF-IDF / SoftTFIDF similarities."""
+
+import math
+
+import pytest
+
+from repro.textsim import SoftTfIdf, TfIdfCosine, cosine_tokens
+
+
+class TestCosineTokens:
+    def test_identical(self):
+        assert cosine_tokens("A B C", "A B C") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_tokens("A B", "C D") == 0.0
+
+    def test_order_insensitive(self):
+        assert cosine_tokens("JOSE JUAN", "JUAN JOSE") == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        # vectors (1,1,0) and (0,1,1): cos = 1/2
+        assert cosine_tokens("A B", "B C") == pytest.approx(0.5)
+
+    def test_repeated_tokens_weighted(self):
+        assert cosine_tokens("A A B", "A B") > cosine_tokens("A B C", "A B")
+
+    def test_empty_values(self):
+        assert cosine_tokens("", "") == 1.0
+        assert cosine_tokens("", "A") == 0.0
+
+    def test_lowercase_option(self):
+        assert cosine_tokens("John", "JOHN") == 0.0
+        assert cosine_tokens("John", "JOHN", lowercase=True) == pytest.approx(1.0)
+
+
+class TestTfIdfCosine:
+    def corpus(self):
+        # 'SMITH' appears everywhere (low idf); given names are rare.
+        return [
+            "JOHN SMITH", "MARY SMITH", "PETER SMITH", "LINDA SMITH",
+            "CARLOS SMITH", "ANNA SMITH",
+        ]
+
+    def test_unfitted_behaves_like_cosine(self):
+        measure = TfIdfCosine()
+        assert measure("A B", "B C") == pytest.approx(0.5)
+
+    def test_fit_returns_self(self):
+        measure = TfIdfCosine().fit(self.corpus())
+        assert isinstance(measure, TfIdfCosine)
+
+    def test_common_tokens_downweighted(self):
+        measure = TfIdfCosine().fit(self.corpus())
+        # sharing only the ubiquitous surname scores lower than sharing
+        # only a rare given name
+        share_surname = measure("JOHN SMITH", "MARY SMITH")
+        share_given = measure("JOHN SMITH", "JOHN MILLER")
+        assert share_given > share_surname
+
+    def test_identical_still_one(self):
+        measure = TfIdfCosine().fit(self.corpus())
+        assert measure("JOHN SMITH", "JOHN SMITH") == pytest.approx(1.0)
+
+    def test_unseen_tokens_get_max_idf(self):
+        measure = TfIdfCosine().fit(self.corpus())
+        assert measure.idf("ZEBRA") >= measure.idf("SMITH")
+
+    def test_range(self):
+        measure = TfIdfCosine().fit(self.corpus())
+        for pair in [("JOHN SMITH", "MARY SMITH"), ("A", "B"), ("X Y", "Y X")]:
+            assert 0.0 <= measure(*pair) <= 1.0 + 1e-12
+
+
+class TestSoftTfIdf:
+    def corpus(self):
+        return ["JOHN SMITH", "MARY SMITH", "PETER JONES", "LINDA MILLER"]
+
+    def test_exact_tokens_match_like_tfidf(self):
+        soft = SoftTfIdf().fit(self.corpus())
+        hard = TfIdfCosine().fit(self.corpus())
+        assert soft("JOHN SMITH", "JOHN SMITH") == pytest.approx(
+            hard("JOHN SMITH", "JOHN SMITH")
+        )
+
+    def test_typo_tokens_still_match(self):
+        soft = SoftTfIdf(threshold=0.85).fit(self.corpus())
+        hard = TfIdfCosine().fit(self.corpus())
+        assert soft("JOHN SMITH", "JOHN SMYTH") > hard("JOHN SMITH", "JOHN SMYTH")
+
+    def test_threshold_blocks_weak_matches(self):
+        strict = SoftTfIdf(threshold=0.99).fit(self.corpus())
+        assert strict("SMITH", "JONES") == 0.0
+
+    def test_empty_values(self):
+        soft = SoftTfIdf().fit(self.corpus())
+        assert soft("", "") == 1.0
+        assert soft("", "JOHN") == 0.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SoftTfIdf(threshold=1.5)
+
+    def test_capped_at_one(self):
+        soft = SoftTfIdf(threshold=0.5).fit(self.corpus())
+        for pair in [("JOHN SMITH", "JOHN SMYTH"), ("A B C", "A B")]:
+            assert soft(*pair) <= 1.0

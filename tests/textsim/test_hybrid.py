@@ -1,0 +1,110 @@
+"""Tests for the hybrid measures: Generalized Jaccard and Monge-Elkan."""
+
+import pytest
+
+from repro.textsim import (
+    GeneralizedJaccard,
+    MongeElkan,
+    generalized_jaccard,
+    monge_elkan,
+    symmetric_monge_elkan,
+)
+from repro.textsim.levenshtein import damerau_levenshtein_similarity
+
+
+def exact(left, right):
+    return 1.0 if left == right else 0.0
+
+
+class TestGeneralizedJaccard:
+    def test_identical_token_sets(self):
+        assert generalized_jaccard("A B C", "A B C") == 1.0
+
+    def test_degenerates_to_jaccard_with_exact_measure(self):
+        # |A ∩ B| = 1, |A ∪ B| = 3
+        score = generalized_jaccard("A B", "B C", token_similarity=exact, threshold=1.0)
+        assert score == pytest.approx(1 / 3)
+
+    def test_order_insensitive(self):
+        left = generalized_jaccard("JOSE JUAN", "JUAN JOSE")
+        assert left == 1.0
+
+    def test_fuzzy_token_match(self):
+        # One typo in one token of two: match contributes its similarity.
+        score = generalized_jaccard("ADELL SMITH", "ADEL SMITH")
+        token_sim = damerau_levenshtein_similarity("ADELL", "ADEL")
+        # extended variant: ADEL is a prefix of ADELL -> similarity 1.0
+        assert score == 1.0 or score == pytest.approx((1 + token_sim) / 3)
+
+    def test_threshold_excludes_weak_matches(self):
+        strict = generalized_jaccard(
+            "ABC", "XYZ", token_similarity=damerau_levenshtein_similarity, threshold=0.9
+        )
+        assert strict == 0.0
+
+    def test_empty_values(self):
+        assert generalized_jaccard("", "") == 1.0
+        assert generalized_jaccard("", "ABC") == 0.0
+
+    def test_explicit_token_lists(self):
+        score = generalized_jaccard(
+            "", "", tokens_left=["DEBRA", "WILLIAMS"], tokens_right=["WILLIAMS", "DEBRA"]
+        )
+        assert score == 1.0
+
+    def test_measure_object_validation(self):
+        with pytest.raises(ValueError):
+            GeneralizedJaccard(threshold=1.5)
+
+    def test_paper_name_confusion_scores_high(self):
+        # Figure 3: DEBRA OEHRIE WILLIAMS vs OEHRLE DEBRA ANN — confusions
+        # and a typo should still score far above unrelated names.
+        score = generalized_jaccard("DEBRA OEHRIE WILLIAMS", "OEHRLE DEBRA ANN")
+        unrelated = generalized_jaccard("MARY ELIZABETH FIELDS", "JOSHUA ELIZABETH BETHEA")
+        assert score > 0.4
+        assert score > unrelated
+
+
+class TestMongeElkan:
+    def test_identical(self):
+        assert monge_elkan("A B", "A B") == 1.0
+
+    def test_asymmetry(self):
+        forward = monge_elkan("A", "A B")
+        backward = monge_elkan("A B", "A")
+        assert forward == 1.0
+        assert backward < 1.0
+
+    def test_symmetric_variant_averages(self):
+        forward = monge_elkan("A", "A B")
+        backward = monge_elkan("A B", "A")
+        assert symmetric_monge_elkan("A", "A B") == pytest.approx(
+            (forward + backward) / 2
+        )
+
+    def test_token_confusion_is_free(self):
+        assert symmetric_monge_elkan("JOSE JUAN", "JUAN JOSE") == 1.0
+
+    def test_empty_values(self):
+        assert monge_elkan("", "") == 1.0
+        assert monge_elkan("", "A") == 0.0
+        assert monge_elkan("A", "") == 0.0
+
+    def test_best_match_per_token(self):
+        # Each left token picks its best right token independently.
+        score = monge_elkan("AA BB", "AA XX")
+        expected = (1.0 + max(
+            damerau_levenshtein_similarity("BB", "AA"),
+            damerau_levenshtein_similarity("BB", "XX"),
+        )) / 2
+        assert score == pytest.approx(expected)
+
+    def test_measure_object_symmetric_by_default(self):
+        measure = MongeElkan()
+        assert measure("A", "A B") == pytest.approx(symmetric_monge_elkan("A", "A B"))
+        one_way = MongeElkan(symmetric=False)
+        assert one_way("A", "A B") == 1.0
+
+    def test_range(self):
+        for pair in [("FOO BAR", "BAZ QUX"), ("A", "Z"), ("X Y Z", "X")]:
+            assert 0.0 <= symmetric_monge_elkan(*pair) <= 1.0

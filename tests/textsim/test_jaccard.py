@@ -1,0 +1,105 @@
+"""Tests for token and q-gram Jaccard similarity."""
+
+import pytest
+
+from repro.textsim import (
+    QgramJaccard,
+    TokenJaccard,
+    jaccard_qgrams,
+    jaccard_tokens,
+    qgrams,
+    tokenize,
+)
+from repro.textsim.tokens import strip_non_alnum
+
+
+class TestTokenize:
+    def test_simple_split(self):
+        assert tokenize("JOHN A SMITH") == ["JOHN", "A", "SMITH"]
+
+    def test_collapses_whitespace(self):
+        assert tokenize("  JOHN   SMITH ") == ["JOHN", "SMITH"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize(None) == []
+
+    def test_lowercase_option(self):
+        assert tokenize("JOHN Smith", lowercase=True) == ["john", "smith"]
+
+
+class TestStripNonAlnum:
+    def test_removes_punctuation(self):
+        assert strip_non_alnum("O'BRIEN-SMITH JR.") == "OBRIENSMITHJR"
+
+    def test_keeps_digits(self):
+        assert strip_non_alnum("DIST-64") == "DIST64"
+
+    def test_empty(self):
+        assert strip_non_alnum("") == ""
+
+
+class TestQgrams:
+    def test_padded_trigrams(self):
+        grams = qgrams("abc", q=3)
+        assert grams == ["##a", "#ab", "abc", "bc#", "c##"]
+
+    def test_unpadded(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_short_string_without_padding(self):
+        assert qgrams("ab", q=3, pad=False) == ["ab"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+
+class TestJaccardTokens:
+    def test_identical(self):
+        assert jaccard_tokens("A B C", "A B C") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_tokens("A B", "C D") == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_tokens("A B", "B C") == pytest.approx(1 / 3)
+
+    def test_order_insensitive(self):
+        assert jaccard_tokens("JOSE JUAN", "JUAN JOSE") == 1.0
+
+    def test_both_empty(self):
+        assert jaccard_tokens("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_tokens("", "A") == 0.0
+
+    def test_lowercase_option(self):
+        assert jaccard_tokens("John", "JOHN") == 0.0
+        assert TokenJaccard(lowercase=True)("John", "JOHN") == 1.0
+
+
+class TestJaccardQgrams:
+    def test_identical(self):
+        assert jaccard_qgrams("night", "night") == 1.0
+
+    def test_known_value(self):
+        # padded trigrams of night/nacht share 'ht#' and 't##' and the
+        # leading '##n' '#n?' differ -> known reference value 3/19? compute:
+        left = set(qgrams("night"))
+        right = set(qgrams("nacht"))
+        expected = len(left & right) / len(left | right)
+        assert jaccard_qgrams("night", "nacht") == pytest.approx(expected)
+
+    def test_single_char_strings_with_padding(self):
+        assert jaccard_qgrams("a", "a") == 1.0
+        assert 0.0 <= jaccard_qgrams("a", "b") < 1.0
+
+    def test_measure_object(self):
+        measure = QgramJaccard(q=2)
+        assert measure("ab", "ab") == 1.0
+        with pytest.raises(ValueError):
+            QgramJaccard(q=0)

@@ -1,0 +1,63 @@
+"""Tests for Jaro and Jaro-Winkler similarity."""
+
+import pytest
+
+from repro.textsim import JaroWinkler, jaro_similarity, jaro_winkler
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("MARTHA", "MARTHA") == 1.0
+
+    def test_completely_different(self):
+        assert jaro_similarity("ABC", "XYZ") == 0.0
+
+    def test_empty_vs_value(self):
+        assert jaro_similarity("", "ABC") == 0.0
+
+    def test_both_empty(self):
+        assert jaro_similarity("", "") == 1.0
+
+    def test_known_value_martha(self):
+        # Classic textbook value: jaro(MARTHA, MARHTA) = 0.944...
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_known_value_dixon(self):
+        assert jaro_similarity("DIXON", "DICKSONX") == pytest.approx(0.7667, abs=1e-4)
+
+    def test_symmetry(self):
+        assert jaro_similarity("DWAYNE", "DUANE") == jaro_similarity("DUANE", "DWAYNE")
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("MARTHA", "MARHTA") > jaro_similarity("MARTHA", "MARHTA")
+
+    def test_known_value(self):
+        # winkler(MARTHA, MARHTA) = 0.9611 with the standard 0.1 weight.
+        assert jaro_winkler("MARTHA", "MARHTA") == pytest.approx(0.9611, abs=1e-4)
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("ABCD", "XBCD") == jaro_similarity("ABCD", "XBCD")
+
+    def test_prefix_capped_at_four(self):
+        # identical first four chars give the same boost as longer prefixes
+        base = jaro_similarity("ABCDEF", "ABCDXY")
+        assert jaro_winkler("ABCDEF", "ABCDXY") == pytest.approx(
+            base + 4 * 0.1 * (1 - base)
+        )
+
+    def test_result_in_unit_interval(self):
+        for pair in [("A", "B"), ("SMITH", "SMYTH"), ("X", "")]:
+            assert 0.0 <= jaro_winkler(*pair) <= 1.0
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("A", "B", prefix_weight=0.5, max_prefix=4)
+        with pytest.raises(ValueError):
+            JaroWinkler(prefix_weight=0.3, max_prefix=4)
+
+    def test_measure_object(self):
+        measure = JaroWinkler()
+        assert measure("MARTHA", "MARHTA") == pytest.approx(0.9611, abs=1e-4)
+        assert measure.name == "jaro_winkler"

@@ -1,0 +1,117 @@
+"""Tests for Levenshtein / Damerau-Levenshtein distances and similarities."""
+
+import pytest
+
+from repro.textsim import (
+    DamerauLevenshtein,
+    ExtendedDamerauLevenshtein,
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    extended_damerau_levenshtein_similarity,
+    levenshtein_distance,
+)
+
+
+class TestLevenshteinDistance:
+    def test_identical_strings(self):
+        assert levenshtein_distance("kitten", "kitten") == 0
+
+    def test_empty_against_value(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein_distance("", "") == 0
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_substitution(self):
+        assert levenshtein_distance("flaw", "flax") == 1
+
+    def test_transposition_costs_two_without_damerau(self):
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_symmetry(self):
+        assert levenshtein_distance("house", "horse") == levenshtein_distance(
+            "horse", "house"
+        )
+
+
+class TestDamerauLevenshteinDistance:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein_distance("ab", "ba") == 1
+
+    def test_transposition_inside_word(self):
+        assert damerau_levenshtein_distance("MARTHA", "MARHTA") == 1
+
+    def test_classic_example_unchanged(self):
+        assert damerau_levenshtein_distance("kitten", "sitting") == 3
+
+    def test_identical(self):
+        assert damerau_levenshtein_distance("same", "same") == 0
+
+    def test_empty_cases(self):
+        assert damerau_levenshtein_distance("", "ab") == 2
+        assert damerau_levenshtein_distance("ab", "") == 2
+
+    def test_restricted_variant(self):
+        # Optimal string alignment: "ca" -> "abc" is 3 (no double edits of
+        # a transposed substring), while unrestricted Damerau would give 2.
+        assert damerau_levenshtein_distance("ca", "abc") == 3
+
+    def test_single_typo_examples_from_table4(self):
+        assert damerau_levenshtein_distance("adell", "adel") == 1
+        assert damerau_levenshtein_distance("oehrie", "oehrle") == 1
+
+
+class TestDamerauLevenshteinSimilarity:
+    def test_identical_is_one(self):
+        assert damerau_levenshtein_similarity("ADELL", "ADELL") == 1.0
+
+    def test_both_empty_is_one(self):
+        assert damerau_levenshtein_similarity("", "") == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert damerau_levenshtein_similarity("", "ABC") == 0.0
+
+    def test_normalisation_by_longer_string(self):
+        assert damerau_levenshtein_similarity("ADELL", "ADEL") == pytest.approx(0.8)
+
+    def test_none_treated_as_empty(self):
+        assert damerau_levenshtein_similarity(None, None) == 1.0
+        assert damerau_levenshtein_similarity(None, "X") == 0.0
+
+    def test_range(self):
+        for left, right in [("a", "xyz"), ("hello", "world"), ("aa", "ab")]:
+            assert 0.0 <= damerau_levenshtein_similarity(left, right) <= 1.0
+
+    def test_measure_object(self):
+        measure = DamerauLevenshtein()
+        assert measure("AB", "BA") == pytest.approx(0.5)
+        assert measure.distance("AB", "BA") == pytest.approx(0.5)
+
+
+class TestExtendedDamerauLevenshtein:
+    """The paper's plausibility variant (Section 6.2)."""
+
+    def test_missing_value_is_perfect_match(self):
+        assert extended_damerau_levenshtein_similarity("", "WILLIAMS") == 1.0
+        assert extended_damerau_levenshtein_similarity("WILLIAMS", "") == 1.0
+
+    def test_prefix_is_perfect_match(self):
+        # Abbreviations give no evidence to mistrust the data.
+        assert extended_damerau_levenshtein_similarity("KIM", "KIMBERLY") == 1.0
+        assert extended_damerau_levenshtein_similarity("KIMBERLY", "KIM") == 1.0
+
+    def test_single_initial_prefix(self):
+        assert extended_damerau_levenshtein_similarity("A", "ANN") == 1.0
+
+    def test_non_prefix_falls_back_to_damerau(self):
+        plain = damerau_levenshtein_similarity("OEHRIE", "OEHRLE")
+        assert extended_damerau_levenshtein_similarity("OEHRIE", "OEHRLE") == plain
+        assert plain == pytest.approx(1 - 1 / 6)
+
+    def test_measure_object(self):
+        measure = ExtendedDamerauLevenshtein()
+        assert measure("J", "JOHN") == 1.0

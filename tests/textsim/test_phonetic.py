@@ -1,0 +1,62 @@
+"""Tests for Soundex codes."""
+
+import pytest
+
+from repro.textsim import soundex
+from repro.textsim.phonetic import same_soundex
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "value, code",
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Rubin", "R150"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+        ],
+    )
+    def test_classic_reference_codes(self, value, code):
+        assert soundex(value) == code
+
+    def test_case_insensitive(self):
+        assert soundex("BAILEY") == soundex("bailey")
+
+    def test_phonetic_pair_from_paper(self):
+        assert soundex("BAILEY") == soundex("BAYLEE")
+
+    def test_ignores_non_letters(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_empty_and_non_letter_input(self):
+        assert soundex("") == ""
+        assert soundex("12345") == ""
+
+    def test_padding_with_zeros(self):
+        assert soundex("Lee") == "L000"
+
+    def test_custom_length(self):
+        assert soundex("Ashcraft", length=6) == "A26130"
+        with pytest.raises(ValueError):
+            soundex("A", length=0)
+
+    def test_hw_transparency(self):
+        # 'h'/'w' do not separate equal codes: Ashcraft keeps s/c collapsed?
+        # Classic rule: Tymczak -> T522 exercises it via 'cz'.
+        assert soundex("Tymczak") == "T522"
+
+
+class TestSameSoundex:
+    def test_match(self):
+        assert same_soundex("SMITH", "SMYTH")
+
+    def test_mismatch(self):
+        assert not same_soundex("SMITH", "JONES")
+
+    def test_empty_never_matches(self):
+        assert not same_soundex("", "")
+        assert not same_soundex("", "SMITH")

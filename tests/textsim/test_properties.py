@@ -1,0 +1,124 @@
+"""Property-based tests of the similarity measures (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textsim import (
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    extended_damerau_levenshtein_similarity,
+    generalized_jaccard,
+    jaccard_qgrams,
+    jaccard_tokens,
+    jaro_similarity,
+    jaro_winkler,
+    soundex,
+    symmetric_monge_elkan,
+)
+
+short_text = st.text(alphabet=string.ascii_uppercase + " ", max_size=12)
+word = st.text(alphabet=string.ascii_uppercase, max_size=10)
+
+
+@given(short_text, short_text)
+@settings(max_examples=200)
+def test_damerau_distance_symmetric(left, right):
+    assert damerau_levenshtein_distance(left, right) == damerau_levenshtein_distance(
+        right, left
+    )
+
+
+@given(short_text)
+def test_damerau_distance_identity(value):
+    assert damerau_levenshtein_distance(value, value) == 0
+
+
+@given(short_text, short_text)
+def test_damerau_distance_bounded_by_longer_length(left, right):
+    assert damerau_levenshtein_distance(left, right) <= max(len(left), len(right))
+
+
+@given(short_text, short_text, short_text)
+@settings(max_examples=100)
+def test_damerau_triangle_inequality(a, b, c):
+    ab = damerau_levenshtein_distance(a, b)
+    bc = damerau_levenshtein_distance(b, c)
+    ac = damerau_levenshtein_distance(a, c)
+    assert ac <= ab + bc
+
+
+@given(short_text, short_text)
+def test_similarity_measures_stay_in_unit_interval(left, right):
+    for measure in (
+        damerau_levenshtein_similarity,
+        extended_damerau_levenshtein_similarity,
+        jaro_similarity,
+        jaro_winkler,
+        jaccard_tokens,
+        jaccard_qgrams,
+        symmetric_monge_elkan,
+        generalized_jaccard,
+    ):
+        score = measure(left, right)
+        assert 0.0 <= score <= 1.0, measure
+
+
+@given(short_text, short_text)
+def test_symmetric_measures_are_symmetric(left, right):
+    for measure in (
+        damerau_levenshtein_similarity,
+        jaro_similarity,
+        jaro_winkler,
+        jaccard_tokens,
+        jaccard_qgrams,
+        symmetric_monge_elkan,
+    ):
+        assert measure(left, right) == measure(right, left), measure
+
+
+@given(short_text)
+def test_self_similarity_is_one(value):
+    for measure in (
+        damerau_levenshtein_similarity,
+        extended_damerau_levenshtein_similarity,
+        jaccard_tokens,
+        jaccard_qgrams,
+        symmetric_monge_elkan,
+        generalized_jaccard,
+    ):
+        assert measure(value, value) == 1.0, measure
+
+
+@given(word, word)
+def test_extended_damerau_at_least_plain(left, right):
+    assert extended_damerau_levenshtein_similarity(
+        left, right
+    ) >= damerau_levenshtein_similarity(left, right)
+
+
+@given(word, word)
+def test_jaro_winkler_at_least_jaro(left, right):
+    assert jaro_winkler(left, right) >= jaro_similarity(left, right) - 1e-12
+
+
+@given(word)
+def test_soundex_shape(value):
+    code = soundex(value)
+    if value:
+        assert len(code) == 4
+        assert code[0] == value[0].upper()
+        assert all(ch.isdigit() for ch in code[1:])
+    else:
+        assert code == ""
+
+
+@given(st.lists(word, min_size=1, max_size=4))
+def test_generalized_jaccard_token_order_invariant(tokens):
+    forward = generalized_jaccard("", "", tokens_left=tokens, tokens_right=tokens)
+    reversed_score = generalized_jaccard(
+        "", "", tokens_left=tokens, tokens_right=list(reversed(tokens))
+    )
+    assert forward == 1.0
+    assert reversed_score == 1.0

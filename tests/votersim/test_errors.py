@@ -1,0 +1,167 @@
+"""Tests for the transcription error engine."""
+
+import random
+
+import pytest
+
+from repro.textsim import damerau_levenshtein_distance, soundex
+from repro.votersim.config import ErrorRates
+from repro.votersim.errors import (
+    TranscriptionErrors,
+    apply_ocr_error,
+    apply_phonetic_error,
+    apply_representation_change,
+    apply_token_transposition,
+    apply_typo,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestApplyTypo:
+    def test_produces_distance_one_edit(self, rng):
+        for _ in range(100):
+            value = "WILLIAMS"
+            corrupted = apply_typo(value, rng)
+            assert damerau_levenshtein_distance(value, corrupted) == 1
+
+    def test_short_values_untouched(self, rng):
+        assert apply_typo("AB", rng) == "AB"
+        assert apply_typo("", rng) == ""
+
+
+class TestApplyOcrError:
+    def test_replaces_confusable_character(self, rng):
+        corrupted = apply_ocr_error("NICOLE", rng)
+        assert corrupted != "NICOLE"
+        # only confusable positions change, by their lookalike
+        diffs = [
+            (a, b) for a, b in zip("NICOLE", corrupted) if a != b
+        ]
+        assert len(diffs) == 1
+
+    def test_digits_become_letters(self, rng):
+        corrupted = apply_ocr_error("1234", rng)
+        assert corrupted != "1234"
+
+    def test_value_without_confusables_untouched(self, rng):
+        assert apply_ocr_error("WWW", rng) == "WWW"
+
+
+class TestApplyPhoneticError:
+    def test_preserves_soundex(self, rng):
+        changed = 0
+        for value in ("BAILEY", "PHILLIPS", "MCKEE", "REED", "HOOD"):
+            corrupted = apply_phonetic_error(value, rng)
+            if corrupted != value:
+                changed += 1
+                assert soundex(corrupted) == soundex(value), (value, corrupted)
+        assert changed > 0
+
+    def test_first_letter_never_changes(self, rng):
+        for _ in range(50):
+            corrupted = apply_phonetic_error("BAILEY", rng)
+            assert corrupted[0] == "B"
+
+
+class TestRepresentationAndTransposition:
+    def test_representation_changes_only_separators(self, rng):
+        for value in ("MARY ANN", "SMITH-JONES", "FOX RUN"):
+            corrupted = apply_representation_change(value, rng)
+            stripped = lambda s: "".join(ch for ch in s if ch.isalnum())
+            assert stripped(corrupted) == stripped(value)
+
+    def test_transposition_keeps_token_set(self, rng):
+        value = "ANH THI"
+        corrupted = apply_token_transposition(value, rng)
+        assert sorted(corrupted.split()) == sorted(value.split())
+        assert corrupted != value
+
+    def test_single_token_untouched(self, rng):
+        assert apply_token_transposition("SINGLE", rng) == "SINGLE"
+
+
+class TestTranscriptionErrors:
+    def _truth(self):
+        return {
+            "first_name": "DEBRA",
+            "midl_name": "OEHRLE",
+            "last_name": "WILLIAMS",
+            "name_sufx": "",
+            "sex_code": "F",
+            "sex": "FEMALE",
+            "race_code": "W",
+            "race_desc": "WHITE",
+            "ethnic_code": "NL",
+            "ethnic_desc": "NOT HISPANIC or NOT LATINO",
+            "birth_place": "NORTH CAROLINA",
+            "party_cd": "DEM",
+            "party_desc": "DEMOCRATIC",
+            "phone_num": "9195551234",
+            "drivers_lic": "Y",
+        }
+
+    def test_zero_rates_reproduce_truth_except_blanks(self, rng):
+        rates = ErrorRates(
+            typo=0, ocr=0, phonetic=0, abbreviate_middle=0, missing=0,
+            value_confusion=0, integrated_value=0, scattered_value=0,
+            token_transposition=0, representation=0, outlier=0, optional_blank=0,
+        )
+        engine = TranscriptionErrors(rates, rng)
+        assert engine.transcribe(self._truth()) == self._truth()
+
+    def test_truth_never_mutated(self, rng):
+        engine = TranscriptionErrors(ErrorRates(), rng)
+        truth = self._truth()
+        reference = dict(truth)
+        for _ in range(50):
+            engine.transcribe(truth)
+        assert truth == reference
+
+    def test_value_confusion_swaps_attributes(self, rng):
+        rates = ErrorRates(
+            typo=0, ocr=0, phonetic=0, abbreviate_middle=0, missing=0,
+            value_confusion=1.0, integrated_value=0, scattered_value=0,
+            token_transposition=0, representation=0, outlier=0, optional_blank=0,
+        )
+        engine = TranscriptionErrors(rates, rng)
+        recorded = engine.transcribe(self._truth())
+        truth_names = {"DEBRA", "OEHRLE", "WILLIAMS"}
+        recorded_names = {
+            recorded["first_name"], recorded["midl_name"], recorded["last_name"]
+        }
+        assert recorded_names == truth_names
+        assert recorded != self._truth()
+
+    def test_abbreviation_reduces_middle_name(self, rng):
+        rates = ErrorRates(
+            typo=0, ocr=0, phonetic=0, abbreviate_middle=1.0, missing=0,
+            value_confusion=0, integrated_value=0, scattered_value=0,
+            token_transposition=0, representation=0, outlier=0, optional_blank=0,
+        )
+        engine = TranscriptionErrors(rates, rng)
+        recorded = engine.transcribe(self._truth())
+        assert recorded["midl_name"] in ("O", "O.")
+
+    def test_outlier_plants_age(self):
+        rng = random.Random(1)
+        rates = ErrorRates(
+            typo=0, ocr=0, phonetic=0, abbreviate_middle=0, missing=0,
+            value_confusion=0, integrated_value=0, scattered_value=0,
+            token_transposition=0, representation=0, outlier=1.0, optional_blank=0,
+        )
+        engine = TranscriptionErrors(rates, rng)
+        saw_age_outlier = False
+        for _ in range(30):
+            recorded = engine.transcribe(self._truth())
+            if "age" in recorded:
+                saw_age_outlier = True
+                assert int(recorded["age"]) > 110
+        assert saw_age_outlier
+
+    def test_rates_validated(self, rng):
+        with pytest.raises(ValueError):
+            TranscriptionErrors(ErrorRates(typo=1.5), rng)

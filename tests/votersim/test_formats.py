@@ -1,0 +1,81 @@
+"""Tests for era-dependent district formats and padding."""
+
+import pytest
+
+from repro.votersim.formats import (
+    age_group_label,
+    district_description,
+    ordinal,
+    pad_value,
+)
+
+
+class TestOrdinal:
+    @pytest.mark.parametrize(
+        "number, expected",
+        [(1, "1ST"), (2, "2ND"), (3, "3RD"), (4, "4TH"), (11, "11TH"),
+         (12, "12TH"), (13, "13TH"), (21, "21ST"), (64, "64TH"), (103, "103RD")],
+    )
+    def test_suffixes(self, number, expected):
+        assert ordinal(number) == expected
+
+
+class TestDistrictDescription:
+    def test_paper_example_nc_house(self):
+        # '64TH HOUSE' vs 'NC HOUSE DISTRICT 64' (Section 4)
+        assert district_description("nc_house", 64, era=0) == "64TH HOUSE"
+        assert district_description("nc_house", 64, era=1) == "NC HOUSE DISTRICT 64"
+
+    def test_paper_example_congressional(self):
+        # '1ST CONGRESSIONAL' vs 'CO. DISTRICT 1' (Section 6)
+        assert district_description("cong_dist", 1, era=0) == "1ST CONGRESSIONAL"
+        assert district_description("cong_dist", 1, era=1) == "CO. DISTRICT 1"
+
+    def test_eras_cycle(self):
+        for district_type in ("nc_house", "cong_dist", "school_dist"):
+            era0 = district_description(district_type, 5, era=0)
+            era3 = district_description(district_type, 5, era=3)
+            assert era0 == era3  # three templates cycle
+
+    def test_different_eras_render_differently(self):
+        assert district_description("nc_house", 7, 0) != district_description(
+            "nc_house", 7, 1
+        )
+
+    def test_generic_fallback(self):
+        description = district_description("water_dist", 3, era=1)
+        assert "WATER DIST" in description
+        assert "3" in description
+
+
+class TestAgeGroupLabel:
+    def test_paper_example(self):
+        # '66 AND ABOVE' vs 'Age Over 66' (Section 6)
+        assert age_group_label(80, era=0) == "66 AND ABOVE"
+        assert age_group_label(80, era=1) == "Age Over 66"
+
+    def test_bounded_group(self):
+        assert age_group_label(30, era=0) == "26 - 40"
+        assert age_group_label(30, era=1) == "Age 26 to 40"
+
+    def test_all_adult_ages_covered(self):
+        for age in range(18, 120):
+            for era in range(3):
+                assert age_group_label(age, era)
+
+
+class TestPadValue:
+    def test_appends_single_blank_by_default(self):
+        assert pad_value("SMITH") == "SMITH "
+
+    def test_empty_values_stay_empty(self):
+        assert pad_value("") == ""
+
+    def test_fixed_width(self):
+        assert pad_value("AB", width=5) == "AB   "
+
+    def test_width_smaller_than_value(self):
+        assert pad_value("ABCDEF", width=3) == "ABCDEF "
+
+    def test_trimming_recovers_original(self):
+        assert pad_value("SMITH", width=12).strip() == "SMITH"

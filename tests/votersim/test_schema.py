@@ -1,0 +1,95 @@
+"""Tests for the 90-attribute schema."""
+
+import pytest
+
+from repro.votersim.schema import (
+    ALL_ATTRIBUTES,
+    DISTRICT_ATTRIBUTES,
+    ELECTION_ATTRIBUTES,
+    HASH_EXCLUDED_ATTRIBUTES,
+    META_ATTRIBUTES,
+    PERSON_ATTRIBUTES,
+    attribute_group,
+    empty_record,
+    group_attributes,
+)
+
+
+class TestSchemaShape:
+    def test_ninety_attributes(self):
+        assert len(ALL_ATTRIBUTES) == 90
+
+    def test_attribute_names_unique(self):
+        assert len(set(ALL_ATTRIBUTES)) == 90
+
+    def test_district_group_has_38_attributes(self):
+        # "millions of records have missing values in at least 38 attributes"
+        assert len(DISTRICT_ATTRIBUTES) == 38
+
+    def test_groups_partition_schema(self):
+        union = (
+            set(PERSON_ATTRIBUTES)
+            | set(DISTRICT_ATTRIBUTES)
+            | set(ELECTION_ATTRIBUTES)
+            | set(META_ATTRIBUTES)
+        )
+        assert union == set(ALL_ATTRIBUTES)
+        total = (
+            len(PERSON_ATTRIBUTES)
+            + len(DISTRICT_ATTRIBUTES)
+            + len(ELECTION_ATTRIBUTES)
+            + len(META_ATTRIBUTES)
+        )
+        assert total == 90
+
+    def test_paper_quoted_attributes_present(self):
+        for attribute in ("ncid", "last_name", "first_name", "midl_name", "age",
+                          "race_desc", "birth_place", "snapshot_dt", "registr_dt"):
+            assert attribute in ALL_ATTRIBUTES
+
+
+class TestAttributeGroup:
+    def test_person(self):
+        assert attribute_group("last_name") == "person"
+
+    def test_district(self):
+        assert attribute_group("nc_house_desc") == "district"
+
+    def test_election(self):
+        assert attribute_group("election_lbl") == "election"
+
+    def test_meta(self):
+        assert attribute_group("snapshot_dt") == "meta"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            attribute_group("not_an_attribute")
+
+    def test_group_attributes_roundtrip(self):
+        for group in ("person", "district", "election", "meta"):
+            for attribute in group_attributes(group):
+                assert attribute_group(attribute) == group
+        with pytest.raises(KeyError):
+            group_attributes("bogus")
+
+
+class TestHashExclusions:
+    def test_exactly_the_paper_exclusions(self):
+        # dates (snapshot, load, registration, cancellation) and the age
+        assert set(HASH_EXCLUDED_ATTRIBUTES) == {
+            "snapshot_dt",
+            "load_dt",
+            "registr_dt",
+            "cancellation_dt",
+            "age",
+        }
+
+    def test_exclusions_are_schema_attributes(self):
+        assert set(HASH_EXCLUDED_ATTRIBUTES) <= set(ALL_ATTRIBUTES)
+
+
+class TestEmptyRecord:
+    def test_covers_full_schema(self):
+        record = empty_record()
+        assert set(record) == set(ALL_ATTRIBUTES)
+        assert all(value == "" for value in record.values())

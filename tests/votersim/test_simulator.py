@@ -1,0 +1,188 @@
+"""Tests for the register simulator as a whole."""
+
+import collections
+
+import pytest
+
+from repro.votersim import SimulationConfig, VoterRegisterSimulator
+from repro.votersim.schema import ALL_ATTRIBUTES
+
+
+class TestDeterminism:
+    def test_same_seed_same_snapshots(self):
+        config = SimulationConfig(initial_voters=50, years=3, seed=123)
+        first = [s.records for s in VoterRegisterSimulator(config).run()]
+        second = [s.records for s in VoterRegisterSimulator(config).run()]
+        assert first == second
+
+    def test_different_seed_different_data(self):
+        base = SimulationConfig(initial_voters=50, years=3, seed=1)
+        other = SimulationConfig(initial_voters=50, years=3, seed=2)
+        first = [s.records for s in VoterRegisterSimulator(base).run()]
+        second = [s.records for s in VoterRegisterSimulator(other).run()]
+        assert first != second
+
+
+class TestStructure:
+    def test_snapshot_count(self, snapshots):
+        config = SimulationConfig(initial_voters=300, years=6, snapshots_per_year=2)
+        assert len(snapshots) == config.years * config.snapshots_per_year
+
+    def test_snapshots_in_date_order(self, snapshots):
+        dates = [s.date for s in snapshots]
+        assert dates == sorted(dates)
+
+    def test_first_snapshot_contains_initial_population(self, snapshots):
+        assert len(snapshots[0]) >= 300
+
+    def test_population_grows(self, snapshots):
+        assert len(snapshots[-1]) > len(snapshots[0])
+
+    def test_records_cover_schema(self, snapshots):
+        for record in snapshots[0].records[:20]:
+            assert set(record) == set(ALL_ATTRIBUTES)
+
+    def test_ncids_persist_across_snapshots(self, snapshots):
+        first_ncids = {r["ncid"].strip() for r in snapshots[0].records}
+        last_ncids = {r["ncid"].strip() for r in snapshots[-1].records}
+        overlap = first_ncids & last_ncids
+        # most of the initial population is still registered at the end
+        assert len(overlap) > 0.5 * len(first_ncids)
+
+
+class TestOverlapStatistics:
+    """The statistical properties that make the pipeline's job realistic."""
+
+    def test_exact_duplicate_share_is_high(self, snapshots):
+        # The union of all snapshots is dominated by exact duplicates
+        # (paper: 67% of records removed at the 'exact' level).
+        from repro.core.hashing import record_hash
+
+        seen = collections.Counter()
+        total = 0
+        for snapshot in snapshots:
+            for record in snapshot.records:
+                seen[record_hash(record, trim=False)] += 1
+                total += 1
+        duplicates = sum(count - 1 for count in seen.values())
+        assert duplicates / total > 0.4
+
+    def test_trimming_increases_duplicate_share(self, snapshots):
+        from repro.core.hashing import record_hash
+
+        exact, trimmed = collections.Counter(), collections.Counter()
+        total = 0
+        for snapshot in snapshots:
+            for record in snapshot.records:
+                exact[record_hash(record, trim=False)] += 1
+                trimmed[record_hash(record, trim=True)] += 1
+                total += 1
+        exact_duplicates = sum(c - 1 for c in exact.values())
+        trimmed_duplicates = sum(c - 1 for c in trimmed.values())
+        assert trimmed_duplicates > exact_duplicates
+
+    def test_some_snapshots_are_padded(self, snapshots):
+        padded_snapshots = 0
+        for snapshot in snapshots:
+            record = snapshot.records[0]
+            if any(value != value.strip() for value in record.values() if value):
+                padded_snapshots += 1
+        assert 0 < padded_snapshots < len(snapshots)
+
+    def test_unsound_clusters_exist(self, simulator):
+        # the session config forces NCID reuse
+        assert len(simulator.unsound_ncids) >= 1
+
+    def test_multi_record_voters_within_snapshot(self, snapshots):
+        last = snapshots[-1]
+        counts = collections.Counter(r["ncid"].strip() for r in last.records)
+        multi = [ncid for ncid, count in counts.items() if count > 1]
+        assert multi  # retired registrations linger (paper Section 2)
+
+
+class TestRunToDirectory:
+    def test_writes_one_tsv_per_snapshot(self, tmp_path):
+        config = SimulationConfig(initial_voters=20, years=2, seed=4)
+        sim = VoterRegisterSimulator(config)
+        paths = sim.run_to_directory(tmp_path)
+        assert len(paths) == 4
+        for path in paths:
+            assert path.exists()
+            assert path.name.startswith("ncvoter_")
+
+
+class TestConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            VoterRegisterSimulator(SimulationConfig(initial_voters=0))
+        with pytest.raises(ValueError):
+            VoterRegisterSimulator(SimulationConfig(move_rate=2.0))
+        with pytest.raises(ValueError):
+            VoterRegisterSimulator(SimulationConfig(years=0))
+
+    def test_snapshot_dates_schedule(self):
+        config = SimulationConfig(start_year=2010, years=2, snapshots_per_year=2)
+        assert config.snapshot_dates() == (
+            "2010-01-01", "2010-11-01", "2011-01-01", "2011-11-01",
+        )
+
+    def test_snapshot_dates_many_per_year(self):
+        config = SimulationConfig(start_year=2010, years=1, snapshots_per_year=4)
+        dates = config.snapshot_dates()
+        assert len(dates) == 4
+        assert len(set(dates)) == 4
+
+
+class TestInactivityLifecycle:
+    def test_inactive_status_appears(self):
+        config = SimulationConfig(
+            initial_voters=200, years=5, seed=6, inactivity_rate=0.3
+        )
+        sim = VoterRegisterSimulator(config)
+        snapshots = list(sim.run())
+        statuses = {
+            record["status_cd"].strip()
+            for record in snapshots[-1].records
+        }
+        assert "I" in statuses
+        assert "A" in statuses
+
+    def test_reactivation_happens(self):
+        config = SimulationConfig(
+            initial_voters=200, years=6, seed=6,
+            inactivity_rate=0.5, reactivation_rate=0.9,
+        )
+        sim = VoterRegisterSimulator(config)
+        list(sim.run())
+        # some voters went inactive and came back: their current
+        # registration is active again with no reason code
+        reactivated = [
+            voter for voter in sim.voters
+            if voter.current.status_cd == "A" and not voter.removed
+        ]
+        assert reactivated
+
+    def test_zero_rate_disables(self):
+        config = SimulationConfig(
+            initial_voters=100, years=4, seed=6, inactivity_rate=0.0
+        )
+        sim = VoterRegisterSimulator(config)
+        snapshots = list(sim.run())
+        statuses = {r["status_cd"].strip() for s in snapshots for r in s.records}
+        assert "I" not in statuses
+
+    def test_status_churn_creates_new_records(self):
+        # A status flip changes hashed content -> the register publishes a
+        # "new" record for an unchanged person (organic churn).
+        from repro.core import RemovalLevel, TestDataGenerator
+
+        quiet = SimulationConfig(initial_voters=150, years=5, seed=8,
+                                 inactivity_rate=0.0, reactivation_rate=0.0)
+        churny = SimulationConfig(initial_voters=150, years=5, seed=8,
+                                  inactivity_rate=0.4, reactivation_rate=0.5)
+        counts = {}
+        for label, config in (("quiet", quiet), ("churny", churny)):
+            generator = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+            generator.import_snapshots(VoterRegisterSimulator(config).run())
+            counts[label] = generator.record_count
+        assert counts["churny"] > counts["quiet"]

