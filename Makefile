@@ -1,10 +1,16 @@
-.PHONY: install test bench examples validate-docs clean
+.PHONY: install test lint typecheck bench examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+lint:
+	python -m repro.analysis.lint src tests
+
+typecheck:
+	mypy src/repro
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -20,6 +20,8 @@ The package is organised as one subpackage per subsystem:
   baselines from the related-work discussion.
 """
 
+from __future__ import annotations
+
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]

@@ -1,5 +1,7 @@
 """``python -m repro`` — alias for the ``ncvoter-testdata`` CLI."""
 
+from __future__ import annotations
+
 import sys
 
 from repro.cli import main

@@ -1,0 +1,71 @@
+"""Static analysis for docstore queries, pipelines and repo invariants.
+
+Two layers:
+
+* a **query/pipeline analyzer** (:func:`analyze_filter`,
+  :func:`analyze_pipeline`, :func:`analyze_update`,
+  :func:`analyze_customization`) that walks filter documents, aggregation
+  pipelines and customisation specs *without executing them* and reports
+  :class:`Diagnostic` records — unknown operators with did-you-mean hints,
+  operand shape errors, invalid ``$regex`` patterns, vacuous predicates,
+  unknown field paths (against a :class:`SchemaPaths`) and stage-order
+  hazards.  :meth:`repro.docstore.Database.set_analysis_mode` and the
+  ``ncvoter-testdata check`` CLI subcommand are the two front doors;
+* a **repo-invariant AST linter** (:mod:`repro.analysis.lint`), runnable as
+  ``python -m repro.analysis.lint src tests`` and as a pytest-collected
+  gate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.analyzer import (
+    analyze_filter,
+    analyze_pipeline,
+    analyze_update,
+    require_clean,
+)
+from repro.analysis.customization import analyze_customization
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    errors_only,
+    has_errors,
+    render_report,
+)
+from repro.analysis.registry import (
+    ACCUMULATORS,
+    EXPRESSION_OPERATORS,
+    FILTER_OPERATORS,
+    PIPELINE_STAGES,
+    TOP_LEVEL_OPERATORS,
+    UPDATE_OPERATORS,
+    did_you_mean,
+    suggest,
+)
+from repro.analysis.schemas import SchemaPaths, cluster_schema, flat_record_schema
+
+__all__ = [
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "has_errors",
+    "errors_only",
+    "render_report",
+    "analyze_filter",
+    "analyze_pipeline",
+    "analyze_update",
+    "analyze_customization",
+    "require_clean",
+    "SchemaPaths",
+    "cluster_schema",
+    "flat_record_schema",
+    "FILTER_OPERATORS",
+    "TOP_LEVEL_OPERATORS",
+    "PIPELINE_STAGES",
+    "EXPRESSION_OPERATORS",
+    "ACCUMULATORS",
+    "UPDATE_OPERATORS",
+    "suggest",
+    "did_you_mean",
+]

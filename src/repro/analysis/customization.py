@@ -1,0 +1,328 @@
+"""Static validation of customisation specs (codes ``C2xx``).
+
+A *customisation spec* is the JSON-able description of a heterogeneity-
+bounded test dataset (Section 3.2 / 6.5 of the paper): the ``[h_lo, h_hi]``
+range, the attribute groups to keep, cluster counts, and the optional
+attribute transformations (drop / merge / rename / value mapping) plus a
+cluster pre-filter.  :func:`repro.core.customize.customize_from_spec`
+validates a spec with :func:`analyze_customization` *before* any cluster is
+scanned, and ``ncvoter-testdata check --customize`` lints one from the
+command line.
+
+Spec format::
+
+    {
+      "name": "nc2",
+      "h_lo": 0.2, "h_hi": 0.4,
+      "groups": ["person"],
+      "target_clusters": 10000,
+      "sample_clusters": null,
+      "min_cluster_size": 2,
+      "seed": 0,
+      "filter": {"records.person.last_name": {"$exists": true}},
+      "transform": {
+        "drop": ["age"],
+        "merge": {"full_name": ["first_name", "midl_name", "last_name"]},
+        "rename": {"midl_name": "middle_name"},
+        "values": {"last_name": "title"}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Set
+
+from repro.analysis.analyzer import _Analyzer
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.registry import did_you_mean
+from repro.analysis.schemas import cluster_schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.profile import SchemaProfile
+
+#: Keys a customisation spec may carry.
+SPEC_KEYS = frozenset(
+    {
+        "name",
+        "h_lo",
+        "h_hi",
+        "groups",
+        "target_clusters",
+        "sample_clusters",
+        "min_cluster_size",
+        "seed",
+        "filter",
+        "transform",
+    }
+)
+
+#: Keys of the ``transform`` sub-spec.
+TRANSFORM_KEYS = frozenset({"drop", "merge", "rename", "values"})
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_count(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def analyze_customization(
+    spec: Any, profile: Optional["SchemaProfile"] = None
+) -> List[Diagnostic]:
+    """Statically validate a customisation spec against ``profile``.
+
+    ``profile`` defaults to the NC voter profile.  Returns diagnostics; the
+    spec is safe to execute when none of them is an error.
+    """
+    from repro.core.profile import NC_VOTER_PROFILE
+    from repro.core.transform import VALUE_TRANSFORMS
+
+    if profile is None:
+        profile = NC_VOTER_PROFILE
+    diagnostics: List[Diagnostic] = []
+    if not isinstance(spec, dict):
+        diagnostics.append(
+            Diagnostic(
+                "C200",
+                ERROR,
+                "spec",
+                f"customisation spec must be a dict, got {type(spec).__name__}",
+            )
+        )
+        return diagnostics
+
+    for key in spec:
+        if key not in SPEC_KEYS:
+            diagnostics.append(
+                Diagnostic(
+                    "C205",
+                    WARNING,
+                    f"spec.{key}",
+                    f"unknown spec key {key!r} is ignored",
+                    hint=did_you_mean(str(key), SPEC_KEYS),
+                )
+            )
+
+    _check_range(spec, diagnostics)
+    groups = _check_groups(spec, profile, diagnostics)
+    for key, minimum in (
+        ("target_clusters", 1),
+        ("sample_clusters", 1),
+        ("min_cluster_size", 1),
+        ("seed", None),
+    ):
+        if key not in spec or spec[key] is None:
+            continue
+        value = spec[key]
+        if not _is_count(value) or (minimum is not None and value < minimum):
+            expectation = "an integer" if minimum is None else f"an integer >= {minimum}"
+            diagnostics.append(
+                Diagnostic(
+                    "C204",
+                    ERROR,
+                    f"spec.{key}",
+                    f"{key} must be {expectation}, got {value!r}",
+                )
+            )
+
+    if "filter" in spec and spec["filter"] is not None:
+        analyzer = _Analyzer(cluster_schema(profile))
+        analyzer.filter(spec["filter"], "spec.filter")
+        diagnostics.extend(analyzer.diagnostics)
+
+    if "transform" in spec and spec["transform"] is not None:
+        _check_transform(
+            spec["transform"], groups, profile, set(VALUE_TRANSFORMS), diagnostics
+        )
+    return diagnostics
+
+
+def _check_range(spec: dict, diagnostics: List[Diagnostic]) -> None:
+    h_lo, h_hi = spec.get("h_lo", 0.0), spec.get("h_hi", 1.0)
+    for key, value in (("h_lo", h_lo), ("h_hi", h_hi)):
+        if not _is_number(value) or not 0.0 <= value <= 1.0:
+            diagnostics.append(
+                Diagnostic(
+                    "C202",
+                    ERROR,
+                    f"spec.{key}",
+                    f"{key} must be a number in [0, 1], got {value!r}",
+                )
+            )
+            return
+    if h_lo > h_hi:
+        diagnostics.append(
+            Diagnostic(
+                "C202",
+                ERROR,
+                "spec.h_lo",
+                f"empty heterogeneity range: h_lo ({h_lo}) > h_hi ({h_hi})",
+            )
+        )
+
+
+def _check_groups(
+    spec: dict, profile: "SchemaProfile", diagnostics: List[Diagnostic]
+) -> tuple:
+    groups = spec.get("groups", (profile.primary_group,))
+    if isinstance(groups, str) or not isinstance(groups, (list, tuple)):
+        diagnostics.append(
+            Diagnostic(
+                "C201",
+                ERROR,
+                "spec.groups",
+                f"groups must be a list of group names, got {groups!r}",
+            )
+        )
+        return (profile.primary_group,)
+    known = tuple(profile.groups)
+    valid = []
+    for group in groups:
+        if group in profile.groups:
+            valid.append(group)
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    "C201",
+                    ERROR,
+                    f"spec.groups.{group}",
+                    f"unknown attribute group {group!r} "
+                    f"(profile {profile.name!r} has {sorted(known)})",
+                    hint=did_you_mean(str(group), known),
+                )
+            )
+    return tuple(valid) or (profile.primary_group,)
+
+
+def _check_transform(
+    transform: Any,
+    groups: tuple,
+    profile: "SchemaProfile",
+    transform_names: Set[str],
+    diagnostics: List[Diagnostic],
+) -> None:
+    if not isinstance(transform, dict):
+        diagnostics.append(
+            Diagnostic(
+                "C200",
+                ERROR,
+                "spec.transform",
+                f"transform must be a dict, got {type(transform).__name__}",
+            )
+        )
+        return
+    for key in transform:
+        if key not in TRANSFORM_KEYS:
+            diagnostics.append(
+                Diagnostic(
+                    "C205",
+                    WARNING,
+                    f"spec.transform.{key}",
+                    f"unknown transform key {key!r} is ignored",
+                    hint=did_you_mean(str(key), TRANSFORM_KEYS),
+                )
+            )
+
+    # The working attribute set evolves as the steps apply in order:
+    # drop -> merge -> rename -> values.
+    attributes: Set[str] = set()
+    for group in groups:
+        attributes.update(profile.groups.get(group, ()))
+
+    def check_attribute(name: Any, location: str) -> bool:
+        if name in attributes:
+            return True
+        diagnostics.append(
+            Diagnostic(
+                "C203",
+                ERROR,
+                location,
+                f"unknown attribute {name!r} (not in groups {sorted(groups)})",
+                hint=did_you_mean(str(name), attributes),
+            )
+        )
+        return False
+
+    drop = transform.get("drop") or ()
+    if not isinstance(drop, (list, tuple)):
+        diagnostics.append(
+            Diagnostic(
+                "C200", ERROR, "spec.transform.drop", "drop must be a list"
+            )
+        )
+        drop = ()
+    for name in drop:
+        if check_attribute(name, f"spec.transform.drop.{name}"):
+            attributes.discard(name)
+
+    merge = transform.get("merge") or {}
+    if not isinstance(merge, dict):
+        diagnostics.append(
+            Diagnostic(
+                "C200",
+                ERROR,
+                "spec.transform.merge",
+                "merge must be a dict of target: [sources]",
+            )
+        )
+        merge = {}
+    for target, sources in merge.items():
+        location = f"spec.transform.merge.{target}"
+        if not isinstance(sources, (list, tuple)) or not sources:
+            diagnostics.append(
+                Diagnostic(
+                    "C200",
+                    ERROR,
+                    location,
+                    f"merge sources for {target!r} must be a non-empty list",
+                )
+            )
+            continue
+        for source in sources:
+            if check_attribute(source, f"{location}.{source}"):
+                attributes.discard(source)
+        attributes.add(target)
+
+    rename = transform.get("rename") or {}
+    if not isinstance(rename, dict):
+        diagnostics.append(
+            Diagnostic(
+                "C200",
+                ERROR,
+                "spec.transform.rename",
+                "rename must be a dict of old: new",
+            )
+        )
+        rename = {}
+    for old, new in rename.items():
+        if check_attribute(old, f"spec.transform.rename.{old}"):
+            attributes.discard(old)
+            attributes.add(new)
+
+    values = transform.get("values") or {}
+    if not isinstance(values, dict):
+        diagnostics.append(
+            Diagnostic(
+                "C200",
+                ERROR,
+                "spec.transform.values",
+                "values must be a dict of attribute: transform-name",
+            )
+        )
+        values = {}
+    for attribute, name in values.items():
+        check_attribute(attribute, f"spec.transform.values.{attribute}")
+        if name not in transform_names:
+            diagnostics.append(
+                Diagnostic(
+                    "C206",
+                    ERROR,
+                    f"spec.transform.values.{attribute}",
+                    f"unknown value transform {name!r} "
+                    f"(available: {sorted(transform_names)})",
+                    hint=did_you_mean(str(name), transform_names),
+                )
+            )

@@ -1,0 +1,222 @@
+"""Repo-invariant AST linter (``python -m repro.analysis.lint src tests``).
+
+Custom :mod:`ast`-based checks that hold this codebase's invariants:
+
+* **L001** — mutable default argument (``def f(x=[])``, ``x={}``, ``x=set()``);
+* **L002** — bare ``except:`` (swallows ``KeyboardInterrupt``/``SystemExit``);
+* **L003** — ``print()`` in library code (everything under ``src/repro``
+  except the CLI / report / ``__main__`` modules, which exist to print);
+* **L004** — :mod:`repro.docstore` code raising anything but the
+  :class:`~repro.docstore.errors.DocStoreError` hierarchy for user input —
+  callers catch ``QueryError`` / ``StorageError``, so foreign exception
+  types escape their error handling;
+* **L005** — library module missing ``from __future__ import annotations``
+  (keeps annotations cheap and uniform on all supported Pythons).
+
+Findings are reported as :class:`~repro.analysis.diagnostics.Diagnostic`
+records with ``file:line:col`` locations.  The module doubles as a pytest
+gate (see ``tests/analysis/test_lint_repo.py``) and a CI step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import ERROR, Diagnostic
+
+#: Module basenames allowed to call print() even inside ``src``.
+PRINT_ALLOWED = frozenset({"cli.py", "report.py", "__main__.py"})
+
+#: Exception names the docstore may raise for user input (its own hierarchy).
+DOCSTORE_EXCEPTIONS = frozenset(
+    {
+        "DocStoreError",
+        "DuplicateKeyError",
+        "QueryError",
+        "CollectionNotFound",
+        "StorageError",
+        "UnknownIndexKind",
+    }
+)
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS and not node.args and not node.keywords
+    return False
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The exception class name of a raise statement, if identifiable."""
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise is always fine
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: Path, is_library: bool, is_docstore: bool) -> None:
+        self.path = path
+        self.is_library = is_library
+        self.is_docstore = is_docstore
+        self.findings: List[Diagnostic] = []
+
+    def _report(self, node: ast.AST, code: str, message: str, hint: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Diagnostic(
+                code, ERROR, f"{self.path}:{line}:{col}", message, hint or None
+            )
+        )
+
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                self._report(
+                    default,
+                    "L001",
+                    "mutable default argument",
+                    hint="use None and create the value inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node,
+                "L002",
+                "bare except swallows KeyboardInterrupt and SystemExit",
+                hint="catch Exception (or something narrower) instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.is_library
+            and self.path.name not in PRINT_ALLOWED
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            self._report(
+                node,
+                "L003",
+                "print() in library code",
+                hint="return or log the value; printing belongs in the CLI",
+            )
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self.is_docstore:
+            name = _raised_name(node)
+            if name is not None and name not in DOCSTORE_EXCEPTIONS:
+                self._report(
+                    node,
+                    "L004",
+                    f"docstore code raises {name}; user input errors must "
+                    "use the DocStoreError hierarchy",
+                    hint="raise QueryError / StorageError (or a subclass)",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: Path, is_library: bool = True, is_docstore: bool = False
+) -> List[Diagnostic]:
+    """Lint one module's source text; returns its findings."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                "L000",
+                ERROR,
+                f"{path}:{exc.lineno or 0}:{exc.offset or 0}",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    linter = _FileLinter(path, is_library, is_docstore)
+    linter.visit(tree)
+    if is_library and "from __future__ import annotations" not in source:
+        linter.findings.append(
+            Diagnostic(
+                "L005",
+                ERROR,
+                f"{path}:1:0",
+                "missing 'from __future__ import annotations'",
+                hint="add it as the first import of the module",
+            )
+        )
+    linter.findings.sort(key=lambda d: d.path)
+    return linter.findings
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    findings: List[Diagnostic] = []
+    for path in _python_files(paths):
+        posix = path.as_posix()
+        is_library = "/repro/" in posix or posix.startswith("src/")
+        is_docstore = "/docstore/" in posix
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"), path, is_library, is_docstore
+            )
+        )
+    return findings
+
+
+def _python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.analysis.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST-based repo-invariant linter (codes L001-L005).",
+    )
+    parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
+    args = parser.parse_args(argv)
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        sys.stderr.write(finding.render() + "\n")
+    if findings:
+        sys.stderr.write(f"{len(findings)} lint finding(s)\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Known field paths of a document collection (``SchemaPaths``).
+
+The analyzer validates dotted field paths in filters and pipelines against a
+:class:`SchemaPaths` instance: the set of paths that can actually occur in a
+collection's documents.  Two builders cover the pipeline's needs:
+
+* :func:`cluster_schema` derives the paths of the cluster-document layout
+  (see :mod:`repro.core.clusters`) from a
+  :class:`~repro.core.profile.SchemaProfile` — the 90-attribute voter schema
+  split into ``person`` / ``district`` / ``election`` / ``meta``
+  sub-documents, plus the bookkeeping fields (hashes, snapshots,
+  version-similarity maps);
+* :meth:`SchemaPaths.from_documents` infers a schema by flattening sample
+  documents, for collections without a declared layout.
+
+Array index segments are transparent: ``records.2.person.last_name``
+validates against the declared ``records.person.last_name``.  Paths with
+dynamic keys (the per-version similarity maps) are declared as *open
+prefixes* — anything beneath them is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Tuple
+
+from repro.analysis.registry import suggest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.profile import SchemaProfile
+
+
+def normalize_path(path: str) -> str:
+    """Strip numeric (array index) segments: ``a.0.b`` -> ``a.b``."""
+    segments = [s for s in path.split(".") if not s.isdigit()]
+    return ".".join(segments)
+
+
+class SchemaPaths:
+    """The set of dotted field paths known to exist in a collection."""
+
+    def __init__(
+        self,
+        paths: Iterable[str] = (),
+        open_prefixes: Iterable[str] = (),
+        name: str = "schema",
+        permissive: bool = False,
+    ) -> None:
+        self.name = name
+        self.exact = frozenset(normalize_path(p) for p in paths)
+        self.open_prefixes = frozenset(normalize_path(p) for p in open_prefixes)
+        #: A permissive schema accepts every path (used when the document
+        #: shape is statically unknowable, e.g. after ``$replaceRoot`` into
+        #: an open prefix).
+        self.permissive = permissive
+
+    def knows(self, path: str) -> bool:
+        """Whether ``path`` can occur in documents of this schema."""
+        if self.permissive:
+            return True
+        norm = normalize_path(path)
+        if not norm:
+            return True
+        if norm in self.exact or norm in self.open_prefixes:
+            return True
+        prefix = norm + "."
+        if any(exact.startswith(prefix) for exact in self.exact):
+            return True  # an intermediate (sub-document / array) node
+        return any(
+            norm.startswith(open_prefix + ".")
+            for open_prefix in self.open_prefixes
+        )
+
+    def suggest_path(self, path: str) -> Optional[str]:
+        """The closest known path (did-you-mean), or ``None``."""
+        if self.permissive:
+            return None
+        norm = normalize_path(path)
+        candidates = self.exact | self.open_prefixes
+        close = suggest(norm, candidates, max_distance=2)
+        if close:
+            return close
+        # Typo in the last segment of a deeper path: match per-parent.
+        if "." in norm:
+            parent, _, leaf = norm.rpartition(".")
+            leaves = {
+                exact.rpartition(".")[2]: exact
+                for exact in candidates
+                if exact.rpartition(".")[0] == parent
+            }
+            close_leaf = suggest(leaf, leaves, max_distance=2)
+            if close_leaf:
+                return leaves[close_leaf]
+        return None
+
+    def descend(self, path: str) -> "SchemaPaths":
+        """The schema of the sub-documents found at ``path``.
+
+        Used for ``$elemMatch`` (conditions apply to array elements) and for
+        ``$replaceRoot`` with a plain field reference.
+        """
+        norm = normalize_path(path)
+        if self.permissive:
+            return SchemaPaths(name=f"{self.name}.{norm}", permissive=True)
+        for open_prefix in self.open_prefixes:
+            if norm == open_prefix or norm.startswith(open_prefix + "."):
+                return SchemaPaths(name=f"{self.name}.{norm}", permissive=True)
+        prefix = norm + "."
+        return SchemaPaths(
+            paths=(e[len(prefix):] for e in self.exact if e.startswith(prefix)),
+            open_prefixes=(
+                o[len(prefix):] for o in self.open_prefixes if o.startswith(prefix)
+            ),
+            name=f"{self.name}.{norm}",
+        )
+
+    @classmethod
+    def from_documents(
+        cls, documents: Iterable[dict], name: str = "inferred"
+    ) -> "SchemaPaths":
+        """Infer a schema from sample documents (union of their leaf paths)."""
+        paths = set()
+        for document in documents:
+            _collect_paths(document, "", paths)
+        return cls(paths=paths, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.permissive:
+            return f"SchemaPaths(name={self.name!r}, permissive=True)"
+        return f"SchemaPaths(name={self.name!r}, paths={len(self.exact)})"
+
+
+def _collect_paths(value: Any, prefix: str, paths: set) -> None:
+    if isinstance(value, dict):
+        if not value and prefix:
+            paths.add(prefix)
+        for key, sub in value.items():
+            sub_prefix = f"{prefix}.{key}" if prefix else str(key)
+            _collect_paths(sub, sub_prefix, paths)
+    elif isinstance(value, list):
+        if not value and prefix:
+            paths.add(prefix)
+        for element in value:
+            _collect_paths(element, prefix, paths)
+    elif prefix:
+        paths.add(prefix)
+
+
+def cluster_schema(profile: Optional["SchemaProfile"] = None) -> SchemaPaths:
+    """The :class:`SchemaPaths` of a cluster-document collection.
+
+    ``profile`` defaults to the NC voter profile; the layout follows
+    :mod:`repro.core.clusters` — one document per entity, with nested record
+    sub-documents split into the profile's attribute groups.
+    """
+    if profile is None:
+        from repro.core.profile import NC_VOTER_PROFILE
+
+        profile = NC_VOTER_PROFILE
+    paths = ["_id", profile.id_attribute]
+    for group, attributes in profile.groups.items():
+        for attribute in attributes:
+            paths.append(f"records.{group}.{attribute}")
+    paths += [
+        "records.hash",
+        "records.first_version",
+        "records.snapshots",
+        "meta.hashes",
+        "meta.first_version",
+    ]
+    open_prefixes = [
+        "records.plausibility",
+        "records.heterogeneity",
+        "records.heterogeneity_person",
+        "meta.inserts_per_snapshot",
+    ]
+    return SchemaPaths(
+        paths=paths, open_prefixes=open_prefixes, name=f"{profile.name}:clusters"
+    )
+
+
+def flat_record_schema(
+    profile: Optional["SchemaProfile"] = None,
+    groups: Optional[Tuple[str, ...]] = None,
+) -> SchemaPaths:
+    """The schema of *flat* records (customisation output rows)."""
+    if profile is None:
+        from repro.core.profile import NC_VOTER_PROFILE
+
+        profile = NC_VOTER_PROFILE
+    wanted = groups if groups is not None else tuple(profile.groups)
+    paths = []
+    for group in wanted:
+        paths.extend(profile.groups.get(group, ()))
+    return SchemaPaths(paths=paths, name=f"{profile.name}:records")

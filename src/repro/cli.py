@@ -7,6 +7,7 @@
     ncvoter-testdata stats     --store store/
     ncvoter-testdata customize --store store/ --out nc2.csv --h-lo 0.2 --h-hi 0.4
     ncvoter-testdata evaluate  --dataset nc2.csv --gold nc2.gold.csv
+    ncvoter-testdata check     --store store/ --pipeline pipeline.json
 
 ``simulate`` writes snapshot TSVs (the register's publication format);
 ``generate`` runs the full update process (import → statistics → publish)
@@ -309,6 +310,75 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _load_spec(value: str):
+    """Parse ``value`` as inline JSON or as a path to a JSON file."""
+    import json
+
+    path = Path(value)
+    text = value
+    if path.is_file():
+        text = path.read_text(encoding="utf-8")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"not valid JSON (or a path to a JSON file): {value!r}: {exc}")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        SchemaPaths,
+        analyze_customization,
+        analyze_filter,
+        analyze_pipeline,
+        cluster_schema,
+        has_errors,
+    )
+
+    if not (args.filter or args.pipeline or args.customize):
+        raise SystemExit("nothing to check: pass --filter, --pipeline or --customize")
+
+    schema = None
+    if not args.no_schema:
+        if args.store:
+            from repro.docstore import CollectionNotFound, StorageError
+
+            try:
+                database = Database.load(Path(args.store))
+            except StorageError as exc:
+                raise SystemExit(f"cannot load store: {exc}")
+            try:
+                collection = database.get_collection(args.collection, create=False)
+            except CollectionNotFound:
+                raise SystemExit(
+                    f"store has no collection {args.collection!r} "
+                    f"(has: {', '.join(database.collection_names())})"
+                )
+            documents = collection.find(limit=200)
+            schema = SchemaPaths.from_documents(
+                documents, name=f"{args.collection}@{args.store}"
+            )
+        else:
+            schema = cluster_schema()
+
+    diagnostics = []
+    if args.filter:
+        diagnostics.extend(analyze_filter(_load_spec(args.filter), schema))
+    if args.pipeline:
+        diagnostics.extend(analyze_pipeline(_load_spec(args.pipeline), schema))
+    if args.customize:
+        diagnostics.extend(analyze_customization(_load_spec(args.customize)))
+
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = len(diagnostics) - errors
+    if diagnostics:
+        print(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        print("no problems found")
+    return 1 if has_errors(diagnostics) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -386,6 +456,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="check a store's invariants")
     validate.add_argument("--store", required=True)
     validate.set_defaults(func=_cmd_validate)
+
+    check = sub.add_parser(
+        "check",
+        help="statically lint a filter/pipeline/customisation spec",
+        description="Lint query filters, aggregation pipelines and "
+        "customisation specs without executing them.  Spec arguments accept "
+        "inline JSON or a path to a JSON file.  Exits 1 when any "
+        "error-severity diagnostic is found.",
+    )
+    check.add_argument("--filter", help="query filter (JSON or file)")
+    check.add_argument("--pipeline", help="aggregation pipeline (JSON or file)")
+    check.add_argument("--customize", help="customisation spec (JSON or file)")
+    check.add_argument(
+        "--store",
+        help="infer the field-path schema from this store "
+        "(default: the built-in cluster schema)",
+    )
+    check.add_argument(
+        "--collection", default="clusters",
+        help="collection to sample for --store schema inference",
+    )
+    check.add_argument(
+        "--no-schema", action="store_true",
+        help="skip field-path checks (operators/stages only)",
+    )
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -18,14 +18,21 @@ Pipeline overview (Sections 4 and 5 of the paper):
    Tables 1/2 and Figure 1.
 """
 
+from __future__ import annotations
+
 from repro.core.augment import AugmentationPlan, Augmenter, strip_synthetic
 from repro.core.clusters import cluster_pairs, record_view, split_record
-from repro.core.customize import CustomizationResult, customize
+from repro.core.customize import (
+    CustomizationResult,
+    customize,
+    customize_from_spec,
+)
 from repro.core.generator import ImportStats, TestDataGenerator
 from repro.core.hashing import record_hash
 from repro.core.profile import NC_VOTER_PROFILE, SchemaProfile
 from repro.core.repair import apply_repair, repair_clusters, split_cluster
 from repro.core.transform import (
+    apply_transform_spec,
     drop_attributes,
     merge_attributes,
     select_by_cluster_size,
@@ -59,6 +66,7 @@ __all__ = [
     "entropy_weights",
     "IrregularityCensus",
     "customize",
+    "customize_from_spec",
     "CustomizationResult",
     "SchemaProfile",
     "NC_VOTER_PROFILE",
@@ -71,5 +79,6 @@ __all__ = [
     "drop_attributes",
     "merge_attributes",
     "transform_result",
+    "apply_transform_spec",
     "select_by_cluster_size",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clusters import record_view
 from repro.core.generator import TestDataGenerator
@@ -107,6 +107,70 @@ def reduce_cluster(
     return kept
 
 
+def _validate_groups(groups: Sequence[str], generator: TestDataGenerator) -> None:
+    """Reject unknown attribute groups before any cluster is scanned.
+
+    A typo'd group would silently produce empty record views (and thus an
+    empty or degenerate dataset); failing fast with a did-you-mean hint is
+    the whole point of the static-analysis front-end.
+    """
+    known = tuple(generator.profile.groups)
+    unknown = [group for group in groups if group not in generator.profile.groups]
+    if not unknown:
+        return
+    from repro.analysis.registry import did_you_mean
+
+    hints = []
+    for group in unknown:
+        hint = did_you_mean(str(group), known)
+        hints.append(f"{group!r}" + (f" ({hint})" if hint else ""))
+    raise ValueError(
+        f"unknown attribute group(s) {', '.join(hints)}; "
+        f"profile {generator.profile.name!r} has {sorted(known)}"
+    )
+
+
+def customize_from_spec(
+    generator: TestDataGenerator,
+    spec: Dict[str, Any],
+) -> CustomizationResult:
+    """Validate a JSON-able customisation spec, then execute it.
+
+    The spec (see :mod:`repro.analysis.customization` for the format) is
+    statically validated against the generator's schema profile *before*
+    generation starts; error diagnostics raise :class:`ValueError` listing
+    every problem (with did-you-mean hints), so a typo'd group, attribute or
+    filter operator can never silently distort the dataset.
+    """
+    from repro.analysis import analyze_customization, errors_only
+
+    diagnostics = analyze_customization(spec, generator.profile)
+    errors = errors_only(diagnostics)
+    if errors:
+        rendered = "\n".join(f"  {d.render()}" for d in errors)
+        raise ValueError(
+            f"customisation spec rejected by static analysis "
+            f"({len(errors)} error(s)):\n{rendered}"
+        )
+    result = customize(
+        generator,
+        float(spec.get("h_lo", 0.0)),
+        float(spec.get("h_hi", 1.0)),
+        target_clusters=int(spec.get("target_clusters", 10_000)),
+        sample_clusters=spec.get("sample_clusters"),
+        groups=tuple(spec.get("groups") or (generator.profile.primary_group,)),
+        name=str(spec.get("name", "custom")),
+        seed=int(spec.get("seed", 0)),
+        min_cluster_size=int(spec.get("min_cluster_size", 2)),
+    )
+    transform = spec.get("transform")
+    if transform:
+        from repro.core.transform import apply_transform_spec
+
+        result = apply_transform_spec(result, transform)
+    return result
+
+
 def customize(
     generator: TestDataGenerator,
     h_lo: float,
@@ -130,6 +194,7 @@ def customize(
         raise ValueError(f"need 0 <= h_lo <= h_hi <= 1, got [{h_lo}, {h_hi}]")
     if target_clusters < 1:
         raise ValueError(f"target_clusters must be >= 1, got {target_clusters}")
+    _validate_groups(groups, generator)
     clusters = list(generator.clusters())
     rng = random.Random(seed)
     if sample_clusters is not None and sample_clusters < len(clusters):

@@ -12,12 +12,21 @@ touches the gold standard, which stays sound by construction.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.customize import CustomizationResult
 from repro.core.generator import TestDataGenerator
 
 Records = List[Dict[str, str]]
+
+#: Named value transforms usable from JSON customisation specs ("changing
+#: the character of the attributes' values" without shipping code).
+VALUE_TRANSFORMS: Dict[str, Callable[[str], str]] = {
+    "title": str.title,
+    "upper": str.upper,
+    "lower": str.lower,
+    "strip": str.strip,
+}
 
 
 def drop_attributes(records: Sequence[Dict[str, str]], attributes: Sequence[str]) -> Records:
@@ -106,6 +115,46 @@ def transform_result(
         records = merge_attributes(records, target, sources)
     for attribute, transform in (value_transforms or {}).items():
         records = map_values(records, (attribute,), transform)
+    return CustomizationResult(
+        name=result.name,
+        heterogeneity_range=result.heterogeneity_range,
+        records=records,
+        cluster_of=list(result.cluster_of),
+        gold_pairs=set(result.gold_pairs),
+    )
+
+
+def apply_transform_spec(
+    result: CustomizationResult, transform: Dict[str, Any]
+) -> CustomizationResult:
+    """Apply a JSON-able ``transform`` sub-spec to a customised dataset.
+
+    Steps apply in a fixed order — ``drop``, ``merge``, ``rename``,
+    ``values`` — matching what
+    :func:`repro.analysis.analyze_customization` validates.  Use
+    :func:`repro.core.customize.customize_from_spec` to validate *and*
+    execute a full spec; this function assumes the spec is sound.
+    """
+    records: Records = [dict(record) for record in result.records]
+    drop = tuple(transform.get("drop") or ())
+    if drop:
+        records = drop_attributes(records, drop)
+    merge: Dict[str, Sequence[str]] = dict(transform.get("merge") or {})
+    for target, sources in merge.items():
+        records = merge_attributes(records, target, tuple(sources))
+    rename: Dict[str, str] = dict(transform.get("rename") or {})
+    for old, new in rename.items():
+        records = rename_attribute(records, old, new)
+    values: Dict[str, str] = dict(transform.get("values") or {})
+    for attribute, name in values.items():
+        try:
+            value_transform = VALUE_TRANSFORMS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown value transform {name!r} "
+                f"(available: {sorted(VALUE_TRANSFORMS)})"
+            ) from None
+        records = map_values(records, (attribute,), value_transform)
     return CustomizationResult(
         name=result.name,
         heterogeneity_range=result.heterogeneity_range,

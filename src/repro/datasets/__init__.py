@@ -9,6 +9,8 @@ duplicate-pair counts and the cluster-size distribution) and the error
 profile of Table 4 approximately.
 """
 
+from __future__ import annotations
+
 from repro.datasets.base import BenchmarkDataset, DatasetCharacteristics
 from repro.datasets.cddb import synthesize_cddb
 from repro.datasets.census import synthesize_census

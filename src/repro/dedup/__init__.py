@@ -12,6 +12,8 @@ Section 6.5's setup:
   recall / F1 over a threshold sweep (:mod:`repro.dedup.evaluate`).
 """
 
+from __future__ import annotations
+
 from repro.dedup.blocking import (
     SortedNeighborhood,
     StandardBlocking,

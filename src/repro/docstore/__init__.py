@@ -16,7 +16,13 @@ capabilities the pipeline relies on:
 
 Persistence is line-delimited JSON per collection plus a database manifest,
 so datasets survive process restarts and can be shipped as plain files.
+
+Queries and pipelines can additionally be vetted *before* execution by the
+static analyzer in :mod:`repro.analysis`; see
+:meth:`Database.set_analysis_mode` and :attr:`Collection.analysis_mode`.
 """
+
+from __future__ import annotations
 
 from repro.docstore.collection import Collection
 from repro.docstore.database import Database
@@ -26,6 +32,8 @@ from repro.docstore.errors import (
     DocStoreError,
     DuplicateKeyError,
     QueryError,
+    StorageError,
+    UnknownIndexKind,
 )
 
 __all__ = [
@@ -34,6 +42,8 @@ __all__ = [
     "DocStoreError",
     "DuplicateKeyError",
     "QueryError",
+    "StorageError",
+    "UnknownIndexKind",
     "CollectionNotFound",
     "get_path",
     "set_path",

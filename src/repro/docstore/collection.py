@@ -22,10 +22,25 @@ class Collection:
     provides one.  ``_id`` values are unique within the collection.  Reads
     return deep copies so callers can never corrupt the store by mutating a
     result.
+
+    ``analysis_mode`` selects how queries are vetted before execution:
+    ``"lax"`` (the default) executes them as-is, ``"strict"`` runs the
+    static analyzer from :mod:`repro.analysis` first and raises
+    :class:`QueryError` — with did-you-mean hints — before a single document
+    is scanned.  Attach a :class:`repro.analysis.SchemaPaths` via ``schema``
+    to additionally validate dotted field paths in strict mode.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        analysis_mode: str = "lax",
+        schema: Optional[Any] = None,
+    ) -> None:
         self.name = name
+        self.analysis_mode = analysis_mode
+        #: Optional ``repro.analysis.SchemaPaths`` for field-path validation.
+        self.schema = schema
         self._documents: Dict[int, dict] = {}
         self._by_user_id: Dict[Any, int] = {}
         self._indexes: Dict[str, Any] = {}
@@ -108,8 +123,18 @@ class Collection:
             return len(self._documents)
         return sum(1 for _ in self._scan(filter_doc))
 
+    def _check_update(self, update: dict) -> None:
+        if self.analysis_mode == "strict":
+            from repro.analysis import analyze_update, require_clean
+
+            require_clean(
+                analyze_update(update, self.schema),
+                f"update for collection {self.name!r}",
+            )
+
     def update_one(self, filter_doc: dict, update: dict) -> int:
         """Apply ``update`` to the first match; returns 0 or 1."""
+        self._check_update(update)
         for internal_id, document in self._scan_with_ids(filter_doc):
             self._apply_update(internal_id, document, update)
             return 1
@@ -117,6 +142,7 @@ class Collection:
 
     def update_many(self, filter_doc: dict, update: dict) -> int:
         """Apply ``update`` to every match; returns the match count."""
+        self._check_update(update)
         touched = list(self._scan_with_ids(filter_doc))
         for internal_id, document in touched:
             self._apply_update(internal_id, document, update)
@@ -146,7 +172,20 @@ class Collection:
         return len(doomed)
 
     def aggregate(self, pipeline: List[dict]) -> List[dict]:
-        """Run an aggregation ``pipeline`` over the collection."""
+        """Run an aggregation ``pipeline`` over the collection.
+
+        In strict analysis mode the pipeline is statically vetted first —
+        unknown stages/operators, malformed specs, unknown field paths and
+        stage-order hazards raise :class:`QueryError` before any document is
+        streamed.
+        """
+        if self.analysis_mode == "strict":
+            from repro.analysis import analyze_pipeline, require_clean
+
+            require_clean(
+                analyze_pipeline(pipeline, self.schema),
+                f"pipeline for collection {self.name!r}",
+            )
         source = (deep_copy(doc) for doc in self._ordered_documents())
         return list(run_pipeline(source, pipeline))
 
@@ -229,6 +268,13 @@ class Collection:
             yield document
 
     def _scan_with_ids(self, filter_doc: Optional[dict]) -> Iterator[tuple]:
+        if self.analysis_mode == "strict" and filter_doc:
+            from repro.analysis import analyze_filter, require_clean
+
+            require_clean(
+                analyze_filter(filter_doc, self.schema),
+                f"filter for collection {self.name!r}",
+            )
         predicate = compile_filter(filter_doc or {})
         candidates = self._candidate_ids(filter_doc)
         if candidates is None:

@@ -21,12 +21,38 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._collections: Dict[str, Collection] = {}
+        self._analysis_mode = "lax"
+        self._schema = None
+
+    def set_analysis_mode(self, mode: str, schema=None) -> None:
+        """Switch static query analysis for all collections.
+
+        ``mode`` is ``"lax"`` (default: queries run unchecked) or
+        ``"strict"`` (filters, pipelines and updates are validated by
+        :mod:`repro.analysis` before any document is scanned; errors raise
+        :class:`~repro.docstore.errors.QueryError`).  ``schema`` is an
+        optional :class:`~repro.analysis.SchemaPaths` used for field-path
+        checking; without one, strict mode still validates operators, stage
+        order and operand shapes.  Applies to existing and future
+        collections.
+        """
+        if mode not in ("lax", "strict"):
+            raise DocStoreError(
+                f"analysis mode must be 'lax' or 'strict', got {mode!r}"
+            )
+        self._analysis_mode = mode
+        self._schema = schema
+        for collection in self._collections.values():
+            collection.analysis_mode = mode
+            collection.schema = schema
 
     def create_collection(self, name: str) -> Collection:
         """Create collection ``name``; error if it already exists."""
         if name in self._collections:
             raise DocStoreError(f"collection {name!r} already exists")
-        collection = Collection(name)
+        collection = Collection(
+            name, analysis_mode=self._analysis_mode, schema=self._schema
+        )
         self._collections[name] = collection
         return collection
 

@@ -17,3 +17,19 @@ class QueryError(DocStoreError):
 
 class CollectionNotFound(DocStoreError):
     """The requested collection does not exist and implicit creation is off."""
+
+
+class StorageError(DocStoreError, FileNotFoundError):
+    """A persisted database is missing or malformed on disk.
+
+    Also a :class:`FileNotFoundError` so callers that probe for a store with
+    ``except FileNotFoundError`` keep working.
+    """
+
+
+class UnknownIndexKind(DocStoreError, ValueError):
+    """An index was requested with an unsupported ``kind``.
+
+    Also a :class:`ValueError` for backwards compatibility with callers that
+    treat a bad index kind as an ordinary argument error.
+    """

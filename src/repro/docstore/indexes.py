@@ -6,6 +6,7 @@ import bisect
 from typing import Any, Dict, Iterator, List, Set, Tuple
 
 from repro.docstore.documents import iter_index_keys
+from repro.docstore.errors import UnknownIndexKind
 
 
 class HashIndex:
@@ -150,4 +151,6 @@ def build_index(kind: str, path: str):
         return HashIndex(path)
     if kind == "sorted":
         return SortedIndex(path)
-    raise ValueError(f"unknown index kind {kind!r} (expected 'hash' or 'sorted')")
+    raise UnknownIndexKind(
+        f"unknown index kind {kind!r} (expected 'hash' or 'sorted')"
+    )

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
+
+from repro.docstore.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.docstore.database import Database
 
 MANIFEST_NAME = "manifest.json"
 
@@ -38,7 +43,7 @@ def load_database(directory: Path, name: str = "db") -> "Database":
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
     if not manifest_path.exists():
-        raise FileNotFoundError(f"no manifest at {manifest_path}")
+        raise StorageError(f"no manifest at {manifest_path}")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     database = Database(name)
     for collection_name, spec in manifest["collections"].items():

@@ -15,6 +15,8 @@ plausibility scorer (plausibility is the one deliberately domain-dependent
 piece, Section 6.2).
 """
 
+from __future__ import annotations
+
 from repro.histcorpus.companies import (
     COMPANY_PROFILE,
     CompanyRegisterConfig,

@@ -16,6 +16,8 @@ comparison (realistic error mix vs synthetic, scalability) and by the
 comparison-dataset synthesizers in :mod:`repro.datasets`.
 """
 
+from __future__ import annotations
+
 from repro.pollute.corruptors import (
     CorruptorSuite,
     corrupt_value,

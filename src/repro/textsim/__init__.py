@@ -18,6 +18,8 @@ All similarity functions return floats in ``[0, 1]`` where ``1`` means
 identical.
 """
 
+from __future__ import annotations
+
 from repro.textsim.base import SimilarityMeasure, normalize_for_comparison
 from repro.textsim.cosine import SoftTfIdf, TfIdfCosine, cosine_tokens
 from repro.textsim.generalized_jaccard import GeneralizedJaccard, generalized_jaccard

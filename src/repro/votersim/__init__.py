@@ -23,6 +23,8 @@ argument):
 The central entry point is :class:`VoterRegisterSimulator`.
 """
 
+from __future__ import annotations
+
 from repro.votersim.config import ErrorRates, SimulationConfig
 from repro.votersim.schema import (
     ALL_ATTRIBUTES,

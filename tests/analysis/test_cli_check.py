@@ -1,0 +1,103 @@
+"""Integration tests for the ``ncvoter-testdata check`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(["check", *argv])
+    return code, capsys.readouterr().out
+
+
+class TestCheckFilters:
+    def test_unknown_operator_fails_with_hint(self, capsys):
+        code, out = run(
+            capsys, "--filter", '{"ncid": {"$regx": "^AA"}}'
+        )
+        assert code == 1
+        assert "Q001" in out
+        assert "did you mean '$regex'?" in out
+
+    def test_unknown_field_path_fails_with_hint(self, capsys):
+        code, out = run(
+            capsys, "--filter", '{"records.person.last_nme": "SMITH"}'
+        )
+        assert code == 1
+        assert "Q007" in out
+        assert "records.person.last_name" in out
+
+    def test_clean_filter_passes(self, capsys):
+        code, out = run(
+            capsys, "--filter", '{"records.person.last_name": {"$regex": "^A"}}'
+        )
+        assert code == 0
+        assert "no problems found" in out
+
+    def test_warning_only_exits_zero(self, capsys):
+        code, out = run(capsys, "--filter", '{"ncid": {"$in": []}}')
+        assert code == 0
+        assert "Q005" in out and "1 warning(s)" in out
+
+
+class TestCheckPipelines:
+    def test_stage_order_hazard_fails(self, capsys):
+        pipeline = [
+            {"$project": {"ncid": 1}},
+            {"$match": {"records.hash": "x"}},
+        ]
+        code, out = run(capsys, "--pipeline", json.dumps(pipeline))
+        assert code == 1
+        assert "P105" in out
+
+    def test_spec_file_argument(self, capsys, tmp_path):
+        spec = tmp_path / "pipeline.json"
+        spec.write_text(json.dumps([{"$grup": {"_id": None}}]))
+        code, out = run(capsys, "--pipeline", str(spec))
+        assert code == 1
+        assert "P101" in out and "did you mean '$group'?" in out
+
+    def test_no_schema_skips_field_checks(self, capsys):
+        code, out = run(
+            capsys, "--no-schema", "--filter", '{"no.such.path": 1}'
+        )
+        assert code == 0
+
+
+class TestCheckCustomization:
+    def test_bad_spec_fails(self, capsys):
+        spec = {"groups": ["persn"], "h_lo": 0.9, "h_hi": 0.1}
+        code, out = run(capsys, "--customize", json.dumps(spec))
+        assert code == 1
+        assert "C201" in out and "C202" in out
+
+
+class TestCheckStoreSchema:
+    def test_schema_inferred_from_store(self, capsys, tmp_path):
+        from repro.docstore import Database
+
+        database = Database()
+        database["things"].insert_many(
+            [{"_id": 1, "size": 3, "tags": ["a"]}, {"_id": 2, "size": 5}]
+        )
+        database.save(tmp_path / "store")
+        code, out = run(
+            capsys,
+            "--store", str(tmp_path / "store"),
+            "--collection", "things",
+            "--filter", '{"siez": {"$gte": 3}}',
+        )
+        assert code == 1
+        assert "Q007" in out and "did you mean 'size'?" in out
+
+
+class TestCheckErrors:
+    def test_nothing_to_check(self):
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_invalid_json(self):
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["check", "--filter", "{broken"])

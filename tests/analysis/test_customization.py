@@ -1,0 +1,137 @@
+"""Tests for customisation-spec validation (C2xx) and spec-driven execution."""
+
+import pytest
+
+from repro.analysis import analyze_customization
+from repro.core import customize_from_spec
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def only(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, f"expected a {code} in {[d.render() for d in diagnostics]}"
+    return found[0]
+
+
+GOOD_SPEC = {
+    "name": "nc2",
+    "h_lo": 0.2,
+    "h_hi": 0.4,
+    "groups": ["person"],
+    "target_clusters": 100,
+    "min_cluster_size": 2,
+    "seed": 0,
+    "filter": {"records.person.last_name": {"$exists": True}},
+    "transform": {
+        "drop": ["age"],
+        "merge": {"full_name": ["first_name", "midl_name", "last_name"]},
+        "rename": {"birth_place": "place_of_birth"},
+        "values": {"street_name": "title"},
+    },
+}
+
+
+class TestAnalyzeCustomization:
+    def test_good_spec_is_clean(self):
+        assert analyze_customization(GOOD_SPEC) == []
+
+    def test_c200_non_dict_spec(self):
+        assert codes(analyze_customization(["not", "a", "dict"])) == ["C200"]
+
+    def test_c200_malformed_transform_parts(self):
+        spec = dict(GOOD_SPEC, transform={"drop": "age", "merge": ["x"]})
+        assert codes(analyze_customization(spec)).count("C200") == 2
+
+    def test_c201_unknown_group_with_hint(self):
+        diagnostic = only(
+            analyze_customization({"groups": ["persn"]}), "C201"
+        )
+        assert "did you mean 'person'?" in diagnostic.hint
+
+    def test_c201_groups_must_be_list(self):
+        assert "C201" in codes(analyze_customization({"groups": "person"}))
+
+    def test_c202_range_errors(self):
+        assert "C202" in codes(analyze_customization({"h_lo": -0.1}))
+        assert "C202" in codes(analyze_customization({"h_hi": "high"}))
+        assert "C202" in codes(analyze_customization({"h_lo": 0.6, "h_hi": 0.4}))
+
+    def test_c203_unknown_attribute_with_hint(self):
+        spec = {"groups": ["person"], "transform": {"drop": ["last_nam"]}}
+        diagnostic = only(analyze_customization(spec), "C203")
+        assert "did you mean 'last_name'?" in diagnostic.hint
+
+    def test_c203_tracks_working_set_through_steps(self):
+        # After dropping "age", the values step cannot touch it any more...
+        spec = {
+            "groups": ["person"],
+            "transform": {"drop": ["age"], "values": {"age": "upper"}},
+        }
+        assert "C203" in codes(analyze_customization(spec))
+        # ...but a merge target becomes available to later steps.
+        spec = {
+            "groups": ["person"],
+            "transform": {
+                "merge": {"full_name": ["first_name", "last_name"]},
+                "values": {"full_name": "title"},
+            },
+        }
+        assert analyze_customization(spec) == []
+
+    def test_c204_count_errors(self):
+        assert "C204" in codes(analyze_customization({"target_clusters": 0}))
+        assert "C204" in codes(analyze_customization({"sample_clusters": "many"}))
+        assert "C204" in codes(analyze_customization({"min_cluster_size": True}))
+
+    def test_c205_unknown_key_warns(self):
+        diagnostic = only(analyze_customization({"h_low": 0.2}), "C205")
+        assert diagnostic.severity == "warning"
+        assert "did you mean 'h_lo'?" in diagnostic.hint
+
+    def test_c206_unknown_value_transform(self):
+        spec = {"groups": ["person"], "transform": {"values": {"age": "titlecase"}}}
+        assert "C206" in codes(analyze_customization(spec))
+
+    def test_embedded_filter_is_analyzed_against_cluster_schema(self):
+        spec = {"filter": {"records.person.last_nme": {"$regx": "x"}}}
+        found = codes(analyze_customization(spec))
+        assert "Q007" in found and "Q001" in found
+
+
+class TestCustomizeFromSpec:
+    def test_bad_spec_raises_before_generation(self, generator):
+        with pytest.raises(ValueError) as excinfo:
+            customize_from_spec(generator, {"groups": ["persn"], "h_lo": 2})
+        message = str(excinfo.value)
+        assert "C201" in message and "C202" in message
+
+    def test_good_spec_runs(self, generator):
+        result = customize_from_spec(
+            generator,
+            {
+                "name": "spec-run",
+                "h_lo": 0.0,
+                "h_hi": 1.0,
+                "groups": ["person"],
+                "target_clusters": 20,
+                "transform": {
+                    "merge": {"full_name": ["first_name", "last_name"]},
+                    "values": {"full_name": "title"},
+                },
+            },
+        )
+        assert result.name == "spec-run"
+        assert result.cluster_count <= 20
+        assert result.records
+        sample = result.records[0]
+        assert "full_name" in sample
+        assert "first_name" not in sample
+
+    def test_unknown_group_raises_with_hint_via_customize(self, generator):
+        from repro.core import customize
+
+        with pytest.raises(ValueError, match="did you mean 'person'"):
+            customize(generator, 0.0, 1.0, groups=("persn",))

@@ -1,0 +1,116 @@
+"""Tests for the repo-invariant AST linter — and the repo-wide gate itself."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths, lint_source, main
+
+CLEAN = '''"""Module docstring."""
+
+from __future__ import annotations
+
+
+def f(x=None):
+    if x is None:
+        x = []
+    return x
+'''
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def lint(source, path="src/repro/mod.py", **kwargs):
+    return lint_source(source, Path(path), **kwargs)
+
+
+class TestLintRules:
+    def test_clean_module(self):
+        assert lint(CLEAN) == []
+
+    def test_l000_syntax_error(self):
+        assert codes(lint("def broken(:\n")) == ["L000"]
+
+    def test_l001_mutable_defaults(self):
+        source = CLEAN + "def g(a=[], b={}, c=set(), *, d=list()):\n    pass\n"
+        assert codes(lint(source)).count("L001") == 4
+
+    def test_l001_lambda_default(self):
+        source = CLEAN + "g = lambda xs=[]: xs\n"
+        assert "L001" in codes(lint(source))
+
+    def test_l001_ignores_immutable_defaults(self):
+        source = CLEAN + "def g(a=(), b=0, c='x', d=frozenset()):\n    pass\n"
+        assert lint(source) == []
+
+    def test_l002_bare_except(self):
+        source = CLEAN + "try:\n    pass\nexcept:\n    pass\n"
+        assert "L002" in codes(lint(source))
+        narrow = CLEAN + "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert lint(narrow) == []
+
+    def test_l003_print_in_library(self):
+        source = CLEAN + "print('hello')\n"
+        assert "L003" in codes(lint(source))
+
+    def test_l003_allowed_in_cli_and_tests(self):
+        source = CLEAN + "print('hello')\n"
+        assert lint(source, path="src/repro/cli.py") == []
+        assert lint(source, path="tests/test_x.py", is_library=False) == []
+
+    def test_l004_docstore_foreign_raise(self):
+        source = CLEAN + "def f():\n    raise ValueError('nope')\n"
+        findings = lint(source, is_docstore=True)
+        assert "L004" in codes(findings)
+
+    def test_l004_hierarchy_and_reraise_allowed(self):
+        source = CLEAN + (
+            "def f():\n"
+            "    try:\n"
+            "        raise QueryError('bad')\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert lint(source, is_docstore=True) == []
+
+    def test_l004_not_applied_outside_docstore(self):
+        source = CLEAN + "def f():\n    raise ValueError('fine elsewhere')\n"
+        assert lint(source, is_docstore=False) == []
+
+    def test_l005_missing_future_import(self):
+        source = '"""Doc."""\n\nX = 1\n'
+        assert codes(lint(source)) == ["L005"]
+        assert lint(source, is_library=False) == []
+
+
+class TestLintPaths:
+    def test_classifies_by_location(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "docstore"
+        src.mkdir(parents=True)
+        bad = src / "bad.py"
+        bad.write_text(
+            "from __future__ import annotations\n"
+            "def f():\n    raise KeyError('x')\n"
+        )
+        findings = lint_paths([tmp_path])
+        assert codes(findings) == ["L004"]
+        assert str(bad) in findings[0].path
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("X = 1\n")
+        assert main([str(good)]) == 0
+        bad = tmp_path / "src" / "repro"
+        bad.mkdir(parents=True)
+        (bad / "bad.py").write_text("def f(x=[]):\n    return x\n")
+        assert main([str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "L001" in captured.err and "L005" in captured.err
+
+
+class TestRepoGate:
+    def test_repo_is_lint_clean(self):
+        """The enforced invariant: src and tests carry no lint findings."""
+        root = Path(__file__).resolve().parents[2]
+        findings = lint_paths([root / "src", root / "tests"])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,112 @@
+"""Property-based test: analyzer-clean specs never raise at evaluation time.
+
+The analyzer may be *stricter* than the runtime (flagging hazards that would
+merely misbehave), but it must never be *laxer* about errors: whenever
+``analyze_filter`` / ``analyze_pipeline`` reports no error-severity
+diagnostic, feeding the spec to the evaluator must not raise
+:class:`QueryError`.  Hypothesis searches the spec space for
+counterexamples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_filter, analyze_pipeline, has_errors
+from repro.docstore.aggregation import run_pipeline
+from repro.docstore.errors import QueryError
+from repro.docstore.matching import matches
+
+FIELDS = ["a", "b", "nested.x", "tags"]
+
+scalars = st.one_of(
+    st.integers(-10, 10),
+    st.text("abc", max_size=3),
+    st.booleans(),
+    st.none(),
+)
+
+# Operator conditions drawn from both valid and invalid shapes, so the
+# analyzer's verdict (not the generator) decides what must evaluate cleanly.
+operator_conditions = st.dictionaries(
+    st.sampled_from(
+        ["$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin",
+         "$exists", "$size", "$regex", "$regx", "$all"]
+    ),
+    st.one_of(scalars, st.lists(scalars, max_size=3)),
+    min_size=1,
+    max_size=2,
+)
+
+conditions = st.one_of(scalars, operator_conditions)
+
+filters = st.recursive(
+    st.dictionaries(st.sampled_from(FIELDS), conditions, max_size=3),
+    lambda children: st.fixed_dictionaries(
+        {}, optional={"$and": st.lists(children, max_size=2),
+                      "$or": st.lists(children, max_size=2)}
+    ),
+    max_leaves=6,
+)
+
+documents = st.lists(
+    st.fixed_dictionaries(
+        {},
+        optional={
+            "a": scalars,
+            "b": scalars,
+            "nested": st.fixed_dictionaries({}, optional={"x": scalars}),
+            "tags": st.lists(st.text("abc", max_size=2), max_size=3),
+        },
+    ),
+    max_size=5,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(filter_doc=filters, docs=documents)
+def test_clean_filters_never_raise(filter_doc, docs):
+    if has_errors(analyze_filter(filter_doc)):
+        return  # the analyzer rejected it; the runtime may do anything
+    for document in docs:
+        matches(document, filter_doc)  # must not raise QueryError
+
+
+stages = st.one_of(
+    st.fixed_dictionaries({"$match": filters}),
+    st.fixed_dictionaries({"$limit": st.integers(-2, 5)}),
+    st.fixed_dictionaries({"$skip": st.integers(-2, 5)}),
+    st.fixed_dictionaries(
+        {"$sort": st.dictionaries(
+            st.sampled_from(FIELDS), st.sampled_from([1, -1, 0]), max_size=2
+        )}
+    ),
+    st.fixed_dictionaries(
+        {"$project": st.dictionaries(
+            st.sampled_from(FIELDS), st.sampled_from([0, 1]), min_size=1,
+            max_size=2,
+        )}
+    ),
+    st.fixed_dictionaries(
+        {"$group": st.fixed_dictionaries(
+            {"_id": st.sampled_from([None, "$a", "$b"])},
+            optional={"n": st.fixed_dictionaries({"$sum": st.just(1)})},
+        )}
+    ),
+    st.fixed_dictionaries({"$count": st.sampled_from(["n", ""])}),
+    st.fixed_dictionaries({"$unwind": st.sampled_from(["$tags", "tags"])}),
+)
+
+pipelines = st.lists(stages, max_size=4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pipeline=pipelines, docs=documents)
+def test_clean_pipelines_never_raise(pipeline, docs):
+    if has_errors(analyze_pipeline(pipeline)):
+        return
+    try:
+        list(run_pipeline(docs, pipeline))
+    except QueryError as exc:  # pragma: no cover - the property violation
+        raise AssertionError(
+            f"analyzer passed {pipeline!r} but evaluation raised {exc}"
+        )

@@ -1,0 +1,93 @@
+"""Strict analysis mode on Collection / Database: reject before scanning."""
+
+import pytest
+
+from repro.analysis import SchemaPaths, cluster_schema
+from repro.docstore import Database, DocStoreError, QueryError
+from repro.docstore.collection import Collection
+
+
+@pytest.fixture
+def strict_collection():
+    collection = Collection(
+        "clusters", analysis_mode="strict", schema=cluster_schema()
+    )
+    collection.insert_one(
+        {
+            "_id": "AA1",
+            "ncid": "AA1",
+            "records": [{"person": {"last_name": "SMITH"}, "hash": "h1"}],
+            "meta": {"hashes": ["h1"], "first_version": 1},
+        }
+    )
+    return collection
+
+
+class TestStrictCollection:
+    def test_find_rejects_unknown_operator(self, strict_collection):
+        with pytest.raises(QueryError, match="did you mean '\\$regex'"):
+            strict_collection.find({"ncid": {"$regx": "^AA"}})
+
+    def test_find_rejects_unknown_field_path(self, strict_collection):
+        with pytest.raises(QueryError, match="Q007"):
+            strict_collection.find({"records.person.last_nme": "SMITH"})
+
+    def test_find_one_count_delete_also_guarded(self, strict_collection):
+        with pytest.raises(QueryError):
+            strict_collection.find_one({"nicd": {"$gtt": 1}})
+        with pytest.raises(QueryError):
+            strict_collection.count_documents({"ncid": {"$inn": ["AA1"]}})
+        with pytest.raises(QueryError):
+            strict_collection.delete_many({"ncid": {"$inn": ["AA1"]}})
+
+    def test_aggregate_rejects_stage_order_hazard(self, strict_collection):
+        with pytest.raises(QueryError, match="P105"):
+            strict_collection.aggregate(
+                [
+                    {"$project": {"ncid": 1}},
+                    {"$match": {"records.hash": "h1"}},
+                ]
+            )
+
+    def test_update_rejects_unknown_update_operator(self, strict_collection):
+        with pytest.raises(QueryError, match="U301"):
+            strict_collection.update_many({"ncid": "AA1"}, {"$sett": {"x": 1}})
+
+    def test_clean_queries_still_run(self, strict_collection):
+        assert strict_collection.find({"records.person.last_name": "SMITH"})
+        assert strict_collection.aggregate(
+            [
+                {"$match": {"ncid": {"$regex": "^AA"}}},
+                {"$addFields": {"size": {"$size": "$records"}}},
+                {"$group": {"_id": None, "n": {"$sum": "$size"}}},
+            ]
+        ) == [{"_id": None, "n": 1}]
+
+    def test_warnings_do_not_block(self, strict_collection):
+        # Vacuous $in is a warning, not an error: strict mode lets it run.
+        assert strict_collection.find({"ncid": {"$in": []}}) == []
+
+
+class TestLaxCollection:
+    def test_lax_is_the_default_and_does_not_check_paths(self):
+        collection = Collection("c")
+        collection.insert_one({"_id": 1, "a": 1})
+        assert collection.find({"no.such.path": 1}) == []
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(DocStoreError):
+            Database().set_analysis_mode("paranoid")
+
+
+class TestDatabaseMode:
+    def test_applies_to_existing_and_future_collections(self):
+        database = Database()
+        existing = database["before"]
+        database.set_analysis_mode("strict", schema=SchemaPaths(["a"]))
+        created_after = database["after"]
+        for collection in (existing, created_after):
+            with pytest.raises(QueryError):
+                collection.find({"b": {"$gtt": 1}})
+        database.set_analysis_mode("lax")
+        existing.insert_one({"_id": 1, "a": 1})
+        assert existing.find({"b": "anything"}) == []
