@@ -1,4 +1,4 @@
-.PHONY: install test lint typecheck bench examples validate-docs clean
+.PHONY: install test lint typecheck bench bench-scoring examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,12 @@ typecheck:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick scoring benchmark: fast kernels + batching vs the naive reference.
+# Writes machine-readable timings/speedups to BENCH_scoring.json and fails
+# if the sequential fast path is less than 3x the naive reference.
+bench-scoring:
+	PYTHONPATH=src python benchmarks/scoring_bench.py --quick --out BENCH_scoring.json
 
 # Run every example end to end (a few minutes total).
 examples:

@@ -11,7 +11,10 @@ Custom :mod:`ast`-based checks that hold this codebase's invariants:
   callers catch ``QueryError`` / ``StorageError``, so foreign exception
   types escape their error handling;
 * **L005** — library module missing ``from __future__ import annotations``
-  (keeps annotations cheap and uniform on all supported Pythons).
+  (keeps annotations cheap and uniform on all supported Pythons);
+* **L006** — parameter annotated with a non-``Optional`` type but defaulted
+  to ``None`` (``def f(x: str = None)`` lies to every caller and type
+  checker; annotate ``Optional[str]`` / ``str | None`` instead).
 
 Findings are reported as :class:`~repro.analysis.diagnostics.Diagnostic`
 records with ``file:line:col`` locations.  The module doubles as a pytest
@@ -54,6 +57,49 @@ def _is_mutable_default(node: ast.AST) -> bool:
     return False
 
 
+def _annotation_allows_none(annotation: Optional[ast.AST]) -> bool:
+    """Whether a parameter annotation admits ``None`` as a value.
+
+    Unannotated parameters are never flagged (there is no lie to catch), and
+    the check is conservative: anything it cannot positively classify is
+    treated as allowing ``None``.
+    """
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None:
+            return True  # annotated `None` itself
+        if isinstance(annotation.value, str):  # string annotation — substring scan
+            text = annotation.value
+            return "Optional" in text or "None" in text or "Any" in text
+        return True
+    if isinstance(annotation, ast.Name):
+        return annotation.id in {"Any", "object"}
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in {"Any", "object"}
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_allows_none(annotation.left) or _annotation_allows_none(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else ""
+        )
+        if name == "Optional":
+            return True
+        if name in {"Union", "Annotated"}:
+            slice_node = annotation.slice
+            elements = (
+                slice_node.elts if isinstance(slice_node, ast.Tuple) else [slice_node]
+            )
+            if name == "Annotated":
+                elements = elements[:1]  # only the type part matters
+            return any(_annotation_allows_none(element) for element in elements)
+        return False
+    return True  # unrecognised construct — do not guess
+
+
 def _raised_name(node: ast.Raise) -> Optional[str]:
     """The exception class name of a raise statement, if identifiable."""
     exc = node.exc
@@ -85,15 +131,32 @@ class _FileLinter(ast.NodeVisitor):
         )
 
     def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
-        for default in list(args.defaults) + [
-            d for d in args.kw_defaults if d is not None
-        ]:
+        positional = list(args.posonlyargs) + list(args.args)
+        pairs = list(zip(positional[len(positional) - len(args.defaults):], args.defaults))
+        pairs += [
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in pairs:
             if _is_mutable_default(default):
                 self._report(
                     default,
                     "L001",
                     "mutable default argument",
                     hint="use None and create the value inside the function",
+                )
+            if (
+                isinstance(default, ast.Constant)
+                and default.value is None
+                and not _annotation_allows_none(arg.annotation)
+            ):
+                self._report(
+                    default,
+                    "L006",
+                    f"parameter {arg.arg!r} defaults to None but its "
+                    "annotation does not allow None",
+                    hint="annotate it Optional[...] (or `| None`)",
                 )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -205,7 +268,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.analysis.lint``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="AST-based repo-invariant linter (codes L001-L005).",
+        description="AST-based repo-invariant linter (codes L001-L006).",
     )
     parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
     args = parser.parse_args(argv)

@@ -66,7 +66,7 @@ def _load_snapshots(directory: Path):
 def _cmd_generate(args: argparse.Namespace) -> int:
     snapshots = _load_snapshots(args.snapshots)
     generator = TestDataGenerator(removal=RemovalLevel(args.removal))
-    process = UpdateProcess(generator)
+    process = UpdateProcess(generator, workers=args.workers, shards=args.shards)
     version = process.run(
         snapshots, compute_statistics=args.stats, note="cli generate"
     )
@@ -407,6 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--stats", action="store_true",
         help="compute plausibility/heterogeneity statistics (slower)",
+    )
+    generate.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the scoring stage (0 = in-process); "
+        "results are identical for any worker count",
+    )
+    generate.add_argument(
+        "--shards", type=int, default=None,
+        help="cluster shards for parallel scoring (default: one per worker)",
     )
     generate.set_defaults(func=_cmd_generate)
 

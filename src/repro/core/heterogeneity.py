@@ -185,3 +185,85 @@ class HeterogeneityScorer:
                 row[i] = self.pair_heterogeneity(flats[i], flats[j])
             maps[j] = row
         return maps
+
+    # ------------------------------------------------------------- batch path
+
+    def _weighted_attributes(self) -> Tuple[Tuple[str, float], ...]:
+        """The non-zero-weight attributes in weight-map order."""
+        return tuple(
+            (attribute, weight)
+            for attribute, weight in self.weights.items()
+            if weight != 0.0
+        )
+
+    def _pair_from_values(
+        self,
+        values_left: Tuple[str, ...],
+        values_right: Tuple[str, ...],
+        weighted: Tuple[Tuple[str, float], ...],
+        cache: Dict[Tuple[str, str], float],
+    ) -> float:
+        """Pair heterogeneity over pre-stripped values with pair-dedup cache.
+
+        Accumulates in the same attribute order as
+        :meth:`pair_heterogeneity`, so the result is bit-identical; the
+        cache key is canonicalised because the four-way similarity is
+        exactly symmetric (it canonicalises internally itself).
+        """
+        total = 0.0
+        for index, (_attribute, weight) in enumerate(weighted):
+            value_left = values_left[index]
+            value_right = values_right[index]
+            if value_left == value_right:
+                continue  # four_way_similarity is 1.0, contributing nothing
+            if value_left < value_right:
+                key = (value_left, value_right)
+            else:
+                key = (value_right, value_left)
+            similarity = cache.get(key)
+            if similarity is None:
+                similarity = _four_way_cached(key[0], key[1])
+                cache[key] = similarity
+            total += weight * (1.0 - similarity)
+        return total
+
+    def score_clusters(
+        self,
+        clusters: Iterable[dict],
+        groups: Tuple[str, ...] = ("person",),
+        version: Optional[int] = None,
+        cache: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> Dict[str, Dict[int, Dict[int, float]]]:
+        """Batched version-similarity maps for many clusters, by ``ncid``.
+
+        Record values are flattened and stripped once per record (instead of
+        once per pair), and each *distinct* value pair across all requested
+        clusters is scored exactly once through a shared cache.  Scores are
+        bit-identical to :meth:`score_cluster_document` per cluster.  Pass
+        an explicit ``cache`` dict to share pair-deduplication across
+        multiple calls (e.g. per-shard workers scoring several batches).
+        """
+        weighted = self._weighted_attributes()
+        if cache is None:
+            cache = {}
+        results: Dict[str, Dict[int, Dict[int, float]]] = {}
+        for cluster in clusters:
+            records = cluster["records"]
+            values = []
+            for record in records:
+                flat = record_view(record, groups)
+                values.append(
+                    tuple((flat.get(a) or "").strip() for a, _w in weighted)
+                )
+            maps: Dict[int, Dict[int, float]] = {}
+            for j in range(1, len(records)):
+                if version is not None and records[j]["first_version"] != version:
+                    continue
+                row: Dict[int, float] = {}
+                for i in range(j):
+                    row[i] = self._pair_from_values(
+                        values[i], values[j], weighted, cache
+                    )
+                maps[j] = row
+            results[cluster["ncid"]] = maps
+        return results

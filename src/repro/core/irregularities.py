@@ -13,7 +13,7 @@ import re
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.textsim.levenshtein import damerau_levenshtein_distance
+from repro.textsim.levenshtein import damerau_levenshtein_within
 from repro.textsim.phonetic import soundex
 from repro.textsim.tokens import strip_non_alnum
 
@@ -78,7 +78,9 @@ def is_typo(left: str, right: str) -> bool:
     left_lower, right_lower = left.lower(), right.lower()
     if left_lower == right_lower:
         return False
-    return damerau_levenshtein_distance(left_lower, right_lower) == 1
+    # Thresholded kernel: bails out via the Ukkonen band instead of running
+    # the full DP when the values are clearly more than one edit apart.
+    return damerau_levenshtein_within(left_lower, right_lower, 1) == 1
 
 
 def is_ocr_error(left: str, right: str) -> bool:

@@ -1,12 +1,21 @@
-"""Parallel snapshot import (Figure 2: "parallel or sequential import").
+"""Parallel snapshot import and parallel cluster scoring.
 
-Clusters are independent by entity id, so the import is embarrassingly
-parallel across id shards: every worker imports the full snapshot stream
-filtered to its shard with a private :class:`TestDataGenerator`, and the
-shard results merge by simple union.  The merge is deterministic: shard
-assignment depends only on the entity id (a stable hash), so the resulting
-cluster store is identical to a sequential import — per-snapshot statistics
-are summed across shards.
+Two embarrassingly parallel stages share the same sharding scheme
+(:func:`shard_of`, a stable seed-free hash of the entity id):
+
+* **Import** (Figure 2: "parallel or sequential import") — every worker
+  imports the full snapshot stream filtered to its shard with a private
+  :class:`TestDataGenerator`; shard results merge by simple union.
+* **Scoring** (Sections 6.2–6.3) — plausibility and heterogeneity maps are
+  independent per cluster, so clusters are sharded by ncid and scored with
+  the batched fast paths (:func:`repro.core.plausibility.score_clusters`,
+  :meth:`repro.core.heterogeneity.HeterogeneityScorer.score_clusters`);
+  each worker keeps its own pair-deduplication caches.
+
+Both merges are deterministic: shard assignment depends only on the entity
+id, the scored maps are pure functions of the cluster documents, and the
+per-cluster results are disjoint — so any shard count (including the
+``max_workers=0`` in-process fallback) produces identical output.
 """
 
 from __future__ import annotations
@@ -16,9 +25,14 @@ import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.generator import ImportStats, TestDataGenerator
+from repro.core.heterogeneity import HeterogeneityScorer
 from repro.core.levels import RemovalLevel
+from repro.core.plausibility import score_clusters as _score_plausibility_clusters
 from repro.core.profile import NC_VOTER_PROFILE, SchemaProfile
 from repro.votersim.snapshots import Snapshot
+
+#: ``{ncid: {kind: {j: {i: score}}}}`` — the result layout of parallel scoring.
+ScoredMaps = Dict[str, Dict[str, Dict[int, Dict[int, float]]]]
 
 
 def shard_of(entity_id: str, shards: int) -> int:
@@ -137,3 +151,110 @@ def import_snapshots_parallel(
     generator.import_stats.extend(merged_stats)
     generator._imported_snapshots.extend(s.date for s in snapshots)
     return merged_stats
+
+
+# ------------------------------------------------------------ parallel scoring
+
+
+def _score_shard(
+    clusters: List[dict],
+    version: Optional[int],
+    with_plausibility: bool,
+    weights_all: Optional[Dict[str, float]],
+    weights_primary: Optional[Dict[str, float]],
+    all_groups: Tuple[str, ...],
+    primary_groups: Tuple[str, ...],
+) -> ScoredMaps:
+    """Worker: score one shard's clusters with the batched fast paths.
+
+    Runs in a worker process (or inline for ``max_workers=0``); only plain
+    dicts/tuples cross the process boundary.  Each invocation builds its own
+    pair-deduplication caches — the heavy-tailed value distributions repeat
+    within a shard just as they do globally.
+    """
+    merged: ScoredMaps = {ncid: {} for ncid in (c["ncid"] for c in clusters)}
+    if with_plausibility:
+        for ncid, maps in _score_plausibility_clusters(clusters, version).items():
+            merged[ncid]["plausibility"] = maps
+    if weights_all is not None:
+        scorer = HeterogeneityScorer(weights_all)
+        for ncid, maps in scorer.score_clusters(
+            clusters, all_groups, version=version
+        ).items():
+            merged[ncid]["heterogeneity"] = maps
+    if weights_primary is not None:
+        scorer = HeterogeneityScorer(weights_primary)
+        for ncid, maps in scorer.score_clusters(
+            clusters, primary_groups, version=version
+        ).items():
+            merged[ncid]["heterogeneity_person"] = maps
+    return merged
+
+
+def score_clusters_parallel(
+    clusters: Sequence[dict],
+    version: Optional[int] = None,
+    *,
+    with_plausibility: bool = True,
+    heterogeneity_all: Optional[HeterogeneityScorer] = None,
+    heterogeneity_primary: Optional[HeterogeneityScorer] = None,
+    all_groups: Tuple[str, ...] = ("person",),
+    primary_groups: Tuple[str, ...] = ("person",),
+    shards: int = 4,
+    max_workers: Optional[int] = None,
+) -> ScoredMaps:
+    """Score ``clusters`` in ncid shards; returns ``{ncid: {kind: maps}}``.
+
+    The entropy-weighted scorers are built by the caller over *all* clusters
+    (weights are global) and only their weight maps are shipped to the
+    workers.  Sharding uses :func:`shard_of`, so the partition — and, since
+    scores are pure functions of each cluster document, the merged result —
+    is identical for every shard count and worker count.  ``max_workers=0``
+    runs the shards sequentially in-process (same results, no process
+    overhead); the default runs one process per shard.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    weights_all = dict(heterogeneity_all.weights) if heterogeneity_all else None
+    weights_primary = (
+        dict(heterogeneity_primary.weights) if heterogeneity_primary else None
+    )
+    buckets: List[List[dict]] = [[] for _ in range(shards)]
+    for cluster in clusters:
+        buckets[shard_of(cluster["ncid"], shards)].append(cluster)
+    merged: ScoredMaps = {}
+    if not max_workers:
+        shard_results = [
+            _score_shard(
+                bucket,
+                version,
+                with_plausibility,
+                weights_all,
+                weights_primary,
+                all_groups,
+                primary_groups,
+            )
+            for bucket in buckets
+        ]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _score_shard,
+                    bucket,
+                    version,
+                    with_plausibility,
+                    weights_all,
+                    weights_primary,
+                    all_groups,
+                    primary_groups,
+                )
+                for bucket in buckets
+            ]
+            shard_results = [future.result() for future in futures]
+    for result in shard_results:
+        overlap = set(result) & set(merged)
+        if overlap:  # pragma: no cover - shard_of guarantees disjoint buckets
+            raise RuntimeError(f"shards overlap on ids: {sorted(overlap)[:5]}")
+        merged.update(result)
+    return merged

@@ -20,7 +20,7 @@ foreign record makes the whole cluster unsound.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.clusters import record_view
 from repro.textsim.levenshtein import extended_damerau_levenshtein_similarity
@@ -42,21 +42,12 @@ def name_tokens(record: Dict[str, str]) -> List[str]:
     ]
 
 
-def name_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
-    """Generalized Jaccard over the name triples (order-insensitive).
-
-    The triples are matched 1:1 in their best permutation, so word
-    confusions between the name attributes are fully compensated; typos are
-    compensated by the extended Damerau-Levenshtein token similarity;
-    missing and abbreviated names yield token similarity 1 (no
-    contradiction).  Because both triples always have three slots, the
-    Generalized Jaccard denominator equals the match count and the score is
-    the mean of the three matched token similarities.
-    """
+def _name_similarity_tokens(
+    tokens_left: Tuple[str, ...], tokens_right: Tuple[str, ...]
+) -> float:
+    """Best-permutation mean token similarity of two name triples."""
     import itertools
 
-    tokens_left = name_tokens(left)
-    tokens_right = name_tokens(right)
     best = 0.0
     for permutation in itertools.permutations(range(3)):
         total = sum(
@@ -69,6 +60,20 @@ def name_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
         if best == 1.0:
             break
     return best
+
+
+def name_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
+    """Generalized Jaccard over the name triples (order-insensitive).
+
+    The triples are matched 1:1 in their best permutation, so word
+    confusions between the name attributes are fully compensated; typos are
+    compensated by the extended Damerau-Levenshtein token similarity;
+    missing and abbreviated names yield token similarity 1 (no
+    contradiction).  Because both triples always have three slots, the
+    Generalized Jaccard denominator equals the match count and the score is
+    the mean of the three matched token similarities.
+    """
+    return _name_similarity_tokens(tuple(name_tokens(left)), tuple(name_tokens(right)))
 
 
 def sex_similarity(left: Dict[str, str], right: Dict[str, str]) -> float:
@@ -116,6 +121,16 @@ def birth_place_similarity(left: Dict[str, str], right: Dict[str, str]) -> float
     )
 
 
+def _combine(scores: Dict[str, float]) -> float:
+    """Weighted average of the four attribute scores (shared arithmetic).
+
+    Both the per-pair path and the batched path go through this helper so
+    their floating-point operations are literally the same.
+    """
+    total_weight = sum(WEIGHTS.values())
+    return sum(WEIGHTS[key] * scores[key] for key in scores) / total_weight
+
+
 def pair_plausibility(
     left: Dict[str, str],
     right: Dict[str, str],
@@ -131,8 +146,7 @@ def pair_plausibility(
         ),
         "birth_place": birth_place_similarity(left, right),
     }
-    total_weight = sum(WEIGHTS.values())
-    return sum(WEIGHTS[key] * scores[key] for key in scores) / total_weight
+    return _combine(scores)
 
 
 def _flat(record_doc: dict) -> Tuple[Dict[str, str], str]:
@@ -140,6 +154,75 @@ def _flat(record_doc: dict) -> Tuple[Dict[str, str], str]:
     flat = record_view(record_doc, ("person",))
     snapshots = record_doc.get("snapshots") or []
     return flat, (snapshots[0] if snapshots else "")
+
+
+class _RecordFacts:
+    """Per-record values derived once instead of once per pair."""
+
+    __slots__ = ("flat", "names", "yob", "place")
+
+    def __init__(self, record_doc: dict) -> None:
+        flat, snapshot = _flat(record_doc)
+        self.flat = flat
+        self.names = tuple(name_tokens(flat))
+        self.yob = year_of_birth(flat, snapshot)
+        self.place = (flat.get("birth_place") or "").strip()
+
+
+def _pair_plausibility_cached(
+    left: "_RecordFacts",
+    right: "_RecordFacts",
+    name_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float],
+    place_cache: Dict[Tuple[str, str], float],
+) -> float:
+    """Pair plausibility with the heavy kernels deduplicated through caches.
+
+    The name cache is keyed in argument order (the permutation sums are not
+    float-associative under operand swap); the birth-place cache key is
+    canonicalised because the extended Damerau-Levenshtein similarity is
+    exactly symmetric.
+    """
+    name_key = (left.names, right.names)
+    name_score = name_cache.get(name_key)
+    if name_score is None:
+        name_score = _name_similarity_tokens(left.names, right.names)
+        name_cache[name_key] = name_score
+    if left.place <= right.place:
+        place_key = (left.place, right.place)
+    else:
+        place_key = (right.place, left.place)
+    place_score = place_cache.get(place_key)
+    if place_score is None:
+        place_score = extended_damerau_levenshtein_similarity(*place_key)
+        place_cache[place_key] = place_score
+    scores = {
+        "name": name_score,
+        "sex": sex_similarity(left.flat, right.flat),
+        "yob": year_of_birth_similarity(left.yob, right.yob),
+        "birth_place": place_score,
+    }
+    return _combine(scores)
+
+
+def _score_cluster_cached(
+    cluster: dict,
+    version: Optional[int],
+    name_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float],
+    place_cache: Dict[Tuple[str, str], float],
+) -> Dict[int, Dict[int, float]]:
+    records = cluster["records"]
+    facts = [_RecordFacts(record) for record in records]
+    maps: Dict[int, Dict[int, float]] = {}
+    for j in range(1, len(records)):
+        if version is not None and records[j]["first_version"] != version:
+            continue
+        row: Dict[int, float] = {}
+        for i in range(j):
+            row[i] = _pair_plausibility_cached(
+                facts[i], facts[j], name_cache, place_cache
+            )
+        maps[j] = row
+    return maps
 
 
 def score_cluster(cluster: dict, version: Optional[int] = None) -> Dict[int, Dict[int, float]]:
@@ -150,19 +233,28 @@ def score_cluster(cluster: dict, version: Optional[int] = None) -> Dict[int, Dic
     (Section 5.2).  ``version`` restricts the computation to record pairs
     where at least one side is new in that version (incremental update).
     """
-    records = cluster["records"]
-    flats = [_flat(record) for record in records]
-    maps: Dict[int, Dict[int, float]] = {}
-    for j in range(1, len(records)):
-        if version is not None and records[j]["first_version"] != version:
-            continue
-        row: Dict[int, float] = {}
-        for i in range(j):
-            left, snap_left = flats[i]
-            right, snap_right = flats[j]
-            row[i] = pair_plausibility(left, right, snap_left, snap_right)
-        maps[j] = row
-    return maps
+    return _score_cluster_cached(cluster, version, {}, {})
+
+
+def score_clusters(
+    clusters: Iterable[dict], version: Optional[int] = None
+) -> Dict[str, Dict[int, Dict[int, float]]]:
+    """Batched plausibility maps for many clusters, keyed by ``ncid``.
+
+    The expensive kernels — best-permutation name similarity and extended
+    Damerau-Levenshtein over birth places — are computed once per *distinct*
+    value pair across all requested clusters.  Voter attribute distributions
+    are heavy-tailed, so this global pair-deduplication collapses most of
+    the work; scores are bit-identical to :func:`score_cluster` per cluster.
+    """
+    name_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
+    place_cache: Dict[Tuple[str, str], float] = {}
+    return {
+        cluster["ncid"]: _score_cluster_cached(
+            cluster, version, name_cache, place_cache
+        )
+        for cluster in clusters
+    }
 
 
 def cluster_plausibility(cluster: dict, version: Optional[int] = None) -> float:

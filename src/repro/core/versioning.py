@@ -27,6 +27,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.generator import TestDataGenerator
 from repro.core.heterogeneity import HeterogeneityScorer
+from repro.core.parallel import score_clusters_parallel
 from repro.core.plausibility import score_cluster
 from repro.core.profile import NC_VOTER_PROFILE
 from repro.votersim.snapshots import Snapshot
@@ -36,19 +37,36 @@ PlausibilityFn = Callable[[dict, Optional[int]], Dict[int, Dict[int, float]]]
 
 
 class UpdateProcess:
-    """Runs import → statistics → publish cycles on a generator."""
+    """Runs import → statistics → publish cycles on a generator.
+
+    ``workers``/``shards`` control the scoring stage: ``workers=0`` (the
+    default) scores all clusters in-process through the batched fast paths;
+    ``workers=N`` shards the clusters by ncid and fans the scoring out over
+    a process pool.  Results are identical either way — scores are pure
+    functions of the cluster documents and the shard merge is deterministic
+    (see :mod:`repro.core.parallel`).  A custom ``plausibility_fn`` is
+    always applied in-process (it may close over arbitrary state); the
+    built-in voter scorer ships to the workers.
+    """
 
     def __init__(
         self,
         generator: TestDataGenerator,
         plausibility_fn: Optional[PlausibilityFn] = None,
+        workers: int = 0,
+        shards: Optional[int] = None,
     ) -> None:
         self.generator = generator
-        if plausibility_fn is None and generator.profile is NC_VOTER_PROFILE:
+        self._builtin_plausibility = (
+            plausibility_fn is None and generator.profile is NC_VOTER_PROFILE
+        )
+        if self._builtin_plausibility:
             plausibility_fn = lambda cluster, version: score_cluster(
                 cluster, version=version
             )
         self.plausibility_fn = plausibility_fn
+        self.workers = workers
+        self.shards = shards
 
     def run(
         self,
@@ -65,12 +83,27 @@ class UpdateProcess:
         )
         return self.generator.publish(note=label)
 
-    def update_statistics(self) -> None:
-        """Step 2: extend the version-similarity maps for new records."""
+    def update_statistics(
+        self, workers: Optional[int] = None, shards: Optional[int] = None
+    ) -> None:
+        """Step 2: extend the version-similarity maps for new records.
+
+        All clusters are scored through the batched fast paths (global pair
+        deduplication); with ``workers > 0`` the batch is sharded by ncid
+        and scored in a process pool — bit-identical results either way.
+        """
         generator = self.generator
         profile = generator.profile
         version = generator.pending_version
         clusters = list(generator.clusters())
+        if not clusters:
+            return
+        if workers is None:
+            workers = self.workers
+        if shards is None:
+            shards = self.shards
+        if shards is None:
+            shards = workers if workers else 1
         all_groups = profile.group_names
         primary_groups = (profile.primary_group,)
         heterogeneity_all = _build_scorer(clusters, all_groups, None)
@@ -81,32 +114,34 @@ class UpdateProcess:
                 a for a in profile.primary_attributes() if a != profile.id_attribute
             ),
         )
+        scored = score_clusters_parallel(
+            clusters,
+            version,
+            with_plausibility=self._builtin_plausibility,
+            heterogeneity_all=heterogeneity_all,
+            heterogeneity_primary=heterogeneity_primary,
+            all_groups=all_groups,
+            primary_groups=primary_groups,
+            shards=shards,
+            max_workers=workers,
+        )
         for cluster in clusters:
-            if self.plausibility_fn is not None:
+            maps_by_kind = scored.get(cluster["ncid"], {})
+            if "plausibility" in maps_by_kind:
+                _apply_maps(
+                    cluster, "plausibility", maps_by_kind["plausibility"], version
+                )
+            elif self.plausibility_fn is not None:
+                # Custom scorers may close over arbitrary state — in-process.
                 _apply_maps(
                     cluster,
                     "plausibility",
                     self.plausibility_fn(cluster, version),
                     version,
                 )
-            if heterogeneity_all is not None:
-                _apply_maps(
-                    cluster,
-                    "heterogeneity",
-                    heterogeneity_all.score_cluster_document(
-                        cluster, all_groups, version=version
-                    ),
-                    version,
-                )
-            if heterogeneity_primary is not None:
-                _apply_maps(
-                    cluster,
-                    "heterogeneity_person",
-                    heterogeneity_primary.score_cluster_document(
-                        cluster, primary_groups, version=version
-                    ),
-                    version,
-                )
+            for kind in ("heterogeneity", "heterogeneity_person"):
+                if kind in maps_by_kind:
+                    _apply_maps(cluster, kind, maps_by_kind[kind], version)
             generator._dirty.add(cluster["ncid"])
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.datasets.base import BenchmarkDataset
 
@@ -26,7 +26,7 @@ def save_dataset(
     path: Path,
     records: Sequence[Dict[str, str]],
     cluster_of: Sequence,
-    attributes: Sequence[str] = None,
+    attributes: Optional[Sequence[str]] = None,
 ) -> Tuple[Path, Path]:
     """Write a labeled dataset as ``<path>`` + ``<path>.gold.csv``.
 
@@ -68,7 +68,7 @@ def save_dataset(
     return path, gold_path
 
 
-def load_dataset(path: Path, name: str = None) -> BenchmarkDataset:
+def load_dataset(path: Path, name: Optional[str] = None) -> BenchmarkDataset:
     """Load a dataset written by :func:`save_dataset` (or the CLI).
 
     The gold file is only used for validation: cluster membership is

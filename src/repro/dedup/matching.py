@@ -11,14 +11,24 @@ entropy." (Section 6.5)
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Sequence
 
 from repro.core.heterogeneity import entropy_weights
+from repro.textsim.cache import LRUCache
 
 SimilarityFn = Callable[[str, str], float]
 
 #: The attribute group matched 1:1 in its best permutation.
 DEFAULT_NAME_ATTRIBUTES = ("first_name", "midl_name", "last_name")
+
+#: Shared bounded value-similarity cache.  Detection runs create many
+#: matchers over the same snapshot values; a single LRU bounds the total
+#: memory (the old per-matcher dicts grew without limit) while still
+#: sharing hits across matchers.  Keys carry a per-matcher token so two
+#: matchers with different measures can never collide.
+_SHARED_CACHE: LRUCache = LRUCache(maxsize=131072)
+
+_matcher_tokens = itertools.count(1)
 
 
 class RecordMatcher:
@@ -52,7 +62,8 @@ class RecordMatcher:
         self._other_attributes = tuple(
             a for a in self.weights if a not in self.name_attributes
         )
-        self._cache: Dict[Tuple[str, str], float] = {}
+        self._cache = _SHARED_CACHE
+        self._cache_token = next(_matcher_tokens)
 
     @classmethod
     def from_records(
@@ -68,11 +79,14 @@ class RecordMatcher:
     def _value_similarity(self, left: str, right: str) -> float:
         if left == right:
             return 1.0
-        key = (left, right) if left <= right else (right, left)
+        if left <= right:
+            key = (self._cache_token, left, right)
+        else:
+            key = (self._cache_token, right, left)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self.measure(key[0], key[1])
-            self._cache[key] = cached
+            cached = self.measure(key[1], key[2])
+            self._cache.put(key, cached)
         return cached
 
     def _best_name_assignment(

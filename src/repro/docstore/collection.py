@@ -80,18 +80,26 @@ class Collection:
         skip: int = 0,
     ) -> List[dict]:
         """Return matching documents (deep copies), optionally projected."""
-        results = [deep_copy(doc) for doc in self._scan(filter_doc)]
         if sort:
+            results = [deep_copy(doc) for doc in self._scan(filter_doc)]
             from repro.docstore.aggregation import _sort_key
             for field, direction in reversed(sort):
                 results.sort(
                     key=lambda doc, field=field: _sort_key(get_path(doc, field)),
                     reverse=direction == -1,
                 )
-        if skip:
-            results = results[skip:]
-        if limit is not None:
-            results = results[:limit]
+            if skip:
+                results = results[skip:]
+            if limit is not None:
+                results = results[:limit]
+        else:
+            # Unsorted reads keep scan order, so skip/limit can be applied to
+            # the raw scan — only the returned window is ever deep-copied.
+            stop = None if limit is None else skip + limit
+            results = [
+                deep_copy(doc)
+                for doc in itertools.islice(self._scan(filter_doc), skip, stop)
+            ]
         if projection:
             results = list(run_pipeline(results, [{"$project": projection}]))
         return results

@@ -10,7 +10,7 @@ missing).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.votersim.errors import (
     apply_ocr_error,
@@ -70,7 +70,7 @@ def corrupt_value(
     value: str,
     rng: random.Random,
     corruptor_weights: Sequence[Tuple[str, float]],
-    corruptors: Dict[str, Corruptor] = None,
+    corruptors: Optional[Dict[str, Corruptor]] = None,
 ) -> str:
     """Apply one weighted-random corruptor to ``value``."""
     if corruptors is None:
@@ -92,7 +92,7 @@ class CorruptorSuite:
     def __init__(
         self,
         weights: Dict[str, float],
-        corruptors: Dict[str, Corruptor] = None,
+        corruptors: Optional[Dict[str, Corruptor]] = None,
     ) -> None:
         registry = corruptors if corruptors is not None else default_corruptors()
         unknown = set(weights) - set(registry)

@@ -23,10 +23,12 @@ from __future__ import annotations
 from repro.textsim.base import SimilarityMeasure, normalize_for_comparison
 from repro.textsim.cosine import SoftTfIdf, TfIdfCosine, cosine_tokens
 from repro.textsim.generalized_jaccard import GeneralizedJaccard, generalized_jaccard
+from repro.textsim.cache import LRUCache
 from repro.textsim.jaccard import (
     QgramJaccard,
     TokenJaccard,
     jaccard_qgrams,
+    jaccard_qgrams_at_least,
     jaccard_tokens,
 )
 from repro.textsim.jaro import JaroWinkler, jaro_similarity, jaro_winkler
@@ -35,8 +37,10 @@ from repro.textsim.levenshtein import (
     ExtendedDamerauLevenshtein,
     damerau_levenshtein_distance,
     damerau_levenshtein_similarity,
+    damerau_levenshtein_within,
     extended_damerau_levenshtein_similarity,
     levenshtein_distance,
+    levenshtein_within,
 )
 from repro.textsim.monge_elkan import MongeElkan, monge_elkan, symmetric_monge_elkan
 from repro.textsim.phonetic import soundex
@@ -46,9 +50,12 @@ __all__ = [
     "SimilarityMeasure",
     "normalize_for_comparison",
     "levenshtein_distance",
+    "levenshtein_within",
     "damerau_levenshtein_distance",
     "damerau_levenshtein_similarity",
+    "damerau_levenshtein_within",
     "extended_damerau_levenshtein_similarity",
+    "LRUCache",
     "DamerauLevenshtein",
     "ExtendedDamerauLevenshtein",
     "jaro_similarity",
@@ -56,6 +63,7 @@ __all__ = [
     "JaroWinkler",
     "jaccard_tokens",
     "jaccard_qgrams",
+    "jaccard_qgrams_at_least",
     "TokenJaccard",
     "QgramJaccard",
     "generalized_jaccard",

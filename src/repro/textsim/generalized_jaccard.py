@@ -14,7 +14,7 @@ similarity to score name plausibility (Section 6.2).
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.textsim.base import SimilarityMeasure, normalize_for_comparison
 from repro.textsim.levenshtein import extended_damerau_levenshtein_similarity
@@ -62,8 +62,8 @@ def generalized_jaccard(
     right: str,
     token_similarity: SimilarityFn = extended_damerau_levenshtein_similarity,
     threshold: float = 0.5,
-    tokens_left: Sequence[str] = None,
-    tokens_right: Sequence[str] = None,
+    tokens_left: Optional[Sequence[str]] = None,
+    tokens_right: Optional[Sequence[str]] = None,
 ) -> float:
     """Generalized Jaccard similarity of ``left`` and ``right``.
 

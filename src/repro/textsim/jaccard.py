@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.textsim import fast
 from repro.textsim.base import SimilarityMeasure, normalize_for_comparison
-from repro.textsim.tokens import qgrams, tokenize
+from repro.textsim.tokens import tokenize
 
 
 def _jaccard(left_set: set, right_set: set) -> float:
@@ -27,11 +30,23 @@ def jaccard_qgrams(left: str, right: str, q: int = 3, pad: bool = True) -> float
     """Jaccard similarity of the ``q``-gram sets of both values.
 
     ``q=3`` with padding is the trigram Jaccard used in the evaluation of
-    Section 6.5.
+    Section 6.5.  Gram sets are memoised per value in a bounded cache
+    (:mod:`repro.textsim.fast`); the result is bit-identical to building the
+    sets from scratch.
     """
-    left = normalize_for_comparison(left)
-    right = normalize_for_comparison(right)
-    return _jaccard(set(qgrams(left, q, pad)), set(qgrams(right, q, pad)))
+    return fast.jaccard_qgrams(left, right, q, pad)
+
+
+def jaccard_qgrams_at_least(
+    left: str, right: str, threshold: float, q: int = 3, pad: bool = True
+) -> Optional[float]:
+    """The exact q-gram Jaccard similarity if it reaches ``threshold``.
+
+    Returns ``None`` otherwise.  A gram-count prefilter rejects most
+    below-threshold pairs from set sizes alone — useful for blocking-style
+    callers that only keep candidates above a similarity floor.
+    """
+    return fast.jaccard_qgrams_at_least(left, right, threshold, q, pad)
 
 
 class TokenJaccard(SimilarityMeasure):

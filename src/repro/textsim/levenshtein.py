@@ -17,64 +17,43 @@ changed or two adjacent characters swapped).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.textsim import fast
 from repro.textsim.base import SimilarityMeasure, normalize_for_comparison
 
 
 def levenshtein_distance(left: str, right: str) -> int:
-    """Classic Levenshtein edit distance (insert / delete / substitute)."""
-    if left == right:
-        return 0
-    if not left:
-        return len(right)
-    if not right:
-        return len(left)
-    previous = list(range(len(right) + 1))
-    for i, ch_left in enumerate(left, start=1):
-        current = [i]
-        for j, ch_right in enumerate(right, start=1):
-            cost = 0 if ch_left == ch_right else 1
-            current.append(
-                min(
-                    previous[j] + 1,  # deletion
-                    current[j - 1] + 1,  # insertion
-                    previous[j - 1] + cost,  # substitution
-                )
-            )
-        previous = current
-    return previous[-1]
+    """Classic Levenshtein edit distance (insert / delete / substitute).
+
+    Delegates to the fast kernel (:mod:`repro.textsim.fast`), which is
+    bit-identical to the naive DP in :mod:`repro.textsim._reference`.
+    """
+    return fast.levenshtein_distance(left, right)
 
 
 def damerau_levenshtein_distance(left: str, right: str) -> int:
-    """Restricted Damerau-Levenshtein (optimal string alignment) distance."""
-    if left == right:
-        return 0
-    if not left:
-        return len(right)
-    if not right:
-        return len(left)
-    len_l, len_r = len(left), len(right)
-    # Three rolling rows are enough because transpositions look back two rows.
-    two_ago = [0] * (len_r + 1)
-    one_ago = list(range(len_r + 1))
-    for i in range(1, len_l + 1):
-        current = [i] + [0] * len_r
-        for j in range(1, len_r + 1):
-            cost = 0 if left[i - 1] == right[j - 1] else 1
-            best = min(
-                one_ago[j] + 1,  # deletion
-                current[j - 1] + 1,  # insertion
-                one_ago[j - 1] + cost,  # substitution
-            )
-            if (
-                i > 1
-                and j > 1
-                and left[i - 1] == right[j - 2]
-                and left[i - 2] == right[j - 1]
-            ):
-                best = min(best, two_ago[j - 2] + 1)  # transposition
-            current[j] = best
-        two_ago, one_ago = one_ago, current
-    return one_ago[-1]
+    """Restricted Damerau-Levenshtein (optimal string alignment) distance.
+
+    Delegates to the fast kernel (:mod:`repro.textsim.fast`), which is
+    bit-identical to the naive DP in :mod:`repro.textsim._reference`.
+    """
+    return fast.damerau_levenshtein_distance(left, right)
+
+
+def levenshtein_within(left: str, right: str, max_dist: int) -> Optional[int]:
+    """Levenshtein distance when it is ``<= max_dist``, else ``None``.
+
+    The thresholded kernel runs a banded (Ukkonen) DP and exits early, which
+    makes "is the distance at most k?" questions — SNM candidate matching,
+    typo classification — much cheaper than computing the full distance.
+    """
+    return fast.levenshtein_within(left, right, max_dist)
+
+
+def damerau_levenshtein_within(left: str, right: str, max_dist: int) -> Optional[int]:
+    """Restricted Damerau-Levenshtein distance when ``<= max_dist``, else ``None``."""
+    return fast.damerau_levenshtein_within(left, right, max_dist)
 
 
 def damerau_levenshtein_similarity(left: str, right: str) -> float:

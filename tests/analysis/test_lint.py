@@ -82,6 +82,41 @@ class TestLintRules:
         assert codes(lint(source)) == ["L005"]
         assert lint(source, is_library=False) == []
 
+    def test_l006_non_optional_none_default(self):
+        source = CLEAN + "def g(a: str = None):\n    return a\n"
+        assert codes(lint(source)) == ["L006"]
+
+    def test_l006_subscript_and_kwonly(self):
+        source = CLEAN + (
+            "def g(a: Sequence[str] = None, *, b: Dict[str, int] = None):\n"
+            "    return a, b\n"
+        )
+        assert codes(lint(source)).count("L006") == 2
+
+    def test_l006_allows_optional_spellings(self):
+        source = CLEAN + (
+            "def g(\n"
+            "    a: Optional[str] = None,\n"
+            "    b: typing.Optional[int] = None,\n"
+            "    c: Union[str, None] = None,\n"
+            "    d: 'str | None' = None,\n"
+            "    e: Any = None,\n"
+            "    f: object = None,\n"
+            "    g: 'Optional[Sequence[str]]' = None,\n"
+            "    h=None,\n"
+            "):\n"
+            "    pass\n"
+        )
+        assert lint(source) == []
+
+    def test_l006_allows_pep604_union(self):
+        source = CLEAN + "def g(a: str | None = None):\n    return a\n"
+        assert lint(source) == []
+
+    def test_l006_ignores_non_none_defaults(self):
+        source = CLEAN + "def g(a: str = 'x', b: int = 0):\n    return a, b\n"
+        assert lint(source) == []
+
 
 class TestLintPaths:
     def test_classifies_by_location(self, tmp_path):

@@ -1,0 +1,127 @@
+"""The fast kernels must be *bit-identical* to the naive references.
+
+:mod:`repro.textsim.fast` keeps a naive oracle next to it
+(:mod:`repro.textsim._reference`) precisely so this suite can assert exact
+equality — not approximate — for every optimised kernel: affix stripping,
+single-row DP, the banded ``*_within`` variants, token-interned Monge-Elkan
+and the q-gram count prefilter.
+"""
+
+import itertools
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textsim import _reference as ref
+from repro.textsim import (
+    damerau_levenshtein_distance,
+    damerau_levenshtein_within,
+    jaccard_qgrams,
+    jaccard_qgrams_at_least,
+    levenshtein_distance,
+    levenshtein_within,
+    monge_elkan,
+    symmetric_monge_elkan,
+)
+from repro.textsim import fast
+
+# Small alphabets force collisions, transpositions and shared affixes far
+# more often than uniform text would.
+tight = st.text(alphabet="AB", max_size=8)
+word = st.text(alphabet=string.ascii_uppercase, max_size=12)
+name_text = st.text(alphabet=string.ascii_uppercase + " -'", max_size=20)
+bound = st.integers(min_value=0, max_value=6)
+
+
+@given(st.one_of(tight, word), st.one_of(tight, word))
+@settings(max_examples=300)
+def test_levenshtein_matches_reference(left, right):
+    assert levenshtein_distance(left, right) == ref.levenshtein_distance(left, right)
+
+
+@given(st.one_of(tight, word), st.one_of(tight, word))
+@settings(max_examples=300)
+def test_damerau_levenshtein_matches_reference(left, right):
+    assert damerau_levenshtein_distance(left, right) == ref.damerau_levenshtein_distance(
+        left, right
+    )
+
+
+@given(st.one_of(tight, word), st.one_of(tight, word), bound)
+@settings(max_examples=300)
+def test_levenshtein_within_matches_reference(left, right, max_dist):
+    distance = ref.levenshtein_distance(left, right)
+    expected = distance if distance <= max_dist else None
+    assert levenshtein_within(left, right, max_dist) == expected
+
+
+@given(st.one_of(tight, word), st.one_of(tight, word), bound)
+@settings(max_examples=300)
+def test_damerau_within_matches_reference(left, right, max_dist):
+    distance = ref.damerau_levenshtein_distance(left, right)
+    expected = distance if distance <= max_dist else None
+    assert damerau_levenshtein_within(left, right, max_dist) == expected
+
+
+def test_exhaustive_small_alphabet():
+    """Every pair over {A, B} up to length 4 — all kernels, all bounds."""
+    values = [
+        "".join(chars)
+        for length in range(5)
+        for chars in itertools.product("AB", repeat=length)
+    ]
+    for left in values:
+        for right in values:
+            assert levenshtein_distance(left, right) == ref.levenshtein_distance(
+                left, right
+            )
+            dl_ref = ref.damerau_levenshtein_distance(left, right)
+            assert damerau_levenshtein_distance(left, right) == dl_ref
+            for max_dist in range(4):
+                expected = dl_ref if dl_ref <= max_dist else None
+                assert damerau_levenshtein_within(left, right, max_dist) == expected
+
+
+@given(name_text, name_text)
+@settings(max_examples=200)
+def test_monge_elkan_matches_reference(left, right):
+    assert monge_elkan(left, right) == ref.monge_elkan(left, right)
+
+
+@given(name_text, name_text)
+@settings(max_examples=200)
+def test_symmetric_monge_elkan_matches_reference(left, right):
+    assert symmetric_monge_elkan(left, right) == ref.symmetric_monge_elkan(left, right)
+
+
+@given(name_text, name_text)
+@settings(max_examples=200)
+def test_jaccard_qgrams_matches_reference(left, right):
+    assert jaccard_qgrams(left, right) == ref.jaccard_qgrams(left, right)
+
+
+@given(name_text, name_text, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200)
+def test_jaccard_at_least_is_exact_when_over_threshold(left, right, threshold):
+    similarity = ref.jaccard_qgrams(left, right)
+    result = jaccard_qgrams_at_least(left, right, threshold)
+    if similarity >= threshold:
+        assert result == similarity
+    else:
+        assert result is None
+
+
+def test_within_rejects_negative_bound():
+    with pytest.raises(ValueError):
+        levenshtein_within("A", "B", -1)
+    with pytest.raises(ValueError):
+        damerau_levenshtein_within("A", "B", -1)
+
+
+def test_caches_are_clearable():
+    monge_elkan("JOHN SMITH", "JON SMYTH")
+    assert fast.tokens_of.cache_info().currsize > 0
+    fast.clear_caches()
+    assert fast.tokens_of.cache_info().currsize == 0
