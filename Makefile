@@ -1,4 +1,4 @@
-.PHONY: install test lint typecheck bench bench-scoring examples validate-docs clean
+.PHONY: install test lint typecheck bench bench-scoring bench-docstore examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,13 @@ bench:
 # if the sequential fast path is less than 3x the naive reference.
 bench-scoring:
 	PYTHONPATH=src python benchmarks/scoring_bench.py --quick --out BENCH_scoring.json
+
+# Quick docstore benchmark: planned reads (index lookups/ranges, index
+# order, pipeline pushdown) vs forced full scans.  Writes timings/speedups
+# to BENCH_docstore.json and fails if indexed range finds or pushdown
+# aggregates are less than 5x the full-scan reference.
+bench-docstore:
+	PYTHONPATH=src python benchmarks/docstore_bench.py --quick --out BENCH_docstore.json
 
 # Run every example end to end (a few minutes total).
 examples:

@@ -25,6 +25,7 @@ from repro.analysis.analyzer import (
     require_clean,
 )
 from repro.analysis.customization import analyze_customization
+from repro.analysis.index_usage import analyze_index_usage
 from repro.analysis.diagnostics import (
     ERROR,
     WARNING,
@@ -38,6 +39,7 @@ from repro.analysis.registry import (
     EXPRESSION_OPERATORS,
     FILTER_OPERATORS,
     PIPELINE_STAGES,
+    PUSHDOWN_STAGES,
     TOP_LEVEL_OPERATORS,
     UPDATE_OPERATORS,
     did_you_mean,
@@ -53,6 +55,7 @@ __all__ = [
     "errors_only",
     "render_report",
     "analyze_filter",
+    "analyze_index_usage",
     "analyze_pipeline",
     "analyze_update",
     "analyze_customization",
@@ -63,6 +66,7 @@ __all__ = [
     "FILTER_OPERATORS",
     "TOP_LEVEL_OPERATORS",
     "PIPELINE_STAGES",
+    "PUSHDOWN_STAGES",
     "EXPRESSION_OPERATORS",
     "ACCUMULATORS",
     "UPDATE_OPERATORS",

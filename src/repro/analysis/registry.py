@@ -74,6 +74,10 @@ UPDATE_OPERATORS = frozenset(
     {"$set", "$unset", "$inc", "$push", "$addToSet", "$pull", "$rename"}
 )
 
+#: Pipeline stages the query planner can push down into an indexed read
+#: (mirrors ``repro.docstore.planner.split_pushdown``; pinned by tests).
+PUSHDOWN_STAGES = frozenset({"$match", "$sort", "$skip", "$limit"})
+
 
 def suggest(
     name: str, candidates: Iterable[str], max_distance: int = 2

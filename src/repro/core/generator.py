@@ -204,12 +204,20 @@ class TestDataGenerator:
         clusters = self.database.get_collection("clusters")
         if "ncid_hash" not in clusters.index_names():
             clusters.create_index("ncid", "hash")
+        # Range reads over cluster age (records_at_version-style queries)
+        # plan through a sorted index instead of scanning every cluster.
+        if "meta.first_version_sorted" not in clusters.index_names():
+            clusters.create_index("meta.first_version", "sorted")
         for ncid in sorted(self._dirty):
             cluster = self._clusters[ncid]
             if clusters.replace_one({"_id": ncid}, cluster) == 0:
                 clusters.insert_one(cluster)
         self._dirty.clear()
         versions = self.database.get_collection("versions")
+        # Version listings sort on "version"; the sorted index lets those
+        # reads stream in index order (plan: index_order).
+        if "version_sorted" not in versions.index_names():
+            versions.create_index("version", "sorted")
         versions.insert_one(
             {
                 "_id": self.current_version,

@@ -1,0 +1,97 @@
+"""Naive full-scan reference implementations of collection reads.
+
+These mirror the pre-planner execution paths line for line: scan every
+document in ascending internal-id order, evaluate the *full* compiled
+filter against each, deep-copy every match, then sort / window / project.
+No index is ever consulted.
+
+They exist so property tests and ``benchmarks/docstore_bench.py`` can
+assert that planned reads (:mod:`repro.docstore.planner`) are
+**bit-identical** to a forced full scan — same documents, same order, same
+copies — while measuring the speedup.  Follows the in-tree oracle pattern
+of ``repro.textsim._reference`` and ``repro.core._reference``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, List, Optional
+
+from repro.docstore.aggregation import _sort_key, run_pipeline
+from repro.docstore.documents import deep_copy, get_path
+from repro.docstore.matching import compile_filter
+
+
+def scan_ids(collection: Any, filter_doc: Optional[dict] = None) -> Iterator[int]:
+    """Ids of matching documents by brute force, in ascending id order."""
+    predicate = compile_filter(filter_doc) if filter_doc else None
+    for internal_id in sorted(collection._documents):
+        document = collection._documents[internal_id]
+        if predicate is None or predicate(document):
+            yield internal_id
+
+
+def find_full_scan(
+    collection: Any,
+    filter_doc: Optional[dict] = None,
+    projection: Optional[dict] = None,
+    sort: Optional[List[tuple]] = None,
+    limit: Optional[int] = None,
+    skip: int = 0,
+) -> List[dict]:
+    """``Collection.find`` semantics with every index ignored."""
+    documents = (
+        collection._documents[internal_id]
+        for internal_id in scan_ids(collection, filter_doc)
+    )
+    if sort:
+        results = [deep_copy(document) for document in documents]
+        for field, direction in reversed(sort):
+            results.sort(
+                key=lambda doc, field=field: _sort_key(get_path(doc, field)),
+                reverse=direction == -1,
+            )
+        if skip:
+            results = results[skip:]
+        if limit is not None:
+            results = results[:limit]
+    else:
+        stop = None if limit is None else skip + limit
+        results = [
+            deep_copy(document)
+            for document in itertools.islice(documents, skip, stop)
+        ]
+    if projection:
+        results = list(run_pipeline(results, [{"$project": projection}]))
+    return results
+
+
+def count_full_scan(collection: Any, filter_doc: Optional[dict] = None) -> int:
+    """``Collection.count_documents`` semantics with every index ignored."""
+    if not filter_doc:
+        return len(collection._documents)
+    return sum(1 for _ in scan_ids(collection, filter_doc))
+
+
+def distinct_full_scan(
+    collection: Any, path: str, filter_doc: Optional[dict] = None
+) -> List[Any]:
+    """``Collection.distinct`` semantics with every index ignored."""
+    seen: dict = {}
+    for internal_id in scan_ids(collection, filter_doc):
+        document = collection._documents[internal_id]
+        value = get_path(document, path, default=None)
+        values = value if isinstance(value, list) else [value]
+        for element in values:
+            if element is not None:
+                seen.setdefault(repr(element), element)
+    return [seen[key] for key in sorted(seen)]
+
+
+def aggregate_full_scan(collection: Any, pipeline: List[dict]) -> List[dict]:
+    """``Collection.aggregate`` semantics with no pushdown: deep-copy all."""
+    source = (
+        deep_copy(collection._documents[internal_id])
+        for internal_id in sorted(collection._documents)
+    )
+    return list(run_pipeline(source, pipeline))

@@ -9,7 +9,7 @@ from repro.docstore.aggregation import run_pipeline
 from repro.docstore.documents import deep_copy, get_path, set_path, unset_path
 from repro.docstore.errors import DuplicateKeyError, QueryError
 from repro.docstore.indexes import HashIndex, build_index
-from repro.docstore.matching import compile_filter, equality_conditions
+from repro.docstore.planner import execute_find, iter_matching_ids, plan_read, split_pushdown
 
 #: Sentinel for $rename on an absent source path (a silent no-op).
 _RENAME_MISSING = object()
@@ -79,27 +79,17 @@ class Collection:
         limit: Optional[int] = None,
         skip: int = 0,
     ) -> List[dict]:
-        """Return matching documents (deep copies), optionally projected."""
-        if sort:
-            results = [deep_copy(doc) for doc in self._scan(filter_doc)]
-            from repro.docstore.aggregation import _sort_key
-            for field, direction in reversed(sort):
-                results.sort(
-                    key=lambda doc, field=field: _sort_key(get_path(doc, field)),
-                    reverse=direction == -1,
-                )
-            if skip:
-                results = results[skip:]
-            if limit is not None:
-                results = results[:limit]
-        else:
-            # Unsorted reads keep scan order, so skip/limit can be applied to
-            # the raw scan — only the returned window is ever deep-copied.
-            stop = None if limit is None else skip + limit
-            results = [
-                deep_copy(doc)
-                for doc in itertools.islice(self._scan(filter_doc), skip, stop)
-            ]
+        """Return matching documents (deep copies), optionally projected.
+
+        Reads are planned (:mod:`repro.docstore.planner`): equality and
+        range conditions resolve through hash/sorted indexes, a
+        single-field ``sort`` matching a sorted index streams in index
+        order with no sorting, and only the returned ``skip``/``limit``
+        window is ever deep-copied.
+        """
+        self._check_filter(filter_doc)
+        plan = plan_read(self, filter_doc, sort)
+        results = list(execute_find(self, plan, skip=skip, limit=limit))
         if projection:
             results = list(run_pipeline(results, [{"$project": projection}]))
         return results
@@ -108,8 +98,17 @@ class Collection:
         """Distinct values of ``path`` over matching documents.
 
         Array values are expanded element-wise (MongoDB semantics); the
-        result is sorted by ``repr`` for determinism.
+        result is sorted by ``repr`` for determinism.  Without a filter, a
+        hash index on ``path`` whose keys are all strings answers straight
+        from the index, never touching a document.
         """
+        if not filter_doc:
+            index = self._indexes.get(f"{path}_hash")
+            if isinstance(index, HashIndex):
+                keys = list(index.keys())
+                if all(key is None or isinstance(key, str) for key in keys):
+                    seen = {repr(key): key for key in keys if key is not None}
+                    return [seen[key] for key in sorted(seen)]
         seen = {}
         for document in self._scan(filter_doc):
             value = get_path(document, path, default=None)
@@ -126,10 +125,19 @@ class Collection:
         return None
 
     def count_documents(self, filter_doc: Optional[dict] = None) -> int:
-        """Number of documents matching ``filter_doc``."""
+        """Number of documents matching ``filter_doc``.
+
+        When the filter is fully covered by the chosen index access (no
+        residual predicate), this is a pure index count — no document is
+        loaded or matched.
+        """
         if not filter_doc:
             return len(self._documents)
-        return sum(1 for _ in self._scan(filter_doc))
+        self._check_filter(filter_doc)
+        plan = plan_read(self, filter_doc)
+        if plan.residual is None and plan.candidate_ids is not None:
+            return len(plan.candidate_ids)
+        return sum(1 for _ in iter_matching_ids(self, plan))
 
     def _check_update(self, update: dict) -> None:
         if self.analysis_mode == "strict":
@@ -186,6 +194,12 @@ class Collection:
         unknown stages/operators, malformed specs, unknown field paths and
         stage-order hazards raise :class:`QueryError` before any document is
         streamed.
+
+        Leading ``$match``/``$sort``/``$skip``/``$limit`` stages are pushed
+        down into the query planner: they run through index accesses and
+        windowed, lazily-copied reads, so the remaining stages see an
+        already-narrowed stream instead of a deep copy of the whole
+        collection.
         """
         if self.analysis_mode == "strict":
             from repro.analysis import analyze_pipeline, require_clean
@@ -194,8 +208,16 @@ class Collection:
                 analyze_pipeline(pipeline, self.schema),
                 f"pipeline for collection {self.name!r}",
             )
-        source = (deep_copy(doc) for doc in self._ordered_documents())
-        return list(run_pipeline(source, pipeline))
+        pushdown = split_pushdown(pipeline)
+        if pushdown.pushed:
+            plan = plan_read(self, pushdown.filter_doc, pushdown.sort_spec)
+            plan.pushdown = pushdown.pushed
+            source: Iterable[dict] = execute_find(
+                self, plan, skip=pushdown.skip, limit=pushdown.limit
+            )
+        else:
+            source = (deep_copy(doc) for doc in self._ordered_documents())
+        return list(run_pipeline(source, pushdown.rest))
 
     def all(self) -> Iterator[dict]:
         """Iterate deep copies of every document in insertion order."""
@@ -222,20 +244,46 @@ class Collection:
         """Sorted names of the collection's indexes."""
         return sorted(self._indexes)
 
-    def explain(self, filter_doc: Optional[dict] = None) -> dict:
-        """Describe how a query would execute (index vs full scan).
+    def explain(
+        self,
+        filter_doc: Optional[dict] = None,
+        sort: Optional[List[tuple]] = None,
+        pipeline: Optional[List[dict]] = None,
+    ) -> dict:
+        """Describe how a query (or pipeline) would execute.
 
-        Returns ``{"plan": "index_lookup" | "id_lookup" | "full_scan",
-        "candidates": n, "documents": total}`` — the candidate count is how
-        many documents the filter predicate would actually be evaluated on.
+        Returns the chosen plan — ``"full_scan"`` / ``"id_lookup"`` /
+        ``"index_lookup"`` / ``"index_range"`` / ``"index_order"`` — plus
+        the index used, the residual predicate the candidates are matched
+        against, the candidate count (how many documents would actually be
+        examined), pushed-down pipeline stages when ``pipeline`` is given,
+        and index-usage hints from :func:`repro.analysis.analyze_index_usage`.
         """
-        candidates = self._candidate_ids(filter_doc)
-        total = len(self._documents)
-        if candidates is None:
-            return {"plan": "full_scan", "candidates": total, "documents": total}
-        equalities = equality_conditions(filter_doc or {})
-        plan = "id_lookup" if "_id" in equalities else "index_lookup"
-        return {"plan": plan, "candidates": len(candidates), "documents": total}
+        remaining: List[dict] = []
+        if pipeline is not None:
+            pushdown = split_pushdown(pipeline)
+            plan = plan_read(self, pushdown.filter_doc, pushdown.sort_spec)
+            plan.pushdown = pushdown.pushed
+            remaining = pushdown.rest
+        else:
+            plan = plan_read(self, filter_doc, sort)
+        description = plan.describe(len(self._documents))
+        description["remaining_stages"] = [
+            next(iter(stage)) if isinstance(stage, dict) and stage else "?"
+            for stage in remaining
+        ]
+        from repro.analysis import analyze_index_usage
+
+        description["hints"] = [
+            diagnostic.render()
+            for diagnostic in analyze_index_usage(
+                filter_doc=filter_doc,
+                sort=sort,
+                pipeline=pipeline,
+                indexes=self.index_specs(),
+            )
+        ]
+        return description
 
     def index_specs(self) -> List[dict]:
         """Serializable descriptions of the collection's indexes."""
@@ -250,32 +298,7 @@ class Collection:
         for internal_id in sorted(self._documents):
             yield self._documents[internal_id]
 
-    def _candidate_ids(self, filter_doc: Optional[dict]) -> Optional[List[int]]:
-        """Use indexes to narrow the scan; None means full scan."""
-        if not filter_doc:
-            return None
-        equalities = equality_conditions(filter_doc)
-        if "_id" in equalities:
-            internal_id = self._by_user_id.get(_freeze_id(equalities["_id"]))
-            return [internal_id] if internal_id is not None else []
-        best: Optional[set] = None
-        for path, value in equalities.items():
-            index = self._indexes.get(f"{path}_hash")
-            if isinstance(index, HashIndex):
-                from repro.docstore.documents import _freeze
-
-                hits = index.lookup(_freeze(value))
-                if best is None or len(hits) < len(best):
-                    best = hits
-        if best is None:
-            return None
-        return sorted(best)
-
-    def _scan(self, filter_doc: Optional[dict]) -> Iterator[dict]:
-        for _internal_id, document in self._scan_with_ids(filter_doc):
-            yield document
-
-    def _scan_with_ids(self, filter_doc: Optional[dict]) -> Iterator[tuple]:
+    def _check_filter(self, filter_doc: Optional[dict]) -> None:
         if self.analysis_mode == "strict" and filter_doc:
             from repro.analysis import analyze_filter, require_clean
 
@@ -283,21 +306,33 @@ class Collection:
                 analyze_filter(filter_doc, self.schema),
                 f"filter for collection {self.name!r}",
             )
-        predicate = compile_filter(filter_doc or {})
-        candidates = self._candidate_ids(filter_doc)
-        if candidates is None:
-            ids: Iterable[int] = sorted(self._documents)
-        else:
-            ids = candidates
-        for internal_id in ids:
-            document = self._documents.get(internal_id)
-            if document is not None and predicate(document):
-                yield internal_id, document
+
+    def _scan(self, filter_doc: Optional[dict]) -> Iterator[dict]:
+        for _internal_id, document in self._scan_with_ids(filter_doc):
+            yield document
+
+    def _scan_with_ids(self, filter_doc: Optional[dict]) -> Iterator[tuple]:
+        self._check_filter(filter_doc)
+        plan = plan_read(self, filter_doc)
+        for internal_id in iter_matching_ids(self, plan):
+            yield internal_id, self._documents[internal_id]
 
     def _apply_update(self, internal_id: int, document: dict, update: dict) -> None:
         if not update or not all(key.startswith("$") for key in update):
             raise QueryError("updates must use operators like $set / $unset / $inc / $push")
-        for index in self._indexes.values():
+        # Only indexes whose path the update spec can touch are maintained;
+        # removing/re-adding every index on every update made single-field
+        # updates cost O(indexes) instead of O(touched paths).
+        touched = _update_touched_paths(update)
+        if touched is None:
+            affected = list(self._indexes.values())
+        else:
+            affected = [
+                index
+                for index in self._indexes.values()
+                if any(_paths_overlap(path, index.path) for path in touched)
+            ]
+        for index in affected:
             index.remove(internal_id, document)
         try:
             for op, spec in update.items():
@@ -360,7 +395,7 @@ class Collection:
                 else:
                     raise QueryError(f"unknown update operator {op!r}")
         finally:
-            for index in self._indexes.values():
+            for index in affected:
                 index.add(internal_id, document)
 
     def __len__(self) -> int:
@@ -368,6 +403,41 @@ class Collection:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Collection(name={self.name!r}, documents={len(self)})"
+
+
+def _update_touched_paths(update: dict) -> Optional[set]:
+    """Dotted paths an update spec may modify, or ``None`` when unknowable.
+
+    ``$rename`` touches both its source and its target path.  A malformed
+    spec (non-dict operand) returns ``None`` so the caller falls back to
+    maintaining every index — ``_apply_update`` will raise on it anyway, and
+    the try/finally there must still restore whatever was removed.
+    """
+    paths: set = set()
+    for op, spec in update.items():
+        if not isinstance(spec, dict):
+            return None
+        for path, value in spec.items():
+            paths.add(str(path))
+            if op == "$rename" and isinstance(value, str):
+                paths.add(value)
+    return paths
+
+
+def _strip_numeric_segments(path: str) -> str:
+    return ".".join(part for part in path.split(".") if not part.isdigit())
+
+
+def _paths_overlap(update_path: str, index_path: str) -> bool:
+    """Whether writing ``update_path`` can change keys at ``index_path``.
+
+    True when either is a dotted prefix of the other (writing ``a`` rewrites
+    ``a.b``; writing ``a.b`` changes what an index on ``a`` sees).  Numeric
+    segments are stripped first so ``tags.0`` overlaps an index on ``tags``.
+    """
+    a = _strip_numeric_segments(update_path)
+    b = _strip_numeric_segments(index_path)
+    return a == b or a.startswith(b + ".") or b.startswith(a + ".")
 
 
 def _freeze_id(value: Any) -> Any:

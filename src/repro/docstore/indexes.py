@@ -5,7 +5,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Dict, Iterator, List, Set, Tuple
 
-from repro.docstore.documents import iter_index_keys
+from repro.docstore.documents import iter_index_keys, resolve_path
 from repro.docstore.errors import UnknownIndexKind
 
 
@@ -38,8 +38,16 @@ class HashIndex:
                 del self._buckets[key]
 
     def lookup(self, key: Any) -> Set[int]:
-        """Document ids whose indexed field equals ``key``."""
+        """Document ids whose indexed field equals ``key`` (pre-frozen)."""
         return set(self._buckets.get(key, ()))
+
+    def estimate(self, key: Any) -> int:
+        """Bucket size for ``key`` (pre-frozen) without materializing a set."""
+        return len(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate the distinct (frozen) keys present in the index."""
+        return iter(self._buckets)
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
@@ -49,7 +57,21 @@ class SortedIndex:
     """Ordered index supporting range scans over comparable keys.
 
     Keys that are not mutually comparable with the existing population are
-    bucketed by type first, so mixed int/str fields do not raise.
+    bucketed by type first, so mixed int/str fields do not raise.  Booleans
+    live in the ``number`` bucket: Python compares them freely with ints and
+    floats, so splitting them out would make range candidate sets miss
+    documents the filter language matches.
+
+    Beyond raw ranges the index keeps two per-document books the query
+    planner relies on:
+
+    * which documents were indexed from a *list* value (multikey entries) —
+      needed both for exact two-sided range candidate sets under MongoDB's
+      any-element array semantics and to disable index-ordered streaming
+      (a list sorts as a list, not as its smallest element);
+    * how many live keys each document contributed, so the planner can tell
+      which documents are absent from the index (missing / ``None`` values
+      sort before everything and are streamed separately).
     """
 
     kind = "sorted"
@@ -58,34 +80,58 @@ class SortedIndex:
         self.path = path
         # One sorted list of (key, doc_id) per key type name.
         self._by_type: Dict[str, List[Tuple[Any, int]]] = {}
+        # doc_id -> number of times added with a list value (multikey).
+        self._list_entries: Dict[int, int] = {}
+        # doc_id -> number of non-None keys currently in the index.
+        self._key_counts: Dict[int, int] = {}
 
     @staticmethod
     def _type_name(key: Any) -> str:
-        if isinstance(key, bool):
-            return "bool"
-        if isinstance(key, (int, float)):
+        if isinstance(key, (bool, int, float)):
             return "number"
         return type(key).__name__
 
+    def _insert(self, doc_id: int, key: Any) -> None:
+        entries = self._by_type.setdefault(self._type_name(key), [])
+        bisect.insort(entries, (key, doc_id))
+        self._key_counts[doc_id] = self._key_counts.get(doc_id, 0) + 1
+
+    def _delete(self, doc_id: int, key: Any) -> None:
+        entries = self._by_type.get(self._type_name(key))
+        if not entries:
+            return
+        position = bisect.bisect_left(entries, (key, doc_id))
+        if position < len(entries) and entries[position] == (key, doc_id):
+            entries.pop(position)
+            count = self._key_counts.get(doc_id, 0) - 1
+            if count > 0:
+                self._key_counts[doc_id] = count
+            else:
+                self._key_counts.pop(doc_id, None)
+
     def add(self, doc_id: int, document: dict) -> None:
         """Index ``document`` under ``doc_id``."""
+        value = resolve_path(document, self.path)
+        if isinstance(value, list):
+            self._list_entries[doc_id] = self._list_entries.get(doc_id, 0) + 1
         for key in iter_index_keys(document, self.path):
             if key is None:
                 continue
-            entries = self._by_type.setdefault(self._type_name(key), [])
-            bisect.insort(entries, (key, doc_id))
+            self._insert(doc_id, key)
 
     def remove(self, doc_id: int, document: dict) -> None:
         """Remove ``document``'s entries for ``doc_id``."""
+        value = resolve_path(document, self.path)
+        if isinstance(value, list):
+            count = self._list_entries.get(doc_id, 0) - 1
+            if count > 0:
+                self._list_entries[doc_id] = count
+            else:
+                self._list_entries.pop(doc_id, None)
         for key in iter_index_keys(document, self.path):
             if key is None:
                 continue
-            entries = self._by_type.get(self._type_name(key))
-            if not entries:
-                continue
-            position = bisect.bisect_left(entries, (key, doc_id))
-            if position < len(entries) and entries[position] == (key, doc_id):
-                entries.pop(position)
+            self._delete(doc_id, key)
 
     def range(
         self,
@@ -118,6 +164,97 @@ class SortedIndex:
             for key, doc_id in entries[start:end]:
                 hits.add(doc_id)
         return hits
+
+    def range_ids(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[int]:
+        """Exact candidate ids for a conjunction of range conditions.
+
+        Unlike :meth:`range`, this is safe to use as the *complete* candidate
+        set for ``{"$gte": low, "$lte": high}`` under MongoDB's any-element
+        array semantics: a document with value ``[1, 20]`` matches
+        ``{"$gte": 2, "$lte": 10}`` (element 20 satisfies the lower bound,
+        element 1 the upper) even though no single key falls inside
+        ``[2, 10]``.  Multikey documents are therefore re-checked one bound
+        at a time.
+        """
+        hits = self.range(low, high, include_low, include_high)
+        if low is not None and high is not None and self._list_entries:
+            lows = self.range(low, None, include_low, True)
+            highs = self.range(None, high, True, include_high)
+            hits |= set(self._list_entries) & lows & highs
+        return hits
+
+    def count_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> int:
+        """Upper bound on ``len(range_ids(...))`` without building the set."""
+        total = 0
+        reference = low if low is not None else high
+        if reference is None:
+            total = sum(len(entries) for entries in self._by_type.values())
+        else:
+            entries = self._by_type.get(self._type_name(reference), [])
+            start = 0
+            end = len(entries)
+            if low is not None:
+                start = _bisect_key(entries, low, left=include_low)
+            if high is not None:
+                end = _bisect_key(entries, high, left=not include_high)
+            total = max(end - start, 0)
+        return total + len(self._list_entries)
+
+    @property
+    def multikey(self) -> bool:
+        """Whether any indexed document has a list value at the path."""
+        return bool(self._list_entries)
+
+    def indexed_ids(self) -> Set[int]:
+        """Ids of documents contributing at least one non-``None`` key."""
+        return set(self._key_counts)
+
+    def order_usable(self) -> bool:
+        """Whether index order equals the filter language's sort order.
+
+        True when no document is multikey (a list value sorts as a list,
+        not as its elements) and every key lives in the ``number`` or
+        ``str`` buckets, whose relative order (numbers before strings)
+        matches the sort routine's total order over mixed types.
+        """
+        if self._list_entries:
+            return False
+        return set(self._by_type) <= {"number", "str"}
+
+    def ordered_ids(self, reverse: bool = False) -> Iterator[int]:
+        """Document ids in sort order (only valid when :meth:`order_usable`).
+
+        Ascending streams numbers then strings.  Descending must mirror a
+        *stable* reverse sort: keys descend, but documents sharing a key keep
+        ascending id order — so equal-key runs are emitted in index order
+        while the runs themselves are walked back to front.
+        """
+        buckets = [self._by_type.get("number", []), self._by_type.get("str", [])]
+        if not reverse:
+            for entries in buckets:
+                for _key, doc_id in entries:
+                    yield doc_id
+            return
+        for entries in reversed(buckets):
+            end = len(entries)
+            while end > 0:
+                key = entries[end - 1][0]
+                start = _bisect_key(entries, key, left=True)
+                for _key, doc_id in entries[start:end]:
+                    yield doc_id
+                end = start
 
     def first_ids(self, count: int) -> List[int]:
         """Ids of the ``count`` smallest keys (across all buckets, in order)."""
