@@ -1,4 +1,4 @@
-.PHONY: install test lint typecheck bench bench-scoring bench-docstore examples validate-docs clean
+.PHONY: install test lint typecheck bench bench-scoring bench-docstore bench-durability test-faults examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,17 @@ bench-scoring:
 # aggregates are less than 5x the full-scan reference.
 bench-docstore:
 	PYTHONPATH=src python benchmarks/docstore_bench.py --quick --out BENCH_docstore.json
+
+# Quick durability benchmark: WAL append throughput across fsync-batch
+# settings, commit cost and recovery (WAL replay vs snapshot load).
+# Writes machine-readable timings to BENCH_durability.json.
+bench-durability:
+	PYTHONPATH=src python benchmarks/durability_bench.py --quick --out BENCH_durability.json
+
+# The crash-consistency suite: fault-injection sweeps over every I/O
+# operation plus the fault-tolerant parallel scoring tests.
+test-faults:
+	pytest tests/docstore/test_faults.py tests/docstore/test_wal.py tests/core/test_fault_tolerance.py
 
 # Run every example end to end (a few minutes total).
 examples:

@@ -14,7 +14,13 @@ Custom :mod:`ast`-based checks that hold this codebase's invariants:
   (keeps annotations cheap and uniform on all supported Pythons);
 * **L006** — parameter annotated with a non-``Optional`` type but defaulted
   to ``None`` (``def f(x: str = None)`` lies to every caller and type
-  checker; annotate ``Optional[str]`` / ``str | None`` instead).
+  checker; annotate ``Optional[str]`` / ``str | None`` instead);
+* **L007** — docstore library code opening files for writing directly
+  (``open(..., "w")``, ``path.open("wb")``, ``path.write_text(...)``) —
+  every write to a docstore-managed path must go through the atomic-write
+  helpers in :mod:`repro.docstore.wal` (tmp file → fsync → rename), or a
+  crash can leave a half-written snapshot; ``wal.py`` itself, where those
+  helpers live, is exempt.
 
 Findings are reported as :class:`~repro.analysis.diagnostics.Diagnostic`
 records with ``file:line:col`` locations.  The module doubles as a pytest
@@ -42,9 +48,16 @@ DOCSTORE_EXCEPTIONS = frozenset(
         "QueryError",
         "CollectionNotFound",
         "StorageError",
+        "StorageCorruptError",
         "UnknownIndexKind",
     }
 )
+
+#: Docstore modules exempt from L007: the atomic-write helpers themselves.
+ATOMIC_WRITE_HOME = frozenset({"wal.py"})
+
+#: String literals that make an ``open``-style mode argument a write mode.
+_WRITE_MODE_CHARS = frozenset("wax+")
 
 _MUTABLE_CALLS = frozenset({"list", "dict", "set"})
 
@@ -98,6 +111,28 @@ def _annotation_allows_none(annotation: Optional[ast.AST]) -> bool:
             return any(_annotation_allows_none(element) for element in elements)
         return False
     return True  # unrecognised construct — do not guess
+
+
+def _mode_argument(node: ast.Call, position: int) -> Optional[ast.AST]:
+    """The mode argument of an ``open``-style call, positional or keyword."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    return mode
+
+
+def _is_write_mode(mode: Optional[ast.AST]) -> bool:
+    """Whether a mode argument provably opens for writing.
+
+    Only string constants are classified (``open(p, flag)`` with a dynamic
+    flag is not guessed at); absent modes default to read.
+    """
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_CHARS.intersection(mode.value))
+    return False
 
 
 def _raised_name(node: ast.Raise) -> Optional[str]:
@@ -194,7 +229,46 @@ class _FileLinter(ast.NodeVisitor):
                 "print() in library code",
                 hint="return or log the value; printing belongs in the CLI",
             )
+        if (
+            self.is_docstore
+            and self.is_library
+            and self.path.name not in ATOMIC_WRITE_HOME
+        ):
+            self._check_direct_write(node)
         self.generic_visit(node)
+
+    def _check_direct_write(self, node: ast.Call) -> None:
+        func = node.func
+        hint = (
+            "write through repro.docstore.wal.atomic_write_text/_bytes "
+            "(tmp file → fsync → rename)"
+        )
+        if isinstance(func, ast.Name) and func.id == "open":
+            if _is_write_mode(_mode_argument(node, 1)):
+                self._report(
+                    node,
+                    "L007",
+                    "docstore code opens a file for writing directly; a "
+                    "crash mid-write leaves a torn file",
+                    hint=hint,
+                )
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open" and _is_write_mode(_mode_argument(node, 0)):
+                self._report(
+                    node,
+                    "L007",
+                    "docstore code opens a file for writing directly; a "
+                    "crash mid-write leaves a torn file",
+                    hint=hint,
+                )
+            elif func.attr in {"write_text", "write_bytes"}:
+                self._report(
+                    node,
+                    "L007",
+                    f"docstore code calls .{func.attr}() directly; a crash "
+                    "mid-write leaves a torn file",
+                    hint=hint,
+                )
 
     def visit_Raise(self, node: ast.Raise) -> None:
         if self.is_docstore:
@@ -268,7 +342,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.analysis.lint``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="AST-based repo-invariant linter (codes L001-L006).",
+        description="AST-based repo-invariant linter (codes L001-L007).",
     )
     parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
     args = parser.parse_args(argv)

@@ -8,13 +8,18 @@
     ncvoter-testdata customize --store store/ --out nc2.csv --h-lo 0.2 --h-hi 0.4
     ncvoter-testdata evaluate  --dataset nc2.csv --gold nc2.gold.csv
     ncvoter-testdata check     --store store/ --pipeline pipeline.json
+    ncvoter-testdata recover   --store store/
 
 ``simulate`` writes snapshot TSVs (the register's publication format);
 ``generate`` runs the full update process (import → statistics → publish)
-into a persisted document store; ``stats`` prints the Table 1/2 statistics
-of a store; ``customize`` extracts a heterogeneity-bounded test dataset as
-CSV plus a gold-pair file; ``evaluate`` sweeps thresholds for the three
-paper measures and reports the best F1 per measure.
+into a persisted document store — with ``--durable`` every snapshot is
+write-ahead-logged and committed as its own version, so an interrupted
+run resumes from the last committed snapshot; ``stats`` prints the
+Table 1/2 statistics of a store; ``customize`` extracts a
+heterogeneity-bounded test dataset as CSV plus a gold-pair file;
+``evaluate`` sweeps thresholds for the three paper measures and reports
+the best F1 per measure; ``recover`` replays a durable store's
+write-ahead logs and reports what crash recovery had to repair.
 """
 
 from __future__ import annotations
@@ -65,16 +70,36 @@ def _load_snapshots(directory: Path):
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     snapshots = _load_snapshots(args.snapshots)
-    generator = TestDataGenerator(removal=RemovalLevel(args.removal))
+    store = Path(args.store)
+    if args.durable:
+        from repro.docstore import DurableDatabase
+
+        database = DurableDatabase(store, fsync_batch=args.fsync_batch)
+        if database.last_recovery is not None and not database.last_recovery.clean:
+            print("recovered store:")
+            print(database.last_recovery.render())
+        generator = TestDataGenerator.from_database(
+            database, removal=RemovalLevel(args.removal)
+        )
+        skipped = sum(
+            1 for s in snapshots if s.date in generator._imported_snapshots
+        )
+        if skipped:
+            print(f"resuming: {skipped} snapshot(s) already committed")
+    else:
+        generator = TestDataGenerator(removal=RemovalLevel(args.removal))
     process = UpdateProcess(generator, workers=args.workers, shards=args.shards)
-    version = process.run(
-        snapshots, compute_statistics=args.stats, note="cli generate"
-    )
-    generator.database.save(Path(args.store))
-    print(
-        f"published version {version}: {generator.record_count} records in "
-        f"{generator.cluster_count} clusters -> {args.store}"
-    )
+    if args.durable:
+        # One committed version per snapshot: a crash mid-run resumes from
+        # the last durably committed snapshot instead of starting over.
+        versions = process.run_incremental(snapshots, compute_statistics=args.stats)
+        version = generator.current_version
+        if not versions:
+            print("nothing to do: all snapshots already committed")
+    else:
+        version = process.run(
+            snapshots, compute_statistics=args.stats, note="cli generate"
+        )
     # Persist import statistics alongside the store for the stats command.
     stats_rows = [
         {
@@ -86,14 +111,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         }
         for stats in generator.import_stats
     ]
-    imports = Database.load(Path(args.store))
-    collection = imports.get_collection("import_stats")
+    collection = generator.database.get_collection("import_stats")
     # ``stats`` reads this sorted by snapshot_date; the index serves the
     # sort in index order instead of sorting every row on each read.
     if "snapshot_date_sorted" not in collection.index_names():
         collection.create_index("snapshot_date", "sorted")
-    collection.insert_many(stats_rows)
-    imports.save(Path(args.store))
+    if stats_rows:
+        collection.insert_many(stats_rows)
+    generator.database.save(store)
+    if args.durable:
+        generator.database.close()
+    print(
+        f"published version {version}: {generator.record_count} records in "
+        f"{generator.cluster_count} clusters -> {args.store}"
+    )
     return 0
 
 
@@ -147,14 +178,40 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _generator_from_store(store: Path) -> TestDataGenerator:
-    database = Database.load(store)
-    generator = TestDataGenerator(database=database)
-    for cluster in database["clusters"].all():
-        generator._clusters[cluster["ncid"]] = cluster
-    versions = database["versions"].find(sort=[("version", -1)], limit=1)
-    if versions:
-        generator.current_version = versions[0]["version"]
-    return generator
+    return TestDataGenerator.from_database(Database.load(store))
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.docstore import StorageCorruptError
+    from repro.docstore.storage import RecoveryReport, load_database
+
+    store = Path(args.store)
+    report = RecoveryReport()
+    try:
+        database = load_database(
+            store, repair=args.repair, report=report, truncate=True
+        )
+    except StorageCorruptError as exc:
+        print(f"unrecoverable: {exc}")
+        if not args.repair:
+            print("hint: --repair salvages the parseable lines of damaged "
+                  "snapshot files")
+        return 1
+    print(report.render())
+    if args.repair and report.salvaged:
+        # Write the salvaged state back so the damage does not resurface
+        # on the next load.  The recovered epoch is recorded in the
+        # manifest; replaying the (already truncated) logs on top of the
+        # fresh snapshot is idempotent.
+        database.committed_epoch = report.committed_epoch  # type: ignore[attr-defined]
+        database.save(store)
+        print(f"store rewritten with salvaged snapshot(s) -> {store}")
+    counts = ", ".join(
+        f"{name}: {database[name].count_documents({})} docs"
+        for name in database.collection_names()
+    )
+    print(f"recovered state: {counts or 'empty database'}")
+    return 0 if report.clean else 2
 
 
 def _cmd_customize(args: argparse.Namespace) -> int:
@@ -421,6 +478,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None,
         help="cluster shards for parallel scoring (default: one per worker)",
     )
+    generate.add_argument(
+        "--durable", action="store_true",
+        help="write-ahead-log every mutation and commit one version per "
+        "snapshot; an interrupted run resumes from the last committed one",
+    )
+    generate.add_argument(
+        "--fsync-batch", type=int, default=0,
+        help="with --durable: fsync the log every N staged operations "
+        "(0 = only at commits; commits always fsync)",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     stats = sub.add_parser("stats", help="print store statistics")
@@ -495,6 +562,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip field-path checks (operators/stages only)",
     )
     check.set_defaults(func=_cmd_check)
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay a store's write-ahead logs and report repairs",
+        description="Run crash recovery on a store directory: load the "
+        "snapshot, replay committed write-ahead-log operations, truncate "
+        "torn log tails, and print what had to be repaired.  Exits 0 when "
+        "the store was already clean, 2 when repairs were made, 1 when the "
+        "store is corrupt beyond automatic recovery.",
+    )
+    recover.add_argument("--store", required=True, help="store directory")
+    recover.add_argument(
+        "--repair", action="store_true",
+        help="salvage the parseable lines of damaged snapshot files and "
+        "rewrite the store instead of failing",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     return parser
 

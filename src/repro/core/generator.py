@@ -76,6 +76,34 @@ class TestDataGenerator:
         self.import_stats: List[ImportStats] = []
         self._imported_snapshots: List[str] = []
 
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        removal: RemovalLevel = RemovalLevel.TRIMMED,
+        profile: SchemaProfile = NC_VOTER_PROFILE,
+    ) -> "TestDataGenerator":
+        """Rebuild a generator from a previously published database.
+
+        Restores the cluster map, the current version number and the list
+        of already-imported snapshots (from the latest version document),
+        so an interrupted multi-snapshot ingest can resume exactly where
+        the last durably committed version left off (see
+        :meth:`repro.core.versioning.UpdateProcess.resume`).
+        """
+        generator = cls(removal=removal, database=database, profile=profile)
+        if "clusters" in database:
+            for cluster in database["clusters"].all():
+                generator._clusters[cluster["ncid"]] = cluster
+        if "versions" in database:
+            latest = database["versions"].find(sort=[("version", -1)], limit=1)
+            if latest:
+                generator.current_version = latest[0]["version"]
+                generator._imported_snapshots = list(
+                    latest[0].get("snapshots", [])
+                )
+        return generator
+
     # --------------------------------------------------------------- import
 
     @property
@@ -231,6 +259,9 @@ class TestDataGenerator:
                 "duplicate_pairs": self.duplicate_pair_count,
             }
         )
+        # A publish is the transaction boundary: on a durable database this
+        # seals the version into a committed epoch (no-op for in-memory).
+        self.database.commit()
         return self.current_version
 
     def records_at_version(self, cluster: dict, version: int) -> List[dict]:

@@ -16,13 +16,20 @@ Both merges are deterministic: shard assignment depends only on the entity
 id, the scored maps are pure functions of the cluster documents, and the
 per-cluster results are disjoint — so any shard count (including the
 ``max_workers=0`` in-process fallback) produces identical output.
+
+Both stages are also fault tolerant (:func:`run_shards`): a crashed or
+timed-out worker retries its shard with exponential backoff, and repeated
+failure degrades that shard to in-process execution with a structured
+:class:`ParallelDegradedWarning` instead of losing the run.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import time
+import warnings
 import zlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.generator import ImportStats, TestDataGenerator
 from repro.core.heterogeneity import HeterogeneityScorer
@@ -33,6 +40,108 @@ from repro.votersim.snapshots import Snapshot
 
 #: ``{ncid: {kind: {j: {i: score}}}}`` — the result layout of parallel scoring.
 ScoredMaps = Dict[str, Dict[str, Dict[int, Dict[int, float]]]]
+
+
+class ParallelDegradedWarning(UserWarning):
+    """Parallel execution degraded to in-process after repeated failures.
+
+    Carries the structured context (:attr:`label`, :attr:`shard_indices`,
+    :attr:`attempts`, :attr:`cause`) so callers and log processors can act
+    on it without parsing the message.  The run still completes — the
+    failed shards are recomputed in the parent process — it just loses the
+    process-level parallelism for those shards.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        shard_indices: Sequence[int],
+        attempts: int,
+        cause: Optional[BaseException],
+    ) -> None:
+        self.label = label
+        self.shard_indices = list(shard_indices)
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"{label}: shard(s) {self.shard_indices} failed "
+            f"{attempts} attempt(s) in worker processes "
+            f"({cause!r}); degrading to in-process execution"
+        )
+
+
+#: Failures worth retrying: a crashed/killed worker (the pool breaks), a
+#: per-shard timeout, or an OS-level resource failure.  Deterministic
+#: Python exceptions raised *by the workload itself* propagate unchanged —
+#: retrying a genuine bug would only hide it.
+_RETRYABLE = (concurrent.futures.BrokenExecutor, TimeoutError, OSError)
+
+
+def run_shards(
+    worker: Callable[..., Any],
+    shard_args: Sequence[Tuple],
+    max_workers: Optional[int],
+    *,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    backoff: float = 0.1,
+    label: str = "parallel shards",
+) -> List[Any]:
+    """Run ``worker(*args)`` per shard with retries and graceful fallback.
+
+    The fault-tolerance contract of every parallel stage in this module:
+
+    * ``max_workers=0``/``None`` — run in-process, sequentially;
+    * a worker crash (``BrokenProcessPool``), per-shard ``timeout`` or OS
+      failure retries only the failed shards, with exponential backoff
+      (``backoff * 2**attempt`` seconds) and a fresh pool each round;
+    * after ``max_retries`` retry rounds the surviving failures degrade to
+      in-process execution with a :class:`ParallelDegradedWarning` — the
+      run never loses data because a worker died.
+
+    Results are returned in ``shard_args`` order.  Shard functions must be
+    pure (workers may be retried and re-executed), which every worker in
+    this module is by construction.
+    """
+    if not max_workers:
+        return [worker(*args) for args in shard_args]
+    results: List[Any] = [None] * len(shard_args)
+    pending = list(range(len(shard_args)))
+    last_error: Optional[BaseException] = None
+    attempts = 0
+    for attempt in range(max_retries + 1):
+        if not pending:
+            break
+        if attempt and backoff:
+            time.sleep(backoff * (2 ** (attempt - 1)))
+        attempts = attempt + 1
+        failed: List[int] = []
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(max_workers, len(pending))
+        )
+        try:
+            futures = {
+                index: pool.submit(worker, *shard_args[index]) for index in pending
+            }
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result(timeout=timeout)
+                except _RETRYABLE as exc:
+                    failed.append(index)
+                    last_error = exc
+        finally:
+            # wait=False so a hung worker cannot hang the retry loop; the
+            # abandoned process exits with the interpreter.
+            pool.shutdown(wait=False, cancel_futures=True)
+        pending = failed
+    if pending:
+        warnings.warn(
+            ParallelDegradedWarning(label, pending, attempts, last_error),
+            stacklevel=2,
+        )
+        for index in pending:
+            results[index] = worker(*shard_args[index])
+    return results
 
 
 def shard_of(entity_id: str, shards: int) -> int:
@@ -82,6 +191,10 @@ def import_snapshots_parallel(
     snapshots: Sequence[Snapshot],
     shards: int = 4,
     max_workers: Optional[int] = None,
+    *,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    backoff: float = 0.1,
 ) -> List[ImportStats]:
     """Import ``snapshots`` into ``generator`` using sharded parallelism.
 
@@ -89,7 +202,8 @@ def import_snapshots_parallel(
     incremental updates go through the sequential path, which dedups
     against existing clusters).  ``max_workers=0`` runs the shards
     sequentially in-process — same results, no process overhead (useful
-    for tests and small loads).
+    for tests and small loads).  Worker crashes and timeouts are retried
+    and ultimately degrade to in-process import (see :func:`run_shards`).
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -99,30 +213,18 @@ def import_snapshots_parallel(
             "sequential import for incremental updates"
         )
     snapshots = list(snapshots)
-    results: List[Tuple[int, Dict[str, dict], List[dict]]] = []
-    if not max_workers:
-        for shard in range(shards):
-            results.append(
-                _import_shard(
-                    shard, shards, snapshots, generator.removal.value, generator.profile
-                )
-            )
-    else:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(
-                    _import_shard,
-                    shard,
-                    shards,
-                    snapshots,
-                    generator.removal.value,
-                    generator.profile,
-                )
-                for shard in range(shards)
-            ]
-            for future in futures:
-                results.append(future.result())
-
+    results: List[Tuple[int, Dict[str, dict], List[dict]]] = run_shards(
+        _import_shard,
+        [
+            (shard, shards, snapshots, generator.removal.value, generator.profile)
+            for shard in range(shards)
+        ],
+        max_workers,
+        max_retries=max_retries,
+        timeout=timeout,
+        backoff=backoff,
+        label="parallel snapshot import",
+    )
     results.sort(key=lambda item: item[0])
     merged_stats: List[ImportStats] = []
     for shard, clusters, stats in results:
@@ -202,6 +304,9 @@ def score_clusters_parallel(
     primary_groups: Tuple[str, ...] = ("person",),
     shards: int = 4,
     max_workers: Optional[int] = None,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    backoff: float = 0.1,
 ) -> ScoredMaps:
     """Score ``clusters`` in ncid shards; returns ``{ncid: {kind: maps}}``.
 
@@ -211,7 +316,10 @@ def score_clusters_parallel(
     scores are pure functions of each cluster document, the merged result —
     is identical for every shard count and worker count.  ``max_workers=0``
     runs the shards sequentially in-process (same results, no process
-    overhead); the default runs one process per shard.
+    overhead); the default runs one process per shard.  Worker crashes and
+    timeouts retry the shard with exponential backoff and finally degrade
+    to in-process scoring with a :class:`ParallelDegradedWarning` — a dead
+    worker can cost time, never the run (see :func:`run_shards`).
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -223,9 +331,10 @@ def score_clusters_parallel(
     for cluster in clusters:
         buckets[shard_of(cluster["ncid"], shards)].append(cluster)
     merged: ScoredMaps = {}
-    if not max_workers:
-        shard_results = [
-            _score_shard(
+    shard_results = run_shards(
+        _score_shard,
+        [
+            (
                 bucket,
                 version,
                 with_plausibility,
@@ -235,23 +344,13 @@ def score_clusters_parallel(
                 primary_groups,
             )
             for bucket in buckets
-        ]
-    else:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(
-                    _score_shard,
-                    bucket,
-                    version,
-                    with_plausibility,
-                    weights_all,
-                    weights_primary,
-                    all_groups,
-                    primary_groups,
-                )
-                for bucket in buckets
-            ]
-            shard_results = [future.result() for future in futures]
+        ],
+        max_workers,
+        max_retries=max_retries,
+        timeout=timeout,
+        backoff=backoff,
+        label="parallel cluster scoring",
+    )
     for result in shard_results:
         overlap = set(result) & set(merged)
         if overlap:  # pragma: no cover - shard_of guarantees disjoint buckets

@@ -23,13 +23,15 @@ measure everywhere) and always computed.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.generator import TestDataGenerator
 from repro.core.heterogeneity import HeterogeneityScorer
+from repro.core.levels import RemovalLevel
 from repro.core.parallel import score_clusters_parallel
 from repro.core.plausibility import score_cluster
-from repro.core.profile import NC_VOTER_PROFILE
+from repro.core.profile import NC_VOTER_PROFILE, SchemaProfile
 from repro.votersim.snapshots import Snapshot
 
 #: Signature of a plausibility scorer: ``(cluster, version) -> {j: {i: s}}``.
@@ -55,6 +57,8 @@ class UpdateProcess:
         plausibility_fn: Optional[PlausibilityFn] = None,
         workers: int = 0,
         shards: Optional[int] = None,
+        max_retries: int = 2,
+        worker_timeout: Optional[float] = None,
     ) -> None:
         self.generator = generator
         self._builtin_plausibility = (
@@ -67,6 +71,52 @@ class UpdateProcess:
         self.plausibility_fn = plausibility_fn
         self.workers = workers
         self.shards = shards
+        #: Retry rounds before a failed scoring shard degrades in-process.
+        self.max_retries = max_retries
+        #: Per-shard timeout (seconds) for worker processes; ``None`` waits.
+        self.worker_timeout = worker_timeout
+
+    @classmethod
+    def resume(
+        cls,
+        store: Path,
+        *,
+        removal: RemovalLevel = RemovalLevel.TRIMMED,
+        profile: SchemaProfile = NC_VOTER_PROFILE,
+        plausibility_fn: Optional[PlausibilityFn] = None,
+        workers: int = 0,
+        shards: Optional[int] = None,
+        durable: bool = True,
+        fsync_batch: int = 0,
+    ) -> "UpdateProcess":
+        """Reopen ``store`` and continue from the last committed version.
+
+        Opens the directory as a :class:`~repro.docstore.DurableDatabase`
+        (running crash recovery if the previous run died mid-update) and
+        rebuilds the generator from the published clusters and version
+        metadata.  Snapshots that the last durably committed version
+        already ingested are skipped by :meth:`run_incremental`, so an
+        interrupted multi-snapshot ingest restarts exactly where it left
+        off.  ``durable=False`` resumes from a plain snapshot directory
+        without write-ahead logging.
+        """
+        from repro.docstore import Database, DurableDatabase
+
+        if durable:
+            database: Database = DurableDatabase(
+                Path(store), profile.name, fsync_batch=fsync_batch
+            )
+        else:
+            database = Database.load(Path(store), profile.name)
+        generator = TestDataGenerator.from_database(
+            database, removal=removal, profile=profile
+        )
+        return cls(
+            generator,
+            plausibility_fn=plausibility_fn,
+            workers=workers,
+            shards=shards,
+        )
 
     def run(
         self,
@@ -82,6 +132,42 @@ class UpdateProcess:
             f"import of {len(stats)} snapshot(s)" if stats else "statistics update"
         )
         return self.generator.publish(note=label)
+
+    def run_incremental(
+        self,
+        snapshots: Iterable[Snapshot],
+        compute_statistics: bool = True,
+        checkpoint_every: int = 0,
+    ) -> List[int]:
+        """Import each snapshot as its own published (committed) version.
+
+        Snapshots whose date the generator has already ingested — tracked
+        in the version metadata, restored by :meth:`resume` — are skipped,
+        so rerunning the same snapshot list after a crash continues from
+        the first unfinished snapshot instead of re-importing.  Each
+        snapshot is published (and, on a durable database, committed)
+        before the next begins; ``checkpoint_every=N`` additionally folds
+        the write-ahead logs into a fresh snapshot after every N versions.
+        Returns the version numbers published by this call.
+        """
+        done = set(self.generator._imported_snapshots)
+        published: List[int] = []
+        for snapshot in snapshots:
+            if snapshot.date in done:
+                continue
+            stats = self.generator.import_snapshot(snapshot)
+            done.add(snapshot.date)
+            if compute_statistics:
+                self.update_statistics()
+            version = self.generator.publish(
+                note=f"incremental import of {stats.snapshot_date}"
+            )
+            published.append(version)
+            if checkpoint_every and len(published) % checkpoint_every == 0:
+                checkpoint = getattr(self.generator.database, "checkpoint", None)
+                if callable(checkpoint):
+                    checkpoint()
+        return published
 
     def update_statistics(
         self, workers: Optional[int] = None, shards: Optional[int] = None
@@ -124,6 +210,8 @@ class UpdateProcess:
             primary_groups=primary_groups,
             shards=shards,
             max_workers=workers,
+            max_retries=self.max_retries,
+            timeout=self.worker_timeout,
         )
         for cluster in clusters:
             maps_by_kind = scored.get(cluster["ncid"], {})

@@ -25,24 +25,29 @@ static analyzer in :mod:`repro.analysis`; see
 from __future__ import annotations
 
 from repro.docstore.collection import Collection
-from repro.docstore.database import Database
+from repro.docstore.database import Database, DurableDatabase
 from repro.docstore.documents import get_path, set_path, unset_path
 from repro.docstore.errors import (
     CollectionNotFound,
     DocStoreError,
     DuplicateKeyError,
     QueryError,
+    StorageCorruptError,
     StorageError,
     UnknownIndexKind,
 )
+from repro.docstore.storage import RecoveryReport
 
 __all__ = [
     "Database",
+    "DurableDatabase",
     "Collection",
     "DocStoreError",
     "DuplicateKeyError",
     "QueryError",
     "StorageError",
+    "StorageCorruptError",
+    "RecoveryReport",
     "UnknownIndexKind",
     "CollectionNotFound",
     "get_path",

@@ -45,6 +45,12 @@ class Collection:
         self._by_user_id: Dict[Any, int] = {}
         self._indexes: Dict[str, Any] = {}
         self._next_internal_id = itertools.count(1)
+        #: Write-ahead-log hook ``(op, payload) -> None`` set by
+        #: :class:`~repro.docstore.database.DurableDatabase`; ``None`` keeps
+        #: the collection purely in-memory.  Called *after* the in-memory
+        #: mutation succeeds; the hook serializes immediately, so later
+        #: mutation of the same document cannot corrupt the journal.
+        self._journal: Optional[Any] = None
 
     # ------------------------------------------------------------------ CRUD
 
@@ -65,6 +71,8 @@ class Collection:
         self._by_user_id[user_id] = internal_id
         for index in self._indexes.values():
             index.add(internal_id, stored)
+        if self._journal is not None:
+            self._journal("insert", {"doc": stored})
         return stored["_id"]
 
     def insert_many(self, documents: Iterable[dict]) -> List[Any]:
@@ -153,6 +161,8 @@ class Collection:
         self._check_update(update)
         for internal_id, document in self._scan_with_ids(filter_doc):
             self._apply_update(internal_id, document, update)
+            if self._journal is not None:
+                self._journal("replace", {"id": document["_id"], "doc": document})
             return 1
         return 0
 
@@ -162,6 +172,8 @@ class Collection:
         touched = list(self._scan_with_ids(filter_doc))
         for internal_id, document in touched:
             self._apply_update(internal_id, document, update)
+            if self._journal is not None:
+                self._journal("replace", {"id": document["_id"], "doc": document})
         return len(touched)
 
     def replace_one(self, filter_doc: dict, replacement: dict) -> int:
@@ -174,6 +186,8 @@ class Collection:
             self._documents[internal_id] = stored
             for index in self._indexes.values():
                 index.add(internal_id, stored)
+            if self._journal is not None:
+                self._journal("replace", {"id": stored["_id"], "doc": stored})
             return 1
         return 0
 
@@ -185,6 +199,8 @@ class Collection:
                 index.remove(internal_id, document)
             del self._by_user_id[_freeze_id(document["_id"])]
             del self._documents[internal_id]
+            if self._journal is not None:
+                self._journal("delete", {"id": document["_id"]})
         return len(doomed)
 
     def aggregate(self, pipeline: List[dict]) -> List[dict]:
@@ -238,6 +254,8 @@ class Collection:
         for internal_id, document in self._documents.items():
             index.add(internal_id, document)
         self._indexes[name] = index
+        if self._journal is not None:
+            self._journal("index", {"path": path, "kind": kind})
         return name
 
     def index_names(self) -> List[str]:

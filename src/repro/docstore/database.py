@@ -1,10 +1,17 @@
-"""Databases: named groups of collections with persistence."""
+"""Databases: named groups of collections with persistence.
+
+:class:`Database` keeps everything in memory and persists on demand;
+:class:`DurableDatabase` additionally write-ahead-logs every mutation so
+the on-disk state survives a crash at any point (see
+``docs/durability.md``).
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro import faults
 from repro.docstore.collection import Collection
 from repro.docstore.errors import CollectionNotFound, DocStoreError
 
@@ -73,6 +80,16 @@ class Database:
         """Sorted names of the existing collections."""
         return sorted(self._collections)
 
+    def commit(self) -> int:
+        """Durability barrier; a no-op for in-memory databases.
+
+        :class:`DurableDatabase` overrides this to seal the staged WAL
+        operations into a new committed epoch.  Having it on the base
+        class lets write paths (``TestDataGenerator.publish`` et al.) call
+        it unconditionally.
+        """
+        return 0
+
     def save(self, directory: Path) -> None:
         """Persist all collections to ``directory`` (JSONL + manifest)."""
         from repro.docstore.storage import save_database
@@ -94,3 +111,153 @@ class Database:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Database(name={self.name!r}, collections={self.collection_names()})"
+
+
+class DurableDatabase(Database):
+    """A database whose on-disk state survives a crash at any point.
+
+    Every mutation is appended to a per-collection write-ahead log before
+    anything else happens; :meth:`commit` seals the staged operations into
+    a new epoch (markers in every log, then an atomic rewrite of the
+    ``COMMITTED`` file); :meth:`checkpoint` folds the logs into fresh
+    atomic JSONL snapshots and truncates them.  Opening an existing
+    directory runs recovery — snapshot load, committed-WAL replay,
+    torn-tail truncation — and records what happened in
+    :attr:`last_recovery`.
+
+    Crash-consistency contract: reloading the directory after a crash
+    always yields exactly the state of some committed epoch — never a
+    partially applied commit, even across collections.  ``fsync_batch``
+    trades power-loss durability of *staged* (uncommitted) operations for
+    append throughput: ``1`` fsyncs every record, ``N`` every N records,
+    ``0`` only at commits.  Committed epochs are always fsynced.
+    """
+
+    def __init__(
+        self, directory: Path, name: str = "db", fsync_batch: int = 0
+    ) -> None:
+        from repro.docstore.storage import (
+            MANIFEST_NAME,
+            RecoveryReport,
+            load_database,
+        )
+        from repro.docstore.wal import WalWriter, read_committed_epoch
+
+        super().__init__(name)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_batch = fsync_batch
+        #: What recovery did while opening, or ``None`` for a fresh store.
+        self.last_recovery: Optional[RecoveryReport] = None
+        self._wal_writer = WalWriter  # late-bound for subclass/test hooks
+        self._wals: Dict[str, "WalWriter"] = {}
+        self._dropped_wals: Dict[str, "WalWriter"] = {}
+        if (self.directory / MANIFEST_NAME).exists() or any(
+            self.directory.glob("*.wal")
+        ):
+            report = RecoveryReport()
+            loaded = load_database(self.directory, name, report=report, truncate=True)
+            self._collections = loaded._collections
+            self.last_recovery = report
+        self.committed_epoch = read_committed_epoch(self.directory)
+        for collection_name in list(self._collections):
+            self._attach(collection_name)
+
+    # ------------------------------------------------------------ journaling
+
+    def _attach(self, collection_name: str) -> None:
+        writer = self._dropped_wals.pop(collection_name, None)
+        if writer is None:
+            writer = self._wal_writer(
+                self.directory / f"{collection_name}.wal",
+                fsync_batch=self.fsync_batch,
+            )
+        self._wals[collection_name] = writer
+        self._collections[collection_name]._journal = writer.log
+
+    def create_collection(self, name: str) -> Collection:
+        collection = super().create_collection(name)
+        self._attach(name)
+        # Journal the creation so a *committed* empty collection survives
+        # reload; staged-only creations are discarded like any other op.
+        self._wals[name].log("create", {})
+        return collection
+
+    def drop_collection(self, name: str) -> None:
+        """Drop ``name``; the drop is journaled and committed like any op.
+
+        The collection's files stay on disk (still receiving commit
+        markers) until the next :meth:`checkpoint` removes them, so
+        recovery can tell a committed drop from lost data.
+        """
+        writer = self._wals.pop(name, None)
+        if writer is not None:
+            writer.log("drop", {})
+            self._dropped_wals[name] = writer
+        super().drop_collection(name)
+
+    # ------------------------------------------------------- commit/snapshot
+
+    def _all_writers(self) -> List["WalWriter"]:
+        return list(self._wals.values()) + list(self._dropped_wals.values())
+
+    def commit(self) -> int:
+        """Seal staged operations into a new epoch; returns the epoch.
+
+        A no-op (returning the current epoch) when nothing was staged.
+        Markers are appended and fsynced in every log *before* the
+        ``COMMITTED`` file is atomically rewritten — a crash anywhere in
+        between leaves the previous epoch as the recovered state.
+        """
+        writers = self._all_writers()
+        if not any(writer.staged for writer in writers):
+            return self.committed_epoch
+        from repro.docstore.wal import write_committed_epoch
+
+        epoch = self.committed_epoch + 1
+        for writer in writers:
+            writer.commit(epoch)
+        write_committed_epoch(self.directory, epoch)
+        self.committed_epoch = epoch
+        return epoch
+
+    def checkpoint(self) -> int:
+        """Commit, snapshot every collection atomically, truncate the logs.
+
+        Returns the committed epoch the snapshot captures.  Safe to crash
+        at any point: until a collection's log is truncated, replaying it
+        over the new snapshot is idempotent.
+        """
+        from repro.docstore.storage import save_database
+
+        epoch = self.commit()
+        save_database(self, self.directory)
+        fs = faults.current_fs()
+        for name, writer in sorted(self._dropped_wals.items()):
+            writer.close()
+            fs.remove(self.directory / f"{name}.wal")
+            fs.remove(self.directory / f"{name}.jsonl")
+        self._dropped_wals.clear()
+        for writer in self._wals.values():
+            writer.reset()
+        return epoch
+
+    def save(self, directory: Path) -> None:
+        """Checkpoint when saving in place; plain export elsewhere."""
+        if Path(directory).resolve() == self.directory.resolve():
+            self.checkpoint()
+        else:
+            super().save(directory)
+
+    def close(self, commit: bool = True) -> None:
+        """Release file handles, committing staged operations by default."""
+        if commit:
+            self.commit()
+        for writer in self._all_writers():
+            writer.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DurableDatabase(name={self.name!r}, directory={str(self.directory)!r}, "
+            f"epoch={self.committed_epoch})"
+        )

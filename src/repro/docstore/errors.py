@@ -27,6 +27,36 @@ class StorageError(DocStoreError, FileNotFoundError):
     """
 
 
+class StorageCorruptError(StorageError):
+    """A persisted file is damaged beyond what recovery may silently fix.
+
+    Raised when a WAL record in the *committed* region fails its CRC32
+    check, when a record is malformed mid-file (valid records follow it),
+    or when a snapshot JSONL line cannot be parsed and repair was not
+    requested.  Carries the precise location so operators can inspect the
+    damage: ``path`` (the file), ``offset`` (byte offset, WALs) or ``line``
+    (1-based line number, JSONL snapshots), and ``reason``.
+    """
+
+    def __init__(
+        self,
+        path,
+        reason: str,
+        offset: "int | None" = None,
+        line: "int | None" = None,
+    ) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.offset = offset
+        self.line = line
+        where = ""
+        if offset is not None:
+            where = f" at byte {offset}"
+        elif line is not None:
+            where = f" at line {line}"
+        super().__init__(f"{self.path}{where}: {reason}")
+
+
 class UnknownIndexKind(DocStoreError, ValueError):
     """An index was requested with an unsupported ``kind``.
 

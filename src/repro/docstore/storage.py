@@ -1,60 +1,253 @@
-"""JSONL persistence for databases and collections."""
+"""JSONL persistence for databases and collections.
+
+Layout of a persisted database directory::
+
+    manifest.json        collection names, index specs, checkpoint epoch
+    <collection>.jsonl   snapshot: one document per line, insertion order
+    <collection>.wal     write-ahead log of operations since the snapshot
+    COMMITTED            database-wide last committed epoch
+
+Plain (non-durable) databases only ever produce the first two entries; the
+WAL and epoch files are written by
+:class:`~repro.docstore.database.DurableDatabase`.  Every file is written
+atomically (tmp file → fsync → rename → directory fsync, see
+:func:`repro.docstore.wal.atomic_write_text`), so an interrupted save
+never leaves a half-written JSONL/manifest mix on disk.
+
+:func:`load_database` is also the crash-recovery path: it loads the
+snapshot, replays any committed WAL operations on top (idempotently, so a
+stale WAL left by a crash between a checkpoint's snapshot rename and its
+log truncation is harmless), truncates torn WAL tails and reports every
+repair through an optional :class:`RecoveryReport`.  Damage it cannot
+prove harmless raises :class:`~repro.docstore.errors.StorageCorruptError`
+with file/offset/line context; ``repair=True`` additionally salvages the
+parseable lines of a damaged snapshot instead of raising.
+"""
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.docstore.errors import StorageError
+from repro.docstore.errors import StorageCorruptError, StorageError
+from repro.docstore.wal import (
+    atomic_write_text,
+    read_committed_epoch,
+    read_wal,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.docstore.collection import Collection
     from repro.docstore.database import Database
 
 MANIFEST_NAME = "manifest.json"
 
 
+@dataclass
+class RecoveryReport:
+    """What recovery did while loading a database directory."""
+
+    #: WAL operations replayed on top of the snapshot, per collection.
+    replayed: Dict[str, int] = field(default_factory=dict)
+    #: Last committed epoch observed (0 for plain snapshots).
+    committed_epoch: int = 0
+    #: Snapshot lines dropped by ``repair=True``, per file.
+    salvaged: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable notes: torn tails truncated, operations discarded...
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing had to be repaired, truncated or discarded."""
+        return not self.notes and not self.salvaged
+
+    def render(self) -> str:
+        """Multi-line human-readable summary (used by ``recover``)."""
+        lines = [f"committed epoch: {self.committed_epoch}"]
+        for name in sorted(self.replayed):
+            lines.append(f"replayed {self.replayed[name]} op(s) into {name!r}")
+        for path in sorted(self.salvaged):
+            lines.append(f"salvaged {path}: dropped {self.salvaged[path]} bad line(s)")
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
 def save_database(database: "Database", directory: Path) -> None:
-    """Write every collection of ``database`` to ``directory``.
+    """Write every collection of ``database`` to ``directory`` atomically.
 
     Layout: one ``<collection>.jsonl`` per collection (one document per
     line, insertion order) plus a ``manifest.json`` recording collection
     names and their index specifications, so indexes are rebuilt on load.
+    Each file goes through the atomic-write helper; the manifest is written
+    last, after every collection file is durably in place.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    manifest: Dict[str, dict] = {"collections": {}}
+    manifest: Dict[str, object] = {"collections": {}}
+    collections: Dict[str, dict] = {}
+    manifest["collections"] = collections
     for name in database.collection_names():
         collection = database[name]
-        path = directory / f"{name}.jsonl"
-        with path.open("w", encoding="utf-8") as handle:
-            for document in collection.all():
-                handle.write(json.dumps(document, ensure_ascii=False, sort_keys=True))
-                handle.write("\n")
-        manifest["collections"][name] = {"indexes": collection.index_specs()}
-    manifest_path = directory / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        lines = [
+            json.dumps(document, ensure_ascii=False, sort_keys=True)
+            for document in collection.all()
+        ]
+        body = "\n".join(lines) + ("\n" if lines else "")
+        atomic_write_text(directory / f"{name}.jsonl", body)
+        collections[name] = {"indexes": collection.index_specs()}
+    epoch = getattr(database, "committed_epoch", None)
+    if epoch is not None:
+        manifest["epoch"] = epoch
+    atomic_write_text(directory / MANIFEST_NAME, json.dumps(manifest, indent=2))
 
 
-def load_database(directory: Path, name: str = "db") -> "Database":
-    """Load a database previously written by :func:`save_database`."""
+def _load_jsonl(
+    collection: "Collection",
+    path: Path,
+    repair: bool,
+    report: RecoveryReport,
+) -> None:
+    """Insert ``path``'s documents into ``collection``, line by line.
+
+    A line that does not parse raises :class:`StorageCorruptError` with the
+    file and 1-based line number — unless ``repair`` is set, in which case
+    the complete (parseable) lines are kept and the damage is reported.
+    """
+    dropped = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if not repair:
+                    raise StorageCorruptError(
+                        path,
+                        f"unparseable JSONL line: {exc.msg}",
+                        line=line_number,
+                    )
+                dropped += 1
+                report.notes.append(
+                    f"{path}: dropped unparseable line {line_number}"
+                )
+                continue
+            collection.insert_one(document)
+    if dropped:
+        report.salvaged[str(path)] = dropped
+
+
+def load_database(
+    directory: Path,
+    name: str = "db",
+    *,
+    repair: bool = False,
+    report: Optional[RecoveryReport] = None,
+    truncate: bool = False,
+) -> "Database":
+    """Load a database previously written by :func:`save_database`.
+
+    Recovers durable stores: committed WAL operations are replayed on top
+    of the snapshot; torn tails and uncommitted operations are discarded.
+    Pass a :class:`RecoveryReport` to observe what recovery did; pass
+    ``repair=True`` to salvage the parseable lines of damaged snapshot
+    files instead of raising :class:`StorageCorruptError`.
+
+    ``truncate=True`` additionally *physically* truncates discarded WAL
+    tails so appends resume from a clean boundary.  Only the exclusive
+    writer may do that (:class:`~repro.docstore.database.DurableDatabase`
+    when reopening, or ``recover``): a plain read-only load must not cut
+    off operations a live writer has staged but not yet committed.
+    """
     from repro.docstore.database import Database
 
     directory = Path(directory)
+    report = report if report is not None else RecoveryReport()
     manifest_path = directory / MANIFEST_NAME
-    if not manifest_path.exists():
+    wal_paths = sorted(directory.glob("*.wal")) if directory.is_dir() else []
+    manifest: Dict[str, dict] = {"collections": {}}
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StorageCorruptError(
+                manifest_path, f"unparseable manifest: {exc.msg}", line=exc.lineno
+            )
+    elif not wal_paths:
         raise StorageError(f"no manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+
     database = Database(name)
     for collection_name, spec in manifest["collections"].items():
         collection = database.create_collection(collection_name)
         jsonl_path = directory / f"{collection_name}.jsonl"
         if jsonl_path.exists():
-            with jsonl_path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        collection.insert_one(json.loads(line))
+            _load_jsonl(collection, jsonl_path, repair, report)
         for index_spec in spec.get("indexes", []):
             collection.create_index(index_spec["path"], index_spec["kind"])
+
+    committed = read_committed_epoch(directory)
+    report.committed_epoch = committed
+    snapshot_epoch = int(manifest.get("epoch", 0) or 0)
+    for wal_path in wal_paths:
+        collection_name = wal_path.stem
+        recovery = read_wal(wal_path, committed, truncate_torn=truncate)
+        # A WAL with no committed content must not materialize a collection
+        # the committed state never had (e.g. staged ops from a crash).
+        collection = database._collections.get(collection_name)
+        for operation in recovery.operations:
+            if operation.get("op") == "drop":
+                database.drop_collection(collection_name)
+                collection = None
+                continue
+            if collection is None:
+                collection = database.get_collection(collection_name)
+            _replay_operation(collection, operation)
+        if recovery.operations:
+            report.replayed[collection_name] = len(recovery.operations)
+        if recovery.truncated_at is not None:
+            report.notes.append(
+                f"{wal_path}: truncated torn/uncommitted tail at byte "
+                f"{recovery.truncated_at}"
+            )
+        report.notes.extend(f"{wal_path}: {note}" for note in recovery.notes)
+        if (
+            collection_name in manifest["collections"]
+            and committed > snapshot_epoch
+            and recovery.last_epoch < committed
+        ):
+            # The snapshot predates the committed epoch and the WAL does
+            # not carry us up to it: committed operations are gone.
+            raise StorageCorruptError(
+                wal_path,
+                f"committed records lost: log ends at epoch "
+                f"{recovery.last_epoch}, database committed epoch {committed}",
+            )
     return database
+
+
+def _replay_operation(collection: "Collection", operation: Dict[str, object]) -> None:
+    """Apply one committed WAL operation idempotently.
+
+    Inserts become replaces when the ``_id`` already exists and deletes of
+    absent documents are no-ops, so replaying a stale log over a newer
+    snapshot converges on the snapshot state instead of erroring.
+    (``create`` operations carry no payload — materializing the collection,
+    done by the caller, is their whole effect.)
+    """
+    kind = operation.get("op")
+    if kind in ("insert", "replace"):
+        document = operation["doc"]
+        if not isinstance(document, dict):  # pragma: no cover - defensive
+            return
+        doc_id = document.get("_id")
+        if collection.count_documents({"_id": doc_id}):
+            collection.replace_one({"_id": doc_id}, document)
+        else:
+            collection.insert_one(document)
+    elif kind == "delete":
+        collection.delete_many({"_id": operation["id"]})
+    elif kind == "index":
+        collection.create_index(str(operation["path"]), str(operation["kind"]))

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for durable-storage code paths.
+
+Every mutating filesystem operation of the durability layer
+(:mod:`repro.docstore.wal`, :mod:`repro.docstore.storage`) is routed
+through a process-wide, swappable :class:`FileSystem` shim instead of
+calling :func:`open` / :func:`os.fsync` / :func:`os.replace` directly.
+Tests install a :class:`FaultyFileSystem` that counts those operations and
+fails deterministically at the N-th one:
+
+* ``mode="crash"`` — raise :class:`CrashError` *before* the operation takes
+  effect, simulating a process killed at that exact point;
+* ``mode="torn"`` — for writes, persist only a prefix of the data and then
+  raise :class:`CrashError`, simulating a torn write; other operations
+  crash as in ``"crash"`` mode;
+* ``mode="error"`` — raise :class:`OSError` at that operation only and keep
+  working afterwards, simulating a transient I/O failure.
+
+The harness is deterministic: the same workload performs the same sequence
+of operations, so "crash at every N from 1 to total" enumerates every
+crash point exactly once (see ``tests/docstore/test_faults.py``).
+
+Usage::
+
+    from repro import faults
+
+    plan = faults.FaultyFileSystem(fail_at=17, mode="crash")
+    with faults.inject(plan):
+        run_workload()          # raises faults.CrashError at I/O op 17
+    reloaded = Database.load(store)   # must equal a committed state
+
+``count_ops(fn)`` runs ``fn`` under a counting-only shim and returns how
+many injection points it exposes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import IO, Any, Callable, Iterator, Optional, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class CrashError(RuntimeError):
+    """A simulated process crash injected by :class:`FaultyFileSystem`.
+
+    Raised instead of performing (or after partially performing) the
+    targeted filesystem operation.  Production code must never catch it:
+    the whole point is that the process "dies" there and the next run
+    recovers from whatever reached the disk.
+    """
+
+
+class FileSystem:
+    """The real filesystem: the default, passthrough shim.
+
+    The durability layer only ever uses this narrow surface for mutations,
+    so wrapping these seven methods covers every write-path injection
+    point.
+    """
+
+    def open(self, path: PathLike, mode: str, buffering: int = -1) -> IO[bytes]:
+        """Open ``path``; binary modes default to unbuffered writes."""
+        return open(path, mode, buffering=buffering)
+
+    def write(self, handle: IO[bytes], data: bytes) -> int:
+        """Write ``data`` to an open handle; returns bytes written."""
+        return handle.write(data)
+
+    def fsync(self, handle: IO[Any]) -> None:
+        """Flush ``handle`` and fsync its file descriptor."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, source: PathLike, target: PathLike) -> None:
+        """Atomically rename ``source`` over ``target``."""
+        os.replace(source, target)
+
+    def truncate(self, path: PathLike, size: int) -> None:
+        """Truncate the file at ``path`` to ``size`` bytes."""
+        os.truncate(path, size)
+
+    def remove(self, path: PathLike) -> None:
+        """Delete the file at ``path`` (missing files are a no-op)."""
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def fsync_dir(self, path: PathLike) -> None:
+        """fsync a directory so renames inside it are durable."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+#: Operation names a :class:`FaultyFileSystem` can target.
+FAULT_OPS = ("open", "write", "fsync", "replace", "truncate", "remove", "fsync_dir")
+
+#: Supported failure modes.
+FAULT_MODES = ("crash", "torn", "error")
+
+
+class FaultyFileSystem(FileSystem):
+    """A :class:`FileSystem` that fails deterministically at one operation.
+
+    Parameters
+    ----------
+    fail_at:
+        1-based index of the operation to fail; ``None`` counts operations
+        without ever failing (the counting shim behind :func:`count_ops`).
+    mode:
+        ``"crash"``, ``"torn"`` or ``"error"`` (see module docstring).
+    only:
+        Optional subset of :data:`FAULT_OPS`; operations outside it are
+        passed through *without counting*, which lets a test say "crash at
+        the 3rd fsync" instead of "the 3rd operation of any kind".
+    """
+
+    def __init__(
+        self,
+        fail_at: Optional[int] = None,
+        mode: str = "crash",
+        only: Optional[tuple] = None,
+    ) -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(f"mode must be one of {FAULT_MODES}, got {mode!r}")
+        if only is not None:
+            unknown = set(only) - set(FAULT_OPS)
+            if unknown:
+                raise ValueError(f"unknown fault ops: {sorted(unknown)}")
+        self.fail_at = fail_at
+        self.mode = mode
+        self.only = tuple(only) if only is not None else None
+        #: Number of (targeted) operations seen so far.
+        self.ops = 0
+        #: Description of the operation that was failed, if any.
+        self.failed_op: Optional[str] = None
+
+    # ------------------------------------------------------------- internals
+
+    def _arm(self, op: str, path: PathLike) -> bool:
+        """Count ``op``; return True when this call must fail."""
+        if self.only is not None and op not in self.only:
+            return False
+        self.ops += 1
+        if self.fail_at is None or self.ops != self.fail_at:
+            return False
+        self.failed_op = f"{op}({os.fspath(path)!r}) #{self.ops}"
+        return True
+
+    def _fail(self, op: str) -> None:
+        if self.mode == "error":
+            raise OSError(f"injected I/O error at {self.failed_op}")
+        raise CrashError(f"injected crash at {self.failed_op}")
+
+    # ------------------------------------------------------------ operations
+
+    def open(self, path: PathLike, mode: str, buffering: int = -1) -> IO[bytes]:
+        if self._arm("open", path):
+            self._fail("open")
+        return super().open(path, mode, buffering=buffering)
+
+    def write(self, handle: IO[bytes], data: bytes) -> int:
+        if self._arm("write", getattr(handle, "name", "<handle>")):
+            if self.mode == "torn" and len(data) > 1:
+                # Persist a prefix, then "crash": a torn write on disk.
+                super().write(handle, data[: len(data) // 2])
+                handle.flush()
+            self._fail("write")
+        return super().write(handle, data)
+
+    def fsync(self, handle: IO[Any]) -> None:
+        if self._arm("fsync", getattr(handle, "name", "<handle>")):
+            self._fail("fsync")
+        super().fsync(handle)
+
+    def replace(self, source: PathLike, target: PathLike) -> None:
+        if self._arm("replace", target):
+            self._fail("replace")
+        super().replace(source, target)
+
+    def truncate(self, path: PathLike, size: int) -> None:
+        if self._arm("truncate", path):
+            self._fail("truncate")
+        super().truncate(path, size)
+
+    def remove(self, path: PathLike) -> None:
+        if self._arm("remove", path):
+            self._fail("remove")
+        super().remove(path)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        if self._arm("fsync_dir", path):
+            self._fail("fsync_dir")
+        super().fsync_dir(path)
+
+
+_DEFAULT = FileSystem()
+_current: FileSystem = _DEFAULT
+
+
+def current_fs() -> FileSystem:
+    """The active filesystem shim (the real one unless a test injected)."""
+    return _current
+
+
+@contextlib.contextmanager
+def inject(fs: FileSystem) -> Iterator[FileSystem]:
+    """Install ``fs`` as the process-wide shim for the ``with`` block."""
+    global _current
+    previous = _current
+    _current = fs
+    try:
+        yield fs
+    finally:
+        _current = previous
+
+
+def count_ops(fn: Callable[[], Any], only: Optional[tuple] = None) -> int:
+    """Run ``fn`` under a counting shim; returns its injection-point count."""
+    fs = FaultyFileSystem(fail_at=None, only=only)
+    with inject(fs):
+        fn()
+    return fs.ops
+
+
+def crash_points(total: int) -> Iterator[FaultyFileSystem]:
+    """Yield a crash-mode shim for every injection point in ``1..total``."""
+    for n in range(1, total + 1):
+        yield FaultyFileSystem(fail_at=n, mode="crash")

@@ -117,6 +117,56 @@ class TestLintRules:
         source = CLEAN + "def g(a: str = 'x', b: int = 0):\n    return a, b\n"
         assert lint(source) == []
 
+    def test_l007_direct_open_for_write(self):
+        source = CLEAN + "h = open('c.jsonl', 'w')\n"
+        path = "src/repro/docstore/storage2.py"
+        assert "L007" in codes(lint(source, path=path, is_docstore=True))
+
+    def test_l007_mode_keyword_and_path_open(self):
+        source = CLEAN + (
+            "h = open('c.jsonl', mode='ab')\n"
+            "g = p.open('wb')\n"
+        )
+        path = "src/repro/docstore/storage2.py"
+        assert codes(lint(source, path=path, is_docstore=True)).count("L007") == 2
+
+    def test_l007_write_text_and_write_bytes(self):
+        source = CLEAN + "p.write_text('x')\np.write_bytes(b'y')\n"
+        path = "src/repro/docstore/storage2.py"
+        assert codes(lint(source, path=path, is_docstore=True)).count("L007") == 2
+
+    def test_l007_read_modes_allowed(self):
+        source = CLEAN + (
+            "h = open('c.jsonl')\n"
+            "g = open('c.jsonl', 'r')\n"
+            "f = p.open('rb')\n"
+            "t = p.read_text()\n"
+        )
+        path = "src/repro/docstore/storage2.py"
+        assert lint(source, path=path, is_docstore=True) == []
+
+    def test_l007_wal_module_exempt(self):
+        source = CLEAN + "h = open('c.wal', 'wb')\n"
+        assert lint(source, path="src/repro/docstore/wal.py", is_docstore=True) == []
+
+    def test_l007_not_applied_outside_docstore_library(self):
+        source = CLEAN + "h = open('c.jsonl', 'w')\n"
+        assert lint(source, is_docstore=False) == []
+        assert (
+            lint(
+                source,
+                path="tests/docstore/test_x.py",
+                is_library=False,
+                is_docstore=True,
+            )
+            == []
+        )
+
+    def test_l007_dynamic_mode_not_guessed(self):
+        source = CLEAN + "def f(m):\n    return open('c.jsonl', m)\n"
+        path = "src/repro/docstore/storage2.py"
+        assert lint(source, path=path, is_docstore=True) == []
+
 
 class TestLintPaths:
     def test_classifies_by_location(self, tmp_path):

@@ -1,0 +1,122 @@
+"""Tests for checkpoint/resume of the update process on a durable store."""
+
+import pytest
+
+from repro.core import TestDataGenerator
+from repro.core.versioning import UpdateProcess
+from repro.docstore import Database, DurableDatabase
+from repro.docstore.wal import WAL_MAGIC
+from repro.votersim.schema import empty_record
+from repro.votersim.snapshots import Snapshot
+
+
+def make_record(ncid, last_name="SMITH", snapshot_dt="2012-01-01", **overrides):
+    record = empty_record()
+    record.update(
+        ncid=ncid, last_name=last_name, first_name="JOHN",
+        sex_code="M", age="40", snapshot_dt=snapshot_dt,
+    )
+    record.update(overrides)
+    return record
+
+
+SNAPSHOTS = [
+    Snapshot("2012-01-01", [make_record("AA1"), make_record("AA2")]),
+    Snapshot(
+        "2013-01-01",
+        [make_record("AA1", last_name="SMYTH", snapshot_dt="2013-01-01")],
+    ),
+    Snapshot("2014-01-01", [make_record("AA3", snapshot_dt="2014-01-01")]),
+]
+
+
+def durable_process(directory, **kwargs):
+    database = DurableDatabase(directory, "ncvoter")
+    generator = TestDataGenerator.from_database(database)
+    return UpdateProcess(generator, **kwargs)
+
+
+class TestRunIncremental:
+    def test_one_version_per_snapshot(self, tmp_path):
+        process = durable_process(tmp_path)
+        published = process.run_incremental(SNAPSHOTS, compute_statistics=False)
+        assert published == [1, 2, 3]
+        assert process.generator.current_version == 3
+        process.generator.database.close()
+
+    def test_already_imported_snapshots_skipped(self, tmp_path):
+        process = durable_process(tmp_path)
+        process.run_incremental(SNAPSHOTS[:1], compute_statistics=False)
+        again = process.run_incremental(SNAPSHOTS, compute_statistics=False)
+        assert again == [2, 3]  # first snapshot not re-imported
+        assert process.generator.database["versions"].count_documents() == 3
+        process.generator.database.close()
+
+    def test_nothing_to_do_returns_empty(self, tmp_path):
+        process = durable_process(tmp_path)
+        process.run_incremental(SNAPSHOTS, compute_statistics=False)
+        assert process.run_incremental(SNAPSHOTS, compute_statistics=False) == []
+        process.generator.database.close()
+
+    def test_checkpoint_every_folds_the_wal(self, tmp_path):
+        process = durable_process(tmp_path)
+        process.run_incremental(
+            SNAPSHOTS, compute_statistics=False, checkpoint_every=1
+        )
+        process.generator.database.close()
+        # Every version checkpointed: the logs are truncated to the header.
+        assert (tmp_path / "clusters.wal").read_bytes() == WAL_MAGIC
+        assert (tmp_path / "clusters.jsonl").exists()
+
+
+class TestResume:
+    def test_resume_continues_after_interruption(self, tmp_path):
+        first = durable_process(tmp_path)
+        first.run_incremental(SNAPSHOTS[:2], compute_statistics=False)
+        first.generator.database.close()  # "interrupted" after snapshot 2
+
+        resumed = UpdateProcess.resume(tmp_path)
+        generator = resumed.generator
+        assert generator.current_version == 2
+        assert generator._imported_snapshots == ["2012-01-01", "2013-01-01"]
+        assert generator.cluster_count == 2  # AA1, AA2 restored
+
+        published = resumed.run_incremental(SNAPSHOTS, compute_statistics=False)
+        assert published == [3]
+        assert generator.cluster_count == 3
+        generator.database.close()
+
+    def test_resume_with_statistics_matches_single_run(self, tmp_path):
+        interrupted = durable_process(tmp_path / "resumed")
+        interrupted.run_incremental(SNAPSHOTS[:1])
+        interrupted.generator.database.close()
+        resumed = UpdateProcess.resume(tmp_path / "resumed")
+        resumed.run_incremental(SNAPSHOTS)
+        resumed.generator.database.close()
+
+        oneshot = durable_process(tmp_path / "oneshot")
+        oneshot.run_incremental(SNAPSHOTS)
+        oneshot.generator.database.close()
+
+        resumed_db = Database.load(tmp_path / "resumed")
+        oneshot_db = Database.load(tmp_path / "oneshot")
+        resumed_clusters = {
+            doc["_id"]: doc for doc in resumed_db["clusters"].all()
+        }
+        oneshot_clusters = {
+            doc["_id"]: doc for doc in oneshot_db["clusters"].all()
+        }
+        assert resumed_clusters == oneshot_clusters
+
+    def test_resume_plain_store(self, tmp_path):
+        generator = TestDataGenerator()
+        generator.import_snapshot(SNAPSHOTS[0])
+        generator.publish(note="plain")
+        generator.database.save(tmp_path)
+        resumed = UpdateProcess.resume(tmp_path, durable=False)
+        assert resumed.generator.current_version == 1
+        assert resumed.generator.cluster_count == 2
+
+    def test_resume_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            UpdateProcess.resume(tmp_path / "nowhere", durable=False)

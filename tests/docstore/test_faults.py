@@ -1,0 +1,261 @@
+"""Crash-consistency property tests under deterministic fault injection.
+
+The central invariant (the durability contract of
+:class:`~repro.docstore.DurableDatabase`): *a crash at any filesystem
+operation leaves the store recoverable to exactly the state of some
+committed epoch* — never a half-applied commit, never lost committed
+data.  The sweeps below enumerate every injection point of a workload
+(``faults.count_ops`` makes the count deterministic), crash at each one,
+and deep-compare the recovered state against the set of states the
+workload committed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.docstore import Database, DurableDatabase
+from repro.docstore.errors import StorageError
+from repro.votersim.schema import empty_record
+from repro.votersim.snapshots import Snapshot
+
+
+def canonical(database):
+    """Deep, order-insensitive fingerprint of a database's logical state."""
+    state = {}
+    for name in database.collection_names():
+        collection = database[name]
+        state[name] = {
+            "docs": sorted(
+                json.dumps(doc, sort_keys=True) for doc in collection.all()
+            ),
+            "indexes": sorted(
+                json.dumps(spec, sort_keys=True)
+                for spec in collection.index_specs()
+            ),
+        }
+    return json.dumps(state, sort_keys=True)
+
+
+EMPTY = canonical(Database("db"))
+
+
+def reload_state(directory):
+    """Canonical state of the directory as plain (read-only) recovery sees it."""
+    try:
+        return canonical(Database.load(directory))
+    except StorageError:
+        return EMPTY  # nothing durably created yet
+
+
+def docstore_workload(directory, mark=None):
+    """Insert/index/update/checkpoint/delete across two collections.
+
+    ``mark`` is called with the database after every commit boundary so a
+    fault-free run can record the exact set of committed states.
+    """
+    database = DurableDatabase(Path(directory))
+    clusters = database.get_collection("clusters")
+    clusters.insert_one({"_id": "a", "ncid": "a", "n": 1})
+    clusters.insert_one({"_id": "b", "ncid": "b", "n": 2})
+    clusters.create_index("ncid")
+    database.commit()
+    if mark:
+        mark(database)
+    clusters.update_one({"_id": "a"}, {"$set": {"n": 10}})
+    versions = database.get_collection("versions")
+    versions.insert_one({"_id": 1, "version": 1, "note": "first"})
+    database.checkpoint()
+    if mark:
+        mark(database)
+    clusters.delete_many({"_id": "b"})
+    clusters.insert_one({"_id": "c", "ncid": "c", "n": 3})
+    versions.insert_one({"_id": 2, "version": 2, "note": "second"})
+    database.commit()
+    if mark:
+        mark(database)
+    database.close()
+
+
+def make_record(ncid, last_name="SMITH", **overrides):
+    record = empty_record()
+    record.update(
+        ncid=ncid, last_name=last_name, first_name="JOHN",
+        sex_code="M", age="40", snapshot_dt="2012-01-01",
+    )
+    record.update(overrides)
+    return record
+
+
+def generator_workload(directory, mark=None):
+    """The acceptance workload: generate → save → update → save."""
+    database = DurableDatabase(Path(directory), "ncvoter")
+    generator = TestDataGenerator.from_database(database)
+    generator.import_snapshot(
+        Snapshot("2012-01-01", [make_record("AA1"), make_record("AA2")])
+    )
+    generator.publish(note="initial import")  # publish commits
+    if mark:
+        mark(database)
+    database.save(Path(directory))  # checkpoint in place
+    generator.import_snapshot(
+        Snapshot(
+            "2013-01-01",
+            [make_record("AA1", last_name="SMYTH", snapshot_dt="2013-01-01")],
+        )
+    )
+    generator.publish(note="update")
+    if mark:
+        mark(database)
+    database.save(Path(directory))
+    database.close()
+
+
+def committed_states(workload, directory):
+    """Run ``workload`` fault-free; return the committed canonical states."""
+    states = {EMPTY}
+    workload(directory, mark=lambda db: states.add(canonical(db)))
+    return states
+
+
+def sweep(workload, tmp_path, mode):
+    """Crash at every injection point; assert recovery hits a committed state."""
+    states = committed_states(workload, tmp_path / "reference")
+    total = faults.count_ops(lambda: workload(tmp_path / "count"))
+    assert total > 0
+    failures = []
+    for n in range(1, total + 1):
+        target = tmp_path / f"{mode}-{n}"
+        plan = faults.FaultyFileSystem(fail_at=n, mode=mode)
+        with faults.inject(plan):
+            with pytest.raises(faults.CrashError):
+                workload(target)
+        recovered = reload_state(target)
+        if recovered not in states:
+            failures.append((n, plan.failed_op))
+            continue
+        # The exclusive writer's recovery (replay + truncation) must agree.
+        reopened = DurableDatabase(target)
+        agreed = canonical(reopened)
+        reopened.close(commit=False)
+        if agreed != recovered:
+            failures.append((n, f"reopen disagrees after {plan.failed_op}"))
+    assert not failures, f"{len(failures)}/{total} crash points leaked: {failures}"
+
+
+class TestCrashSweep:
+    def test_docstore_workload_crash_mode(self, tmp_path):
+        sweep(docstore_workload, tmp_path, "crash")
+
+    def test_docstore_workload_torn_mode(self, tmp_path):
+        sweep(docstore_workload, tmp_path, "torn")
+
+    def test_generator_workload_crash_mode(self, tmp_path):
+        sweep(generator_workload, tmp_path, "crash")
+
+    def test_fault_free_run_is_clean(self, tmp_path):
+        docstore_workload(tmp_path / "clean")
+        report_db = DurableDatabase(tmp_path / "clean")
+        assert report_db.last_recovery is not None
+        assert report_db.last_recovery.clean
+        report_db.close(commit=False)
+
+    def test_op_count_is_deterministic(self, tmp_path):
+        first = faults.count_ops(lambda: docstore_workload(tmp_path / "one"))
+        second = faults.count_ops(lambda: docstore_workload(tmp_path / "two"))
+        assert first == second
+
+
+class TestFaultShim:
+    def test_error_mode_raises_oserror_once(self, tmp_path):
+        plan = faults.FaultyFileSystem(fail_at=1, mode="error")
+        with faults.inject(plan):
+            with pytest.raises(OSError):
+                plan.open(tmp_path / "f", "wb")
+            handle = plan.open(tmp_path / "f", "wb")  # next call succeeds
+            handle.close()
+
+    def test_only_filter_counts_selected_ops(self, tmp_path):
+        total = faults.count_ops(
+            lambda: docstore_workload(tmp_path / "a"), only=("fsync",)
+        )
+        everything = faults.count_ops(lambda: docstore_workload(tmp_path / "b"))
+        assert 0 < total < everything
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            faults.FaultyFileSystem(fail_at=1, mode="explode")
+
+    def test_unknown_only_op_rejected(self):
+        with pytest.raises(ValueError):
+            faults.FaultyFileSystem(fail_at=1, only=("format_disk",))
+
+
+# ----------------------------------------------------------- property tests
+
+_DOC_IDS = st.sampled_from(["a", "b", "c", "d", "e"])
+_OPERATIONS = st.one_of(
+    st.tuples(st.just("insert"), _DOC_IDS, st.integers(0, 99)),
+    st.tuples(st.just("update"), _DOC_IDS, st.integers(0, 99)),
+    st.tuples(st.just("delete"), _DOC_IDS, st.just(0)),
+)
+
+
+def apply_operations(collection, operations):
+    for kind, doc_id, value in operations:
+        if kind == "insert":
+            if collection.count_documents({"_id": doc_id}):
+                collection.replace_one(
+                    {"_id": doc_id}, {"_id": doc_id, "value": value}
+                )
+            else:
+                collection.insert_one({"_id": doc_id, "value": value})
+        elif kind == "update":
+            collection.update_one({"_id": doc_id}, {"$set": {"value": value}})
+        elif kind == "delete":
+            collection.delete_many({"_id": doc_id})
+
+
+class TestRoundTripProperties:
+    @given(operations=st.lists(_OPERATIONS, max_size=30))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_plain_save_load_roundtrip(self, operations, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("roundtrip")
+        database = Database("db")
+        apply_operations(database["docs"], operations)
+        database["docs"].create_index("value", "sorted")
+        database.save(directory)
+        assert canonical(Database.load(directory)) == canonical(database)
+
+    @given(
+        committed=st.lists(_OPERATIONS, max_size=20),
+        staged=st.lists(_OPERATIONS, min_size=1, max_size=10),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_durable_reload_drops_uncommitted_wal_tail(
+        self, committed, staged, tmp_path_factory
+    ):
+        directory = tmp_path_factory.mktemp("durable")
+        database = DurableDatabase(directory)
+        apply_operations(database["docs"], committed)
+        database.commit()
+        expected = canonical(database)
+        apply_operations(database["docs"], staged)
+        database.close(commit=False)  # staged tail stays uncommitted
+        assert reload_state(directory) == expected
+        reopened = DurableDatabase(directory)
+        assert canonical(reopened) == expected
+        reopened.close(commit=False)

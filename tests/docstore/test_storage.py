@@ -1,8 +1,11 @@
 """Tests for JSONL persistence of databases."""
 
+import json
+
 import pytest
 
-from repro.docstore import Database
+from repro.docstore import Database, DurableDatabase, StorageCorruptError
+from repro.docstore.storage import RecoveryReport, load_database
 
 
 @pytest.fixture
@@ -61,3 +64,94 @@ class TestRoundTrip:
         content_a = (tmp_path / "a" / "clusters.jsonl").read_text()
         content_b = (tmp_path / "b" / "clusters.jsonl").read_text()
         assert content_a == content_b
+
+    def test_save_leaves_no_tmp_files(self, populated):
+        db, tmp_path = populated
+        db.save(tmp_path)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCorruptSnapshots:
+    def _store(self, tmp_path):
+        db = Database("db")
+        db["c"].insert_many(
+            [{"_id": 1, "v": "one"}, {"_id": 2, "v": "two"}, {"_id": 3, "v": "three"}]
+        )
+        db.save(tmp_path)
+        return tmp_path
+
+    def test_truncated_line_raises_with_location(self, tmp_path):
+        self._store(tmp_path)
+        path = tmp_path / "c.jsonl"
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # tear line 2 mid-document
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StorageCorruptError) as info:
+            Database.load(tmp_path)
+        assert info.value.line == 2
+        assert info.value.path.endswith("c.jsonl")
+        assert "unparseable" in info.value.reason
+
+    def test_repair_salvages_complete_lines(self, tmp_path):
+        self._store(tmp_path)
+        path = tmp_path / "c.jsonl"
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]
+        path.write_text("\n".join(lines) + "\n")
+        report = RecoveryReport()
+        db = load_database(tmp_path, repair=True, report=report)
+        assert db["c"].count_documents() == 2
+        assert {d["_id"] for d in db["c"].all()} == {1, 3}
+        assert report.salvaged == {str(path): 1}
+        assert not report.clean
+        assert "line 2" in report.render()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        self._store(tmp_path)
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(StorageCorruptError) as info:
+            Database.load(tmp_path)
+        assert "manifest" in info.value.reason
+
+    def test_clean_load_reports_clean(self, tmp_path):
+        self._store(tmp_path)
+        report = RecoveryReport()
+        load_database(tmp_path, report=report)
+        assert report.clean
+
+
+class TestDurableRecoveryReport:
+    def test_replayed_operations_reported(self, tmp_path):
+        db = DurableDatabase(tmp_path)
+        db["c"].insert_one({"_id": 1})
+        db.commit()
+        db.close()
+        report = RecoveryReport()
+        loaded = load_database(tmp_path, report=report)
+        assert loaded["c"].count_documents() == 1
+        assert report.committed_epoch == 1
+        assert report.replayed["c"] >= 1
+        assert "replayed" in report.render()
+
+    def test_committed_data_loss_detected(self, tmp_path):
+        db = DurableDatabase(tmp_path)
+        db["c"].insert_one({"_id": 1})
+        db.checkpoint()          # snapshot at epoch 1
+        db["c"].insert_one({"_id": 2})
+        db.commit()              # epoch 2 lives only in the WAL
+        db.close()
+        # Lose the committed WAL content but keep the COMMITTED epoch.
+        (tmp_path / "c.wal").write_bytes(b"RWAL0001")
+        with pytest.raises(StorageCorruptError) as info:
+            Database.load(tmp_path)
+        assert "committed records lost" in info.value.reason
+
+    def test_checkpoint_then_plain_load_equal_state(self, tmp_path):
+        db = DurableDatabase(tmp_path)
+        db["c"].insert_one({"_id": 1, "v": "x"})
+        db.checkpoint()
+        db.close()
+        loaded = Database.load(tmp_path)
+        assert [d["_id"] for d in loaded["c"].all()] == [1]
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["epoch"] == 1

@@ -1,0 +1,244 @@
+"""Tests for the write-ahead log: framing, commit protocol, recovery.
+
+The torn-write corpus (``TestTornWriteCorpus``) is a set of hand-built
+damaged WAL files exercising every branch of the recovery classifier:
+clean truncation points must be repaired silently, damage *inside* the
+committed region or mid-file must raise :class:`StorageCorruptError` with
+a precise location.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.docstore import StorageCorruptError
+from repro.docstore.errors import StorageError
+from repro.docstore.wal import (
+    WAL_MAGIC,
+    WalWriter,
+    atomic_write_text,
+    encode_record,
+    read_committed_epoch,
+    read_wal,
+    write_committed_epoch,
+)
+
+
+def _payload(operation: dict) -> bytes:
+    return json.dumps(operation, sort_keys=True).encode("utf-8")
+
+
+def _build_wal(path, operations):
+    """Write a syntactically perfect WAL containing ``operations``."""
+    data = WAL_MAGIC + b"".join(encode_record(_payload(op)) for op in operations)
+    path.write_bytes(data)
+    return data
+
+
+class TestFraming:
+    def test_encode_record_layout(self):
+        record = encode_record(b"abc")
+        length, crc = struct.unpack_from("<II", record)
+        assert length == 3
+        assert crc == zlib.crc32(b"abc")
+        assert record[8:] == b"abc"
+
+    def test_writer_writes_magic_once(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.close()
+        writer.log("insert", {"doc": {"_id": 2}})
+        writer.close()
+        data = (tmp_path / "c.wal").read_bytes()
+        assert data.startswith(WAL_MAGIC)
+        assert data.count(WAL_MAGIC) == 1
+
+    def test_negative_fsync_batch_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WalWriter(tmp_path / "c.wal", fsync_batch=-1)
+
+
+class TestCommitProtocol:
+    def test_committed_operations_replayed(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.log("insert", {"doc": {"_id": 2}})
+        writer.commit(1)
+        writer.close()
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=1)
+        assert [op["doc"]["_id"] for op in recovery.operations] == [1, 2]
+        assert recovery.last_epoch == 1
+        assert recovery.discarded == 0
+
+    def test_staged_but_uncommitted_discarded(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.commit(1)
+        writer.log("insert", {"doc": {"_id": 2}})  # staged, never committed
+        writer.close()
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=1)
+        assert [op["doc"]["_id"] for op in recovery.operations] == [1]
+        assert recovery.discarded == 1
+        assert recovery.notes
+
+    def test_marker_past_committed_epoch_seals_the_log(self, tmp_path):
+        # The marker reached the log but the COMMITTED rename never landed:
+        # epoch 2 (and anything after it) must not be replayed.
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.commit(1)
+        writer.log("insert", {"doc": {"_id": 2}})
+        writer.commit(2)
+        writer.close()
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=1)
+        assert [op["doc"]["_id"] for op in recovery.operations] == [1]
+        assert recovery.last_epoch == 1
+
+    def test_truncation_removes_uncommitted_tail(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.commit(1)
+        writer.log("insert", {"doc": {"_id": 2}})
+        writer.close()
+        first = read_wal(tmp_path / "c.wal", committed_epoch=1, truncate_torn=True)
+        assert first.truncated_at == first.committed_end
+        # After truncation the file re-reads cleanly with nothing to discard.
+        second = read_wal(tmp_path / "c.wal", committed_epoch=1)
+        assert second.discarded == 0
+        assert [op["doc"]["_id"] for op in second.operations] == [1]
+
+    def test_readonly_read_does_not_truncate(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.commit(1)
+        writer.log("insert", {"doc": {"_id": 2}})
+        writer.close()
+        size = (tmp_path / "c.wal").stat().st_size
+        read_wal(tmp_path / "c.wal", committed_epoch=1, truncate_torn=False)
+        assert (tmp_path / "c.wal").stat().st_size == size
+
+    def test_reset_truncates_to_header(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal")
+        writer.log("insert", {"doc": {"_id": 1}})
+        writer.commit(1)
+        writer.reset()
+        assert (tmp_path / "c.wal").read_bytes() == WAL_MAGIC
+        # Appends continue after the header without rewriting the magic.
+        writer.log("insert", {"doc": {"_id": 2}})
+        writer.close()
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=1, truncate_torn=False)
+        assert recovery.discarded == 1
+
+
+class TestTornWriteCorpus:
+    """Hand-built damaged WAL files, one per recovery-classifier branch."""
+
+    def _committed(self, tmp_path, extra=b""):
+        ops = [
+            {"op": "insert", "doc": {"_id": 1, "v": "x" * 40}},
+            {"op": "commit", "epoch": 1},
+        ]
+        data = _build_wal(tmp_path / "c.wal", ops)
+        (tmp_path / "c.wal").write_bytes(data + extra)
+        return tmp_path / "c.wal", len(data)
+
+    def test_empty_file(self, tmp_path):
+        (tmp_path / "c.wal").write_bytes(b"")
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=0)
+        assert recovery.operations == []
+
+    def test_header_only(self, tmp_path):
+        (tmp_path / "c.wal").write_bytes(WAL_MAGIC)
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=0)
+        assert recovery.operations == []
+        assert recovery.truncated_at is None
+
+    def test_short_header(self, tmp_path):
+        (tmp_path / "c.wal").write_bytes(WAL_MAGIC[:3])
+        recovery = read_wal(tmp_path / "c.wal", committed_epoch=0)
+        assert recovery.truncated_at == 0
+        assert (tmp_path / "c.wal").read_bytes() == b""
+
+    def test_bad_magic(self, tmp_path):
+        (tmp_path / "c.wal").write_bytes(b"NOTAWAL!" + encode_record(b"{}"))
+        with pytest.raises(StorageCorruptError) as info:
+            read_wal(tmp_path / "c.wal", committed_epoch=0)
+        assert info.value.offset == 0
+        assert "magic" in info.value.reason
+
+    def test_torn_record_prefix(self, tmp_path):
+        path, end = self._committed(tmp_path, extra=b"\x05\x00")
+        recovery = read_wal(path, committed_epoch=1)
+        assert [op["doc"]["_id"] for op in recovery.operations] == [1]
+        assert recovery.truncated_at == end
+        assert path.stat().st_size == end
+
+    def test_record_extends_past_eof(self, tmp_path):
+        tail = encode_record(_payload({"op": "insert", "doc": {"_id": 2}}))
+        path, end = self._committed(tmp_path, extra=tail[:-4])
+        recovery = read_wal(path, committed_epoch=1)
+        assert recovery.truncated_at == end
+        assert [op["doc"]["_id"] for op in recovery.operations] == [1]
+
+    def test_checksum_corrupt_tail_is_torn(self, tmp_path):
+        tail = bytearray(encode_record(_payload({"op": "insert", "doc": {"_id": 2}})))
+        tail[-1] ^= 0xFF
+        path, end = self._committed(tmp_path, extra=bytes(tail))
+        recovery = read_wal(path, committed_epoch=1)
+        assert recovery.truncated_at == end
+        assert any("checksum" in note for note in recovery.notes)
+
+    def test_checksum_corrupt_mid_file_raises(self, tmp_path):
+        ops = [
+            {"op": "insert", "doc": {"_id": 1}},
+            {"op": "insert", "doc": {"_id": 2}},
+            {"op": "commit", "epoch": 1},
+        ]
+        data = bytearray(_build_wal(tmp_path / "c.wal", ops))
+        # Flip a payload byte of the *first* record; two valid records follow.
+        data[len(WAL_MAGIC) + 8 + 4] ^= 0xFF
+        (tmp_path / "c.wal").write_bytes(bytes(data))
+        with pytest.raises(StorageCorruptError) as info:
+            read_wal(tmp_path / "c.wal", committed_epoch=1)
+        assert info.value.offset == len(WAL_MAGIC)
+        assert "checksum" in info.value.reason
+
+    def test_non_object_payload_tail(self, tmp_path):
+        path, end = self._committed(tmp_path, extra=encode_record(b"[1, 2]"))
+        recovery = read_wal(path, committed_epoch=1)
+        assert recovery.truncated_at == end
+        assert any("not an operation" in note for note in recovery.notes)
+
+    def test_unparseable_payload_mid_file_raises(self, tmp_path):
+        bad = encode_record(b"\xff\xfe{{{")
+        good = encode_record(_payload({"op": "commit", "epoch": 1}))
+        (tmp_path / "c.wal").write_bytes(WAL_MAGIC + bad + good)
+        with pytest.raises(StorageCorruptError) as info:
+            read_wal(tmp_path / "c.wal", committed_epoch=1)
+        assert info.value.offset == len(WAL_MAGIC)
+
+
+class TestAtomicWrites:
+    def test_no_tmp_file_left(self, tmp_path):
+        atomic_write_text(tmp_path / "f.txt", "hello")
+        assert (tmp_path / "f.txt").read_text() == "hello"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_overwrites_atomically(self, tmp_path):
+        (tmp_path / "f.txt").write_text("old")
+        atomic_write_text(tmp_path / "f.txt", "new")
+        assert (tmp_path / "f.txt").read_text() == "new"
+
+
+class TestCommittedEpochFile:
+    def test_roundtrip(self, tmp_path):
+        assert read_committed_epoch(tmp_path) == 0
+        write_committed_epoch(tmp_path, 7)
+        assert read_committed_epoch(tmp_path) == 7
+
+    def test_garbage_epoch_file_raises(self, tmp_path):
+        (tmp_path / "COMMITTED").write_text("not json")
+        with pytest.raises(StorageCorruptError):
+            read_committed_epoch(tmp_path)

@@ -214,3 +214,91 @@ class TestValidateCommand:
         capsys.readouterr()
         assert main(["validate", "--store", str(tampered)]) == 1
         assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestDurableGenerate:
+    def test_durable_store_has_wal_and_epoch(self, workspace, tmp_path, capsys):
+        _root, snaps, _store = workspace
+        store = tmp_path / "durable"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(store),
+            "--durable",
+        ]) == 0
+        assert (store / "COMMITTED").exists()
+        assert (store / "clusters.wal").exists()
+        assert (store / "manifest.json").exists()
+        assert "published version" in capsys.readouterr().out
+
+    def test_rerun_resumes_without_reimporting(self, workspace, tmp_path, capsys):
+        _root, snaps, _store = workspace
+        store = tmp_path / "durable"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(store),
+            "--durable",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(store),
+            "--durable",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "already committed" in output
+
+    def test_durable_matches_plain_generate(self, workspace, tmp_path):
+        _root, snaps, _store = workspace
+        durable = tmp_path / "durable"
+        plain = tmp_path / "plain"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(durable),
+            "--durable",
+        ]) == 0
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(plain),
+        ]) == 0
+        assert _store_records(durable) == _store_records(plain)
+
+
+class TestRecoverCommand:
+    def test_clean_store_exits_zero(self, workspace, capsys):
+        _root, _snaps, store = workspace
+        assert main(["recover", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "committed epoch" in output
+        assert "recovered state" in output
+
+    def test_corrupt_snapshot_without_repair_fails(self, workspace, tmp_path, capsys):
+        _root, snaps, _store = workspace
+        store = tmp_path / "broken"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(store),
+        ]) == 0
+        path = store / "clusters.jsonl"
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:12]
+        path.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["recover", "--store", str(store)]) == 1
+        assert "unrecoverable" in capsys.readouterr().out
+
+    def test_repair_salvages_and_rewrites(self, workspace, tmp_path, capsys):
+        _root, snaps, _store = workspace
+        store = tmp_path / "salvage"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(store),
+        ]) == 0
+        path = store / "clusters.jsonl"
+        lines = path.read_text().splitlines()
+        before = len(lines)
+        lines[0] = lines[0][:12]
+        path.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["recover", "--store", str(store), "--repair"]) == 2
+        output = capsys.readouterr().out
+        assert "salvaged" in output
+        assert "rewritten" in output
+        # The rewritten store loads cleanly with one cluster dropped.
+        assert main(["recover", "--store", str(store)]) == 0
+        from repro.docstore import Database
+
+        salvaged = Database.load(store)
+        assert salvaged["clusters"].count_documents() == before - 1
