@@ -1,4 +1,4 @@
-.PHONY: install test lint typecheck bench bench-scoring bench-docstore bench-durability test-faults examples validate-docs clean
+.PHONY: install test lint typecheck bench bench-scoring bench-docstore bench-durability bench-dedup test-faults examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,15 @@ bench-docstore:
 # Writes machine-readable timings to BENCH_durability.json.
 bench-durability:
 	PYTHONPATH=src python benchmarks/durability_bench.py --quick --out BENCH_durability.json
+
+# Quick duplicate-detection benchmark: the streaming/parallel pipeline
+# (packed pair keys, prepared record vectors, sharded scoring) vs the
+# naive tuple-set + per-pair framework.  Writes timings/speedups and the
+# candidate-set memory comparison to BENCH_dedup.json and fails if the
+# best parallel run is less than 5x the naive reference or any path is
+# not bit-identical.
+bench-dedup:
+	PYTHONPATH=src python benchmarks/dedup_bench.py --quick --out BENCH_dedup.json
 
 # The crash-consistency suite: fault-injection sweeps over every I/O
 # operation plus the fault-tolerant parallel scoring tests.

@@ -1,0 +1,171 @@
+"""Dedup-pipeline usage hints: naive detection code that will not scale.
+
+:func:`analyze_dedup_usage` inspects Python source (AST-level, nothing is
+executed) and emits ``I406`` warnings — the detection-pipeline sibling of
+the ``I401``–``I405`` index-usage hints — wherever the eagerly
+materialized candidate generators feed the per-pair scorer directly:
+
+* ``I406`` — the result of ``multipass_sorted_neighborhood(...)`` or
+  ``multipass_blocking(...)`` is passed to ``score_candidates(...)``,
+  either nested in the call or through a straight-line local assignment.
+
+That shape unions every pass into a ``Set[Tuple[int, int]]`` and scores
+one pair at a time in one process; :mod:`repro.dedup.pipeline` produces
+bit-identical results from packed 64-bit pair keys, prepared record
+vectors and (optionally) sharded worker processes.  Like the index-usage
+hints these are warnings, never errors — the naive code is correct, it is
+just the path that stops scaling first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.diagnostics import WARNING, Diagnostic
+
+#: Candidate generators whose eager tuple-set results the hint tracks.
+CANDIDATE_GENERATORS = frozenset(
+    {"multipass_sorted_neighborhood", "multipass_blocking"}
+)
+
+#: The per-pair scoring entry point the streaming pipeline replaces.
+PAIR_SCORERS = frozenset({"score_candidates"})
+
+_HINT = (
+    "use repro.dedup.pipeline (sorted_neighborhood_candidates / "
+    "blocking_candidates + score_candidates_packed, or DetectionPipeline) "
+    "for packed, streamed, parallel detection with bit-identical results"
+)
+
+
+def _called_name(node: ast.Call) -> Optional[str]:
+    """The terminal function name of a call, for ``f(...)`` and ``m.f(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _candidates_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The ``candidates`` argument of a ``score_candidates`` call."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "candidates":
+            return keyword.value
+    return None
+
+
+class _Scope:
+    """Straight-line ``name = multipass_*(...)`` bindings of one scope."""
+
+    def __init__(self) -> None:
+        self.generated: Dict[str, str] = {}  # variable -> generator name
+
+    def record_assignment(self, node: Union[ast.Assign, ast.AnnAssign]) -> None:
+        value = node.value
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        generator: Optional[str] = None
+        if isinstance(value, ast.Call):
+            name = _called_name(value)
+            if name in CANDIDATE_GENERATORS:
+                generator = name
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if generator is not None:
+                    self.generated[target.id] = generator
+                else:
+                    # Any other rebinding kills the tracked provenance.
+                    self.generated.pop(target.id, None)
+
+
+class _DedupUsageVisitor(ast.NodeVisitor):
+    """Walks one module, keeping a per-function assignment scope."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.findings: List[Diagnostic] = []
+        self._scopes: List[_Scope] = [_Scope()]
+
+    # -- scope management ---------------------------------------------------
+
+    def _in_new_scope(self, node: ast.AST) -> None:
+        self._scopes.append(_Scope())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._in_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._in_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._in_new_scope(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)  # report nested calls first
+        self._scopes[-1].record_assignment(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        self._scopes[-1].record_assignment(node)
+
+    # -- the hint -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _called_name(node)
+        if name in PAIR_SCORERS:
+            argument = self._candidates_argument_origin(node)
+            if argument is not None:
+                self.findings.append(
+                    Diagnostic(
+                        "I406",
+                        WARNING,
+                        f"{self.filename}:{node.lineno}",
+                        f"candidates from {argument}() feed "
+                        f"{name}() directly; the eager tuple set and "
+                        "per-pair scoring loop do not scale past small "
+                        "datasets",
+                        hint=_HINT,
+                    )
+                )
+        self.generic_visit(node)
+
+    def _candidates_argument_origin(self, node: ast.Call) -> Optional[str]:
+        """The generator behind the candidates argument, if traceable."""
+        argument = _candidates_argument(node)
+        if argument is None:
+            return None
+        if isinstance(argument, ast.Call):
+            name = _called_name(argument)
+            if name in CANDIDATE_GENERATORS:
+                return name
+            return None
+        if isinstance(argument, ast.Name):
+            for scope in reversed(self._scopes):
+                if argument.id in scope.generated:
+                    return scope.generated[argument.id]
+        return None
+
+
+def analyze_dedup_usage(
+    source: str, filename: str = "<source>"
+) -> List[Diagnostic]:
+    """``I406`` hints for naive candidate-set → per-pair-scoring code.
+
+    ``source`` is Python source text; returns one warning per
+    ``score_candidates`` call whose candidates argument is (or was
+    assigned from, in the same or an enclosing scope) a
+    ``multipass_sorted_neighborhood`` / ``multipass_blocking`` call.
+    Raises ``SyntaxError`` if the source does not parse.
+    """
+    tree = ast.parse(source, filename=filename)
+    visitor = _DedupUsageVisitor(filename)
+    visitor.visit(tree)
+    return visitor.findings

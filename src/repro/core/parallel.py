@@ -149,6 +149,19 @@ def shard_of(entity_id: str, shards: int) -> int:
     return zlib.crc32(entity_id.strip().encode("utf-8")) % shards
 
 
+def shard_of_int(key: int, shards: int) -> int:
+    """Stable shard index of a non-negative integer key (seed-free).
+
+    Used by the duplicate-detection pipeline to shard packed 64-bit pair
+    keys (``i * n + j``, see :mod:`repro.dedup.pipeline`).  Plain modulo is
+    deliberate: packed keys are already well spread over the key space, the
+    assignment depends only on the key and the shard count, and — like
+    :func:`shard_of` — it is identical in every process and on every run,
+    which is what makes sharded results order-independent and mergeable.
+    """
+    return key % shards
+
+
 def _filter_snapshot(snapshot: Snapshot, shard: int, shards: int, id_attribute: str) -> Snapshot:
     records = [
         record

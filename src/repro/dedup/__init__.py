@@ -9,17 +9,38 @@ Section 6.5's setup:
   similarities, with the three name attributes matched 1:1 in their best
   permutation (:mod:`repro.dedup.matching`);
 * classification by similarity threshold and evaluation as precision /
-  recall / F1 over a threshold sweep (:mod:`repro.dedup.evaluate`).
+  recall / F1 over a threshold sweep (:mod:`repro.dedup.evaluate`);
+* a streaming, parallel end-to-end pipeline for all of the above at
+  register scale — packed candidate pairs, prepared record vectors,
+  sharded pair scoring — bit-identical to the naive framework
+  (:mod:`repro.dedup.pipeline`).
 """
 
 from __future__ import annotations
 
 from repro.dedup.blocking import (
+    BlockingStats,
     SortedNeighborhood,
     StandardBlocking,
     multipass_blocking,
+    multipass_blocking_with_stats,
     multipass_sorted_neighborhood,
     pick_blocking_keys,
+)
+from repro.dedup.pipeline import (
+    CandidateStats,
+    DetectionPipeline,
+    DetectionResult,
+    PassStats,
+    blocking_candidates,
+    collect_candidates,
+    pack_pair,
+    pack_pairs,
+    score_candidates_packed,
+    score_pairs_batch,
+    sorted_neighborhood_candidates,
+    unpack_pair,
+    unpack_pairs,
 )
 from repro.dedup.evaluate import (
     EvaluationPoint,
@@ -37,15 +58,31 @@ from repro.dedup.clustering import (
     connected_components,
     pairs_of_clusters,
 )
-from repro.dedup.matching import RecordMatcher
+from repro.dedup.matching import PreparedRecords, RecordMatcher
 
 __all__ = [
     "SortedNeighborhood",
     "StandardBlocking",
+    "BlockingStats",
     "multipass_blocking",
+    "multipass_blocking_with_stats",
     "multipass_sorted_neighborhood",
     "pick_blocking_keys",
     "RecordMatcher",
+    "PreparedRecords",
+    "DetectionPipeline",
+    "DetectionResult",
+    "CandidateStats",
+    "PassStats",
+    "pack_pair",
+    "unpack_pair",
+    "pack_pairs",
+    "unpack_pairs",
+    "collect_candidates",
+    "sorted_neighborhood_candidates",
+    "blocking_candidates",
+    "score_pairs_batch",
+    "score_candidates_packed",
     "EvaluationPoint",
     "best_f1",
     "score_candidates",

@@ -8,6 +8,8 @@ was lost (Section 6.5).
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.heterogeneity import entropy
@@ -70,6 +72,33 @@ def multipass_sorted_neighborhood(
     return pairs
 
 
+@dataclasses.dataclass
+class BlockingStats:
+    """What a standard-blocking pass did — including what it dropped.
+
+    Oversized blocks used to be skipped *silently*; a blocking pass that
+    quietly drops its largest blocks reads as "covered everything" when it
+    did not.  The stats make the cap observable: ``blocks_skipped`` counts
+    the blocks over ``max_block_size`` and ``pairs_dropped`` the candidate
+    pairs those blocks would have produced.  The CLI surfaces them, and
+    callers can decide to raise the cap or switch blocking keys.
+    """
+
+    blocks_total: int = 0
+    blocks_skipped: int = 0
+    records_blocked: int = 0
+    pairs_emitted: int = 0
+    pairs_dropped: int = 0
+
+    def merge(self, other: "BlockingStats") -> None:
+        """Accumulate another pass's counters into this one."""
+        self.blocks_total += other.blocks_total
+        self.blocks_skipped += other.blocks_skipped
+        self.records_blocked += other.records_blocked
+        self.pairs_emitted += other.pairs_emitted
+        self.pairs_dropped += other.pairs_dropped
+
+
 class StandardBlocking:
     """Classic key-based blocking: equal blocking keys become candidates.
 
@@ -77,7 +106,9 @@ class StandardBlocking:
     code of the last name plus the zip prefix).  Unlike Sorted
     Neighborhood, block sizes are unbounded — ``max_block_size`` guards
     against quadratic blow-up on frequent keys by skipping oversized
-    blocks (a standard production safeguard).
+    blocks (a standard production safeguard).  Skips are never silent:
+    :meth:`candidates_with_stats` reports how many blocks and pairs the
+    cap dropped.
     """
 
     def __init__(
@@ -100,30 +131,60 @@ class StandardBlocking:
 
         return cls(key_function, max_block_size)
 
-    def candidates(self, records: Sequence[Dict[str, str]]) -> Set[Tuple[int, int]]:
-        """Candidate record-id pairs ``(i, j)`` with ``i < j``."""
+    def blocks(self, records: Sequence[Dict[str, str]]) -> Dict[str, List[int]]:
+        """``key -> [record ids]`` in first-seen order; empty keys dropped."""
         blocks: Dict[str, List[int]] = {}
         for record_id, record in enumerate(records):
             key = self.key_function(record)
             if key in (None, ""):
                 continue  # empty keys never block together
             blocks.setdefault(key, []).append(record_id)
+        return blocks
+
+    def candidates_with_stats(
+        self, records: Sequence[Dict[str, str]]
+    ) -> Tuple[Set[Tuple[int, int]], BlockingStats]:
+        """Candidate pairs plus the pass's :class:`BlockingStats`."""
+        stats = BlockingStats()
         pairs: Set[Tuple[int, int]] = set()
-        for members in blocks.values():
+        for members in self.blocks(records).values():
+            stats.blocks_total += 1
+            stats.records_blocked += len(members)
             if len(members) > self.max_block_size:
+                stats.blocks_skipped += 1
+                stats.pairs_dropped += len(members) * (len(members) - 1) // 2
                 continue
-            for j in range(1, len(members)):
-                for i in range(j):
-                    pairs.add((members[i], members[j]))
+            # Members are in record-id order, so combinations already
+            # yields normalised (i, j) pairs with i < j.
+            before = len(pairs)
+            pairs.update(itertools.combinations(members, 2))
+            stats.pairs_emitted += len(pairs) - before
+        return pairs, stats
+
+    def candidates(self, records: Sequence[Dict[str, str]]) -> Set[Tuple[int, int]]:
+        """Candidate record-id pairs ``(i, j)`` with ``i < j``."""
+        pairs, _stats = self.candidates_with_stats(records)
         return pairs
+
+
+def multipass_blocking_with_stats(
+    records: Sequence[Dict[str, str]],
+    blockers: Iterable["StandardBlocking"],
+) -> Tuple[Set[Tuple[int, int]], BlockingStats]:
+    """Union of several blocking passes plus their merged stats."""
+    pairs: Set[Tuple[int, int]] = set()
+    stats = BlockingStats()
+    for blocker in blockers:
+        pass_pairs, pass_stats = blocker.candidates_with_stats(records)
+        pairs |= pass_pairs
+        stats.merge(pass_stats)
+    return pairs, stats
 
 
 def multipass_blocking(
     records: Sequence[Dict[str, str]],
     blockers: Iterable["StandardBlocking"],
 ) -> Set[Tuple[int, int]]:
-    """Union of the candidates of several standard-blocking passes."""
-    pairs: Set[Tuple[int, int]] = set()
-    for blocker in blockers:
-        pairs |= blocker.candidates(records)
+    """Union of the candidate pairs of several standard-blocking passes."""
+    pairs, _stats = multipass_blocking_with_stats(records, blockers)
     return pairs

@@ -6,14 +6,25 @@ often confused between the individual attributes, we matched every
 combination of them and used the 1:1 matching with the highest similarity
 for aggregation.  To weight the individual attributes we used again their
 entropy." (Section 6.5)
+
+Two call forms, bit-identical to each other:
+
+* :meth:`RecordMatcher.similarity` — the per-pair path: strips and
+  compares the raw record dicts on every call;
+* :meth:`RecordMatcher.prepare` + :meth:`PreparedRecords.pair_similarity`
+  — the batch path used by :mod:`repro.dedup.pipeline`: per-record value
+  vectors (stripped, interned) are computed **once per record** instead of
+  once per pair, and the name-permutation scores come from a per-pair
+  score matrix instead of re-resolving the cache inside every permutation.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.core.heterogeneity import entropy_weights
+from repro.textsim import fast
 from repro.textsim.cache import LRUCache
 
 SimilarityFn = Callable[[str, str], float]
@@ -29,6 +40,50 @@ DEFAULT_NAME_ATTRIBUTES = ("first_name", "midl_name", "last_name")
 _SHARED_CACHE: LRUCache = LRUCache(maxsize=131072)
 
 _matcher_tokens = itertools.count(1)
+
+
+class PreparedRecords:
+    """Per-record prepared value vectors for one matcher (see ``prepare``).
+
+    ``name_values[i]`` / ``other_values[i]`` hold record ``i``'s stripped,
+    interned values aligned with the matcher's name attributes and
+    (zero-weight-free) other attributes.  Scoring a pair through
+    :meth:`pair_similarity` touches only these tuples — the record dicts
+    are never consulted again.
+    """
+
+    __slots__ = ("matcher", "name_values", "other_values")
+
+    def __init__(
+        self,
+        matcher: "RecordMatcher",
+        name_values: List[Tuple[str, ...]],
+        other_values: List[Tuple[str, ...]],
+    ) -> None:
+        self.matcher = matcher
+        self.name_values = name_values
+        self.other_values = other_values
+
+    def __len__(self) -> int:
+        return len(self.name_values)
+
+    def pair_similarity(self, left_id: int, right_id: int) -> float:
+        """Similarity of two prepared records, bit-identical to
+        ``matcher.similarity(records[left_id], records[right_id])``."""
+        matcher = self.matcher
+        if matcher._total_weight == 0:
+            return 0.0
+        total = 0.0
+        if matcher.name_attributes:
+            total += matcher._name_assignment_score(
+                self.name_values[left_id], self.name_values[right_id]
+            )
+        value_similarity = matcher._value_similarity
+        left_values = self.other_values[left_id]
+        right_values = self.other_values[right_id]
+        for index, weight in enumerate(matcher._other_weights):
+            total += weight * value_similarity(left_values[index], right_values[index])
+        return total / matcher._total_weight
 
 
 class RecordMatcher:
@@ -59,9 +114,18 @@ class RecordMatcher:
         self.measure = measure
         self.weights = dict(weights)
         self.name_attributes = tuple(a for a in name_attributes if a in self.weights)
+        # Zero-weight attributes are dropped up front: their terms were
+        # always skipped, so the (order-preserving) filter keeps the
+        # accumulation sequence — and hence every float — unchanged.
         self._other_attributes = tuple(
-            a for a in self.weights if a not in self.name_attributes
+            a
+            for a in self.weights
+            if a not in self.name_attributes and self.weights[a] != 0.0
         )
+        self._other_weights = tuple(self.weights[a] for a in self._other_attributes)
+        self._name_weights = tuple(self.weights[a] for a in self.name_attributes)
+        # Hoisted out of similarity(): it was recomputed for every pair.
+        self._total_weight = sum(self.weights.values())
         self._cache = _SHARED_CACHE
         self._cache_token = next(_matcher_tokens)
 
@@ -89,47 +153,95 @@ class RecordMatcher:
             self._cache.put(key, cached)
         return cached
 
-    def _best_name_assignment(
-        self, left: Dict[str, str], right: Dict[str, str]
+    def _name_assignment_score(
+        self, left_values: Sequence[str], right_values: Sequence[str]
     ) -> float:
-        """Weighted similarity of the best 1:1 name attribute permutation.
+        """Best 1:1 name permutation score over pre-stripped value tuples.
 
-        Every permutation of the right-hand name values is scored against
-        the left-hand attributes; weights stay attached to the left-hand
-        attribute (the column being filled).
+        Every permutation of the right-hand values is scored against the
+        left-hand attribute slots; weights stay attached to the left-hand
+        attribute (the column being filled).  The per-slot similarities
+        are computed once into a matrix (|names|² measure lookups instead
+        of |names|! · |names|), and the accumulation order inside each
+        permutation matches the historical per-permutation loop exactly —
+        the result is bit-identical.
         """
-        attributes = self.name_attributes
-        left_values = [(left.get(a) or "").strip() for a in attributes]
-        right_values = [(right.get(a) or "").strip() for a in attributes]
+        weights = self._name_weights
+        count = len(weights)
+        if left_values == right_values:
+            first = left_values[0] if left_values else ""
+            if all(value == first for value in left_values):
+                # All name values are pairwise equal: every matrix entry is
+                # exactly 1.0 for any measure, so every permutation totals
+                # the same sum — accumulate it in slot order and exit early.
+                total = 0.0
+                for weight in weights:
+                    total += weight * 1.0
+                return total
+        value_similarity = self._value_similarity
+        scores = [
+            [value_similarity(left_value, right_value) for right_value in right_values]
+            for left_value in left_values
+        ]
         best = -1.0
-        for permutation in itertools.permutations(range(len(attributes))):
+        for permutation in itertools.permutations(range(count)):
             total = 0.0
-            for index, attribute in enumerate(attributes):
-                score = self._value_similarity(
-                    left_values[index], right_values[permutation[index]]
-                )
-                total += self.weights[attribute] * score
+            for index in range(count):
+                total += weights[index] * scores[index][permutation[index]]
             if total > best:
                 best = total
         return best
 
+    def _best_name_assignment(
+        self, left: Dict[str, str], right: Dict[str, str]
+    ) -> float:
+        """Weighted similarity of the best 1:1 name attribute permutation."""
+        attributes = self.name_attributes
+        left_values = tuple((left.get(a) or "").strip() for a in attributes)
+        right_values = tuple((right.get(a) or "").strip() for a in attributes)
+        return self._name_assignment_score(left_values, right_values)
+
+    def prepare(self, records: Sequence[Dict[str, str]]) -> PreparedRecords:
+        """Precompute per-record value vectors for batch pair scoring.
+
+        Stripping, ``None`` handling and the name-value tuples happen once
+        per record here instead of once per pair inside ``similarity``;
+        values are interned (:func:`repro.textsim.fast.intern_values`) so
+        the equality short-circuits and cache-key comparisons in the hot
+        loop compare by pointer in the common case.  Scoring through the
+        returned :class:`PreparedRecords` is bit-identical to calling
+        :meth:`similarity` on the raw records.
+        """
+        name_attributes = self.name_attributes
+        other_attributes = self._other_attributes
+        name_values: List[Tuple[str, ...]] = []
+        other_values: List[Tuple[str, ...]] = []
+        for record in records:
+            name_values.append(
+                fast.intern_values(
+                    (record.get(a) or "").strip() for a in name_attributes
+                )
+            )
+            other_values.append(
+                fast.intern_values(
+                    (record.get(a) or "").strip() for a in other_attributes
+                )
+            )
+        return PreparedRecords(self, name_values, other_values)
+
     def similarity(self, left: Dict[str, str], right: Dict[str, str]) -> float:
         """Weighted average value similarity of two flat records."""
-        total_weight = sum(self.weights.values())
-        if total_weight == 0:
+        if self._total_weight == 0:
             return 0.0
         total = 0.0
         if self.name_attributes:
             total += self._best_name_assignment(left, right)
-        for attribute in self._other_attributes:
-            weight = self.weights[attribute]
-            if weight == 0.0:
-                continue
-            total += weight * self._value_similarity(
+        for index, attribute in enumerate(self._other_attributes):
+            total += self._other_weights[index] * self._value_similarity(
                 (left.get(attribute) or "").strip(),
                 (right.get(attribute) or "").strip(),
             )
-        return total / total_weight
+        return total / self._total_weight
 
     def __call__(self, left: Dict[str, str], right: Dict[str, str]) -> float:
         return self.similarity(left, right)

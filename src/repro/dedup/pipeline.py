@@ -1,0 +1,506 @@
+"""Streaming, parallel duplicate-detection pipeline (Section 6.5 at scale).
+
+The paper's headline evaluation runs a multi-pass Sorted Neighborhood
+(window 20, one pass per highly unique attribute) and scores every
+candidate pair with the weighted 1:1-name record matcher.  At register
+scale that is tens of millions of candidate pairs, and the naive framework
+in this package — tuple sets unioned eagerly, one ``similarity()`` call
+per pair in a single process — becomes the bottleneck.  This module is the
+scaled path, **bit-identical** to the naive one (enforced against the
+oracles in :mod:`repro.dedup._reference` by
+``tests/dedup/test_pipeline_equivalence.py``):
+
+* **Packed candidate pairs.**  A pair ``(i, j)`` with ``i < j < n`` is one
+  ``int``: ``i * n + j`` (:func:`pack_pair`).  Candidate passes stream
+  their pairs as iterators of packed keys into a single ``set[int]`` —
+  cross-pass dedup happens on integer hashes (no tuple re-hashing on
+  union) and the pair set costs one machine word per pair instead of a
+  tuple object plus two boxed ints (~4x less memory, measured in
+  ``benchmarks/dedup_bench.py``).
+* **Prepared record vectors.**  Scoring uses
+  :meth:`repro.dedup.matching.RecordMatcher.prepare`: stripping, ``None``
+  handling, name-value tuples and weight normalisation happen once per
+  record instead of once per pair, with interned values
+  (:func:`repro.textsim.fast.intern_values`) so the hot-loop equality
+  checks compare by pointer.
+* **Batched scoring** (:func:`score_pairs_batch`) walks packed keys in
+  sorted order and shares the matcher's bounded LRU; the similarity
+  measures route through the thresholded/banded kernels of
+  :mod:`repro.textsim.fast` exactly as the per-pair path does.
+* **Sharded parallel scoring** (:func:`score_candidates_packed` with
+  ``max_workers > 0``) fans the packed keys over worker processes through
+  :func:`repro.core.parallel.run_shards` — deterministic shard-by-pair-key
+  (:func:`repro.core.parallel.shard_of_int`), the same retry /
+  backoff / in-process-degradation semantics as parallel cluster scoring,
+  and a merge that is order-independent because pair scores are pure
+  functions of the two records.
+
+:class:`DetectionPipeline` wires the stages together and feeds
+:func:`repro.dedup.evaluate.evaluate_thresholds` directly; the CLI exposes
+it as ``ncvoter-testdata detect``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.parallel import run_shards, shard_of_int
+from repro.dedup.blocking import (
+    BlockingStats,
+    SortedNeighborhood,
+    StandardBlocking,
+    pick_blocking_keys,
+)
+from repro.dedup.evaluate import (
+    EvaluationPoint,
+    best_f1,
+    evaluate_thresholds,
+)
+from repro.dedup.matching import PreparedRecords, RecordMatcher
+
+Pair = Tuple[int, int]
+
+#: The paper's threshold sweep (Figure 5): 0.20, 0.25, …, 0.95.
+DEFAULT_THRESHOLDS: Tuple[float, ...] = tuple(t / 20 for t in range(4, 20))
+
+
+# ------------------------------------------------------------- packed pairs
+
+
+def pack_pair(left: int, right: int, record_count: int) -> int:
+    """Pack the pair ``(left, right)`` with ``left < right`` into one int.
+
+    The packing is ``left * record_count + right`` — unique for
+    ``0 <= left < right < record_count`` and reversible via
+    :func:`unpack_pair`.  At the paper's scale (millions of records) the
+    packed key still fits comfortably in 64 bits (``n**2 < 2**63`` up to
+    ~3 billion records), and CPython small-int hashing makes set
+    membership and union much cheaper than tuple hashing.
+    """
+    if not 0 <= left < right < record_count:
+        raise ValueError(
+            f"pair ({left}, {right}) is not ordered inside range({record_count})"
+        )
+    return left * record_count + right
+
+
+def unpack_pair(key: int, record_count: int) -> Pair:
+    """Invert :func:`pack_pair`."""
+    return divmod(key, record_count)
+
+
+def pack_pairs(pairs: Iterable[Pair], record_count: int) -> Set[int]:
+    """Pack an iterable of ``(i, j)`` pairs into a packed-key set."""
+    return {pack_pair(left, right, record_count) for left, right in pairs}
+
+
+def unpack_pairs(keys: Iterable[int], record_count: int) -> Set[Pair]:
+    """Unpack a packed-key set back into ``(i, j)`` tuples."""
+    return {divmod(key, record_count) for key in keys}
+
+
+# -------------------------------------------------- streaming candidate gen
+
+
+def iter_sorted_neighborhood_keys(
+    records: Sequence[Dict[str, str]], key_attribute: str, window: int
+) -> Iterator[int]:
+    """One Sorted Neighborhood pass as a stream of packed pair keys.
+
+    Same sort and same sliding window as
+    :class:`repro.dedup.blocking.SortedNeighborhood`, but pairs are
+    yielded lazily as packed ints — nothing per-pass is materialized, and
+    duplicates within the window (impossible for SNM, possible for
+    blocking) would simply collapse in the consuming set.
+    """
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    record_count = len(records)
+    order = sorted(
+        range(record_count),
+        key=lambda index: (records[index].get(key_attribute) or "").strip(),
+    )
+    for position, record_id in enumerate(order):
+        stop = min(position + window, record_count)
+        for other_position in range(position + 1, stop):
+            other_id = order[other_position]
+            if record_id < other_id:
+                yield record_id * record_count + other_id
+            else:
+                yield other_id * record_count + record_id
+
+
+def iter_blocking_keys(
+    records: Sequence[Dict[str, str]],
+    blocker: StandardBlocking,
+    stats: Optional[BlockingStats] = None,
+) -> Iterator[int]:
+    """One standard-blocking pass as a stream of packed pair keys.
+
+    Block membership lists are in record-id order, so the nested loop
+    yields canonical ``i < j`` keys directly.  When ``stats`` is given it
+    is filled in-place (the no-silent-caps counters of
+    :class:`~repro.dedup.blocking.BlockingStats`), because a generator
+    cannot also return a value to its consumer.
+    """
+    record_count = len(records)
+    for members in blocker.blocks(records).values():
+        size = len(members)
+        if stats is not None:
+            stats.blocks_total += 1
+            stats.records_blocked += size
+        if size > blocker.max_block_size:
+            if stats is not None:
+                stats.blocks_skipped += 1
+                stats.pairs_dropped += size * (size - 1) // 2
+            continue
+        if stats is not None:
+            stats.pairs_emitted += size * (size - 1) // 2
+        for position, left in enumerate(members):
+            base = left * record_count
+            for other_position in range(position + 1, size):
+                yield base + members[other_position]
+
+
+@dataclasses.dataclass
+class PassStats:
+    """One candidate pass: what it emitted and what was new."""
+
+    label: str
+    pairs_emitted: int = 0
+    pairs_new: int = 0
+    blocks_skipped: int = 0
+    pairs_dropped: int = 0
+
+
+@dataclasses.dataclass
+class CandidateStats:
+    """Streaming candidate generation, pass by pass.
+
+    ``pairs_dropped`` > 0 means a blocking pass hit its ``max_block_size``
+    cap — candidates that were *not* generated.  Surfaced (never silent)
+    by the CLI and the benchmark.
+    """
+
+    record_count: int
+    passes: List[PassStats] = dataclasses.field(default_factory=list)
+
+    @property
+    def pairs_emitted(self) -> int:
+        return sum(p.pairs_emitted for p in self.passes)
+
+    @property
+    def unique_pairs(self) -> int:
+        return sum(p.pairs_new for p in self.passes)
+
+    @property
+    def pairs_dropped(self) -> int:
+        return sum(p.pairs_dropped for p in self.passes)
+
+    def render(self) -> str:
+        """Human-readable per-pass summary (CLI surfacing)."""
+        lines = []
+        for stats in self.passes:
+            line = (
+                f"pass {stats.label}: {stats.pairs_emitted} pairs, "
+                f"{stats.pairs_new} new"
+            )
+            if stats.pairs_dropped:
+                line += (
+                    f" [DROPPED {stats.pairs_dropped} pairs in "
+                    f"{stats.blocks_skipped} oversized block(s)]"
+                )
+            lines.append(line)
+        lines.append(
+            f"total: {self.unique_pairs} unique of {self.pairs_emitted} "
+            f"emitted ({self.record_count} records)"
+        )
+        return "\n".join(lines)
+
+
+def collect_candidates(
+    passes: Iterable[Tuple[str, Iterator[int]]],
+    record_count: int,
+) -> Tuple[Set[int], CandidateStats]:
+    """Union labelled streams of packed keys with cross-pass dedup.
+
+    Every pass streams into the same ``set[int]``; per-pass emitted/new
+    counts are tracked on the fly, so no pass is ever materialized on its
+    own (the eager tuple-set union kept every pass's set alive at once).
+    """
+    keys: Set[int] = set()
+    stats = CandidateStats(record_count=record_count)
+    for label, stream in passes:
+        pass_stats = PassStats(label=label)
+        before = len(keys)
+        for key in stream:
+            keys.add(key)
+            pass_stats.pairs_emitted += 1
+        pass_stats.pairs_new = len(keys) - before
+        stats.passes.append(pass_stats)
+    return keys, stats
+
+
+def sorted_neighborhood_candidates(
+    records: Sequence[Dict[str, str]],
+    key_attributes: Iterable[str],
+    window: int = 20,
+) -> Tuple[Set[int], CandidateStats]:
+    """Multi-pass SNM candidates as packed keys, one streamed pass per key.
+
+    Equals ``pack_pairs(multipass_sorted_neighborhood(records, keys, w))``
+    — asserted by the equivalence suite — without ever materializing a
+    per-pass tuple set.
+    """
+    return collect_candidates(
+        (
+            (attribute, iter_sorted_neighborhood_keys(records, attribute, window))
+            for attribute in key_attributes
+        ),
+        len(records),
+    )
+
+
+def blocking_candidates(
+    records: Sequence[Dict[str, str]],
+    blockers: Sequence[StandardBlocking],
+) -> Tuple[Set[int], CandidateStats]:
+    """Multi-pass standard blocking as packed keys with drop accounting."""
+    keys: Set[int] = set()
+    stats = CandidateStats(record_count=len(records))
+    for position, blocker in enumerate(blockers):
+        block_stats = BlockingStats()
+        pass_stats = PassStats(label=f"block[{position}]")
+        before = len(keys)
+        for key in iter_blocking_keys(records, blocker, block_stats):
+            keys.add(key)
+        pass_stats.pairs_emitted = block_stats.pairs_emitted
+        pass_stats.pairs_new = len(keys) - before
+        pass_stats.blocks_skipped = block_stats.blocks_skipped
+        pass_stats.pairs_dropped = block_stats.pairs_dropped
+        stats.passes.append(pass_stats)
+    return keys, stats
+
+
+# ------------------------------------------------------------ pair scoring
+
+
+def score_pairs_batch(
+    prepared: PreparedRecords,
+    keys: Iterable[int],
+    record_count: int,
+) -> Dict[Pair, float]:
+    """Score a batch of packed candidate keys through prepared vectors.
+
+    Returns ``{(i, j): similarity}`` with every float bit-identical to
+    ``matcher.similarity(records[i], records[j])`` — prepared vectors only
+    hoist work out of the pair loop, they never change an operation order.
+    """
+    pair_similarity = prepared.pair_similarity
+    similarities: Dict[Pair, float] = {}
+    for key in keys:
+        pair = divmod(key, record_count)
+        similarities[pair] = pair_similarity(pair[0], pair[1])
+    return similarities
+
+
+def _score_pairs_shard(
+    records: Sequence[Dict[str, str]],
+    measure: object,
+    weights: Dict[str, float],
+    name_attributes: Tuple[str, ...],
+    keys: Sequence[int],
+    record_count: int,
+) -> Dict[Pair, float]:
+    """Worker: rebuild the matcher, prepare once, score this shard's keys.
+
+    Only plain data (records, weights, the picklable measure, packed keys)
+    crosses the process boundary; each worker keeps its own caches.  Pure —
+    safe to retry (see :func:`repro.core.parallel.run_shards`).
+    """
+    matcher = RecordMatcher(measure, weights, name_attributes)  # type: ignore[arg-type]
+    prepared = matcher.prepare(records)
+    return score_pairs_batch(prepared, keys, record_count)
+
+
+def score_candidates_packed(
+    records: Sequence[Dict[str, str]],
+    keys: Iterable[int],
+    matcher: RecordMatcher,
+    *,
+    shards: int = 1,
+    max_workers: Optional[int] = None,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    backoff: float = 0.1,
+) -> Dict[Pair, float]:
+    """Similarity of every packed candidate key, optionally sharded.
+
+    ``max_workers=0``/``None`` scores in-process through one prepared
+    vector table.  With workers, keys shard deterministically by
+    ``shard_of_int(key, shards)`` and fan out over
+    :func:`repro.core.parallel.run_shards` — worker crashes and timeouts
+    retry with exponential backoff and ultimately degrade to in-process
+    scoring, exactly like parallel cluster scoring.  Because every score
+    is a pure function of the two records, any shard and worker count
+    (including zero) produces an identical result map; parallel workers
+    additionally require ``matcher.measure`` to be picklable.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    record_count = len(records)
+    ordered = sorted(keys)
+    if not max_workers or shards == 1:
+        # A single shard gains nothing from a process round-trip.
+        return score_pairs_batch(matcher.prepare(records), ordered, record_count)
+    buckets: List[List[int]] = [[] for _ in range(shards)]
+    for key in ordered:
+        buckets[shard_of_int(key, shards)].append(key)
+    records_list = list(records)
+    shard_results = run_shards(
+        _score_pairs_shard,
+        [
+            (
+                records_list,
+                matcher.measure,
+                matcher.weights,
+                matcher.name_attributes,
+                bucket,
+                record_count,
+            )
+            for bucket in buckets
+        ],
+        max_workers,
+        max_retries=max_retries,
+        timeout=timeout,
+        backoff=backoff,
+        label="parallel pair scoring",
+    )
+    similarities: Dict[Pair, float] = {}
+    for result in shard_results:
+        similarities.update(result)
+    return similarities
+
+
+# ------------------------------------------------------------ the pipeline
+
+
+@dataclasses.dataclass
+class DetectionResult:
+    """Everything one end-to-end detection run produced."""
+
+    record_count: int
+    candidate_keys: Set[int]
+    candidate_stats: CandidateStats
+    similarities: Dict[Pair, float]
+    points: List[EvaluationPoint]
+    gold_size: int = 0
+    gold_missed: int = 0
+
+    @property
+    def best(self) -> EvaluationPoint:
+        """The evaluation point with the highest F1."""
+        return best_f1(self.points)
+
+
+class DetectionPipeline:
+    """Candidate generation → batched pair scoring → threshold sweep.
+
+    The end-to-end form of the paper's Section 6.5 evaluation, built from
+    the streaming pieces of this module.  ``workers=0`` (the default) runs
+    everything in-process; any worker count produces bit-identical
+    similarities, evaluation points and best-F1 thresholds.
+
+    Parameters mirror the paper's setup: ``passes`` most unique attributes
+    (entropy-ranked) as SNM sort keys with window ``window``.  Pass
+    ``key_attributes`` to pin the sort keys explicitly instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 20,
+        passes: int = 5,
+        key_attributes: Optional[Sequence[str]] = None,
+        thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+        workers: int = 0,
+        shards: Optional[int] = None,
+        max_retries: int = 2,
+        timeout: Optional[float] = None,
+        backoff: float = 0.1,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.window = window
+        self.passes = passes
+        self.key_attributes = tuple(key_attributes) if key_attributes else None
+        self.thresholds = tuple(thresholds)
+        self.workers = workers
+        self.shards = shards if shards is not None else max(workers, 1)
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.backoff = backoff
+
+    def candidates(
+        self,
+        records: Sequence[Dict[str, str]],
+        attributes: Sequence[str],
+    ) -> Tuple[Set[int], CandidateStats]:
+        """Streamed multi-pass SNM candidates as packed keys."""
+        keys = self.key_attributes or pick_blocking_keys(
+            records, attributes, self.passes
+        )
+        return sorted_neighborhood_candidates(records, keys, self.window)
+
+    def score(
+        self,
+        records: Sequence[Dict[str, str]],
+        candidate_keys: Set[int],
+        matcher: RecordMatcher,
+    ) -> Dict[Pair, float]:
+        """Score packed candidates (sharded over workers when configured)."""
+        return score_candidates_packed(
+            records,
+            candidate_keys,
+            matcher,
+            shards=self.shards,
+            max_workers=self.workers,
+            max_retries=self.max_retries,
+            timeout=self.timeout,
+            backoff=self.backoff,
+        )
+
+    def detect(
+        self,
+        records: Sequence[Dict[str, str]],
+        attributes: Sequence[str],
+        matcher: RecordMatcher,
+        gold: Optional[Set[Pair]] = None,
+        thresholds: Optional[Sequence[float]] = None,
+    ) -> DetectionResult:
+        """Run the full pipeline and sweep the thresholds against ``gold``."""
+        candidate_keys, stats = self.candidates(records, attributes)
+        similarities = self.score(records, candidate_keys, matcher)
+        gold = gold or set()
+        sweep = tuple(thresholds) if thresholds is not None else self.thresholds
+        points = evaluate_thresholds(similarities, gold, sweep)
+        record_count = len(records)
+        gold_missed = sum(
+            1
+            for left, right in gold
+            if left * record_count + right not in candidate_keys
+        )
+        return DetectionResult(
+            record_count=record_count,
+            candidate_keys=candidate_keys,
+            candidate_stats=stats,
+            similarities=similarities,
+            points=points,
+            gold_size=len(gold),
+            gold_missed=gold_missed,
+        )

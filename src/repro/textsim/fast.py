@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import sys
 from functools import lru_cache
-from typing import Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.textsim.base import normalize_for_comparison
 from repro.textsim.tokens import qgrams, tokenize
@@ -199,6 +199,19 @@ def _banded_distance(
 
 
 # --------------------------------------------------------------- Monge-Elkan
+
+
+def intern_values(values: Iterable[str]) -> Tuple[str, ...]:
+    """Intern a sequence of attribute values into a tuple.
+
+    Prepared record vectors (:meth:`repro.dedup.matching.RecordMatcher.prepare`)
+    hold millions of heavily repeated strings; interning collapses them to
+    one object per distinct value, so the ``left == right`` short-circuits
+    and LRU cache-key comparisons in the pair-scoring hot loop resolve by
+    pointer identity instead of character comparison, and the vectors cost
+    one pointer per slot instead of one string copy.
+    """
+    return tuple(sys.intern(value) for value in values)
 
 
 @lru_cache(maxsize=131072)

@@ -1,0 +1,152 @@
+"""Unit tests for the dedup-pipeline usage hint (I406).
+
+Mirrors ``tests/analysis/test_index_usage.py``: one class for shapes that
+must warn, one for shapes that must stay silent.  The analyzer is
+AST-only — sources here are never executed.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import WARNING, analyze_dedup_usage
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def analyze(source):
+    return analyze_dedup_usage(textwrap.dedent(source), filename="check.py")
+
+
+class TestI406Warns:
+    def test_direct_nesting(self):
+        diagnostics = analyze(
+            """
+            scores = score_candidates(
+                records, multipass_sorted_neighborhood(records, keys, 20), matcher
+            )
+            """
+        )
+        assert codes(diagnostics) == ["I406"]
+        assert diagnostics[0].severity == WARNING
+        assert diagnostics[0].path == "check.py:2"
+        assert "multipass_sorted_neighborhood" in diagnostics[0].message
+        assert "pipeline" in diagnostics[0].hint
+
+    def test_assignment_provenance(self):
+        diagnostics = analyze(
+            """
+            def run(records, matcher):
+                candidates = multipass_blocking(records, blockers)
+                print(len(candidates))
+                return score_candidates(records, candidates, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I406"]
+        assert "multipass_blocking" in diagnostics[0].message
+
+    def test_keyword_candidates_argument(self):
+        diagnostics = analyze(
+            """
+            pairs = multipass_sorted_neighborhood(records, keys)
+            scores = score_candidates(records, matcher=m, candidates=pairs)
+            """
+        )
+        assert codes(diagnostics) == ["I406"]
+
+    def test_module_qualified_calls(self):
+        diagnostics = analyze(
+            """
+            pairs = dedup.multipass_sorted_neighborhood(records, keys)
+            scores = dedup.score_candidates(records, pairs, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I406"]
+
+    def test_enclosing_scope_binding_visible(self):
+        diagnostics = analyze(
+            """
+            pairs = multipass_blocking(records, blockers)
+
+            def run(matcher):
+                return score_candidates(records, pairs, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I406"]
+
+    def test_one_warning_per_scoring_call(self):
+        diagnostics = analyze(
+            """
+            pairs = multipass_blocking(records, blockers)
+            a = score_candidates(records, pairs, m1)
+            b = score_candidates(records, pairs, m2)
+            """
+        )
+        assert codes(diagnostics) == ["I406", "I406"]
+
+
+class TestI406Silent:
+    def test_clean_pipeline_code(self):
+        assert (
+            analyze(
+                """
+                pipeline = DetectionPipeline(window=20, passes=5, workers=4)
+                result = pipeline.detect(records, attributes, matcher, gold)
+                """
+            )
+            == []
+        )
+
+    def test_rebinding_kills_provenance(self):
+        assert (
+            analyze(
+                """
+                pairs = multipass_blocking(records, blockers)
+                pairs = prune(pairs)
+                scores = score_candidates(records, pairs, matcher)
+                """
+            )
+            == []
+        )
+
+    def test_untracked_candidates_are_silent(self):
+        assert (
+            analyze(
+                """
+                scores = score_candidates(records, load_pairs(path), matcher)
+                """
+            )
+            == []
+        )
+
+    def test_generator_alone_is_silent(self):
+        assert (
+            analyze(
+                """
+                pairs = multipass_sorted_neighborhood(records, keys, 20)
+                store(pairs)
+                """
+            )
+            == []
+        )
+
+    def test_sibling_function_scopes_do_not_leak(self):
+        assert (
+            analyze(
+                """
+                def generate(records):
+                    pairs = multipass_blocking(records, blockers)
+                    return pairs
+
+                def score(records, pairs, matcher):
+                    return score_candidates(records, pairs, matcher)
+                """
+            )
+            == []
+        )
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            analyze_dedup_usage("def broken(:")

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dedup import StandardBlocking, multipass_blocking
+from repro.dedup import (
+    BlockingStats,
+    StandardBlocking,
+    multipass_blocking,
+    multipass_blocking_with_stats,
+)
 from repro.textsim import soundex
 
 
@@ -54,6 +59,52 @@ class TestStandardBlocking:
     def test_invalid_block_size(self):
         with pytest.raises(ValueError):
             StandardBlocking(lambda record: "x", max_block_size=1)
+
+
+class TestBlockingStats:
+    def test_blocks_enumerated(self):
+        blocker = StandardBlocking.on_attribute("zip")
+        blocks = blocker.blocks(RECORDS)
+        assert blocks == {"27601": [0, 2, 4], "28801": [1, 3]}
+
+    def test_skipped_blocks_counted(self):
+        many = [{"k": "SAME"} for _ in range(10)] + [{"k": "A"}, {"k": "A"}]
+        blocker = StandardBlocking.on_attribute("k", max_block_size=5)
+        pairs, stats = blocker.candidates_with_stats(many)
+        assert pairs == {(10, 11)}
+        assert stats.blocks_total == 2
+        assert stats.blocks_skipped == 1
+        assert stats.records_blocked == 12
+        assert stats.pairs_emitted == 1
+        assert stats.pairs_dropped == 10 * 9 // 2
+
+    def test_no_skips_means_zero_dropped(self):
+        blocker = StandardBlocking.on_attribute("zip")
+        pairs, stats = blocker.candidates_with_stats(RECORDS)
+        assert stats.blocks_skipped == 0
+        assert stats.pairs_dropped == 0
+        assert stats.pairs_emitted == len(pairs)
+
+    def test_combinations_match_historical_loop(self):
+        # The k(k-1)/2 combinations of a block, all normalised i < j.
+        many = [{"k": "SAME"} for _ in range(8)]
+        pairs = StandardBlocking.on_attribute("k").candidates(many)
+        assert pairs == {(i, j) for i in range(8) for j in range(i + 1, 8)}
+
+    def test_merge_accumulates(self):
+        left = BlockingStats(1, 1, 5, 0, 10)
+        left.merge(BlockingStats(2, 0, 4, 6, 0))
+        assert left == BlockingStats(3, 1, 9, 6, 10)
+
+    def test_multipass_stats_merged(self):
+        many = [{"a": "SAME", "b": str(i)} for i in range(10)]
+        capped = StandardBlocking.on_attribute("a", max_block_size=5)
+        unique = StandardBlocking.on_attribute("b")
+        pairs, stats = multipass_blocking_with_stats(many, [capped, unique])
+        assert pairs == set()
+        assert stats.blocks_total == 11
+        assert stats.blocks_skipped == 1
+        assert stats.pairs_dropped == 45
 
 
 class TestMultipassBlocking:
