@@ -1,4 +1,4 @@
-.PHONY: install test lint typecheck bench bench-scoring bench-docstore bench-durability bench-dedup test-faults examples validate-docs clean
+.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup test-faults examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,6 +8,12 @@ test:
 
 lint:
 	python -m repro.analysis.lint src tests
+
+# Concurrency & determinism analyzer (R100-R106): effect inference over
+# the call graph of src/, race/nondeterminism diagnostics on the parallel
+# and durable paths.  Writes the machine-readable report to RCODES.json.
+lint-concurrency:
+	PYTHONPATH=src python -m repro.cli check --concurrency src --json RCODES.json
 
 typecheck:
 	mypy src/repro

@@ -13,7 +13,14 @@ Two layers:
   ``ncvoter-testdata check`` CLI subcommand are the two front doors;
 * a **repo-invariant AST linter** (:mod:`repro.analysis.lint`), runnable as
   ``python -m repro.analysis.lint src tests`` and as a pytest-collected
-  gate.
+  gate;
+* a **concurrency & determinism analyzer** (:mod:`repro.analysis.effects`
+  + :mod:`repro.analysis.concurrency`): per-function effect summaries
+  (global/closure/parameter mutation, RNG/time/env/I-O, set iteration)
+  over a call graph, and the R-code diagnostics built on them (R100–R106)
+  guarding the parallel and durable paths.  Front doors:
+  ``python -m repro.analysis.lint --concurrency`` and
+  ``ncvoter-testdata check --concurrency``.
 """
 
 from __future__ import annotations
@@ -46,6 +53,20 @@ from repro.analysis.registry import (
     did_you_mean,
     suggest,
 )
+from repro.analysis.concurrency import (
+    PROCESS_LOCAL_CACHES,
+    R_CODES,
+    ConcurrencyReport,
+    analyze_concurrency,
+    analyze_concurrency_sources,
+    write_json_report,
+)
+from repro.analysis.effects import (
+    EffectReport,
+    EffectSummary,
+    analyze_effects,
+    analyze_effects_sources,
+)
 from repro.analysis.schemas import SchemaPaths, cluster_schema, flat_record_schema
 
 __all__ = [
@@ -74,4 +95,14 @@ __all__ = [
     "UPDATE_OPERATORS",
     "suggest",
     "did_you_mean",
+    "R_CODES",
+    "PROCESS_LOCAL_CACHES",
+    "ConcurrencyReport",
+    "analyze_concurrency",
+    "analyze_concurrency_sources",
+    "write_json_report",
+    "EffectReport",
+    "EffectSummary",
+    "analyze_effects",
+    "analyze_effects_sources",
 ]

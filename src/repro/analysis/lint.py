@@ -22,6 +22,10 @@ Custom :mod:`ast`-based checks that hold this codebase's invariants:
   crash can leave a half-written snapshot; ``wal.py`` itself, where those
   helpers live, is exempt.
 
+With ``--concurrency`` the run additionally includes the R-code family
+from :mod:`repro.analysis.concurrency` (effect-inference-based race and
+nondeterminism diagnostics, R100–R106).
+
 Findings are reported as :class:`~repro.analysis.diagnostics.Diagnostic`
 records with ``file:line:col`` locations.  The module doubles as a pytest
 gate (see ``tests/analysis/test_lint_repo.py``) and a CI step.
@@ -342,11 +346,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.analysis.lint``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="AST-based repo-invariant linter (codes L001-L007).",
+        description="AST-based repo-invariant linter (codes L001-L007; "
+        "add --concurrency for the R-code family).",
     )
     parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the concurrency/determinism analyzer (R100-R106)",
+    )
     args = parser.parse_args(argv)
     findings = lint_paths(args.paths)
+    if args.concurrency:
+        from repro.analysis.concurrency import analyze_concurrency
+
+        findings.extend(analyze_concurrency(args.paths).all_findings)
     for finding in findings:
         sys.stderr.write(finding.render() + "\n")
     if findings:

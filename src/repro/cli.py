@@ -465,8 +465,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
         has_errors,
     )
 
-    if not (args.filter or args.pipeline or args.customize):
-        raise SystemExit("nothing to check: pass --filter, --pipeline or --customize")
+    if not (args.filter or args.pipeline or args.customize or args.concurrency):
+        raise SystemExit(
+            "nothing to check: pass --filter, --pipeline, --customize "
+            "or --concurrency"
+        )
+
+    if args.concurrency:
+        return _check_concurrency(args)
 
     schema = None
     if not args.no_schema:
@@ -508,6 +514,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         print("no problems found")
     return 1 if has_errors(diagnostics) else 0
+
+
+def _check_concurrency(args: argparse.Namespace) -> int:
+    """Run the R-code concurrency/determinism analyzer over source trees."""
+    from repro.analysis.concurrency import (
+        analyze_concurrency,
+        write_json_report,
+    )
+
+    report = analyze_concurrency([Path(p) for p in args.concurrency])
+    for diagnostic in report.all_findings:
+        print(diagnostic.render())
+    if args.json:
+        write_json_report(report, Path(args.json))
+        print(f"report written to {args.json}")
+    counts = report.counts()
+    if counts:
+        summary = ", ".join(f"{code}: {n}" for code, n in counts.items())
+        print(f"{len(report.all_findings)} finding(s) ({summary})")
+        return 1
+    suppressed = len(report.suppressed)
+    note = f" ({suppressed} suppressed)" if suppressed else ""
+    print(f"no concurrency findings{note}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -642,11 +672,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="statically lint a filter/pipeline/customisation spec",
+        help="statically lint a query spec or source tree",
         description="Lint query filters, aggregation pipelines and "
         "customisation specs without executing them.  Spec arguments accept "
-        "inline JSON or a path to a JSON file.  Exits 1 when any "
-        "error-severity diagnostic is found.",
+        "inline JSON or a path to a JSON file.  With --concurrency, run the "
+        "R-code concurrency/determinism analyzer over Python source trees "
+        "instead (optionally writing a JSON report with --json).  Exits 1 "
+        "when any error-severity diagnostic is found.",
     )
     check.add_argument("--filter", help="query filter (JSON or file)")
     check.add_argument("--pipeline", help="aggregation pipeline (JSON or file)")
@@ -663,6 +695,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--no-schema", action="store_true",
         help="skip field-path checks (operators/stages only)",
+    )
+    check.add_argument(
+        "--concurrency", nargs="+", metavar="PATH",
+        help="run the concurrency/determinism analyzer (R100-R106) over "
+        "these source files or directories instead of a query spec",
+    )
+    check.add_argument(
+        "--json", metavar="OUT",
+        help="with --concurrency: also write the machine-readable findings "
+        "report to this path (the CI artifact format)",
     )
     check.set_defaults(func=_cmd_check)
 

@@ -37,8 +37,18 @@ DEFAULT_NAME_ATTRIBUTES = ("first_name", "midl_name", "last_name")
 #: memory (the old per-matcher dicts grew without limit) while still
 #: sharing hits across matchers.  Keys carry a per-matcher token so two
 #: matchers with different measures can never collide.
+#:
+#: **Process-local by design**: every worker process spawned by
+#: :func:`repro.core.parallel.run_shards` re-imports this module and gets
+#: its own empty cache; entries are pure functions of their keys and
+#: eviction can never change a result, so nothing a worker caches ever
+#: needs to (or can) reach the parent.  This invariant is registered in
+#: :data:`repro.analysis.concurrency.PROCESS_LOCAL_CACHES` and asserted
+#: by ``tests/dedup/test_cache_isolation.py``.
 _SHARED_CACHE: LRUCache = LRUCache(maxsize=131072)
 
+#: Process-local counter namespacing matcher cache keys; only uniqueness
+#: within one process matters (see PROCESS_LOCAL_CACHES), never the value.
 _matcher_tokens = itertools.count(1)
 
 

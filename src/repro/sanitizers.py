@@ -1,0 +1,327 @@
+"""Runtime sanitizers for concurrency and determinism hazards.
+
+The static side of this story lives in :mod:`repro.analysis.concurrency`
+(the R-code diagnostics).  This module provides the matching *dynamic*
+checks, in the style of :mod:`repro.faults`: process-wide, swappable shims
+a test installs for the duration of a ``with`` block.
+
+Two sanitizers are provided:
+
+* :func:`freeze_documents` — patches the read surface of
+  :class:`repro.docstore.collection.Collection` (``find`` / ``find_one`` /
+  ``aggregate`` / ``all``) so every returned document is recursively
+  wrapped in :class:`FrozenDocument` / :class:`FrozenList`.  Any caller
+  that mutates a query result — the aliasing hazard R104 looks for
+  statically — raises :class:`FrozenDocumentError` at the exact mutation
+  site instead of silently corrupting shared state.
+
+* :func:`determinism_check` — runs one sharded computation under several
+  ``(max_workers, shards)`` configurations and diffs the results.  The
+  pipeline's correctness story is "bit-identical to the naive oracle at
+  any parallelism"; this harness turns that claim into an executable
+  assertion and reports the first divergence when it fails
+  (:class:`NondeterminismError`).
+
+Usage::
+
+    from repro import sanitizers
+
+    with sanitizers.freeze_documents():
+        rows = collection.find({"kind": "person"})
+        rows[0]["name"] = "x"      # raises FrozenDocumentError
+
+    report = sanitizers.determinism_check(
+        lambda workers, shards: score_candidates_packed(
+            records, keys, matcher, shards=shards, max_workers=workers
+        )
+    )
+    assert report.consistent
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Any, Callable, Iterator, List, NoReturn, Sequence, Tuple
+
+from repro.docstore.collection import Collection
+
+__all__ = [
+    "FrozenDocumentError",
+    "FrozenDocument",
+    "FrozenList",
+    "freeze",
+    "thaw",
+    "freeze_documents",
+    "DeterminismReport",
+    "NondeterminismError",
+    "determinism_check",
+    "DEFAULT_CONFIGS",
+]
+
+
+class FrozenDocumentError(TypeError):
+    """Mutation of a document returned by the docstore under freezing.
+
+    Raised by :class:`FrozenDocument` / :class:`FrozenList` inside a
+    :func:`freeze_documents` block.  The message names the attempted
+    operation so the stack trace pinpoints the offending caller — the
+    runtime analogue of a static R104 finding.
+    """
+
+
+def _refuse(kind: str, op: str) -> NoReturn:
+    raise FrozenDocumentError(
+        f"cannot call {kind}.{op}() on a document returned by the docstore "
+        f"while freeze_documents() is active; copy it first "
+        f"(repro.docstore.documents.deep_copy or sanitizers.thaw)"
+    )
+
+
+class FrozenDocument(dict):
+    """A dict whose mutators raise :class:`FrozenDocumentError`.
+
+    Reads behave exactly like a plain dict, so frozen results pass through
+    scoring and aggregation code unchanged; only mutation is poisoned.
+    """
+
+    __slots__ = ()
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        _refuse("FrozenDocument", "__setitem__")
+
+    def __delitem__(self, key: Any) -> None:
+        _refuse("FrozenDocument", "__delitem__")
+
+    def __ior__(self, other: Any) -> "FrozenDocument":
+        _refuse("FrozenDocument", "__ior__")
+
+    def clear(self) -> None:
+        _refuse("FrozenDocument", "clear")
+
+    def pop(self, *args: Any) -> Any:
+        _refuse("FrozenDocument", "pop")
+
+    def popitem(self) -> Tuple[Any, Any]:
+        _refuse("FrozenDocument", "popitem")
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        _refuse("FrozenDocument", "setdefault")
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        _refuse("FrozenDocument", "update")
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # copy.deepcopy / pickle rebuild a *plain* dict: a copy is exactly
+        # the sanctioned way to get a mutable version of a frozen result.
+        return (dict, (), None, None, iter(self.items()))
+
+
+class FrozenList(list):
+    """A list whose mutators raise :class:`FrozenDocumentError`."""
+
+    __slots__ = ()
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        _refuse("FrozenList", "__setitem__")
+
+    def __delitem__(self, index: Any) -> None:
+        _refuse("FrozenList", "__delitem__")
+
+    def __iadd__(self, other: Any) -> "FrozenList":
+        _refuse("FrozenList", "__iadd__")
+
+    def __imul__(self, factor: Any) -> "FrozenList":
+        _refuse("FrozenList", "__imul__")
+
+    def append(self, value: Any) -> None:
+        _refuse("FrozenList", "append")
+
+    def extend(self, values: Any) -> None:
+        _refuse("FrozenList", "extend")
+
+    def insert(self, index: int, value: Any) -> None:
+        _refuse("FrozenList", "insert")
+
+    def remove(self, value: Any) -> None:
+        _refuse("FrozenList", "remove")
+
+    def pop(self, index: int = -1) -> Any:
+        _refuse("FrozenList", "pop")
+
+    def clear(self) -> None:
+        _refuse("FrozenList", "clear")
+
+    def sort(self, *args: Any, **kwargs: Any) -> None:
+        _refuse("FrozenList", "sort")
+
+    def reverse(self) -> None:
+        _refuse("FrozenList", "reverse")
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (list, (), None, iter(self), None)
+
+
+def freeze(value: Any) -> Any:
+    """Recursively wrap dicts/lists in their frozen counterparts.
+
+    Scalars (and anything that is not a dict or list) pass through
+    unchanged; documents are JSON-like, so this covers every container the
+    docstore can return.
+    """
+    if isinstance(value, dict):
+        return FrozenDocument((key, freeze(item)) for key, item in value.items())
+    if isinstance(value, list):
+        return FrozenList(freeze(item) for item in value)
+    return value
+
+
+def thaw(value: Any) -> Any:
+    """Recursively convert frozen containers back into plain dicts/lists."""
+    if isinstance(value, dict):
+        return {key: thaw(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [thaw(item) for item in value]
+    return value
+
+
+#: The Collection read methods the sanitizer wraps.  Each returns documents
+#: (or containers of documents) that callers must treat as immutable.
+_READ_METHODS = ("find", "find_one", "aggregate", "all")
+
+
+def _freezing(method: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(self: Collection, *args: Any, **kwargs: Any) -> Any:
+        result = method(self, *args, **kwargs)
+        if isinstance(result, Iterator) or (
+            hasattr(result, "__next__") and not isinstance(result, (list, dict))
+        ):
+            return (freeze(item) for item in result)
+        return freeze(result)
+
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
+
+
+@contextlib.contextmanager
+def freeze_documents() -> Iterator[None]:
+    """Poison docstore read results against caller mutation.
+
+    For the duration of the ``with`` block, every document returned by
+    ``Collection.find`` / ``find_one`` / ``aggregate`` / ``all`` (on *any*
+    collection in the process) is frozen: mutating it raises
+    :class:`FrozenDocumentError` at the mutation site.  Reads, projection,
+    equality and iteration are unaffected.  Nested blocks are safe; the
+    original methods are always restored on exit.
+    """
+    originals = {name: getattr(Collection, name) for name in _READ_METHODS}
+    for name, method in originals.items():
+        setattr(Collection, name, _freezing(method))
+    try:
+        yield
+    finally:
+        for name, method in originals.items():
+            setattr(Collection, name, method)
+
+
+# --------------------------------------------------------------- determinism
+
+
+#: Default ``(max_workers, shards)`` configurations exercised by
+#: :func:`determinism_check`: serial, mildly parallel, and over-sharded.
+DEFAULT_CONFIGS: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 4), (4, 8))
+
+
+class NondeterminismError(AssertionError):
+    """A sharded computation produced different results across configs."""
+
+
+@dataclasses.dataclass(frozen=True)
+class DeterminismReport:
+    """Outcome of a :func:`determinism_check` run.
+
+    ``configs`` lists every ``(max_workers, shards)`` pair exercised,
+    ``baseline`` is the result of the first configuration, and
+    ``divergences`` holds one human-readable description per configuration
+    that disagreed with the baseline (empty when ``consistent``).
+    """
+
+    label: str
+    configs: Tuple[Tuple[int, int], ...]
+    baseline: Any
+    divergences: Tuple[str, ...]
+
+    @property
+    def consistent(self) -> bool:
+        """True when every configuration matched the baseline exactly."""
+        return not self.divergences
+
+
+def _first_divergence(expected: Any, actual: Any, path: str = "$") -> str:
+    """Describe the first point where ``actual`` differs from ``expected``."""
+    if type(expected) is not type(actual) and not (
+        isinstance(expected, (list, tuple)) and isinstance(actual, (list, tuple))
+    ):
+        return (
+            f"{path}: type {type(actual).__name__} != {type(expected).__name__}"
+        )
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in expected:
+            if key not in actual:
+                return f"{path}.{key}: missing"
+            if actual[key] != expected[key]:
+                return _first_divergence(expected[key], actual[key], f"{path}.{key}")
+        extra = [key for key in actual if key not in expected]
+        if extra:
+            return f"{path}.{extra[0]}: unexpected key"
+        return f"{path}: dicts compare unequal"
+    if isinstance(expected, (list, tuple)) and isinstance(actual, (list, tuple)):
+        if len(expected) != len(actual):
+            return f"{path}: length {len(actual)} != {len(expected)}"
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            if exp != act:
+                return _first_divergence(exp, act, f"{path}[{index}]")
+        return f"{path}: sequences compare unequal"
+    return f"{path}: {actual!r} != {expected!r}"
+
+
+def determinism_check(
+    compute: Callable[[int, int], Any],
+    configs: Sequence[Tuple[int, int]] = DEFAULT_CONFIGS,
+    *,
+    label: str = "",
+    raise_on_divergence: bool = True,
+) -> DeterminismReport:
+    """Run ``compute(max_workers, shards)`` per config and diff the results.
+
+    The first configuration establishes the baseline; every later result
+    must compare equal to it.  On divergence a :class:`NondeterminismError`
+    names the offending configuration and the first differing element
+    (pass ``raise_on_divergence=False`` to collect the full report
+    instead).  Returns the :class:`DeterminismReport` either way.
+    """
+    if not configs:
+        raise ValueError("determinism_check needs at least one configuration")
+    pairs: List[Tuple[int, int]] = [(int(w), int(s)) for w, s in configs]
+    name = label or getattr(compute, "__name__", "") or "compute"
+    baseline = compute(*pairs[0])
+    divergences: List[str] = []
+    for workers, shards in pairs[1:]:
+        result = compute(workers, shards)
+        if result == baseline:
+            continue
+        where = _first_divergence(baseline, result)
+        divergences.append(
+            f"{name} diverged at workers={workers} shards={shards} "
+            f"(baseline workers={pairs[0][0]} shards={pairs[0][1]}): {where}"
+        )
+    report = DeterminismReport(
+        label=name,
+        configs=tuple(pairs),
+        baseline=baseline,
+        divergences=tuple(divergences),
+    )
+    if divergences and raise_on_divergence:
+        raise NondeterminismError("; ".join(divergences))
+    return report

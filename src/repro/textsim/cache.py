@@ -18,6 +18,14 @@ class LRUCache:
     Not thread-safe by design: every consumer in this codebase runs the hot
     scoring loops in a single thread per process (parallelism is
     process-based, see :mod:`repro.core.parallel`).
+
+    Instances are **process-local**: worker processes build their own at
+    import time and never ship them back to the parent, so cached state
+    can never leak between workers or affect determinism.  Module-level
+    instances must cache pure functions of their keys and be registered in
+    :data:`repro.analysis.concurrency.PROCESS_LOCAL_CACHES` (the R106
+    exemption registry); ``tests/dedup/test_cache_isolation.py`` asserts
+    the isolation.
     """
 
     __slots__ = ("maxsize", "_data", "hits", "misses")

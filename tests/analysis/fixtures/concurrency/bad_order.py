@@ -1,0 +1,14 @@
+"""Known-bad: set iteration feeds an order-sensitive sink.
+
+Expected findings: R103 (the output list's order depends on
+PYTHONHASHSEED).
+"""
+
+from __future__ import annotations
+
+
+def collect(values):
+    out = []
+    for value in set(values):
+        out.append(value)
+    return out

@@ -1,0 +1,22 @@
+"""Known-bad: the worker mutates its argument (hazardous under retry).
+
+Expected findings: R101 (worker argument mutation), including the
+transitive case where the mutation happens in a helper the worker calls.
+"""
+
+from __future__ import annotations
+
+from repro.core.parallel import run_shards
+
+
+def _stamp(items):
+    items.append("sentinel")
+
+
+def accumulate(items):
+    _stamp(items)
+    return len(items)
+
+
+def dispatch(shards):
+    return run_shards(accumulate, shards, max_workers=2)

@@ -1,0 +1,26 @@
+"""Known-bad: the worker touches shared state and nondeterminism sources.
+
+Expected findings (asserted exactly by ``tests/analysis/test_concurrency``):
+R101 (module-global mutation), R102 (RNG, wall clock), R106 (module-level
+mutable cache without a registry entry).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.parallel import run_shards
+
+TOTALS = {}
+
+
+def work(shard):
+    TOTALS[shard[0]] = len(shard)
+    jitter = random.random()
+    started = time.time()
+    return len(shard), jitter, started
+
+
+def dispatch(shards):
+    return run_shards(work, shards, max_workers=2)

@@ -1,0 +1,25 @@
+"""Known-good: a pure, deterministic worker — the analyzer stays silent.
+
+The worker builds only local state, seeds its RNG from the shard
+arguments, and iterates in sorted order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.parallel import run_shards
+
+GREETING = "hello"
+
+
+def work(seed, values):
+    rng = random.Random(seed)
+    out = []
+    for value in sorted(set(values)):
+        out.append((value, rng.random(), GREETING))
+    return out
+
+
+def dispatch(shards):
+    return run_shards(work, shards, max_workers=2)

@@ -1,0 +1,18 @@
+"""Suppression behaviour: one used suppression, one stale one.
+
+Expected findings: the R103 in ``collect`` is silenced by its inline
+comment; the comment in ``fine`` matches nothing and is reported as R100.
+"""
+
+from __future__ import annotations
+
+
+def collect(values):
+    out = []
+    for value in set(values):  # repro: ignore[R103]
+        out.append(value)
+    return out
+
+
+def fine(values):
+    return sorted(values)  # repro: ignore[R101]

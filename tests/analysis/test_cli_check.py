@@ -101,3 +101,36 @@ class TestCheckErrors:
     def test_invalid_json(self):
         with pytest.raises(SystemExit, match="not valid JSON"):
             main(["check", "--filter", "{broken"])
+
+
+FIXTURES = "tests/analysis/fixtures/concurrency"
+
+
+class TestCheckConcurrency:
+    def test_clean_tree_exits_zero(self, capsys):
+        code, out = run(capsys, "--concurrency", f"{FIXTURES}/good_worker.py")
+        assert code == 0
+        assert "no concurrency findings" in out
+
+    def test_findings_exit_one_with_counts(self, capsys):
+        code, out = run(capsys, "--concurrency", f"{FIXTURES}/bad_order.py")
+        assert code == 1
+        assert "R103" in out and "PYTHONHASHSEED" in out
+        assert "1 finding(s) (R103: 1)" in out
+
+    def test_json_report_is_written(self, capsys, tmp_path):
+        report = tmp_path / "rcodes.json"
+        code, out = run(
+            capsys,
+            "--concurrency", f"{FIXTURES}/bad_worker.py",
+            "--json", str(report),
+        )
+        assert code == 1
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["clean"] is False
+        assert payload["counts"] == {"R101": 1, "R102": 2, "R106": 1}
+
+    def test_repo_source_tree_is_clean(self, capsys):
+        code, out = run(capsys, "--concurrency", "src/repro")
+        assert code == 0
+        assert "no concurrency findings" in out

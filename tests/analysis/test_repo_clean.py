@@ -1,0 +1,37 @@
+"""The repo-wide concurrency gate: ``src/repro`` must stay R-code clean.
+
+This is the pytest face of ``make lint-concurrency``: zero unsuppressed
+findings (errors *and* warnings), and every inline suppression in the tree
+must still be load-bearing (stale ones surface as R100 and fail here too).
+"""
+
+from pathlib import Path
+
+from repro.analysis.concurrency import analyze_concurrency
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _analyze_src():
+    return analyze_concurrency([ROOT / "src" / "repro"])
+
+
+class TestRepoIsConcurrencyClean:
+    def test_no_unsuppressed_findings(self):
+        report = _analyze_src()
+        rendered = "\n".join(d.render() for d in report.all_findings)
+        assert not report.all_findings, f"new R-code findings:\n{rendered}"
+
+    def test_every_suppression_is_used(self):
+        report = _analyze_src()
+        stale = [d.render() for d in report.unused_suppressions]
+        assert not stale, "stale suppressions:\n" + "\n".join(stale)
+
+    def test_parallel_entry_points_are_analyzed(self):
+        # Guard against the gate silently passing because the analyzer
+        # stopped seeing the parallel paths it exists to protect.
+        report = _analyze_src()
+        functions = report.effects.functions
+        assert "repro.core.parallel.run_shards" in functions
+        assert "repro.core.parallel._score_shard" in functions
+        assert "repro.dedup.pipeline._score_pairs_shard" in functions

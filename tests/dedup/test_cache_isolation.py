@@ -1,0 +1,73 @@
+"""The shared matcher cache is process-local (the R106 registry invariant).
+
+``repro.dedup.matching._SHARED_CACHE`` is registered in
+:data:`repro.analysis.concurrency.PROCESS_LOCAL_CACHES` on the promise
+that worker processes never ship cached state back to the parent and that
+per-matcher tokens keep independent matchers from colliding.  This module
+is the test the registry entry cites.
+"""
+
+from repro.dedup import matching
+from repro.core.parallel import run_shards
+
+
+def _seed_worker_cache(marker):
+    """Worker: mutate the (worker-side) shared cache, report its state."""
+    key = ("cache-isolation", marker)
+    matching._SHARED_CACHE.put(key, marker)
+    return marker, key in matching._SHARED_CACHE
+
+
+def _quarter(left, right):
+    return 0.25
+
+
+def _three_quarters(left, right):
+    return 0.75
+
+
+class TestProcessIsolation:
+    def test_worker_cache_writes_never_reach_the_parent(self):
+        markers = [101, 102, 103, 104]
+        results = run_shards(
+            _seed_worker_cache, [(m,) for m in markers], max_workers=2
+        )
+        # Every worker saw its own write ...
+        assert results == [(m, True) for m in markers]
+        # ... and none of them leaked into this process's cache.
+        for marker in markers:
+            assert ("cache-isolation", marker) not in matching._SHARED_CACHE
+
+    def test_in_process_fallback_shares_the_process_cache(self):
+        # max_workers=0 runs shards in-process: "process-local" then means
+        # *this* process, so the write is (correctly) visible here.
+        marker = 990001
+        try:
+            results = run_shards(
+                _seed_worker_cache, [(marker,)], max_workers=0
+            )
+            assert results == [(marker, True)]
+            assert ("cache-isolation", marker) in matching._SHARED_CACHE
+        finally:
+            matching._SHARED_CACHE.clear()
+
+
+class TestTokenNamespacing:
+    def test_matchers_get_distinct_tokens(self):
+        left = matching.RecordMatcher(_quarter, {"a": 1.0})
+        right = matching.RecordMatcher(_three_quarters, {"a": 1.0})
+        assert left._cache_token != right._cache_token
+
+    def test_equal_value_pairs_do_not_collide_across_matchers(self):
+        left = matching.RecordMatcher(_quarter, {"a": 1.0})
+        right = matching.RecordMatcher(_three_quarters, {"a": 1.0})
+        # Same value pair, different measures: a shared un-namespaced cache
+        # would hand the second matcher the first matcher's score.
+        assert left._value_similarity("alpha", "beta") == 0.25
+        assert right._value_similarity("alpha", "beta") == 0.75
+        # Cached lookups keep returning each matcher's own result.
+        assert left._value_similarity("alpha", "beta") == 0.25
+        assert right._value_similarity("alpha", "beta") == 0.75
+
+    def test_cache_is_bounded(self):
+        assert matching._SHARED_CACHE.maxsize == 131072

@@ -1,0 +1,247 @@
+"""Runtime sanitizer tests: frozen documents and the determinism harness.
+
+The last class is the acceptance gate for the parallel entry points:
+``score_candidates_packed`` and ``score_clusters_parallel`` must produce
+bit-identical results across the (1, 1) / (2, 4) / (4, 8) worker/shard
+configurations.
+"""
+
+import copy
+
+import pytest
+
+from repro import sanitizers
+from repro.core.heterogeneity import HeterogeneityScorer
+from repro.core.parallel import score_clusters_parallel
+from repro.core import RemovalLevel, TestDataGenerator
+from repro.dedup import DetectionPipeline, RecordMatcher, score_candidates_packed
+from repro.docstore.collection import Collection
+from repro.sanitizers import (
+    DEFAULT_CONFIGS,
+    FrozenDocumentError,
+    NondeterminismError,
+    determinism_check,
+    freeze,
+    freeze_documents,
+    thaw,
+)
+
+
+@pytest.fixture()
+def people():
+    collection = Collection("people")
+    collection.insert_many(
+        [
+            {"name": "ada", "tags": ["x", "y"], "meta": {"age": 36}},
+            {"name": "ben", "tags": [], "meta": {"age": 41}},
+        ]
+    )
+    return collection
+
+
+class TestFrozenContainers:
+    def test_reads_behave_like_plain_containers(self):
+        frozen = freeze({"a": [1, {"b": 2}], "c": "text"})
+        assert frozen["a"][1]["b"] == 2
+        assert list(frozen) == ["a", "c"]
+        assert len(frozen["a"]) == 2
+        assert frozen == {"a": [1, {"b": 2}], "c": "text"}
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.__setitem__("k", 1),
+            lambda d: d.__delitem__("a"),
+            lambda d: d.pop("a"),
+            lambda d: d.popitem(),
+            lambda d: d.clear(),
+            lambda d: d.update(k=1),
+            lambda d: d.setdefault("k", 1),
+        ],
+    )
+    def test_dict_mutators_raise(self, mutate):
+        frozen = freeze({"a": 1})
+        with pytest.raises(FrozenDocumentError):
+            mutate(frozen)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda l: l.append(1),
+            lambda l: l.extend([1]),
+            lambda l: l.insert(0, 1),
+            lambda l: l.remove(1),
+            lambda l: l.pop(),
+            lambda l: l.clear(),
+            lambda l: l.sort(),
+            lambda l: l.reverse(),
+            lambda l: l.__setitem__(0, 9),
+            lambda l: l.__delitem__(0),
+        ],
+    )
+    def test_list_mutators_raise(self, mutate):
+        frozen = freeze({"a": [1, 2]})["a"]
+        with pytest.raises(FrozenDocumentError):
+            mutate(frozen)
+
+    def test_thaw_returns_plain_mutable_containers(self):
+        thawed = thaw(freeze({"a": [1, {"b": 2}]}))
+        assert type(thawed) is dict
+        assert type(thawed["a"]) is list
+        thawed["a"].append(3)
+        assert thawed["a"][-1] == 3
+
+    def test_deepcopy_escapes_the_freeze(self):
+        duplicate = copy.deepcopy(freeze({"a": [1]}))
+        assert type(duplicate) is dict and type(duplicate["a"]) is list
+        duplicate["a"].append(2)
+        assert duplicate == {"a": [1, 2]}
+
+
+class TestFreezeDocuments:
+    def test_find_results_are_poisoned(self, people):
+        with freeze_documents():
+            rows = people.find({"name": "ada"})
+            assert rows[0]["meta"]["age"] == 36
+            with pytest.raises(FrozenDocumentError):
+                rows[0]["name"] = "eve"
+            with pytest.raises(FrozenDocumentError):
+                rows[0]["tags"].append("z")
+
+    def test_find_one_aggregate_and_all_are_covered(self, people):
+        with freeze_documents():
+            one = people.find_one({"name": "ben"})
+            with pytest.raises(FrozenDocumentError):
+                one["meta"].update(age=42)
+            (row,) = people.aggregate([{"$match": {"name": "ada"}}])
+            with pytest.raises(FrozenDocumentError):
+                row.pop("name")
+            for document in people.all():
+                with pytest.raises(FrozenDocumentError):
+                    document["seen"] = True
+
+    def test_methods_are_restored_on_exit(self, people):
+        with freeze_documents():
+            pass
+        row = people.find({"name": "ada"})[0]
+        row["name"] = "mutable-again"  # plain dict once the block ends
+        assert people.find({"name": "ada"})[0]["name"] == "ada"
+
+    def test_nested_blocks_restore_cleanly(self, people):
+        with freeze_documents():
+            with freeze_documents():
+                with pytest.raises(FrozenDocumentError):
+                    people.find_one({"name": "ada"})["x"] = 1
+            with pytest.raises(FrozenDocumentError):
+                people.find_one({"name": "ada"})["x"] = 1
+        people.find_one({"name": "ada"})["x"] = 1  # unfrozen again
+
+    def test_writes_still_work_under_freezing(self, people):
+        with freeze_documents():
+            people.insert_one({"name": "cleo"})
+            assert people.find_one({"name": "cleo"})["name"] == "cleo"
+
+
+class TestDeterminismCheckHarness:
+    def test_consistent_computation_passes(self):
+        report = determinism_check(lambda workers, shards: [1, 2, 3])
+        assert report.consistent
+        assert report.configs == DEFAULT_CONFIGS
+        assert report.divergences == ()
+
+    def test_divergence_names_the_config_and_element(self):
+        def compute(workers, shards):
+            return {"scores": [1, 2, 3 if shards < 8 else 4]}
+
+        with pytest.raises(NondeterminismError) as info:
+            determinism_check(compute, label="scores")
+        message = str(info.value)
+        assert "scores diverged at workers=4 shards=8" in message
+        assert "$.scores[2]: 4 != 3" in message
+
+    def test_report_mode_collects_instead_of_raising(self):
+        def compute(workers, shards):
+            return workers  # every config differs from the baseline
+
+        report = determinism_check(compute, raise_on_divergence=False)
+        assert not report.consistent
+        assert len(report.divergences) == 2
+        assert report.baseline == 1
+
+    def test_rejects_empty_configs(self):
+        with pytest.raises(ValueError):
+            determinism_check(lambda workers, shards: 0, configs=())
+
+
+# ----------------------------------------------------- acceptance criteria
+
+ATTRIBUTES = ("first_name", "midl_name", "last_name", "city", "zip")
+NAME_ATTRIBUTES = ("first_name", "midl_name", "last_name")
+
+_NAMES = ("ANNA", "ANNE", "BEN", "BENNY", "CARL", "CARLA", "DORA", "DORIS")
+
+
+def _overlap(left, right):
+    """A deliberately non-trivial (but pure and picklable) measure."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    shared = len(set(left) & set(right))
+    return shared / max(len(set(left)), len(set(right)))
+
+
+def _synthetic_records(count=48):
+    records = []
+    for i in range(count):
+        records.append(
+            {
+                "first_name": _NAMES[i % len(_NAMES)],
+                "midl_name": _NAMES[(i // 2) % len(_NAMES)],
+                "last_name": _NAMES[(i * 3) % len(_NAMES)],
+                "city": f"CITY{i % 5}",
+                "zip": str(10000 + i % 7),
+            }
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def clusters(snapshots):
+    gen = TestDataGenerator(removal=RemovalLevel.TRIMMED)
+    gen.import_snapshots(snapshots)
+    return list(gen.clusters())
+
+
+class TestParallelEntryPointsAreDeterministic:
+    def test_score_candidates_packed(self):
+        records = _synthetic_records()
+        pipeline = DetectionPipeline(window=6, passes=3)
+        keys, _stats = pipeline.candidates(records, ATTRIBUTES)
+        assert keys, "fixture produced no candidate pairs"
+        matcher = RecordMatcher.from_records(
+            records, ATTRIBUTES, _overlap, NAME_ATTRIBUTES
+        )
+        report = determinism_check(
+            lambda workers, shards: score_candidates_packed(
+                records, keys, matcher, shards=shards, max_workers=workers
+            ),
+            label="score_candidates_packed",
+        )
+        assert report.consistent
+        assert report.configs == ((1, 1), (2, 4), (4, 8))
+
+    def test_score_clusters_parallel(self, clusters):
+        subset = clusters[:40]
+        scorer = HeterogeneityScorer.from_clusters(subset, ("person",))
+        report = determinism_check(
+            lambda workers, shards: score_clusters_parallel(
+                subset,
+                heterogeneity_all=scorer,
+                shards=shards,
+                max_workers=workers,
+            ),
+            label="score_clusters_parallel",
+        )
+        assert report.consistent
+        assert report.configs == ((1, 1), (2, 4), (4, 8))
