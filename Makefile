@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup test-faults examples validate-docs clean
+.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup bench-shards test-faults examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -49,10 +49,18 @@ bench-durability:
 bench-dedup:
 	PYTHONPATH=src python benchmarks/dedup_bench.py --quick --out BENCH_dedup.json
 
+# Quick sharding benchmark: single-shard routing vs scatter-gather vs the
+# unsharded baseline, plus concurrent snapshot readers against a
+# committing writer.  Writes timings to BENCH_shards.json; fails if point
+# routing is worse than 2x unsharded, scatter-gather misses its gate
+# (>1.5x on 2+ CPUs, parity on one CPU), or readers stall/tear.
+bench-shards:
+	PYTHONPATH=src python benchmarks/shards_bench.py --quick --out BENCH_shards.json
+
 # The crash-consistency suite: fault-injection sweeps over every I/O
 # operation plus the fault-tolerant parallel scoring tests.
 test-faults:
-	pytest tests/docstore/test_faults.py tests/docstore/test_wal.py tests/core/test_fault_tolerance.py
+	pytest tests/docstore/test_faults.py tests/docstore/test_wal.py tests/core/test_fault_tolerance.py tests/docstore/test_sharding.py
 
 # Run every example end to end (a few minutes total).
 examples:

@@ -34,6 +34,7 @@ import time
 from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core import RemovalLevel, TestDataGenerator, customize
+from repro.core.parallel import effective_worker_count
 from repro.dedup import (
     DetectionPipeline,
     RecordMatcher,
@@ -246,6 +247,12 @@ def run_benchmark(
         "environment": {
             "python": sys.version.split()[0],
             "cpu_count": os.cpu_count(),
+            # Requested worker counts clamp to the CPU budget; the clamped
+            # values are what the parallel runs actually used.
+            "effective_workers": {
+                str(workers): effective_worker_count(workers, warn=False)
+                for workers in worker_counts
+            },
         },
         "timings": timings,
     }

@@ -102,6 +102,12 @@ PROCESS_LOCAL_CACHES: Dict[str, str] = {
         "functools.lru_cache of a pure function; process-local by "
         "construction"
     ),
+    "repro.core.parallel._CLAMP_WARNED": (
+        "warn-once set of call-site labels for WorkerClampWarning; "
+        "grows monotonically, guards only warning emission (never a "
+        "result), and each worker process keeping its own copy merely "
+        "re-warns at most once"
+    ),
 }
 
 #: Inline suppression comments: a hash, then ``repro: ignore[...]`` with

@@ -178,6 +178,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ]
         print()
         print(render_year_stats(snapshot_year_stats(rows)))
+    if args.layout:
+        from repro.report import render_shard_stats
+
+        print()
+        print("storage layout:")
+        print(render_shard_stats(database.stats()))
     return 0
 
 
@@ -475,35 +481,54 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return _check_concurrency(args)
 
     schema = None
-    if not args.no_schema:
-        if args.store:
-            from repro.docstore import CollectionNotFound, StorageError
+    collection = None
+    if args.store:
+        from repro.docstore import CollectionNotFound, StorageError
 
-            try:
-                database = Database.load(Path(args.store))
-            except StorageError as exc:
-                raise SystemExit(f"cannot load store: {exc}")
-            try:
-                collection = database.get_collection(args.collection, create=False)
-            except CollectionNotFound:
-                raise SystemExit(
-                    f"store has no collection {args.collection!r} "
-                    f"(has: {', '.join(database.collection_names())})"
-                )
+        try:
+            database = Database.load(Path(args.store))
+        except StorageError as exc:
+            raise SystemExit(f"cannot load store: {exc}")
+        try:
+            collection = database.get_collection(args.collection, create=False)
+        except CollectionNotFound:
+            raise SystemExit(
+                f"store has no collection {args.collection!r} "
+                f"(has: {', '.join(database.collection_names())})"
+            )
+        if not args.no_schema:
             documents = collection.find(limit=200)
             schema = SchemaPaths.from_documents(
                 documents, name=f"{args.collection}@{args.store}"
             )
-        else:
-            schema = cluster_schema()
+    elif not args.no_schema:
+        schema = cluster_schema()
+
+    filter_doc = _load_spec(args.filter) if args.filter else None
+    pipeline = _load_spec(args.pipeline) if args.pipeline else None
 
     diagnostics = []
-    if args.filter:
-        diagnostics.extend(analyze_filter(_load_spec(args.filter), schema))
-    if args.pipeline:
-        diagnostics.extend(analyze_pipeline(_load_spec(args.pipeline), schema))
+    if filter_doc is not None:
+        diagnostics.extend(analyze_filter(filter_doc, schema))
+    if pipeline is not None:
+        diagnostics.extend(analyze_pipeline(pipeline, schema))
     if args.customize:
         diagnostics.extend(analyze_customization(_load_spec(args.customize)))
+    if collection is not None and (filter_doc is not None or pipeline is not None):
+        # Against a real store we also know the indexes and shard layout,
+        # so index-usage (I4xx) and shard-routing (I407) hints apply.
+        from repro.analysis import analyze_index_usage
+
+        nshards = getattr(collection, "nshards", 1)
+        diagnostics.extend(
+            analyze_index_usage(
+                filter_doc,
+                pipeline=pipeline if isinstance(pipeline, list) else None,
+                indexes=collection.index_specs(),
+                shard_key=collection.shard_key if nshards > 1 else None,
+                shards=nshards,
+            )
+        )
 
     for diagnostic in diagnostics:
         print(diagnostic.render())
@@ -592,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print store statistics")
     stats.add_argument("--store", required=True)
+    stats.add_argument(
+        "--layout", action="store_true",
+        help="also print the storage layout: per-collection shard counts, "
+        "per-shard document counts and balance factor",
+    )
     stats.set_defaults(func=_cmd_stats)
 
     custom = sub.add_parser("customize", help="store -> CSV test dataset")

@@ -26,6 +26,7 @@ failure degrades that shard to in-process execution with a structured
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 import warnings
 import zlib
@@ -77,6 +78,51 @@ class ParallelDegradedWarning(UserWarning):
 _RETRYABLE = (concurrent.futures.BrokenExecutor, TimeoutError, OSError)
 
 
+class WorkerClampWarning(UserWarning):
+    """A requested worker count exceeded the machine's CPU count.
+
+    Oversubscribing processes (or threads doing pure-Python work under the
+    GIL) only adds scheduling overhead, so the pool is clamped to
+    ``os.cpu_count()``.  Warned once per call-site label per process.
+    """
+
+    def __init__(self, label: str, requested: int, effective: int) -> None:
+        self.label = label
+        self.requested = requested
+        self.effective = effective
+        super().__init__(
+            f"{label}: requested {requested} workers on a machine with "
+            f"{effective} CPU(s); clamping to {effective}"
+        )
+
+
+#: Labels that already warned about clamping (warn-once per process).
+#: Process-local by design: each worker process re-warns at most once, and
+#: the set only ever grows — no cross-process coordination is needed for
+#: correctness because clamping itself is derived purely from os.cpu_count().
+_CLAMP_WARNED: set = set()
+
+
+def effective_worker_count(
+    requested: Optional[int], label: str = "parallel shards", warn: bool = True
+) -> int:
+    """``requested`` clamped to the machine's CPU count (0/None stay 0).
+
+    Returns the worker count a pool should actually be sized to.  The first
+    time a ``label`` clamps in this process a :class:`WorkerClampWarning`
+    is emitted (suppress with ``warn=False``).
+    """
+    if not requested:
+        return 0
+    cpus = os.cpu_count() or 1
+    if requested <= cpus:
+        return requested
+    if warn and label not in _CLAMP_WARNED:
+        _CLAMP_WARNED.add(label)
+        warnings.warn(WorkerClampWarning(label, requested, cpus), stacklevel=3)
+    return cpus
+
+
 def run_shards(
     worker: Callable[..., Any],
     shard_args: Sequence[Tuple],
@@ -102,7 +148,12 @@ def run_shards(
     Results are returned in ``shard_args`` order.  Shard functions must be
     pure (workers may be retried and re-executed), which every worker in
     this module is by construction.
+
+    A request for more workers than the machine has CPUs is clamped to
+    ``os.cpu_count()`` (with a once-per-label :class:`WorkerClampWarning`)
+    — oversubscribed process pools only add scheduling overhead.
     """
+    max_workers = effective_worker_count(max_workers, label=label)
     if not max_workers:
         return [worker(*args) for args in shard_args]
     results: List[Any] = [None] * len(shard_args)
@@ -142,6 +193,34 @@ def run_shards(
         for index in pending:
             results[index] = worker(*shard_args[index])
     return results
+
+
+def run_read_shards(
+    worker: Callable[..., Any],
+    shard_args: Sequence[Tuple],
+    max_workers: Optional[int],
+    *,
+    label: str = "parallel read shards",
+) -> List[Any]:
+    """Run ``worker(*args)`` per shard in *threads*; results in input order.
+
+    The thread-based sibling of :func:`run_shards`, for read-only fan-out
+    over shared in-memory state (the docstore's scatter-gather reads):
+    nothing is pickled and workers may hold references into live data
+    structures, which a process pool cannot.  Worker counts clamp to the
+    CPU count like :func:`run_shards`; note that pure-Python scans gain no
+    CPU parallelism under the GIL — the fan-out exists for structure and
+    for workloads that release the GIL.  Exceptions propagate unchanged
+    (reads are not retried: they are deterministic, so a failure is a bug).
+    """
+    max_workers = effective_worker_count(max_workers, label=label)
+    if max_workers <= 1 or len(shard_args) <= 1:
+        return [worker(*args) for args in shard_args]
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=min(max_workers, len(shard_args))
+    ) as pool:
+        futures = [pool.submit(worker, *args) for args in shard_args]
+        return [future.result() for future in futures]
 
 
 def shard_of(entity_id: str, shards: int) -> int:

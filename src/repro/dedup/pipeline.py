@@ -45,7 +45,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.core.parallel import run_shards, shard_of_int
+from repro.core.parallel import effective_worker_count, run_shards, shard_of_int
 from repro.dedup.blocking import (
     BlockingStats,
     SortedNeighborhood,
@@ -346,9 +346,14 @@ def score_candidates_packed(
     is a pure function of the two records, any shard and worker count
     (including zero) produces an identical result map; parallel workers
     additionally require ``matcher.measure`` to be picklable.
+
+    Worker counts beyond the machine's CPU count are clamped (with a
+    once-per-process :class:`repro.core.parallel.WorkerClampWarning`)
+    before deciding between the in-process and sharded paths.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    max_workers = effective_worker_count(max_workers, label="parallel pair scoring")
     record_count = len(records)
     ordered = sorted(keys)
     if not max_workers or shards == 1:

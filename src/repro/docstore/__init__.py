@@ -14,6 +14,12 @@ capabilities the pipeline relies on:
   $sort/$limit/...`` pipelines for filtering, transformation, grouping and
   sorting.
 
+Collections can be hash-partitioned into N shards keyed by a per-collection
+shard key (default ``ncid``): point queries on the shard key route to a
+single partition, everything else scatter-gathers with bit-identical
+results, and readers see snapshot-isolated epochs published atomically at
+``commit()``.  See ``docs/data-model.md``.
+
 Persistence is line-delimited JSON per collection plus a database manifest,
 so datasets survive process restarts and can be shipped as plain files.
 
@@ -24,8 +30,9 @@ static analyzer in :mod:`repro.analysis`; see
 
 from __future__ import annotations
 
-from repro.docstore.collection import Collection
-from repro.docstore.database import Database, DurableDatabase
+from repro.docstore.collection import Collection, CollectionSnapshot
+from repro.docstore.database import Database, DatabaseReadView, DurableDatabase
+from repro.docstore.partition import Partition, fallback_shard, shard_key_shard
 from repro.docstore.documents import get_path, set_path, unset_path
 from repro.docstore.errors import (
     CollectionNotFound,
@@ -40,8 +47,13 @@ from repro.docstore.storage import RecoveryReport
 
 __all__ = [
     "Database",
+    "DatabaseReadView",
     "DurableDatabase",
     "Collection",
+    "CollectionSnapshot",
+    "Partition",
+    "shard_key_shard",
+    "fallback_shard",
     "DocStoreError",
     "DuplicateKeyError",
     "QueryError",

@@ -1,15 +1,40 @@
-"""Collections: CRUD, indexes and aggregation over documents."""
+"""Collections: CRUD, indexes and aggregation over documents.
+
+Storage is partitioned: a collection owns N hash shards
+(:class:`~repro.docstore.partition.Partition`), each with its own document
+map, ``_id`` map and secondary indexes.  ``shards=1`` (the default) is the
+classic single-dict store; sharded collections place documents by the
+collection's ``shard_key`` (``ncid`` by default — string values hash to a
+shard, everything else falls back to an ``_id`` hash) and reads route:
+a filter that pins the shard key touches one shard, anything else
+scatter-gathers with k-way merges that reproduce the unsharded order
+bit-for-bit (:mod:`repro.docstore.planner`).
+"""
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.docstore.aggregation import run_pipeline
 from repro.docstore.documents import deep_copy, get_path, set_path, unset_path
 from repro.docstore.errors import DuplicateKeyError, QueryError
 from repro.docstore.indexes import HashIndex, build_index
-from repro.docstore.planner import execute_find, iter_matching_ids, plan_read, split_pushdown
+from repro.docstore.matching import compile_filter
+from repro.docstore.partition import Partition, fallback_shard, shard_key_shard
+from repro.docstore.planner import (
+    count_sharded,
+    execute_partial_group,
+    execute_sharded_find,
+    iter_matching_ids,
+    iter_sharded_matching,
+    partial_group_spec,
+    plan_read,
+    plan_states,
+    route_shards,
+    split_pushdown,
+)
 
 #: Sentinel for $rename on an absent source path (a silent no-op).
 _RENAME_MISSING = object()
@@ -29,6 +54,10 @@ class Collection:
     :class:`QueryError` — with did-you-mean hints — before a single document
     is scanned.  Attach a :class:`repro.analysis.SchemaPaths` via ``schema``
     to additionally validate dotted field paths in strict mode.
+
+    ``shards``/``shard_key`` select the partition layout (see the module
+    docstring); ``read_workers`` > 1 fans scatter-gather reads out over
+    threads (:func:`repro.core.parallel.run_read_shards`).
     """
 
     def __init__(
@@ -36,21 +65,126 @@ class Collection:
         name: str,
         analysis_mode: str = "lax",
         schema: Optional[Any] = None,
+        shards: int = 1,
+        shard_key: str = "ncid",
     ) -> None:
+        if shards < 1:
+            raise QueryError(f"shards must be >= 1, got {shards}")
         self.name = name
         self.analysis_mode = analysis_mode
         #: Optional ``repro.analysis.SchemaPaths`` for field-path validation.
         self.schema = schema
-        self._documents: Dict[int, dict] = {}
-        self._by_user_id: Dict[Any, int] = {}
-        self._indexes: Dict[str, Any] = {}
+        self.shard_key = shard_key
+        #: Thread fan-out for scatter-gather reads (0/1 = sequential).
+        self.read_workers = 0
+        self._partitions: List[Partition] = [Partition() for _ in range(shards)]
         self._next_internal_id = itertools.count(1)
-        #: Write-ahead-log hook ``(op, payload) -> None`` set by
+        #: Sticky count of placements that saw a *list* shard-key value.
+        #: Any such document disables shard-key routing permanently (it
+        #: matches string equalities but is fallback-placed), which keeps
+        #: routing sound for snapshots taken at any epoch.
+        self._shard_key_lists = 0
+        #: Highest committed WAL sequence number replayed into this
+        #: collection (set by recovery; journaling resumes after it).
+        self._replayed_seq = 0
+        #: Write-ahead-log hook ``(op, payload, partition) -> None`` set by
         #: :class:`~repro.docstore.database.DurableDatabase`; ``None`` keeps
         #: the collection purely in-memory.  Called *after* the in-memory
         #: mutation succeeds; the hook serializes immediately, so later
         #: mutation of the same document cannot corrupt the journal.
         self._journal: Optional[Any] = None
+
+    # ------------------------------------------------------------ partitions
+
+    @property
+    def nshards(self) -> int:
+        """Number of hash partitions (1 = unsharded)."""
+        return len(self._partitions)
+
+    @property
+    def _documents(self) -> Dict[int, dict]:
+        """The live document map (merged across shards when sharded).
+
+        For ``shards=1`` this is *the* partition's map (same object the
+        planner mutates against); sharded collections return a merged copy
+        — used only by oracles and tests, never on a hot path.
+        """
+        if len(self._partitions) == 1:
+            return self._partitions[0].live._documents
+        merged: Dict[int, dict] = {}
+        for partition in self._partitions:
+            merged.update(partition.live._documents)
+        return merged
+
+    @property
+    def _by_user_id(self) -> Dict[Any, int]:
+        if len(self._partitions) == 1:
+            return self._partitions[0].live._by_user_id
+        merged: Dict[Any, int] = {}
+        for partition in self._partitions:
+            merged.update(partition.live._by_user_id)
+        return merged
+
+    @property
+    def _indexes(self) -> Dict[str, Any]:
+        """Partition 0's live indexes (every partition has the same specs)."""
+        return self._partitions[0].live._indexes
+
+    @_indexes.setter
+    def _indexes(self, value: Dict[str, Any]) -> None:
+        # Test hook (index spies et al.); only meaningful for shards=1.
+        self._partitions[0].writable()._indexes = value
+
+    def _placement(self, stored: dict) -> int:
+        """Partition index a stored document belongs to."""
+        shards = len(self._partitions)
+        if shards == 1:
+            return 0
+        value = get_path(stored, self.shard_key, default=None)
+        if isinstance(value, list):
+            self._shard_key_lists += 1
+            value = None
+        if isinstance(value, str):
+            return shard_key_shard(value, shards)
+        return fallback_shard(_freeze_id(stored.get("_id")), shards)
+
+    def _route(self, filter_doc: Optional[dict]) -> List[int]:
+        """Partition indices a filter must touch (in index order)."""
+        shards = len(self._partitions)
+        if shards == 1:
+            return [0]
+        if self._shard_key_lists:
+            return list(range(shards))
+        routed = route_shards(self.shard_key, shards, filter_doc)
+        return list(range(shards)) if routed is None else routed
+
+    def _plan_routed(
+        self,
+        filter_doc: Optional[dict],
+        sort: Optional[List[tuple]] = None,
+    ) -> Tuple[List[Any], List[Any]]:
+        """Route, then plan the read per touched partition state."""
+        states = [self._partitions[i].live for i in self._route(filter_doc)]
+        if not states and filter_doc:
+            compile_filter(filter_doc)  # malformed filters raise as usual
+        return states, plan_states(states, filter_doc, sort)
+
+    def _read_workers(self, states: List[Any]) -> int:
+        return self.read_workers if len(states) > 1 else 0
+
+    def snapshot(self) -> "CollectionSnapshot":
+        """A consistent read-only view of the last published epoch.
+
+        The view pins every partition's ``published`` state: a concurrent
+        writer copies before mutating (copy-on-write), so the snapshot's
+        results never change — even while a commit publishes a new epoch.
+        """
+        return CollectionSnapshot(self)
+
+    def _publish(self) -> None:
+        """Publish the live state of every partition (commit barrier)."""
+        for partition in self._partitions:
+            partition.publish()
 
     # ------------------------------------------------------------------ CRUD
 
@@ -63,16 +197,20 @@ class Collection:
         if "_id" not in stored:
             stored["_id"] = internal_id
         user_id = _freeze_id(stored["_id"])
-        if user_id in self._by_user_id:
-            raise DuplicateKeyError(
-                f"duplicate _id {stored['_id']!r} in collection {self.name!r}"
-            )
-        self._documents[internal_id] = stored
-        self._by_user_id[user_id] = internal_id
-        for index in self._indexes.values():
+        for partition in self._partitions:
+            if user_id in partition.live._by_user_id:
+                raise DuplicateKeyError(
+                    f"duplicate _id {stored['_id']!r} in collection {self.name!r}"
+                )
+        target = self._placement(stored)
+        partition = self._partitions[target]
+        state = partition.writable()
+        state._documents[internal_id] = stored
+        state._by_user_id[user_id] = internal_id
+        for index in state._indexes.values():
             index.add(internal_id, stored)
-        if self._journal is not None:
-            self._journal("insert", {"doc": stored})
+        partition.own(internal_id)
+        self._log("insert", {"doc": stored}, target)
         return stored["_id"]
 
     def insert_many(self, documents: Iterable[dict]) -> List[Any]:
@@ -93,11 +231,21 @@ class Collection:
         range conditions resolve through hash/sorted indexes, a
         single-field ``sort`` matching a sorted index streams in index
         order with no sorting, and only the returned ``skip``/``limit``
-        window is ever deep-copied.
+        window is ever deep-copied.  On a sharded collection a filter
+        pinning the shard key routes to a single partition; anything else
+        scatter-gathers with an order-preserving k-way merge.
         """
         self._check_filter(filter_doc)
-        plan = plan_read(self, filter_doc, sort)
-        results = list(execute_find(self, plan, skip=skip, limit=limit))
+        states, plans = self._plan_routed(filter_doc, sort)
+        results = list(
+            execute_sharded_find(
+                states,
+                plans,
+                skip=skip,
+                limit=limit,
+                max_workers=self._read_workers(states),
+            )
+        )
         if projection:
             results = list(run_pipeline(results, [{"$project": projection}]))
         return results
@@ -106,14 +254,17 @@ class Collection:
         """Distinct values of ``path`` over matching documents.
 
         Array values are expanded element-wise (MongoDB semantics); the
-        result is sorted by ``repr`` for determinism.  Without a filter, a
-        hash index on ``path`` whose keys are all strings answers straight
-        from the index, never touching a document.
+        result is sorted by ``repr`` for determinism.  Without a filter,
+        hash indexes on ``path`` whose keys are all strings answer straight
+        from the indexes, never touching a document.
         """
         if not filter_doc:
-            index = self._indexes.get(f"{path}_hash")
-            if isinstance(index, HashIndex):
-                keys = list(index.keys())
+            indexes = [
+                partition.live._indexes.get(f"{path}_hash")
+                for partition in self._partitions
+            ]
+            if all(isinstance(index, HashIndex) for index in indexes):
+                keys = [key for index in indexes for key in index.keys()]
                 if all(key is None or isinstance(key, str) for key in keys):
                     seen = {repr(key): key for key in keys if key is not None}
                     return [seen[key] for key in sorted(seen)]
@@ -137,15 +288,13 @@ class Collection:
 
         When the filter is fully covered by the chosen index access (no
         residual predicate), this is a pure index count — no document is
-        loaded or matched.
+        loaded or matched.  Sharded counts sum the per-partition counts.
         """
         if not filter_doc:
-            return len(self._documents)
+            return len(self)
         self._check_filter(filter_doc)
-        plan = plan_read(self, filter_doc)
-        if plan.residual is None and plan.candidate_ids is not None:
-            return len(plan.candidate_ids)
-        return sum(1 for _ in iter_matching_ids(self, plan))
+        states, plans = self._plan_routed(filter_doc)
+        return count_sharded(states, plans)
 
     def _check_update(self, update: dict) -> None:
         if self.analysis_mode == "strict":
@@ -159,49 +308,83 @@ class Collection:
     def update_one(self, filter_doc: dict, update: dict) -> int:
         """Apply ``update`` to the first match; returns 0 or 1."""
         self._check_update(update)
-        for internal_id, document in self._scan_with_ids(filter_doc):
-            self._apply_update(internal_id, document, update)
-            if self._journal is not None:
-                self._journal("replace", {"id": document["_id"], "doc": document})
+        for index, internal_id in self._scan_partitions(filter_doc):
+            document = self._partitions[index].writable_document(internal_id)
+            self._apply_update(index, internal_id, document, update)
+            index = self._migrate_if_moved(index, internal_id, document)
+            self._log("replace", {"id": document["_id"], "doc": document}, index)
             return 1
         return 0
 
     def update_many(self, filter_doc: dict, update: dict) -> int:
         """Apply ``update`` to every match; returns the match count."""
         self._check_update(update)
-        touched = list(self._scan_with_ids(filter_doc))
-        for internal_id, document in touched:
-            self._apply_update(internal_id, document, update)
-            if self._journal is not None:
-                self._journal("replace", {"id": document["_id"], "doc": document})
+        touched = list(self._scan_partitions(filter_doc))
+        for index, internal_id in touched:
+            document = self._partitions[index].writable_document(internal_id)
+            self._apply_update(index, internal_id, document, update)
+            index = self._migrate_if_moved(index, internal_id, document)
+            self._log("replace", {"id": document["_id"], "doc": document}, index)
         return len(touched)
 
     def replace_one(self, filter_doc: dict, replacement: dict) -> int:
         """Replace the first matching document wholesale (keeps its ``_id``)."""
-        for internal_id, document in self._scan_with_ids(filter_doc):
-            for index in self._indexes.values():
-                index.remove(internal_id, document)
+        for index, internal_id in self._scan_partitions(filter_doc):
+            partition = self._partitions[index]
+            state = partition.writable()
+            document = state._documents[internal_id]
+            for spec_index in state._indexes.values():
+                spec_index.remove(internal_id, document)
             stored = deep_copy(replacement)
             stored["_id"] = document["_id"]
-            self._documents[internal_id] = stored
-            for index in self._indexes.values():
-                index.add(internal_id, stored)
-            if self._journal is not None:
-                self._journal("replace", {"id": stored["_id"], "doc": stored})
+            state._documents[internal_id] = stored
+            for spec_index in state._indexes.values():
+                spec_index.add(internal_id, stored)
+            partition.own(internal_id)
+            index = self._migrate_if_moved(index, internal_id, stored)
+            self._log("replace", {"id": stored["_id"], "doc": stored}, index)
             return 1
         return 0
 
     def delete_many(self, filter_doc: dict) -> int:
         """Delete every matching document; returns the delete count."""
-        doomed = list(self._scan_with_ids(filter_doc))
-        for internal_id, document in doomed:
-            for index in self._indexes.values():
-                index.remove(internal_id, document)
-            del self._by_user_id[_freeze_id(document["_id"])]
-            del self._documents[internal_id]
-            if self._journal is not None:
-                self._journal("delete", {"id": document["_id"]})
+        doomed = list(self._scan_partitions(filter_doc))
+        for index, internal_id in doomed:
+            partition = self._partitions[index]
+            state = partition.writable()
+            document = state._documents[internal_id]
+            for spec_index in state._indexes.values():
+                spec_index.remove(internal_id, document)
+            del state._by_user_id[_freeze_id(document["_id"])]
+            del state._documents[internal_id]
+            partition._owned.discard(internal_id)
+            self._log("delete", {"id": document["_id"]}, index)
         return len(doomed)
+
+    def _migrate_if_moved(
+        self, partition_index: int, internal_id: int, document: dict
+    ) -> int:
+        """Re-place a document whose shard-key value changed; returns shard."""
+        if len(self._partitions) == 1:
+            return partition_index
+        target = self._placement(document)
+        if target == partition_index:
+            return partition_index
+        source_partition = self._partitions[partition_index]
+        source = source_partition.writable()
+        for index in source._indexes.values():
+            index.remove(internal_id, document)
+        del source._documents[internal_id]
+        del source._by_user_id[_freeze_id(document["_id"])]
+        source_partition._owned.discard(internal_id)
+        target_partition = self._partitions[target]
+        state = target_partition.writable()
+        state._documents[internal_id] = document
+        state._by_user_id[_freeze_id(document["_id"])] = internal_id
+        for index in state._indexes.values():
+            index.add(internal_id, document)
+        target_partition.own(internal_id)
+        return target
 
     def aggregate(self, pipeline: List[dict]) -> List[dict]:
         """Run an aggregation ``pipeline`` over the collection.
@@ -215,7 +398,10 @@ class Collection:
         down into the query planner: they run through index accesses and
         windowed, lazily-copied reads, so the remaining stages see an
         already-narrowed stream instead of a deep copy of the whole
-        collection.
+        collection.  On a sharded scatter, an eligible ``$group`` (or
+        ``$count``) immediately after the pushdown is computed as exact
+        per-partition partials and combined — bit-identical to streaming
+        the merged scan through the stage.
         """
         if self.analysis_mode == "strict":
             from repro.analysis import analyze_pipeline, require_clean
@@ -225,15 +411,36 @@ class Collection:
                 f"pipeline for collection {self.name!r}",
             )
         pushdown = split_pushdown(pipeline)
-        if pushdown.pushed:
-            plan = plan_read(self, pushdown.filter_doc, pushdown.sort_spec)
-            plan.pushdown = pushdown.pushed
-            source: Iterable[dict] = execute_find(
-                self, plan, skip=pushdown.skip, limit=pushdown.limit
-            )
-        else:
-            source = (deep_copy(doc) for doc in self._ordered_documents())
-        return list(run_pipeline(source, pushdown.rest))
+        rest = pushdown.rest
+        states, plans = self._plan_routed(pushdown.filter_doc, pushdown.sort_spec)
+        for plan in plans:
+            plan.pushdown = list(pushdown.pushed)
+        if (
+            len(states) > 1
+            and rest
+            and pushdown.sort_spec is None
+            and pushdown.skip == 0
+            and pushdown.limit is None
+            and isinstance(rest[0], dict)
+            and len(rest[0]) == 1
+        ):
+            (stage_name, stage_spec), = rest[0].items()
+            if stage_name == "$group":
+                parsed = partial_group_spec(stage_spec)
+                if parsed is not None:
+                    groups = execute_partial_group(states, plans, parsed)
+                    return list(run_pipeline(groups, rest[1:]))
+            elif stage_name == "$count" and isinstance(stage_spec, str):
+                count = count_sharded(states, plans)
+                return list(run_pipeline([{stage_spec: count}], rest[1:]))
+        source: Iterable[dict] = execute_sharded_find(
+            states,
+            plans,
+            skip=pushdown.skip,
+            limit=pushdown.limit,
+            max_workers=self._read_workers(states),
+        )
+        return list(run_pipeline(source, rest))
 
     def all(self) -> Iterator[dict]:
         """Iterate deep copies of every document in insertion order."""
@@ -245,22 +452,26 @@ class Collection:
         """Create (or return) an index on dotted ``path``.
 
         ``kind`` is ``"hash"`` for equality lookups or ``"sorted"`` for range
-        scans.  Returns the index name ``{path}_{kind}``.
+        scans.  Returns the index name ``{path}_{kind}``.  On a sharded
+        collection every partition gets its own index over its documents.
         """
         name = f"{path}_{kind}"
-        if name in self._indexes:
+        if name in self._partitions[0].live._indexes:
             return name
-        index = build_index(kind, path)
-        for internal_id, document in self._documents.items():
-            index.add(internal_id, document)
-        self._indexes[name] = index
-        if self._journal is not None:
-            self._journal("index", {"path": path, "kind": kind})
+        for partition in self._partitions:
+            state = partition.writable()
+            if name in state._indexes:
+                continue
+            index = build_index(kind, path)
+            for internal_id, document in state._documents.items():
+                index.add(internal_id, document)
+            state._indexes[name] = index
+        self._log("index", {"path": path, "kind": kind}, 0)
         return name
 
     def index_names(self) -> List[str]:
         """Sorted names of the collection's indexes."""
-        return sorted(self._indexes)
+        return sorted(self._partitions[0].live._indexes)
 
     def explain(
         self,
@@ -271,21 +482,64 @@ class Collection:
         """Describe how a query (or pipeline) would execute.
 
         Returns the chosen plan — ``"full_scan"`` / ``"id_lookup"`` /
-        ``"index_lookup"`` / ``"index_range"`` / ``"index_order"`` — plus
+        ``"index_lookup"`` / ``"index_range"`` / ``"index_order"`` (or
+        ``"mixed"`` when a scatter picks different plans per shard) — plus
         the index used, the residual predicate the candidates are matched
         against, the candidate count (how many documents would actually be
         examined), pushed-down pipeline stages when ``pipeline`` is given,
-        and index-usage hints from :func:`repro.analysis.analyze_index_usage`.
+        sharding telemetry (``shards_touched`` / ``total_shards`` /
+        ``routing``), and index-usage hints from
+        :func:`repro.analysis.analyze_index_usage`.
         """
         remaining: List[dict] = []
+        pushed: List[str] = []
         if pipeline is not None:
             pushdown = split_pushdown(pipeline)
-            plan = plan_read(self, pushdown.filter_doc, pushdown.sort_spec)
-            plan.pushdown = pushdown.pushed
+            query_filter, query_sort = pushdown.filter_doc, pushdown.sort_spec
+            pushed = pushdown.pushed
             remaining = pushdown.rest
         else:
-            plan = plan_read(self, filter_doc, sort)
-        description = plan.describe(len(self._documents))
+            query_filter, query_sort = filter_doc, sort
+        states, plans = self._plan_routed(query_filter, query_sort)
+        for plan in plans:
+            plan.pushdown = list(pushed)
+        total = len(self)
+        shards = len(self._partitions)
+        if plans:
+            description = plans[0].describe(total)
+            description["candidates"] = sum(
+                len(plan.candidate_ids)
+                if plan.candidate_ids is not None
+                else len(state._documents)
+                for plan, state in zip(plans, states)
+            )
+            if len(plans) > 1:
+                names = {plan.plan_name for plan in plans}
+                if len(names) > 1:
+                    description["plan"] = "mixed"
+                description["indexes_used"] = sorted(
+                    {name for plan in plans for name in plan.indexes_used}
+                )
+        else:  # routing proved the result empty; no partition is read
+            description = {
+                "plan": "pruned",
+                "candidates": 0,
+                "documents": total,
+                "index": None,
+                "indexes_used": [],
+                "residual": query_filter,
+                "order": "none",
+                "order_index": None,
+                "pushdown": list(pushed),
+            }
+        description["shards_touched"] = len(states)
+        description["total_shards"] = shards
+        if len(states) == shards:
+            description["routing"] = "scatter" if shards > 1 else "single"
+        elif not states:
+            description["routing"] = "pruned"
+        else:
+            description["routing"] = "single" if len(states) == 1 else "subset"
         description["remaining_stages"] = [
             next(iter(stage)) if isinstance(stage, dict) and stage else "?"
             for stage in remaining
@@ -299,6 +553,8 @@ class Collection:
                 sort=sort,
                 pipeline=pipeline,
                 indexes=self.index_specs(),
+                shard_key=self.shard_key if shards > 1 else None,
+                shards=shards,
             )
         ]
         return description
@@ -307,14 +563,26 @@ class Collection:
         """Serializable descriptions of the collection's indexes."""
         return [
             {"path": index.path, "kind": index.kind}
-            for index in self._indexes.values()
+            for index in self._partitions[0].live._indexes.values()
         ]
 
     # ------------------------------------------------------------- internals
 
+    def _log(self, op: str, payload: dict, partition_index: int) -> None:
+        journal = self._journal
+        if journal is not None:
+            journal(op, payload, partition_index)
+
     def _ordered_documents(self) -> Iterator[dict]:
-        for internal_id in sorted(self._documents):
-            yield self._documents[internal_id]
+        if len(self._partitions) == 1:
+            documents = self._partitions[0].live._documents
+            for internal_id in sorted(documents):
+                yield documents[internal_id]
+            return
+        states = [partition.live for partition in self._partitions]
+        streams = [_sorted_id_state_pairs(state) for state in states]
+        for _internal_id, state in heapq.merge(*streams, key=lambda pair: pair[0]):
+            yield state._documents[_internal_id]
 
     def _check_filter(self, filter_doc: Optional[dict]) -> None:
         if self.analysis_mode == "strict" and filter_doc:
@@ -326,28 +594,45 @@ class Collection:
             )
 
     def _scan(self, filter_doc: Optional[dict]) -> Iterator[dict]:
-        for _internal_id, document in self._scan_with_ids(filter_doc):
-            yield document
+        for index, internal_id in self._scan_partitions(filter_doc):
+            yield self._partitions[index].live._documents[internal_id]
 
-    def _scan_with_ids(self, filter_doc: Optional[dict]) -> Iterator[tuple]:
+    def _scan_partitions(
+        self, filter_doc: Optional[dict]
+    ) -> Iterator[Tuple[int, int]]:
+        """``(partition index, internal id)`` of matches, ascending by id."""
         self._check_filter(filter_doc)
-        plan = plan_read(self, filter_doc)
-        for internal_id in iter_matching_ids(self, plan):
-            yield internal_id, self._documents[internal_id]
+        indices = self._route(filter_doc)
+        if not indices and filter_doc:
+            compile_filter(filter_doc)
+        if len(indices) == 1:
+            state = self._partitions[indices[0]].live
+            plan = plan_read(state, filter_doc)
+            for internal_id in iter_matching_ids(state, plan):
+                yield indices[0], internal_id
+            return
+        states = [self._partitions[i].live for i in indices]
+        plans = plan_states(states, filter_doc)
+        by_state = {id(state): index for state, index in zip(states, indices)}
+        for state, internal_id in iter_sharded_matching(states, plans):
+            yield by_state[id(state)], internal_id
 
-    def _apply_update(self, internal_id: int, document: dict, update: dict) -> None:
+    def _apply_update(
+        self, partition_index: int, internal_id: int, document: dict, update: dict
+    ) -> None:
         if not update or not all(key.startswith("$") for key in update):
             raise QueryError("updates must use operators like $set / $unset / $inc / $push")
+        state = self._partitions[partition_index].live
         # Only indexes whose path the update spec can touch are maintained;
         # removing/re-adding every index on every update made single-field
         # updates cost O(indexes) instead of O(touched paths).
         touched = _update_touched_paths(update)
         if touched is None:
-            affected = list(self._indexes.values())
+            affected = list(state._indexes.values())
         else:
             affected = [
                 index
-                for index in self._indexes.values()
+                for index in state._indexes.values()
                 if any(_paths_overlap(path, index.path) for path in touched)
             ]
         for index in affected:
@@ -417,10 +702,141 @@ class Collection:
                 index.add(internal_id, document)
 
     def __len__(self) -> int:
-        return len(self._documents)
+        return sum(len(partition.live._documents) for partition in self._partitions)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Collection(name={self.name!r}, documents={len(self)})"
+        return (
+            f"Collection(name={self.name!r}, documents={len(self)}, "
+            f"shards={len(self._partitions)})"
+        )
+
+
+class CollectionSnapshot:
+    """A consistent, lock-free read view over the last published epoch.
+
+    Pins every partition's ``published`` state at construction time.
+    Writers never mutate a published state (the first write after a commit
+    copies it), so every read through the snapshot sees exactly the epoch
+    that was committed when the snapshot was taken — while the live
+    collection keeps changing underneath.  Reads are bit-identical to the
+    same queries against an unsharded collection holding that epoch.
+    """
+
+    def __init__(self, collection: Collection) -> None:
+        self.name = collection.name
+        self.shard_key = collection.shard_key
+        self._collection = collection
+        self._states = [partition.published for partition in collection._partitions]
+
+    def _routed(
+        self,
+        filter_doc: Optional[dict],
+        sort: Optional[List[tuple]] = None,
+    ) -> Tuple[List[Any], List[Any]]:
+        shards = len(self._states)
+        routed: Optional[List[int]] = None
+        # _shard_key_lists is sticky (never decremented), so a flag read at
+        # query time can only be *more* conservative than at snapshot time.
+        if shards > 1 and not self._collection._shard_key_lists:
+            routed = route_shards(self.shard_key, shards, filter_doc)
+        states = (
+            self._states if routed is None else [self._states[i] for i in routed]
+        )
+        if not states and filter_doc:
+            compile_filter(filter_doc)
+        return states, plan_states(states, filter_doc, sort)
+
+    def find(
+        self,
+        filter_doc: Optional[dict] = None,
+        projection: Optional[dict] = None,
+        sort: Optional[List[tuple]] = None,
+        limit: Optional[int] = None,
+        skip: int = 0,
+    ) -> List[dict]:
+        """Planned read over the snapshot (same semantics as live ``find``)."""
+        states, plans = self._routed(filter_doc, sort)
+        results = list(
+            execute_sharded_find(states, plans, skip=skip, limit=limit)
+        )
+        if projection:
+            results = list(run_pipeline(results, [{"$project": projection}]))
+        return results
+
+    def find_one(self, filter_doc: Optional[dict] = None) -> Optional[dict]:
+        states, plans = self._routed(filter_doc)
+        for state, internal_id in iter_sharded_matching(states, plans):
+            return deep_copy(state._documents[internal_id])
+        return None
+
+    def count_documents(self, filter_doc: Optional[dict] = None) -> int:
+        if not filter_doc:
+            return len(self)
+        states, plans = self._routed(filter_doc)
+        return count_sharded(states, plans)
+
+    def distinct(self, path: str, filter_doc: Optional[dict] = None) -> List[Any]:
+        seen: Dict[str, Any] = {}
+        states, plans = self._routed(filter_doc)
+        for state, internal_id in iter_sharded_matching(states, plans):
+            value = get_path(state._documents[internal_id], path, default=None)
+            values = value if isinstance(value, list) else [value]
+            for element in values:
+                if element is not None:
+                    seen.setdefault(repr(element), element)
+        return [seen[key] for key in sorted(seen)]
+
+    def aggregate(self, pipeline: List[dict]) -> List[dict]:
+        """Aggregation over the snapshot, with the same pushdown rules."""
+        pushdown = split_pushdown(pipeline)
+        rest = pushdown.rest
+        states, plans = self._routed(pushdown.filter_doc, pushdown.sort_spec)
+        for plan in plans:
+            plan.pushdown = list(pushdown.pushed)
+        if (
+            len(states) > 1
+            and rest
+            and pushdown.sort_spec is None
+            and pushdown.skip == 0
+            and pushdown.limit is None
+            and isinstance(rest[0], dict)
+            and len(rest[0]) == 1
+        ):
+            (stage_name, stage_spec), = rest[0].items()
+            if stage_name == "$group":
+                parsed = partial_group_spec(stage_spec)
+                if parsed is not None:
+                    groups = execute_partial_group(states, plans, parsed)
+                    return list(run_pipeline(groups, rest[1:]))
+            elif stage_name == "$count" and isinstance(stage_spec, str):
+                count = count_sharded(states, plans)
+                return list(run_pipeline([{stage_spec: count}], rest[1:]))
+        source: Iterable[dict] = execute_sharded_find(
+            states, plans, skip=pushdown.skip, limit=pushdown.limit
+        )
+        return list(run_pipeline(source, rest))
+
+    def all(self) -> Iterator[dict]:
+        """Iterate deep copies of the epoch's documents in insertion order."""
+        streams = [_sorted_id_state_pairs(state) for state in self._states]
+        for _internal_id, state in heapq.merge(*streams, key=lambda pair: pair[0]):
+            yield deep_copy(state._documents[_internal_id])
+
+    def __len__(self) -> int:
+        return sum(len(state._documents) for state in self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CollectionSnapshot(name={self.name!r}, documents={len(self)})"
+
+
+def _sorted_id_state_pairs(state: Any) -> Iterator[Tuple[int, Any]]:
+    """One partition's ``(internal id, state)`` pairs in ascending id order.
+
+    A generator *function* (not an inline genexp) so each stream captures
+    its own ``state`` — a comprehension-scoped closure would late-bind it.
+    """
+    for internal_id in sorted(state._documents):
+        yield internal_id, state
 
 
 def _update_touched_paths(update: dict) -> Optional[set]:

@@ -12,7 +12,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro import faults
-from repro.docstore.collection import Collection
+from repro.docstore.collection import Collection, CollectionSnapshot
 from repro.docstore.errors import CollectionNotFound, DocStoreError
 
 
@@ -25,11 +25,17 @@ class Database:
     manifest.
     """
 
-    def __init__(self, name: str = "db") -> None:
+    def __init__(
+        self, name: str = "db", shards: int = 1, shard_key: str = "ncid"
+    ) -> None:
         self.name = name
         self._collections: Dict[str, Collection] = {}
         self._analysis_mode = "lax"
         self._schema = None
+        #: Default partition layout for new collections (overridable per
+        #: collection through :meth:`create_collection`).
+        self._default_shards = shards
+        self._default_shard_key = shard_key
 
     def set_analysis_mode(self, mode: str, schema=None) -> None:
         """Switch static query analysis for all collections.
@@ -53,12 +59,25 @@ class Database:
             collection.analysis_mode = mode
             collection.schema = schema
 
-    def create_collection(self, name: str) -> Collection:
-        """Create collection ``name``; error if it already exists."""
+    def create_collection(
+        self,
+        name: str,
+        shards: Optional[int] = None,
+        shard_key: Optional[str] = None,
+    ) -> Collection:
+        """Create collection ``name``; error if it already exists.
+
+        ``shards``/``shard_key`` override the database-wide partition
+        defaults for this collection only.
+        """
         if name in self._collections:
             raise DocStoreError(f"collection {name!r} already exists")
         collection = Collection(
-            name, analysis_mode=self._analysis_mode, schema=self._schema
+            name,
+            analysis_mode=self._analysis_mode,
+            schema=self._schema,
+            shards=self._default_shards if shards is None else shards,
+            shard_key=self._default_shard_key if shard_key is None else shard_key,
         )
         self._collections[name] = collection
         return collection
@@ -80,15 +99,58 @@ class Database:
         """Sorted names of the existing collections."""
         return sorted(self._collections)
 
-    def commit(self) -> int:
-        """Durability barrier; a no-op for in-memory databases.
+    def _publish_all(self) -> None:
+        for collection in self._collections.values():
+            collection._publish()
 
-        :class:`DurableDatabase` overrides this to seal the staged WAL
-        operations into a new committed epoch.  Having it on the base
-        class lets write paths (``TestDataGenerator.publish`` et al.) call
-        it unconditionally.
+    def commit(self) -> int:
+        """Durability barrier; publishes a new snapshot epoch.
+
+        Publishes every collection's live partition states so subsequent
+        :meth:`read_view` snapshots observe the current data (and earlier
+        snapshots keep their epoch untouched — writers copy before the
+        next mutation).  :class:`DurableDatabase` overrides this to
+        additionally seal the staged WAL operations into a new committed
+        epoch.  Having it on the base class lets write paths
+        (``TestDataGenerator.publish`` et al.) call it unconditionally.
         """
+        self._publish_all()
         return 0
+
+    def read_view(self) -> "DatabaseReadView":
+        """A consistent snapshot of every collection's last published epoch.
+
+        The view is stable: reads through it keep answering from the epoch
+        published by the last :meth:`commit`, no matter what writers do to
+        the live collections afterwards.
+        """
+        return DatabaseReadView(self)
+
+    def stats(self) -> dict:
+        """Document counts, partition layout and shard balance per collection.
+
+        ``balance_factor`` is ``max(shard documents) / mean(shard
+        documents)`` — 1.0 is a perfectly even spread, N means the fullest
+        of N shards holds everything.
+        """
+        collections: Dict[str, dict] = {}
+        for name in self.collection_names():
+            collection = self._collections[name]
+            shard_counts = [
+                len(partition.live._documents)
+                for partition in collection._partitions
+            ]
+            total = sum(shard_counts)
+            mean = total / len(shard_counts)
+            collections[name] = {
+                "documents": total,
+                "shards": len(shard_counts),
+                "shard_key": collection.shard_key,
+                "shard_documents": shard_counts,
+                "balance_factor": round(max(shard_counts) / mean, 4) if mean else 1.0,
+                "indexes": collection.index_names(),
+            }
+        return {"name": self.name, "collections": collections}
 
     def save(self, directory: Path) -> None:
         """Persist all collections to ``directory`` (JSONL + manifest)."""
@@ -113,6 +175,42 @@ class Database:
         return f"Database(name={self.name!r}, collections={self.collection_names()})"
 
 
+class DatabaseReadView:
+    """Read-only snapshot of a database at one published epoch.
+
+    Collection access returns :class:`CollectionSnapshot`\\ s pinned when
+    the view was created; the set of collections is pinned too.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.name = database.name
+        self._snapshots: Dict[str, CollectionSnapshot] = {
+            name: collection.snapshot()
+            for name, collection in database._collections.items()
+        }
+
+    def get_collection(self, name: str) -> CollectionSnapshot:
+        snapshot = self._snapshots.get(name)
+        if snapshot is None:
+            raise CollectionNotFound(f"collection {name!r} does not exist")
+        return snapshot
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._snapshots)
+
+    def __getitem__(self, name: str) -> CollectionSnapshot:
+        return self.get_collection(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._snapshots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatabaseReadView(name={self.name!r}, "
+            f"collections={self.collection_names()})"
+        )
+
+
 class DurableDatabase(Database):
     """A database whose on-disk state survives a crash at any point.
 
@@ -134,7 +232,12 @@ class DurableDatabase(Database):
     """
 
     def __init__(
-        self, directory: Path, name: str = "db", fsync_batch: int = 0
+        self,
+        directory: Path,
+        name: str = "db",
+        fsync_batch: int = 0,
+        shards: int = 1,
+        shard_key: str = "ncid",
     ) -> None:
         from repro.docstore.storage import (
             MANIFEST_NAME,
@@ -143,44 +246,88 @@ class DurableDatabase(Database):
         )
         from repro.docstore.wal import WalWriter, read_committed_epoch
 
-        super().__init__(name)
+        super().__init__(name, shards=shards, shard_key=shard_key)
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync_batch = fsync_batch
         #: What recovery did while opening, or ``None`` for a fresh store.
         self.last_recovery: Optional[RecoveryReport] = None
         self._wal_writer = WalWriter  # late-bound for subclass/test hooks
-        self._wals: Dict[str, "WalWriter"] = {}
-        self._dropped_wals: Dict[str, "WalWriter"] = {}
+        self._wals: Dict[str, List["WalWriter"]] = {}
+        self._dropped_wals: Dict[str, List["WalWriter"]] = {}
+        #: Last WAL sequence number issued per (sharded) collection name.
+        self._next_seq: Dict[str, int] = {}
         if (self.directory / MANIFEST_NAME).exists() or any(
             self.directory.glob("*.wal")
         ):
             report = RecoveryReport()
             loaded = load_database(self.directory, name, report=report, truncate=True)
             self._collections = loaded._collections
+            self._next_seq = dict(getattr(loaded, "_wal_max_seq", {}))
             self.last_recovery = report
         self.committed_epoch = read_committed_epoch(self.directory)
         for collection_name in list(self._collections):
             self._attach(collection_name)
+        self._publish_all()
 
     # ------------------------------------------------------------ journaling
 
     def _attach(self, collection_name: str) -> None:
-        writer = self._dropped_wals.pop(collection_name, None)
-        if writer is None:
-            writer = self._wal_writer(
-                self.directory / f"{collection_name}.wal",
-                fsync_batch=self.fsync_batch,
-            )
-        self._wals[collection_name] = writer
-        self._collections[collection_name]._journal = writer.log
+        from repro.docstore.wal import wal_filename
 
-    def create_collection(self, name: str) -> Collection:
-        collection = super().create_collection(name)
+        collection = self._collections[collection_name]
+        shards = collection.nshards
+        writers = self._dropped_wals.pop(collection_name, None)
+        if writers is None or len(writers) != shards:
+            writers = [
+                self._wal_writer(
+                    self.directory / wal_filename(collection_name, index, shards),
+                    fsync_batch=self.fsync_batch,
+                )
+                for index in range(shards)
+            ]
+        self._wals[collection_name] = writers
+
+        if shards == 1:
+            def journal(op: str, payload: Dict, partition: int, _writer=writers[0]) -> None:
+                _writer.log(op, payload)
+        else:
+            # Partition logs replay as one stream ordered by a per-collection
+            # sequence number.  The counter lives on the database (seeded
+            # from the highest replayed seq) so it keeps rising across
+            # reopen *and* across drop/recreate cycles whose old records
+            # are still in the logs awaiting a checkpoint.
+            self._next_seq[collection_name] = max(
+                self._next_seq.get(collection_name, 0), collection._replayed_seq
+            )
+
+            def journal(
+                op: str, payload: Dict, partition: int,
+                _name=collection_name, _writers=writers,
+            ) -> None:
+                seq = self._next_seq[_name] + 1
+                self._next_seq[_name] = seq
+                record = dict(payload)
+                record["seq"] = seq
+                _writers[partition].log(op, record)
+
+        collection._journal = journal
+
+    def create_collection(
+        self,
+        name: str,
+        shards: Optional[int] = None,
+        shard_key: Optional[str] = None,
+    ) -> Collection:
+        collection = super().create_collection(name, shards=shards, shard_key=shard_key)
         self._attach(name)
         # Journal the creation so a *committed* empty collection survives
         # reload; staged-only creations are discarded like any other op.
-        self._wals[name].log("create", {})
+        # Sharded layouts ride along so replay can rebuild the partitioning.
+        payload: Dict[str, object] = {}
+        if collection.nshards > 1:
+            payload = {"shards": collection.nshards, "shard_key": collection.shard_key}
+        collection._journal("create", payload, 0)
         return collection
 
     def drop_collection(self, name: str) -> None:
@@ -190,16 +337,19 @@ class DurableDatabase(Database):
         markers) until the next :meth:`checkpoint` removes them, so
         recovery can tell a committed drop from lost data.
         """
-        writer = self._wals.pop(name, None)
-        if writer is not None:
-            writer.log("drop", {})
-            self._dropped_wals[name] = writer
+        writers = self._wals.pop(name, None)
+        if writers is not None:
+            collection = self._collections[name]
+            collection._journal("drop", {}, 0)
+            collection._journal = None
+            self._dropped_wals[name] = writers
         super().drop_collection(name)
 
     # ------------------------------------------------------- commit/snapshot
 
     def _all_writers(self) -> List["WalWriter"]:
-        return list(self._wals.values()) + list(self._dropped_wals.values())
+        groups = list(self._wals.values()) + list(self._dropped_wals.values())
+        return [writer for group in groups for writer in group]
 
     def commit(self) -> int:
         """Seal staged operations into a new epoch; returns the epoch.
@@ -211,6 +361,7 @@ class DurableDatabase(Database):
         """
         writers = self._all_writers()
         if not any(writer.staged for writer in writers):
+            self._publish_all()
             return self.committed_epoch
         from repro.docstore.wal import write_committed_epoch
 
@@ -219,6 +370,10 @@ class DurableDatabase(Database):
             writer.commit(epoch)
         write_committed_epoch(self.directory, epoch)
         self.committed_epoch = epoch
+        # Only a durably committed epoch becomes visible to new snapshots;
+        # a crash before this point leaves readers on the previous epoch,
+        # matching what recovery would reconstruct.
+        self._publish_all()
         return epoch
 
     def checkpoint(self) -> int:
@@ -233,13 +388,15 @@ class DurableDatabase(Database):
         epoch = self.commit()
         save_database(self, self.directory)
         fs = faults.current_fs()
-        for name, writer in sorted(self._dropped_wals.items()):
-            writer.close()
-            fs.remove(self.directory / f"{name}.wal")
+        for name, writers in sorted(self._dropped_wals.items()):
+            for writer in writers:
+                writer.close()
+                fs.remove(writer.path)
             fs.remove(self.directory / f"{name}.jsonl")
         self._dropped_wals.clear()
-        for writer in self._wals.values():
-            writer.reset()
+        for writers in self._wals.values():
+            for writer in writers:
+                writer.reset()
         return epoch
 
     def save(self, directory: Path) -> None:

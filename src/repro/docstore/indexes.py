@@ -37,6 +37,16 @@ class HashIndex:
             if not bucket:
                 del self._buckets[key]
 
+    def clone(self) -> "HashIndex":
+        """Independent copy sharing no mutable structure with the original.
+
+        Used by the copy-on-write partition epochs: the clone can be
+        mutated freely while readers keep iterating the original.
+        """
+        copy = HashIndex(self.path)
+        copy._buckets = {key: set(bucket) for key, bucket in self._buckets.items()}
+        return copy
+
     def lookup(self, key: Any) -> Set[int]:
         """Document ids whose indexed field equals ``key`` (pre-frozen)."""
         return set(self._buckets.get(key, ()))
@@ -132,6 +142,18 @@ class SortedIndex:
             if key is None:
                 continue
             self._delete(doc_id, key)
+
+    def clone(self) -> "SortedIndex":
+        """Independent copy sharing no mutable structure with the original.
+
+        Used by the copy-on-write partition epochs: the clone can be
+        mutated freely while readers keep iterating the original.
+        """
+        copy = SortedIndex(self.path)
+        copy._by_type = {name: list(entries) for name, entries in self._by_type.items()}
+        copy._list_entries = dict(self._list_entries)
+        copy._key_counts = dict(self._key_counts)
+        return copy
 
     def range(
         self,

@@ -1,0 +1,135 @@
+"""Hash partitions: per-shard document maps, indexes and COW epochs.
+
+A sharded :class:`~repro.docstore.collection.Collection` splits its
+documents over N :class:`Partition`\\ s by a per-collection shard key
+(``ncid`` by default, falling back to a hash of ``_id``).  Each partition
+owns a :class:`PartitionState` — its private document map, ``_id`` map and
+secondary indexes — shaped exactly like the single-dict store the query
+planner already knows how to read, so every planner entry point
+(:func:`~repro.docstore.planner.plan_read`,
+:func:`~repro.docstore.planner.iter_matching_ids`, ...) works unchanged on
+one partition's state.
+
+Partitions also carry the snapshot-isolation machinery.  ``live`` is the
+state writers mutate; ``published`` is the state handed to snapshot
+readers.  :meth:`Partition.publish` (called by ``Database.commit``) makes
+the current live state the published one in a single reference assignment
+— atomic under the GIL, so a concurrent reader sees either the old epoch
+or the new one, never a mix.  The first write after a publish copies the
+state (:meth:`PartitionState.clone`: shallow document map, cloned
+indexes), and in-place document updates privatize the document first
+(:meth:`Partition.writable_document`), so a published epoch is never
+mutated once a reader can hold it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Optional, Set
+
+from repro.docstore.documents import deep_copy
+
+__all__ = ["PartitionState", "Partition", "fallback_shard", "shard_key_shard"]
+
+
+def shard_key_shard(value: str, shards: int) -> int:
+    """Stable shard index of a string shard-key value (crc32, seed-free).
+
+    Mirrors :func:`repro.core.parallel.shard_of` (kept inline to avoid an
+    import cycle between the docstore and the parallel runtime): the same
+    ncid lands on the same shard here and in the dedup pipeline.
+    """
+    return zlib.crc32(value.strip().encode("utf-8")) % shards
+
+
+def fallback_shard(frozen_id: Any, shards: int) -> int:
+    """Shard index for documents without a string shard-key value.
+
+    Hashes the (frozen) ``_id`` representation instead, so placement stays
+    deterministic and seed-free for any id type.
+    """
+    return zlib.crc32(repr(frozen_id).encode("utf-8")) % shards
+
+
+class PartitionState:
+    """One epoch of one partition: documents, id map and indexes.
+
+    Attribute names deliberately match the private storage attributes the
+    planner reads on a collection (``_documents`` / ``_by_user_id`` /
+    ``_indexes``), so a state object *is* a valid planner target.
+    """
+
+    __slots__ = ("_documents", "_by_user_id", "_indexes")
+
+    def __init__(
+        self,
+        documents: Optional[Dict[int, dict]] = None,
+        by_user_id: Optional[Dict[Any, int]] = None,
+        indexes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._documents: Dict[int, dict] = {} if documents is None else documents
+        self._by_user_id: Dict[Any, int] = {} if by_user_id is None else by_user_id
+        self._indexes: Dict[str, Any] = {} if indexes is None else indexes
+
+    def clone(self) -> "PartitionState":
+        """Copy for copy-on-write: new maps, cloned indexes, shared docs.
+
+        Document dicts are shared between the clone and the original until
+        :meth:`Partition.writable_document` privatizes one — cloning is
+        O(partition) in map entries, not in document bytes.
+        """
+        return PartitionState(
+            documents=dict(self._documents),
+            by_user_id=dict(self._by_user_id),
+            indexes={name: index.clone() for name, index in self._indexes.items()},
+        )
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+
+class Partition:
+    """One hash shard of a collection, with copy-on-write epochs."""
+
+    __slots__ = ("live", "published", "_owned")
+
+    def __init__(self) -> None:
+        state = PartitionState()
+        #: The state writers mutate (after :meth:`writable` privatizes it).
+        self.live = state
+        #: The last published epoch; what snapshot readers iterate.
+        self.published = state
+        #: Internal ids whose document dict is private to ``live`` (safe to
+        #: mutate in place).  Reset whenever ``live`` is re-cloned.
+        self._owned: Set[int] = set()
+
+    def writable(self) -> PartitionState:
+        """The live state, copied first if a reader could be holding it."""
+        if self.live is self.published:
+            self.live = self.published.clone()
+            self._owned = set()
+        return self.live
+
+    def writable_document(self, internal_id: int) -> dict:
+        """A privately-owned copy of a live document, safe to mutate."""
+        state = self.writable()
+        if internal_id not in self._owned:
+            state._documents[internal_id] = deep_copy(state._documents[internal_id])
+            self._owned.add(internal_id)
+        return state._documents[internal_id]
+
+    def own(self, internal_id: int) -> None:
+        """Mark ``internal_id``'s document as private to the live state."""
+        self._owned.add(internal_id)
+
+    def publish(self) -> None:
+        """Atomically make the live state the published epoch.
+
+        A single reference assignment: concurrent readers that already
+        grabbed the old ``published`` keep a consistent epoch; new readers
+        get the new one.  After publishing, the next write copies.
+        """
+        self.published = self.live
+
+    def __len__(self) -> int:
+        return len(self.live._documents)

@@ -36,6 +36,7 @@ from repro.docstore.wal import (
     atomic_write_text,
     read_committed_epoch,
     read_wal,
+    split_wal_stem,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -96,7 +97,11 @@ def save_database(database: "Database", directory: Path) -> None:
         ]
         body = "\n".join(lines) + ("\n" if lines else "")
         atomic_write_text(directory / f"{name}.jsonl", body)
-        collections[name] = {"indexes": collection.index_specs()}
+        entry: dict = {"indexes": collection.index_specs()}
+        if getattr(collection, "nshards", 1) > 1:
+            entry["shards"] = collection.nshards
+            entry["shard_key"] = collection.shard_key
+        collections[name] = entry
     epoch = getattr(database, "committed_epoch", None)
     if epoch is not None:
         manifest["epoch"] = epoch
@@ -180,8 +185,16 @@ def load_database(
         raise StorageError(f"no manifest at {manifest_path}")
 
     database = Database(name)
+    #: Highest committed WAL ``seq`` seen per collection name (including
+    #: collections that end up dropped); ``DurableDatabase`` seeds its
+    #: sequence counters from this so appends keep a total order.
+    database._wal_max_seq = {}  # type: ignore[attr-defined]
     for collection_name, spec in manifest["collections"].items():
-        collection = database.create_collection(collection_name)
+        collection = database.create_collection(
+            collection_name,
+            shards=int(spec.get("shards", 1) or 1),
+            shard_key=str(spec.get("shard_key", "ncid")),
+        )
         jsonl_path = directory / f"{collection_name}.jsonl"
         if jsonl_path.exists():
             _load_jsonl(collection, jsonl_path, repair, report)
@@ -191,41 +204,97 @@ def load_database(
     committed = read_committed_epoch(directory)
     report.committed_epoch = committed
     snapshot_epoch = int(manifest.get("epoch", 0) or 0)
+    # Partition logs (``<name>@p<i>.wal``) replay as one per-collection
+    # stream, merged on the ``seq`` number each sharded record carries.
+    groups: Dict[str, List[Path]] = {}
     for wal_path in wal_paths:
-        collection_name = wal_path.stem
-        recovery = read_wal(wal_path, committed, truncate_torn=truncate)
+        collection_name, _partition = split_wal_stem(wal_path.stem)
+        groups.setdefault(collection_name, []).append(wal_path)
+    for collection_name in sorted(groups):
+        group_paths = groups[collection_name]
+        operations: List[Dict[str, object]] = []
+        recoveries = []
+        for wal_path in group_paths:
+            recovery = read_wal(wal_path, committed, truncate_torn=truncate)
+            recoveries.append(recovery)
+            operations.extend(recovery.operations)
+        # The seq high-water mark covers *every* committed record on disk
+        # (even ones the epoch filter below skips): a reopened writer must
+        # never reuse a seq that stale, not-yet-truncated files still hold.
+        max_seq = max((_operation_seq(op) for op in operations), default=0)
+        if len(group_paths) > 1:
+            # A checkpoint truncates the partition logs one file at a time;
+            # a crash mid-way can lose a cross-file *prefix* of the history.
+            # Operations from epochs at or before the snapshot epoch are
+            # already captured by the snapshot — replaying a partial prefix
+            # of them would regress newer state, so skip them outright.
+            operations = [
+                operation
+                for operation in operations
+                if _operation_epoch(operation) > snapshot_epoch
+            ]
+            operations.sort(key=_operation_seq)
         # A WAL with no committed content must not materialize a collection
         # the committed state never had (e.g. staged ops from a crash).
         collection = database._collections.get(collection_name)
-        for operation in recovery.operations:
+        for operation in operations:
             if operation.get("op") == "drop":
                 database.drop_collection(collection_name)
                 collection = None
                 continue
             if collection is None:
-                collection = database.get_collection(collection_name)
+                collection = _materialize_collection(
+                    database, collection_name, operation
+                )
             _replay_operation(collection, operation)
-        if recovery.operations:
-            report.replayed[collection_name] = len(recovery.operations)
-        if recovery.truncated_at is not None:
-            report.notes.append(
-                f"{wal_path}: truncated torn/uncommitted tail at byte "
-                f"{recovery.truncated_at}"
-            )
-        report.notes.extend(f"{wal_path}: {note}" for note in recovery.notes)
-        if (
-            collection_name in manifest["collections"]
-            and committed > snapshot_epoch
-            and recovery.last_epoch < committed
-        ):
-            # The snapshot predates the committed epoch and the WAL does
-            # not carry us up to it: committed operations are gone.
-            raise StorageCorruptError(
-                wal_path,
-                f"committed records lost: log ends at epoch "
-                f"{recovery.last_epoch}, database committed epoch {committed}",
-            )
+        if max_seq:
+            database._wal_max_seq[collection_name] = max_seq  # type: ignore[attr-defined]
+            if collection is not None:
+                collection._replayed_seq = max_seq
+        if operations:
+            report.replayed[collection_name] = len(operations)
+        for wal_path, recovery in zip(group_paths, recoveries):
+            if recovery.truncated_at is not None:
+                report.notes.append(
+                    f"{wal_path}: truncated torn/uncommitted tail at byte "
+                    f"{recovery.truncated_at}"
+                )
+            report.notes.extend(f"{wal_path}: {note}" for note in recovery.notes)
+            if (
+                collection_name in manifest["collections"]
+                and committed > snapshot_epoch
+                and recovery.last_epoch < committed
+            ):
+                # The snapshot predates the committed epoch and the WAL does
+                # not carry us up to it: committed operations are gone.
+                raise StorageCorruptError(
+                    wal_path,
+                    f"committed records lost: log ends at epoch "
+                    f"{recovery.last_epoch}, database committed epoch {committed}",
+                )
     return database
+
+
+def _operation_seq(operation: Dict[str, object]) -> int:
+    seq = operation.get("seq")
+    return seq if isinstance(seq, int) else 0
+
+
+def _operation_epoch(operation: Dict[str, object]) -> int:
+    epoch = operation.get("commit_epoch")
+    return epoch if isinstance(epoch, int) else 0
+
+
+def _materialize_collection(
+    database: "Database", name: str, operation: Dict[str, object]
+) -> "Collection":
+    """Create a collection mid-replay, honoring a ``create`` op's layout."""
+    shards = 1
+    shard_key = "ncid"
+    if operation.get("op") == "create":
+        shards = int(operation.get("shards", 1) or 1)  # type: ignore[arg-type]
+        shard_key = str(operation.get("shard_key", "ncid"))
+    return database.create_collection(name, shards=shards, shard_key=shard_key)
 
 
 def _replay_operation(collection: "Collection", operation: Dict[str, object]) -> None:

@@ -34,6 +34,31 @@ def render_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
     return "\n".join(lines)
 
 
+def render_shard_stats(stats: Dict) -> str:
+    """Storage-layout table from :meth:`repro.docstore.Database.stats`.
+
+    One row per collection: document count, shard layout, per-shard
+    document counts and the balance factor (max shard / mean shard; 1.0
+    is perfectly even).
+    """
+    header = ("collection", "documents", "shards", "shard key",
+              "per-shard", "balance")
+    body = []
+    for name in sorted(stats.get("collections", {})):
+        entry = stats["collections"][name]
+        body.append(
+            (
+                name,
+                entry["documents"],
+                entry["shards"],
+                entry["shard_key"] if entry["shards"] > 1 else "-",
+                "/".join(str(count) for count in entry["shard_documents"]),
+                f"{entry['balance_factor']:.2f}",
+            )
+        )
+    return render_table(header, body)
+
+
 def render_year_stats(rows: Sequence[YearStats]) -> str:
     """Table 1: per-year snapshot statistics."""
     header = ("year", "#snapshots", "total records", "new records",

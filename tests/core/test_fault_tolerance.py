@@ -95,7 +95,13 @@ class TestRetries:
                 label="test stage",
             )
         assert results == [11, 22]  # recomputed in-process, nothing lost
-        warning = caught[0].message
+        # On small machines a WorkerClampWarning may precede the
+        # degradation warning; pick out the one under test.
+        warning = next(
+            w.message
+            for w in caught
+            if isinstance(w.message, ParallelDegradedWarning)
+        )
         assert warning.label == "test stage"
         assert sorted(warning.shard_indices) == [0, 1]
         assert warning.attempts == 2  # initial + one retry

@@ -89,3 +89,75 @@ class TestParallelImport:
         sequential = TestDataGenerator(removal=RemovalLevel.TRIMMED)
         sequential.import_snapshots(snapshots[:2])
         assert generator.record_count == sequential.record_count
+
+
+class TestWorkerClamping:
+    def test_zero_and_none_stay_zero(self):
+        from repro.core.parallel import effective_worker_count
+
+        assert effective_worker_count(0, warn=False) == 0
+        assert effective_worker_count(None, warn=False) == 0
+
+    def test_within_cpu_budget_unchanged(self):
+        from repro.core.parallel import effective_worker_count
+
+        assert effective_worker_count(1, warn=False) == 1
+
+    def test_oversubscription_clamps_to_cpu_count(self):
+        import os
+
+        from repro.core.parallel import effective_worker_count
+
+        cpus = os.cpu_count() or 1
+        assert effective_worker_count(cpus + 5, warn=False) == cpus
+
+    def test_warns_once_per_label(self):
+        import os
+        import warnings
+
+        from repro.core.parallel import WorkerClampWarning, effective_worker_count
+
+        cpus = os.cpu_count() or 1
+        label = "clamp warn-once probe"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            effective_worker_count(cpus + 1, label=label)
+            effective_worker_count(cpus + 1, label=label)
+        clamps = [w for w in caught if issubclass(w.category, WorkerClampWarning)]
+        assert len(clamps) <= 1  # once, or zero if an earlier test used it
+        if clamps:
+            assert clamps[0].message.requested == cpus + 1
+            assert clamps[0].message.effective == cpus
+
+
+class TestRunReadShards:
+    def test_results_in_input_order(self):
+        from repro.core.parallel import run_read_shards
+
+        results = run_read_shards(
+            lambda x: x * 2, [(3,), (1,), (2,)], max_workers=2
+        )
+        assert results == [6, 2, 4]
+
+    def test_sequential_when_single_worker(self):
+        from repro.core.parallel import run_read_shards
+
+        assert run_read_shards(lambda x: x + 1, [(1,), (2,)], max_workers=0) == [2, 3]
+
+    def test_exceptions_propagate(self):
+        from repro.core.parallel import run_read_shards
+
+        def boom(x):
+            raise ValueError(f"shard {x}")
+
+        with pytest.raises(ValueError, match="shard"):
+            run_read_shards(boom, [(1,), (2,)], max_workers=2)
+
+    def test_shares_live_state_without_pickling(self):
+        from repro.core.parallel import run_read_shards
+
+        shared = {"a": 1, "b": 2}
+        results = run_read_shards(
+            lambda key: shared[key], [("a",), ("b",)], max_workers=4
+        )
+        assert results == [1, 2]

@@ -1,0 +1,602 @@
+"""Sharded-collection tests: oracle equivalence, routing, snapshots, WALs.
+
+The load-bearing guarantee of the partitioned layout: for any shard count,
+every read — ``find`` / ``count_documents`` / ``distinct`` / ``aggregate``
+— returns *exactly* what the unsharded full-scan oracle in
+``repro.docstore._reference`` returns: same documents, same order, same
+copies.  On top of that: single-shard routing for shard-key point queries,
+snapshot-isolated readers across ``commit()``, and crash recovery over the
+per-partition write-ahead logs.
+"""
+
+import json
+import string
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.docstore import Collection, Database, DurableDatabase
+from repro.docstore._reference import (
+    aggregate_full_scan,
+    count_full_scan,
+    distinct_full_scan,
+    find_full_scan,
+)
+from repro.docstore.errors import QueryError
+from repro.docstore.partition import fallback_shard, shard_key_shard
+from repro.docstore.planner import route_shards
+from repro.sanitizers import determinism_check
+
+SHARD_COUNTS = (1, 2, 7)
+
+# --------------------------------------------------------------- strategies
+
+fields = st.sampled_from(["ncid", "a", "b"])
+ncids = st.sampled_from(["AA1", "AA2", "BB7", "CC3", "DD9", "EE5"])
+scalars = st.one_of(
+    st.integers(-5, 5),
+    st.sampled_from(["x", "y", "zz"]),
+    st.none(),
+    st.booleans(),
+)
+values = st.one_of(scalars, st.lists(st.integers(-5, 5), max_size=3))
+
+documents = st.lists(
+    st.fixed_dictionaries(
+        {"ncid": ncids},
+        optional={
+            "a": values,
+            "b": st.integers(-5, 5),
+            "c": st.text(alphabet=string.ascii_lowercase, max_size=2),
+        },
+    ),
+    max_size=14,
+)
+
+index_specs = st.lists(
+    st.tuples(fields, st.sampled_from(["hash", "sorted"])),
+    unique=True,
+    max_size=3,
+)
+
+simple_conditions = st.one_of(
+    st.builds(lambda f, v: {f: v}, fields, scalars),
+    st.builds(lambda v: {"ncid": v}, ncids),
+    st.builds(lambda vs: {"ncid": {"$in": vs}}, st.lists(ncids, max_size=3)),
+    st.builds(lambda f, v: {f: {"$eq": v}}, fields, values),
+    st.builds(
+        lambda f, op, v: {f: {op: v}},
+        fields,
+        st.sampled_from(["$gt", "$gte", "$lt", "$lte"]),
+        st.one_of(st.integers(-5, 5), st.sampled_from(["x", "y"])),
+    ),
+    st.builds(lambda f, v: {f: {"$ne": v}}, fields, scalars),
+    st.builds(lambda f, e: {f: {"$exists": e}}, fields, st.booleans()),
+)
+
+filters = st.one_of(
+    st.none(),
+    simple_conditions,
+    st.builds(
+        lambda cs: {"$and": cs},
+        st.lists(simple_conditions, min_size=1, max_size=3),
+    ),
+    st.builds(
+        lambda cs: {"$or": cs},
+        st.lists(simple_conditions, min_size=1, max_size=2),
+    ),
+)
+
+sorts = st.one_of(
+    st.none(),
+    st.builds(lambda f, d: [(f, d)], fields, st.sampled_from([1, -1])),
+    st.builds(
+        lambda f1, d1, f2, d2: [(f1, d1), (f2, d2)],
+        fields,
+        st.sampled_from([1, -1]),
+        fields,
+        st.sampled_from([1, -1]),
+    ),
+)
+
+head_stages = st.one_of(
+    st.builds(lambda f: {"$match": f}, simple_conditions),
+    st.builds(lambda f, d: {"$sort": {f: d}}, fields, st.sampled_from([1, -1])),
+    st.builds(lambda n: {"$skip": n}, st.integers(0, 4)),
+    st.builds(lambda n: {"$limit": n}, st.integers(0, 5)),
+)
+tails = st.sampled_from(
+    [
+        [],
+        [{"$project": {"ncid": 1, "b": 1}}],
+        [{"$group": {"_id": "$c", "n": {"$sum": 1}}}],
+        [{"$group": {"_id": "$ncid", "lo": {"$min": "$b"}, "hi": {"$max": "$b"}}}],
+        [{"$group": {"_id": "$c", "first": {"$first": "$a"}, "last": {"$last": "$b"}}}],
+        [{"$count": "total"}],
+    ]
+)
+pipelines = st.builds(
+    lambda heads, tail: heads + tail, st.lists(head_stages, max_size=3), tails
+)
+
+
+def build_pair(docs, indexes, shards):
+    """The sharded collection under test plus its unsharded oracle twin."""
+    sharded = Collection("c", shards=shards)
+    oracle = Collection("c")
+    for path, kind in indexes:
+        sharded.create_index(path, kind)
+        oracle.create_index(path, kind)
+    for position, doc in enumerate(docs):
+        stored = dict(doc)
+        stored.setdefault("_id", position)
+        sharded.insert_one(dict(stored))
+        oracle.insert_one(dict(stored))
+    return sharded, oracle
+
+
+# ----------------------------------------------------- oracle equivalence
+
+
+@given(
+    documents,
+    index_specs,
+    st.sampled_from(SHARD_COUNTS),
+    filters,
+    sorts,
+    st.integers(0, 3),
+    st.one_of(st.none(), st.integers(0, 4)),
+)
+@settings(max_examples=250)
+def test_sharded_find_equals_full_scan(
+    docs, indexes, shards, filter_doc, sort, skip, limit
+):
+    sharded, oracle = build_pair(docs, indexes, shards)
+    planned = sharded.find(filter_doc, sort=sort, limit=limit, skip=skip)
+    naive = find_full_scan(oracle, filter_doc, sort=sort, limit=limit, skip=skip)
+    assert planned == naive
+
+
+@given(documents, index_specs, st.sampled_from(SHARD_COUNTS), filters)
+@settings(max_examples=150)
+def test_sharded_count_equals_full_scan(docs, indexes, shards, filter_doc):
+    sharded, oracle = build_pair(docs, indexes, shards)
+    assert sharded.count_documents(filter_doc) == count_full_scan(
+        oracle, filter_doc
+    )
+
+
+@given(documents, index_specs, st.sampled_from(SHARD_COUNTS), fields, filters)
+@settings(max_examples=120)
+def test_sharded_distinct_equals_full_scan(docs, indexes, shards, path, filter_doc):
+    sharded, oracle = build_pair(docs, indexes, shards)
+    assert sharded.distinct(path, filter_doc) == distinct_full_scan(
+        oracle, path, filter_doc
+    )
+
+
+@given(documents, index_specs, st.sampled_from(SHARD_COUNTS), pipelines)
+@settings(max_examples=250)
+def test_sharded_aggregate_equals_full_scan(docs, indexes, shards, pipeline):
+    sharded, oracle = build_pair(docs, indexes, shards)
+    assert sharded.aggregate(pipeline) == aggregate_full_scan(oracle, pipeline)
+
+
+@given(documents, index_specs, st.sampled_from((2, 7)), st.data())
+@settings(max_examples=100)
+def test_sharded_updates_match_oracle(docs, indexes, shards, data):
+    """Random mutations (including shard-key rewrites that migrate
+    documents between partitions) keep the sharded state oracle-equal."""
+    sharded, oracle = build_pair(docs, indexes, shards)
+    for _ in range(data.draw(st.integers(1, 3))):
+        update = data.draw(
+            st.sampled_from(
+                [
+                    {"$set": {"a": 9}},
+                    {"$set": {"ncid": "ZZ9"}},  # forces partition migration
+                    {"$unset": {"a": ""}},
+                    {"$inc": {"b": 1}},
+                    {"$rename": {"a": "c"}},
+                ]
+            )
+        )
+        filter_doc = data.draw(filters) or {}
+        sharded.update_many(filter_doc, update)
+        oracle.update_many(filter_doc, update)
+    assert list(sharded.all()) == list(oracle.all())
+    for probe in ({"ncid": "ZZ9"}, {"a": 9}, {"b": {"$gte": -9}}):
+        assert sharded.find(probe) == find_full_scan(oracle, probe)
+
+
+def test_delete_and_replace_match_oracle():
+    sharded, oracle = build_pair(
+        [{"_id": i, "ncid": f"AA{i % 3}", "n": i} for i in range(12)], [], 7
+    )
+    for collection in (sharded, oracle):
+        collection.delete_many({"n": {"$gte": 8}})
+        collection.replace_one({"_id": 2}, {"ncid": "BB9", "n": 99})
+        collection.update_one({"_id": 3}, {"$set": {"ncid": "CC1"}})
+    assert list(sharded.all()) == list(oracle.all())
+    assert len(sharded) == len(oracle)
+
+
+# ----------------------------------------------------------------- routing
+
+
+def make_sharded(shards=4):
+    collection = Collection("clusters", shards=shards)
+    collection.insert_many(
+        {"_id": i, "ncid": f"AA{i}", "n": i % 3} for i in range(20)
+    )
+    return collection
+
+
+def test_point_query_routes_to_single_shard():
+    collection = make_sharded()
+    explained = collection.explain({"ncid": "AA7"})
+    assert explained["routing"] == "single"
+    assert explained["shards_touched"] == 1
+    assert explained["total_shards"] == 4
+    assert collection.find({"ncid": "AA7"})[0]["_id"] == 7
+
+
+def test_in_query_routes_to_subset():
+    collection = make_sharded()
+    explained = collection.explain({"ncid": {"$in": ["AA1", "AA2", "AA3"]}})
+    assert explained["routing"] in ("single", "subset")
+    assert explained["shards_touched"] <= 3
+
+
+def test_non_shard_key_query_scatters():
+    collection = make_sharded()
+    explained = collection.explain({"n": 1})
+    assert explained["routing"] == "scatter"
+    assert explained["shards_touched"] == 4
+
+
+def test_conflicting_equalities_prune_every_shard():
+    collection = make_sharded()
+    explained = collection.explain(
+        {"$and": [{"ncid": "AA1"}, {"ncid": "AA2"}]}
+    )
+    assert explained["routing"] == "pruned"
+    assert explained["shards_touched"] == 0
+    assert collection.find({"$and": [{"ncid": "AA1"}, {"ncid": "AA2"}]}) == []
+
+
+def test_list_shard_key_value_disables_routing():
+    collection = Collection("c", shards=4)
+    collection.insert_one({"_id": 1, "ncid": ["AA1", "AA2"]})
+    collection.insert_one({"_id": 2, "ncid": "AA1"})
+    # A multikey shard key can match from any partition: must scatter.
+    assert collection.explain({"ncid": "AA1"})["routing"] == "scatter"
+    assert {doc["_id"] for doc in collection.find({"ncid": "AA1"})} == {1, 2}
+
+
+def test_route_shards_intersects_conjuncts():
+    assert route_shards("k", 8, {"k": "v"}) == [shard_key_shard("v", 8)]
+    assert route_shards("k", 8, {"$and": [{"k": "v"}, {"k": {"$ne": "w"}}]}) == [
+        shard_key_shard("v", 8)
+    ]
+    assert route_shards("k", 8, {"k": {"$in": []}}) == []
+    assert route_shards("k", 8, {"other": "v"}) is None
+    assert route_shards("k", 1, {"k": "v"}) is None
+    assert route_shards("k", 8, {"$or": [{"k": "v"}]}) is None
+
+
+def test_placement_functions_are_stable():
+    for value in ("AA1", " aa1 ", "üñí"):
+        assert 0 <= shard_key_shard(value, 7) < 7
+        assert shard_key_shard(value, 7) == shard_key_shard(value, 7)
+    assert fallback_shard(("int", 5), 7) == fallback_shard(("int", 5), 7)
+    with pytest.raises(QueryError):
+        Collection("c", shards=0)
+
+
+def test_malformed_filter_still_raises_on_sharded_collection():
+    collection = make_sharded()
+    with pytest.raises(QueryError):
+        collection.find({"ncid": {"$wat": 1}})
+    with pytest.raises(QueryError):
+        collection.count_documents({"$bogus": []})
+
+
+def test_duplicate_id_rejected_across_partitions():
+    from repro.docstore.errors import DuplicateKeyError
+
+    collection = Collection("c", shards=7)
+    collection.insert_one({"_id": 1, "ncid": "AA1"})
+    with pytest.raises(DuplicateKeyError):
+        collection.insert_one({"_id": 1, "ncid": "ZZ9"})  # other partition
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_reads_deterministic_across_shard_and_worker_counts():
+    docs = [{"_id": i, "ncid": f"AA{i % 5}", "n": i % 4} for i in range(30)]
+
+    def compute(max_workers, shards):
+        collection = Collection("c", shards=shards)
+        collection.create_index("n", "sorted")
+        collection.insert_many(dict(doc) for doc in docs)
+        collection.read_workers = max_workers
+        return {
+            "find": collection.find({"n": {"$gte": 1}}, sort=[("n", -1)]),
+            "agg": collection.aggregate(
+                [
+                    {"$match": {"n": {"$lte": 2}}},
+                    {"$group": {"_id": "$ncid", "total": {"$sum": "$n"}}},
+                ]
+            ),
+            "distinct": collection.distinct("ncid"),
+            "count": collection.count_documents({"n": 2}),
+        }
+
+    report = determinism_check(
+        compute,
+        configs=((0, 1), (0, 2), (2, 2), (4, 7)),
+        label="sharded reads",
+    )
+    assert report.consistent
+
+
+# -------------------------------------------------------- snapshot isolation
+
+
+def test_snapshot_pins_state_across_commit():
+    database = Database("db", shards=4)
+    clusters = database.create_collection("clusters")
+    clusters.insert_many({"_id": i, "ncid": f"AA{i}", "n": i} for i in range(8))
+    database.commit()
+
+    view = database.read_view()
+    snap = view["clusters"]
+    assert snap.count_documents() == 8
+
+    clusters.insert_one({"_id": 99, "ncid": "ZZ9", "n": 99})
+    clusters.update_many({}, {"$inc": {"n": 100}})
+    clusters.delete_many({"_id": 0})
+    # Uncommitted writes are invisible to the pinned snapshot...
+    assert snap.count_documents() == 8
+    assert snap.find({"_id": 99}) == []
+    assert snap.find_one({"_id": 1})["n"] == 1
+    # ...and stay invisible to it even after the writer commits.
+    database.commit()
+    assert snap.count_documents() == 8
+    assert snap.find_one({"_id": 1})["n"] == 1
+    # A fresh view sees the committed state.
+    fresh = database.read_view()["clusters"]
+    assert fresh.count_documents() == 8  # 8 + 1 inserted - 1 deleted
+    assert fresh.find_one({"_id": 1})["n"] == 101
+
+
+def test_snapshot_aggregate_and_distinct_pin_too():
+    database = Database("db", shards=2)
+    collection = database.create_collection("c")
+    collection.insert_many({"_id": i, "ncid": f"A{i}", "g": i % 2} for i in range(6))
+    database.commit()
+    snap = collection.snapshot()
+    expected = snap.aggregate([{"$group": {"_id": "$g", "n": {"$sum": 1}}}])
+    collection.delete_many({})
+    database.commit()
+    assert snap.aggregate([{"$group": {"_id": "$g", "n": {"$sum": 1}}}]) == expected
+    assert snap.distinct("ncid") == [f"A{i}" for i in range(6)]
+    assert list(collection.snapshot().all()) == []
+
+
+def test_uncommitted_writes_invisible_to_new_snapshots():
+    database = Database("db", shards=3)
+    collection = database.create_collection("c")
+    collection.insert_one({"_id": 1, "ncid": "AA1"})
+    # No commit yet: a snapshot sees the initial (empty) published epoch.
+    assert list(collection.snapshot().all()) == []
+    database.commit()
+    assert len(list(collection.snapshot().all())) == 1
+
+
+def test_concurrent_readers_see_consistent_epochs():
+    """Readers racing a committing writer never observe a torn epoch:
+    every read returns a multiple of the per-commit batch, with every
+    document carrying the same version stamp."""
+    database = Database("db", shards=4)
+    collection = database.create_collection("c")
+    batch = 8
+    stop = threading.Event()
+    torn = []
+
+    def reader():
+        while not stop.is_set():
+            snap = collection.snapshot()
+            docs = list(snap.all())
+            versions = {doc["v"] for doc in docs}
+            if len(docs) % batch or len(versions) > (1 if docs else 0):
+                torn.append((len(docs), versions))
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for version in range(25):
+            for i in range(batch):
+                collection.insert_one(
+                    {"_id": version * batch + i, "ncid": f"A{i}", "v": version}
+                )
+            collection.update_many({}, {"$set": {"v": version}})
+            database.commit()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not torn, f"torn reads observed: {torn[:3]}"
+
+
+# --------------------------------------------------------------- durability
+
+
+def sharded_workload(directory, mark=None):
+    """Commit/checkpoint/drop cycle over a 3-shard collection."""
+    database = DurableDatabase(Path(directory), shards=3)
+    clusters = database.get_collection("clusters")
+    for i in range(9):
+        clusters.insert_one({"_id": i, "ncid": f"AA{i}", "n": i})
+    clusters.create_index("ncid")
+    database.commit()
+    if mark:
+        mark(database)
+    clusters.update_one({"_id": 4}, {"$set": {"n": 40}})
+    clusters.update_one({"_id": 5}, {"$set": {"ncid": "ZZ5"}})  # migrates
+    clusters.delete_many({"_id": 6})
+    database.checkpoint()
+    if mark:
+        mark(database)
+    scratch = database.create_collection("scratch", shards=2)
+    scratch.insert_one({"_id": 1, "ncid": "BB1"})
+    database.commit()
+    if mark:
+        mark(database)
+    database.drop_collection("scratch")
+    clusters.insert_one({"_id": 10, "ncid": "AA10", "n": 10})
+    database.commit()
+    if mark:
+        mark(database)
+    database.close()
+
+
+def canonical(database):
+    state = {}
+    for name in database.collection_names():
+        collection = database[name]
+        state[name] = {
+            "docs": sorted(
+                json.dumps(doc, sort_keys=True) for doc in collection.all()
+            ),
+            "indexes": sorted(
+                json.dumps(spec, sort_keys=True)
+                for spec in collection.index_specs()
+            ),
+        }
+    return json.dumps(state, sort_keys=True)
+
+
+EMPTY = canonical(Database("db"))
+
+
+def reload_state(directory):
+    from repro.docstore.errors import StorageError
+
+    try:
+        return canonical(Database.load(directory))
+    except StorageError:
+        return EMPTY
+
+
+def test_partition_wals_roundtrip(tmp_path):
+    sharded_workload(tmp_path / "store")
+    wals = sorted(p.name for p in (tmp_path / "store").glob("*.wal"))
+    assert "clusters@p0.wal" in wals and "clusters@p2.wal" in wals
+    reopened = DurableDatabase(tmp_path / "store", shards=3)
+    clusters = reopened.get_collection("clusters")
+    assert clusters.nshards == 3
+    assert len(clusters) == 9  # 9 inserted - 1 deleted + 1 inserted
+    assert clusters.find_one({"_id": 4})["n"] == 40
+    assert clusters.find_one({"_id": 5})["ncid"] == "ZZ5"
+    assert "scratch" not in reopened
+    reopened.close(commit=False)
+
+
+def test_sharded_crash_sweep(tmp_path):
+    """Crash at every filesystem op; recovery must land on a committed
+    state with the per-partition logs merged back in sequence order."""
+    states = {EMPTY}
+    sharded_workload(
+        tmp_path / "reference", mark=lambda db: states.add(canonical(db))
+    )
+    total = faults.count_ops(lambda: sharded_workload(tmp_path / "count"))
+    assert total > 0
+    failures = []
+    for n in range(1, total + 1):
+        target = tmp_path / f"crash-{n}"
+        plan = faults.FaultyFileSystem(fail_at=n, mode="crash")
+        with faults.inject(plan):
+            with pytest.raises(faults.CrashError):
+                sharded_workload(target)
+        recovered = reload_state(target)
+        if recovered not in states:
+            failures.append((n, plan.failed_op))
+            continue
+        reopened = DurableDatabase(target, shards=3)
+        agreed = canonical(reopened)
+        reopened.close(commit=False)
+        if agreed != recovered:
+            failures.append((n, f"reopen disagrees after {plan.failed_op}"))
+    assert not failures, f"{len(failures)}/{total} crash points leaked: {failures}"
+
+
+def test_sharded_torn_write_sweep(tmp_path):
+    states = {EMPTY}
+    sharded_workload(
+        tmp_path / "reference", mark=lambda db: states.add(canonical(db))
+    )
+    total = faults.count_ops(
+        lambda: sharded_workload(tmp_path / "count"), only=("write",)
+    )
+    failures = []
+    for n in range(1, total + 1):
+        target = tmp_path / f"torn-{n}"
+        plan = faults.FaultyFileSystem(fail_at=n, mode="torn", only=("write",))
+        with faults.inject(plan):
+            with pytest.raises(faults.CrashError):
+                sharded_workload(target)
+        if reload_state(target) not in states:
+            failures.append((n, plan.failed_op))
+    assert not failures, f"{len(failures)}/{total} torn points leaked: {failures}"
+
+
+def test_readers_pinned_across_durable_commit(tmp_path):
+    database = DurableDatabase(tmp_path / "store", shards=2)
+    collection = database.get_collection("c")
+    collection.insert_one({"_id": 1, "ncid": "AA1", "n": 1})
+    database.commit()
+    snap = collection.snapshot()
+    collection.update_one({"_id": 1}, {"$set": {"n": 2}})
+    assert snap.find_one({"_id": 1})["n"] == 1  # staged write invisible
+    database.commit()
+    assert snap.find_one({"_id": 1})["n"] == 1  # pinned epoch survives
+    assert collection.snapshot().find_one({"_id": 1})["n"] == 2
+    database.close(commit=False)
+
+
+# -------------------------------------------------------------------- stats
+
+
+def test_database_stats_reports_shard_balance():
+    database = Database("db", shards=4)
+    collection = database.create_collection("clusters")
+    collection.insert_many(
+        {"_id": i, "ncid": f"AA{i}", "n": i} for i in range(40)
+    )
+    database.create_collection("plain", shards=1).insert_one({"_id": 1})
+    stats = database.stats()
+    entry = stats["collections"]["clusters"]
+    assert entry["documents"] == 40
+    assert entry["shards"] == 4
+    assert entry["shard_key"] == "ncid"
+    assert sum(entry["shard_documents"]) == 40
+    assert entry["balance_factor"] >= 1.0
+    assert stats["collections"]["plain"]["shards"] == 1
+    assert stats["collections"]["plain"]["balance_factor"] == 1.0
+
+
+def test_stats_render_table():
+    from repro.report import render_shard_stats
+
+    database = Database("db", shards=2)
+    database.create_collection("c").insert_one({"_id": 1, "ncid": "AA1"})
+    text = render_shard_stats(database.stats())
+    assert "balance" in text and "c" in text
