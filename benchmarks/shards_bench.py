@@ -5,8 +5,10 @@ on ``ncid`` — and measures the three properties the partitioned layout is
 for:
 
 * ``point_routing``     — shard-key point ``find``: the planner routes to a
-  single partition, so the cost must stay within 2x of the unsharded
-  indexed lookup (one partition's index is simply smaller);
+  single partition and (warm) replays a cached bound plan, so the cost
+  must reach parity with the unsharded indexed lookup (gate: ≥1.0x minus
+  a small timer-noise allowance — the two warm paths execute the same
+  instructions, so any real regression shows up as a clear gap);
 * ``scatter_gather``    — non-shard-key range ``find`` and a partial-group
   ``aggregate`` fan out over every partition and k-way merge.  On 2+
   effective CPUs the threaded fan-out should beat the unsharded scan; on a
@@ -29,6 +31,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import random
@@ -41,6 +44,12 @@ from repro.core.parallel import effective_worker_count
 from repro.docstore import Collection, Database
 
 CITIES = ["asheville", "boone", "cary", "durham", "elkin", "fuquay", "garner"]
+
+#: Routed and unsharded point reads execute the same warm instructions
+#: (plan-cache hit, cached candidate ids, lazy materialization), so the
+#: gate is parity; this is the wall-clock jitter allowance below 1.0x at
+#: which a measured ratio stops being explainable by timer noise.
+POINT_NOISE_TOLERANCE = 0.05
 
 
 def build_collection(documents: int, shards: int, seed: int = 20210323) -> Collection:
@@ -63,15 +72,44 @@ def build_collection(documents: int, shards: int, seed: int = 20210323) -> Colle
     return collection
 
 
-def _timed(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
-    """Best-of-``repeats`` wall time and the last result."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
+def _timed_once(fn: Callable[[], object]) -> float:
+    """One wall-time sample with the cyclic GC parked.
+
+    A fresh ``gc.collect()`` plus ``gc.disable()`` keeps generation-0
+    collections from landing inside one side of a paired measurement —
+    at a few microseconds per query they are the dominant noise source.
+    """
+    gc.collect()
+    gc.disable()
+    try:
         start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        fn()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _timed_pair(
+    sharded_fn: Callable[[], object],
+    baseline_fn: Callable[[], object],
+    repeats: int,
+) -> Tuple[float, float, object, object]:
+    """Interleaved best-of-``repeats`` wall times for both sides of a workload.
+
+    The first (untimed) call of each side warms caches — plan cache, hash
+    buckets, allocator arenas — and supplies the results for bit-identical
+    verification.  Timed rounds then alternate sharded/unsharded so slow
+    scheduler windows hit both sides alike, and each side's minimum is the
+    reported time (the standard best-of-N noise floor).
+    """
+    sharded_result = sharded_fn()
+    baseline_result = baseline_fn()
+    sharded_best = float("inf")
+    baseline_best = float("inf")
+    for _ in range(repeats):
+        sharded_best = min(sharded_best, _timed_once(sharded_fn))
+        baseline_best = min(baseline_best, _timed_once(baseline_fn))
+    return sharded_best, baseline_best, sharded_result, baseline_result
 
 
 def _concurrent_readers(
@@ -165,10 +203,24 @@ def run_benchmark(
         {"$group": {"_id": "$city", "n": {"$sum": 1}, "hi": {"$max": "$meta.size"}}}
     ]
 
+    # Warm point reads cost single-digit microseconds, so one pass over the
+    # query list is far below timer resolution; loop it until each sample is
+    # a few milliseconds, and give the parity gate a deeper best-of-N floor.
+    point_passes = max(1, 4000 // max(queries, 1))
+    point_repeats = max(repeats, 10)
+
     workloads: Dict[str, Tuple[Callable[[], object], Callable[[], object]]] = {
         "point_find": (
-            lambda: [sharded.find({"ncid": ncid}) for ncid in point_ids],
-            lambda: [unsharded.find({"ncid": ncid}) for ncid in point_ids],
+            lambda: [
+                sharded.find({"ncid": ncid})
+                for _ in range(point_passes)
+                for ncid in point_ids
+            ],
+            lambda: [
+                unsharded.find({"ncid": ncid})
+                for _ in range(point_passes)
+                for ncid in point_ids
+            ],
         ),
         "scatter_range_find": (
             lambda: [
@@ -188,8 +240,10 @@ def run_benchmark(
 
     timings: Dict[str, Dict] = {}
     for name, (sharded_fn, baseline_fn) in workloads.items():
-        sharded_seconds, sharded_result = _timed(sharded_fn, repeats)
-        baseline_seconds, baseline_result = _timed(baseline_fn, repeats)
+        rounds = point_repeats if name == "point_find" else repeats
+        sharded_seconds, baseline_seconds, sharded_result, baseline_result = (
+            _timed_pair(sharded_fn, baseline_fn, rounds)
+        )
         if sharded_result != baseline_result:
             raise SystemExit(f"FATAL: {name} sharded results differ from unsharded")
         timings[name] = {
@@ -197,6 +251,8 @@ def run_benchmark(
             "unsharded_seconds": baseline_seconds,
             "speedup": baseline_seconds / sharded_seconds if sharded_seconds else None,
         }
+    timings["point_find"]["passes"] = point_passes
+    timings["point_find"]["repeats"] = point_repeats
 
     point_explained = sharded.explain({"ncid": point_ids[0]})
     timings["point_find"]["routing"] = point_explained["routing"]
@@ -302,10 +358,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if point["routing"] != "single":
         print("WARNING: point find did not route to a single shard")
         failed = True
-    if point["speedup"] is not None and point["speedup"] < 0.5:
+    point_floor = 1.0 - POINT_NOISE_TOLERANCE
+    if point["speedup"] is not None and point["speedup"] < point_floor:
         print(
-            f"WARNING: routed point find is {1 / point['speedup']:.2f}x slower "
-            "than unsharded (gate: within 2x)"
+            f"WARNING: routed point find reached only {point['speedup']:.2f}x "
+            f"of unsharded (gate: parity, ≥{point_floor:.2f}x after timer noise)"
         )
         failed = True
     floor = 1.5 if not report["single_cpu_parity"] else 1.0 - args.parity_tolerance

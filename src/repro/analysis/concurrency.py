@@ -76,6 +76,13 @@ R_CODES: Dict[str, str] = {
 #: Keyed by the qualified global name; the value documents the invariant
 #: (and is asserted by ``tests/analysis/test_concurrency.py``).
 PROCESS_LOCAL_CACHES: Dict[str, str] = {
+    "repro.docstore.plancache._PREDICATE_CACHE": (
+        "FIFO-bounded memo of compiled filter predicates keyed by the "
+        "frozen filter document; predicates are pure closures over "
+        "immutable frozen operands, so a stale entry can never exist and "
+        "worker processes rebuilding their own copy is merely a warm-up "
+        "cost, never a correctness issue"
+    ),
     "repro.dedup.matching._SHARED_CACHE": (
         "bounded LRU of pure value-pair similarities, keyed with a "
         "per-matcher token; worker processes build their own copy at "
@@ -101,6 +108,10 @@ PROCESS_LOCAL_CACHES: Dict[str, str] = {
     "repro.textsim.fast.qgram_set": (
         "functools.lru_cache of a pure function; process-local by "
         "construction"
+    ),
+    "repro.core.parallel._cpu_count": (
+        "functools.lru_cache of a pure per-process machine property "
+        "(os.cpu_count()); process-local by construction"
     ),
     "repro.core.parallel._CLAMP_WARNED": (
         "warn-once set of call-site labels for WorkerClampWarning; "
@@ -548,6 +559,10 @@ def _apply_suppressions(
     for path in sorted(suppressions):
         for line in sorted(suppressions[path]):
             suppression = suppressions[path][line]
+            if not any(code in R_CODES for code in suppression.codes):
+                # Another tool's jurisdiction (e.g. the plain linter's
+                # L-codes); that tool polices staleness for its codes.
+                continue
             if not suppression.used:
                 unused.append(
                     Diagnostic(

@@ -20,7 +20,25 @@ Custom :mod:`ast`-based checks that hold this codebase's invariants:
   every write to a docstore-managed path must go through the atomic-write
   helpers in :mod:`repro.docstore.wal` (tmp file → fsync → rename), or a
   crash can leave a half-written snapshot; ``wal.py`` itself, where those
-  helpers live, is exempt.
+  helpers live, is exempt;
+* **L008** — eager ``deep_copy`` on a docstore read path (``find`` /
+  ``find_one`` / ``all`` / ``aggregate`` / ``distinct``, the planner's
+  ``execute_*`` / ``iter_*`` executors, aggregation ``_stage_*``
+  handlers, ``_scan*`` helpers).  Reads materialize through the
+  copy-on-read views in :mod:`repro.docstore.views`; a stray
+  ``deep_copy`` per yielded document silently reintroduces the
+  per-result allocation wall the views removed.  The sanctioned homes —
+  ``documents.py``, ``views.py`` and the deliberately-eager
+  ``_reference.py`` oracle — are exempt, and genuine mutating clones
+  are suppressed inline (see below);
+* **L009** — a ``# repro: ignore[L00x]`` suppression comment that
+  matches no finding on its line (kept symmetric with the concurrency
+  analyzer's R100 so the tree stays honest).
+
+Findings on a line ending in ``# repro: ignore[L008]`` (codes
+comma-separated) are suppressed.  Suppressions naming only codes from
+other tools' families (e.g. the concurrency analyzer's R-codes) are left
+for those tools to police.
 
 With ``--concurrency`` the run additionally includes the R-code family
 from :mod:`repro.analysis.concurrency` (effect-inference-based race and
@@ -35,11 +53,28 @@ from __future__ import annotations
 
 import argparse
 import ast
+import io
+import re
 import sys
+import tokenize
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import ERROR, Diagnostic
+
+#: Every code this linter can emit (the L-code family's jurisdiction).
+L_CODES: Dict[str, str] = {
+    "L000": "syntax error",
+    "L001": "mutable default argument",
+    "L002": "bare except",
+    "L003": "print() in library code",
+    "L004": "docstore raise outside the DocStoreError hierarchy",
+    "L005": "missing 'from __future__ import annotations'",
+    "L006": "non-Optional parameter defaulted to None",
+    "L007": "direct (non-atomic) file write in docstore code",
+    "L008": "eager deep_copy on a docstore read path",
+    "L009": "unused suppression comment",
+}
 
 #: Module basenames allowed to call print() even inside ``src``.
 PRINT_ALLOWED = frozenset({"cli.py", "report.py", "__main__.py"})
@@ -59,6 +94,24 @@ DOCSTORE_EXCEPTIONS = frozenset(
 
 #: Docstore modules exempt from L007: the atomic-write helpers themselves.
 ATOMIC_WRITE_HOME = frozenset({"wal.py"})
+
+#: Docstore modules exempt from L008: where ``deep_copy`` lives, the
+#: sanctioned materialization helpers, and the deliberately-eager oracle.
+MATERIALIZATION_HOME = frozenset({"documents.py", "views.py", "_reference.py"})
+
+#: Exact method names that form the docstore's read surface.
+_READ_SURFACE_NAMES = frozenset({"find", "find_one", "all", "aggregate", "distinct"})
+
+#: Name prefixes of read-path executors and helpers.
+_READ_SURFACE_PREFIXES = ("execute_", "iter_", "_stage_", "_scan")
+
+#: Inline suppression comments: a hash, then ``repro: ignore`` with the
+#: suppressed codes comma-separated in square brackets.
+_SUPPRESSION = re.compile(r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+def _is_read_surface(name: str) -> bool:
+    return name in _READ_SURFACE_NAMES or name.startswith(_READ_SURFACE_PREFIXES)
 
 #: String literals that make an ``open``-style mode argument a write mode.
 _WRITE_MODE_CHARS = frozenset("wax+")
@@ -159,6 +212,8 @@ class _FileLinter(ast.NodeVisitor):
         self.is_library = is_library
         self.is_docstore = is_docstore
         self.findings: List[Diagnostic] = []
+        #: Depth of enclosing read-surface functions (L008 applies when > 0).
+        self._read_surface = 0
 
     def _report(self, node: ast.AST, code: str, message: str, hint: str = "") -> None:
         line = getattr(node, "lineno", 0)
@@ -198,13 +253,20 @@ class _FileLinter(ast.NodeVisitor):
                     hint="annotate it Optional[...] (or `| None`)",
                 )
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node, node.args)
+    def _visit_function(self, node: ast.AST, args: ast.arguments, name: str) -> None:
+        self._check_defaults(node, args)
+        surface = self.is_docstore and _is_read_surface(name)
+        if surface:
+            self._read_surface += 1
         self.generic_visit(node)
+        if surface:
+            self._read_surface -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.args, node.name)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node, node.args)
-        self.generic_visit(node)
+        self._visit_function(node, node.args, node.name)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node, node.args)
@@ -239,6 +301,26 @@ class _FileLinter(ast.NodeVisitor):
             and self.path.name not in ATOMIC_WRITE_HOME
         ):
             self._check_direct_write(node)
+        if (
+            self.is_docstore
+            and self.is_library
+            and self._read_surface
+            and self.path.name not in MATERIALIZATION_HOME
+        ):
+            func = node.func
+            called = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if called == "deep_copy":
+                self._report(
+                    node,
+                    "L008",
+                    "docstore read path deep-copies eagerly; reads "
+                    "materialize through the copy-on-read views",
+                    hint="use lazy_document/wrap_value from "
+                    "repro.docstore.views, or suppress a genuine mutating "
+                    "clone with `# repro: ignore[L008]`",
+                )
         self.generic_visit(node)
 
     def _check_direct_write(self, node: ast.Call) -> None:
@@ -288,6 +370,71 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _collect_suppressions(source: str) -> Dict[int, Tuple[str, ...]]:
+    """``{line: codes}`` from real ``#`` comment tokens only.
+
+    Tokenizing (rather than scanning raw lines) keeps the linter from
+    treating ``# repro: ignore[...]`` examples inside docstrings — like
+    the ones in this module — as live suppressions.
+    """
+    lines: Dict[int, Tuple[str, ...]] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match:
+                codes = tuple(
+                    code.strip()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                )
+                lines[token.start[0]] = codes
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        pass  # unparsable source is reported as L000
+    return lines
+
+
+def _finding_line(location: str) -> int:
+    parts = location.rsplit(":", 2)
+    return int(parts[1]) if len(parts) == 3 and parts[1].isdigit() else 0
+
+
+def _apply_suppressions(
+    findings: List[Diagnostic], source: str, path: Path
+) -> List[Diagnostic]:
+    suppressions = _collect_suppressions(source)
+    if not suppressions:
+        return findings
+    used: set = set()
+    kept: List[Diagnostic] = []
+    for finding in findings:
+        line = _finding_line(finding.path)
+        codes = suppressions.get(line)
+        if codes and finding.code in codes:
+            used.add(line)
+        else:
+            kept.append(finding)
+    for line in sorted(suppressions):
+        if line in used:
+            continue
+        codes = suppressions[line]
+        if not any(code in L_CODES for code in codes):
+            continue  # another tool's jurisdiction (e.g. R-codes)
+        kept.append(
+            Diagnostic(
+                "L009",
+                ERROR,
+                f"{path}:{line}:0",
+                f"suppression `# repro: ignore[{','.join(codes)}]` matches "
+                "no lint finding",
+                hint="delete the stale comment (the linter no longer flags "
+                "this line)",
+            )
+        )
+    return kept
+
+
 def lint_source(
     source: str, path: Path, is_library: bool = True, is_docstore: bool = False
 ) -> List[Diagnostic]:
@@ -315,8 +462,9 @@ def lint_source(
                 hint="add it as the first import of the module",
             )
         )
-    linter.findings.sort(key=lambda d: d.path)
-    return linter.findings
+    findings = _apply_suppressions(linter.findings, source, path)
+    findings.sort(key=lambda d: d.path)
+    return findings
 
 
 def lint_paths(paths: Sequence[Path]) -> List[Diagnostic]:
@@ -346,7 +494,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.analysis.lint``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="AST-based repo-invariant linter (codes L001-L007; "
+        description="AST-based repo-invariant linter (codes L001-L009; "
         "add --concurrency for the R-code family).",
     )
     parser.add_argument("paths", nargs="+", type=Path, help="files or directories")

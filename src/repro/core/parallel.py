@@ -26,6 +26,7 @@ failure degrades that shard to in-process execution with a structured
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 import os
 import time
 import warnings
@@ -103,6 +104,14 @@ class WorkerClampWarning(UserWarning):
 _CLAMP_WARNED: set = set()
 
 
+@functools.lru_cache(maxsize=1)
+def _cpu_count() -> int:
+    """``os.cpu_count()`` memoized: constant per process, queried on every
+    routed read (the docstore's scatter-gather fan-out sizes its pool per
+    query), so the OS lookup is paid once instead of per operation."""
+    return os.cpu_count() or 1
+
+
 def effective_worker_count(
     requested: Optional[int], label: str = "parallel shards", warn: bool = True
 ) -> int:
@@ -114,7 +123,7 @@ def effective_worker_count(
     """
     if not requested:
         return 0
-    cpus = os.cpu_count() or 1
+    cpus = _cpu_count()
     if requested <= cpus:
         return requested
     if warn and label not in _CLAMP_WARNED:

@@ -14,6 +14,7 @@ from typing import Any, Dict, Iterable, Iterator, List
 from repro.docstore.documents import MISSING, deep_copy, resolve_path, set_path
 from repro.docstore.errors import QueryError
 from repro.docstore.matching import compile_filter
+from repro.docstore.views import wrap_value
 
 
 def evaluate(expression: Any, document: dict) -> Any:
@@ -157,12 +158,14 @@ def _stage_project(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
                 if rule in (1, True):
                     value = resolve_path(document, field)
                     if value is not MISSING:
-                        set_path(projected, field, deep_copy({"v": value})["v"])
+                        set_path(projected, field, wrap_value(value))
                 else:
                     set_path(projected, field, evaluate(rule, document))
             yield projected
         else:
-            clone = deep_copy(document)
+            # Mutating clone (fields are unset below): a lazy view would
+            # alias the input, so this stays a genuine deep copy.
+            clone = deep_copy(document)  # repro: ignore[L008]
             for field, rule in spec.items():
                 if rule in (0, False):
                     from repro.docstore.documents import unset_path
@@ -173,7 +176,9 @@ def _stage_project(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
 
 def _stage_add_fields(documents: Iterable[dict], spec: dict) -> Iterator[dict]:
     for document in documents:
-        clone = deep_copy(document)
+        # Mutating clone: later expressions must still evaluate against the
+        # unmodified input, so the clone cannot share storage with it.
+        clone = deep_copy(document)  # repro: ignore[L008]
         for field, expression in spec.items():
             set_path(clone, field, evaluate(expression, document))
         yield clone
@@ -230,13 +235,15 @@ def _stage_unwind(documents: Iterable[dict], spec: Any) -> Iterator[dict]:
         value = resolve_path(document, field)
         if value is MISSING or value is None or (isinstance(value, list) and not value):
             if keep_empty:
-                yield deep_copy(document)
+                yield wrap_value(document)
             continue
         if not isinstance(value, list):
-            yield deep_copy(document)
+            yield wrap_value(document)
             continue
         for element in value:
-            clone = deep_copy(document)
+            # One mutated clone per element; siblings must not share
+            # storage, so each is a genuine deep copy.
+            clone = deep_copy(document)  # repro: ignore[L008]
             set_path(clone, field, element)
             yield clone
 
@@ -302,7 +309,7 @@ def _stage_replace_root(documents: Iterable[dict], spec: dict) -> Iterator[dict]
                 f"$replaceRoot newRoot must resolve to a document, got "
                 f"{type(root).__name__}"
             )
-        yield deep_copy(root)
+        yield wrap_value(root)
 
 
 def _stage_sort_by_count(documents: Iterable[dict], expression: Any) -> Iterator[dict]:

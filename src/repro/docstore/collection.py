@@ -23,6 +23,7 @@ from repro.docstore.errors import DuplicateKeyError, QueryError
 from repro.docstore.indexes import HashIndex, build_index
 from repro.docstore.matching import compile_filter
 from repro.docstore.partition import Partition, fallback_shard, shard_key_shard
+from repro.docstore.plancache import PlanCache
 from repro.docstore.planner import (
     count_sharded,
     execute_partial_group,
@@ -35,6 +36,11 @@ from repro.docstore.planner import (
     route_shards,
     split_pushdown,
 )
+from repro.docstore.views import lazy_document, wrap_value
+
+#: Valid ``Collection(copy_mode=...)`` values: lazy copy-on-read views
+#: (the default) or the historical deep-copy-every-result behaviour.
+_COPY_MODES = ("lazy", "eager")
 
 #: Sentinel for $rename on an absent source path (a silent no-op).
 _RENAME_MISSING = object()
@@ -45,8 +51,9 @@ class Collection:
 
     Documents receive an auto-assigned ``_id`` (an integer) unless the caller
     provides one.  ``_id`` values are unique within the collection.  Reads
-    return deep copies so callers can never corrupt the store by mutating a
-    result.
+    return copy-on-read views (:class:`~repro.docstore.views.DocumentView`)
+    so callers can never corrupt the store by mutating a result; pass
+    ``copy_mode="eager"`` to restore full deep copies per result.
 
     ``analysis_mode`` selects how queries are vetted before execution:
     ``"lax"`` (the default) executes them as-is, ``"strict"`` runs the
@@ -67,17 +74,39 @@ class Collection:
         schema: Optional[Any] = None,
         shards: int = 1,
         shard_key: str = "ncid",
+        copy_mode: str = "lazy",
     ) -> None:
         if shards < 1:
             raise QueryError(f"shards must be >= 1, got {shards}")
+        if copy_mode not in _COPY_MODES:
+            raise QueryError(
+                f"copy_mode must be one of {_COPY_MODES}, got {copy_mode!r}"
+            )
         self.name = name
         self.analysis_mode = analysis_mode
         #: Optional ``repro.analysis.SchemaPaths`` for field-path validation.
         self.schema = schema
         self.shard_key = shard_key
+        #: ``"lazy"`` = copy-on-read document views, ``"eager"`` = deep copies.
+        self.copy_mode = copy_mode
         #: Thread fan-out for scatter-gather reads (0/1 = sequential).
         self.read_workers = 0
+        #: Monotonic write counter: every mutation (and index build) bumps
+        #: it, invalidating the plan cache's epoch-scoped entries.
+        self._write_epoch = 0
+        #: Shape/value plan memo (see :mod:`repro.docstore.plancache`).
+        self._plan_cache = PlanCache()
+        #: Escape hatch (and benchmark knob): ``False`` forces cold planning.
+        self.plan_cache_enabled = True
         self._partitions: List[Partition] = [Partition() for _ in range(shards)]
+        #: The last committed epoch as ONE tuple, reassigned atomically at
+        #: the end of :meth:`_publish`.  Snapshots read this single
+        #: attribute instead of walking ``partition.published`` one shard
+        #: at a time, so a snapshot taken while a commit is publishing
+        #: sees the whole old epoch or the whole new one — never a mix.
+        self._published_states: Tuple[Any, ...] = tuple(
+            partition.published for partition in self._partitions
+        )
         self._next_internal_id = itertools.count(1)
         #: Sticky count of placements that saw a *list* shard-key value.
         #: Any such document disables shard-key routing permanently (it
@@ -93,6 +122,10 @@ class Collection:
         #: mutation succeeds; the hook serializes immediately, so later
         #: mutation of the same document cannot corrupt the journal.
         self._journal: Optional[Any] = None
+        #: Batched journal hook ``(op, [(partition, payload), ...]) -> None``
+        #: set alongside ``_journal``; one WAL write + one fsync per batch.
+        #: Falls back to per-op ``_journal`` calls when unset.
+        self._journal_many: Optional[Any] = None
 
     # ------------------------------------------------------------ partitions
 
@@ -133,7 +166,22 @@ class Collection:
     @_indexes.setter
     def _indexes(self, value: Dict[str, Any]) -> None:
         # Test hook (index spies et al.); only meaningful for shards=1.
+        self._bump_epoch()
         self._partitions[0].writable()._indexes = value
+
+    def _bump_epoch(self) -> None:
+        """Invalidate epoch-scoped plan-cache entries (called before writes)."""
+        self._write_epoch += 1
+
+    @property
+    def _materialize(self) -> Any:
+        """Per-document result materializer for the current copy mode."""
+        return deep_copy if self.copy_mode == "eager" else lazy_document
+
+    @property
+    def _copy_value(self) -> Any:
+        """Extracted-value materializer for the current copy mode."""
+        return deep_copy if self.copy_mode == "eager" else wrap_value
 
     def _placement(self, stored: dict) -> int:
         """Partition index a stored document belongs to."""
@@ -163,7 +211,15 @@ class Collection:
         filter_doc: Optional[dict],
         sort: Optional[List[tuple]] = None,
     ) -> Tuple[List[Any], List[Any]]:
-        """Route, then plan the read per touched partition state."""
+        """Route, then plan the read per touched partition state.
+
+        Served from the per-collection plan cache when enabled: an exactly
+        repeated query replays its routed indices and bound plans, a new
+        query of a known shape skips option pricing, and any write since
+        the last lookup invalidates both (epoch check).
+        """
+        if self.plan_cache_enabled:
+            return self._plan_cache.routed_plans(self, filter_doc, sort)
         states = [self._partitions[i].live for i in self._route(filter_doc)]
         if not states and filter_doc:
             compile_filter(filter_doc)  # malformed filters raise as usual
@@ -182,9 +238,17 @@ class Collection:
         return CollectionSnapshot(self)
 
     def _publish(self) -> None:
-        """Publish the live state of every partition (commit barrier)."""
+        """Publish the live state of every partition (commit barrier).
+
+        Per-partition publication (index flushes included) happens first;
+        the final tuple assignment is the single atomic step that makes
+        the new epoch visible to :meth:`snapshot`.
+        """
         for partition in self._partitions:
             partition.publish()
+        self._published_states = tuple(
+            partition.published for partition in self._partitions
+        )
 
     # ------------------------------------------------------------------ CRUD
 
@@ -192,6 +256,7 @@ class Collection:
         """Insert ``document`` and return its ``_id``."""
         if not isinstance(document, dict):
             raise QueryError(f"documents must be dicts, got {type(document).__name__}")
+        self._bump_epoch()
         stored = deep_copy(document)
         internal_id = next(self._next_internal_id)
         if "_id" not in stored:
@@ -214,8 +279,65 @@ class Collection:
         return stored["_id"]
 
     def insert_many(self, documents: Iterable[dict]) -> List[Any]:
-        """Insert every document; returns the list of assigned ``_id``s."""
-        return [self.insert_one(document) for document in documents]
+        """Insert every document; returns the list of assigned ``_id``s.
+
+        Bulk path: documents are validated, placed and id-assigned in
+        order, then applied per partition in one pass (one copy-on-write
+        clone per partition, one index delta per document, one batched
+        journal append per partition instead of one WAL write + fsync per
+        op).  Error semantics match the per-op loop exactly: on the first
+        invalid document the already-validated prefix is inserted and
+        journaled, then the error raises.
+        """
+        self._bump_epoch()
+        assigned: List[Any] = []
+        staged: List[Tuple[int, dict, int]] = []  # (partition, stored, iid)
+        batch_user_ids: set = set()
+        error: Optional[Exception] = None
+        for document in documents:
+            if not isinstance(document, dict):
+                error = QueryError(
+                    f"documents must be dicts, got {type(document).__name__}"
+                )
+                break
+            stored = deep_copy(document)
+            internal_id = next(self._next_internal_id)
+            if "_id" not in stored:
+                stored["_id"] = internal_id
+            user_id = _freeze_id(stored["_id"])
+            duplicate = user_id in batch_user_ids or any(
+                user_id in partition.live._by_user_id
+                for partition in self._partitions
+            )
+            if duplicate:
+                error = DuplicateKeyError(
+                    f"duplicate _id {stored['_id']!r} in collection {self.name!r}"
+                )
+                break
+            batch_user_ids.add(user_id)
+            staged.append((self._placement(stored), stored, internal_id))
+            assigned.append(stored["_id"])
+
+        touched: Dict[int, Any] = {}
+        for target, stored, internal_id in staged:
+            state = touched.get(target)
+            if state is None:
+                state = touched[target] = self._partitions[target].writable()
+            state._documents[internal_id] = stored
+            state._by_user_id[_freeze_id(stored["_id"])] = internal_id
+            for index in state._indexes.values():
+                index.add(internal_id, stored)
+            self._partitions[target].own(internal_id)
+        if staged:
+            self._log_many(
+                "insert",
+                [(target, {"doc": stored}) for target, stored, _ in staged],
+            )
+        if error is not None:
+            # Always a QueryError or DuplicateKeyError staged above; raised
+            # here so the validated prefix lands first (per-op parity).
+            raise error  # repro: ignore[L004]
+        return assigned
 
     def find(
         self,
@@ -244,6 +366,7 @@ class Collection:
                 skip=skip,
                 limit=limit,
                 max_workers=self._read_workers(states),
+                materialize=self._materialize,
             )
         )
         if projection:
@@ -269,18 +392,20 @@ class Collection:
                     seen = {repr(key): key for key in keys if key is not None}
                     return [seen[key] for key in sorted(seen)]
         seen = {}
+        copy_value = self._copy_value
         for document in self._scan(filter_doc):
             value = get_path(document, path, default=None)
             values = value if isinstance(value, list) else [value]
             for element in values:
                 if element is not None:
                     seen.setdefault(repr(element), element)
-        return [seen[key] for key in sorted(seen)]
+        return [copy_value(seen[key]) for key in sorted(seen)]
 
     def find_one(self, filter_doc: Optional[dict] = None) -> Optional[dict]:
         """Return the first matching document or ``None``."""
+        materialize = self._materialize
         for document in self._scan(filter_doc):
-            return deep_copy(document)
+            return materialize(document)
         return None
 
     def count_documents(self, filter_doc: Optional[dict] = None) -> int:
@@ -308,6 +433,7 @@ class Collection:
     def update_one(self, filter_doc: dict, update: dict) -> int:
         """Apply ``update`` to the first match; returns 0 or 1."""
         self._check_update(update)
+        self._bump_epoch()
         for index, internal_id in self._scan_partitions(filter_doc):
             document = self._partitions[index].writable_document(internal_id)
             self._apply_update(index, internal_id, document, update)
@@ -319,6 +445,7 @@ class Collection:
     def update_many(self, filter_doc: dict, update: dict) -> int:
         """Apply ``update`` to every match; returns the match count."""
         self._check_update(update)
+        self._bump_epoch()
         touched = list(self._scan_partitions(filter_doc))
         for index, internal_id in touched:
             document = self._partitions[index].writable_document(internal_id)
@@ -329,6 +456,7 @@ class Collection:
 
     def replace_one(self, filter_doc: dict, replacement: dict) -> int:
         """Replace the first matching document wholesale (keeps its ``_id``)."""
+        self._bump_epoch()
         for index, internal_id in self._scan_partitions(filter_doc):
             partition = self._partitions[index]
             state = partition.writable()
@@ -348,6 +476,7 @@ class Collection:
 
     def delete_many(self, filter_doc: dict) -> int:
         """Delete every matching document; returns the delete count."""
+        self._bump_epoch()
         doomed = list(self._scan_partitions(filter_doc))
         for index, internal_id in doomed:
             partition = self._partitions[index]
@@ -428,7 +557,9 @@ class Collection:
             if stage_name == "$group":
                 parsed = partial_group_spec(stage_spec)
                 if parsed is not None:
-                    groups = execute_partial_group(states, plans, parsed)
+                    groups = execute_partial_group(
+                        states, plans, parsed, copy_value=self._copy_value
+                    )
                     return list(run_pipeline(groups, rest[1:]))
             elif stage_name == "$count" and isinstance(stage_spec, str):
                 count = count_sharded(states, plans)
@@ -439,12 +570,14 @@ class Collection:
             skip=pushdown.skip,
             limit=pushdown.limit,
             max_workers=self._read_workers(states),
+            materialize=self._materialize,
         )
         return list(run_pipeline(source, rest))
 
     def all(self) -> Iterator[dict]:
-        """Iterate deep copies of every document in insertion order."""
-        return (deep_copy(doc) for doc in self._ordered_documents())
+        """Iterate every document (materialized views) in insertion order."""
+        materialize = self._materialize
+        return (materialize(doc) for doc in self._ordered_documents())
 
     # --------------------------------------------------------------- indexes
 
@@ -458,6 +591,7 @@ class Collection:
         name = f"{path}_{kind}"
         if name in self._partitions[0].live._indexes:
             return name
+        self._bump_epoch()
         for partition in self._partitions:
             state = partition.writable()
             if name in state._indexes:
@@ -544,6 +678,8 @@ class Collection:
             next(iter(stage)) if isinstance(stage, dict) and stage else "?"
             for stage in remaining
         ]
+        description["plan_cache"] = self._plan_cache.stats()
+        description["materialization"] = self.copy_mode
         from repro.analysis import analyze_index_usage
 
         description["hints"] = [
@@ -572,6 +708,22 @@ class Collection:
         journal = self._journal
         if journal is not None:
             journal(op, payload, partition_index)
+
+    def _log_many(self, op: str, entries: List[Tuple[int, dict]]) -> None:
+        """Journal a batch of ``(partition, payload)`` records in order.
+
+        Prefers the batched hook (one WAL write + one fsync per partition
+        per batch); falls back to per-op journaling when only the plain
+        hook is attached.
+        """
+        journal_many = self._journal_many
+        if journal_many is not None:
+            journal_many(op, entries)
+            return
+        journal = self._journal
+        if journal is not None:
+            for partition_index, payload in entries:
+                journal(op, payload, partition_index)
 
     def _ordered_documents(self) -> Iterator[dict]:
         if len(self._partitions) == 1:
@@ -725,8 +877,22 @@ class CollectionSnapshot:
     def __init__(self, collection: Collection) -> None:
         self.name = collection.name
         self.shard_key = collection.shard_key
+        #: Inherited at snapshot time; lazy views over a *published* state
+        #: are stable forever (writers copy-on-write, never mutate it).
+        self.copy_mode = collection.copy_mode
         self._collection = collection
-        self._states = [partition.published for partition in collection._partitions]
+        # One attribute read pins the whole epoch: `_published_states` is
+        # reassigned as a single tuple at commit time, so a concurrent
+        # publish can never hand this snapshot a cross-partition mix.
+        self._states = list(collection._published_states)
+
+    @property
+    def _materialize(self) -> Any:
+        return deep_copy if self.copy_mode == "eager" else lazy_document
+
+    @property
+    def _copy_value(self) -> Any:
+        return deep_copy if self.copy_mode == "eager" else wrap_value
 
     def _routed(
         self,
@@ -757,7 +923,10 @@ class CollectionSnapshot:
         """Planned read over the snapshot (same semantics as live ``find``)."""
         states, plans = self._routed(filter_doc, sort)
         results = list(
-            execute_sharded_find(states, plans, skip=skip, limit=limit)
+            execute_sharded_find(
+                states, plans, skip=skip, limit=limit,
+                materialize=self._materialize,
+            )
         )
         if projection:
             results = list(run_pipeline(results, [{"$project": projection}]))
@@ -765,8 +934,9 @@ class CollectionSnapshot:
 
     def find_one(self, filter_doc: Optional[dict] = None) -> Optional[dict]:
         states, plans = self._routed(filter_doc)
+        materialize = self._materialize
         for state, internal_id in iter_sharded_matching(states, plans):
-            return deep_copy(state._documents[internal_id])
+            return materialize(state._documents[internal_id])
         return None
 
     def count_documents(self, filter_doc: Optional[dict] = None) -> int:
@@ -806,21 +976,25 @@ class CollectionSnapshot:
             if stage_name == "$group":
                 parsed = partial_group_spec(stage_spec)
                 if parsed is not None:
-                    groups = execute_partial_group(states, plans, parsed)
+                    groups = execute_partial_group(
+                        states, plans, parsed, copy_value=self._copy_value
+                    )
                     return list(run_pipeline(groups, rest[1:]))
             elif stage_name == "$count" and isinstance(stage_spec, str):
                 count = count_sharded(states, plans)
                 return list(run_pipeline([{stage_spec: count}], rest[1:]))
         source: Iterable[dict] = execute_sharded_find(
-            states, plans, skip=pushdown.skip, limit=pushdown.limit
+            states, plans, skip=pushdown.skip, limit=pushdown.limit,
+            materialize=self._materialize,
         )
         return list(run_pipeline(source, rest))
 
     def all(self) -> Iterator[dict]:
-        """Iterate deep copies of the epoch's documents in insertion order."""
+        """Iterate the epoch's documents (materialized) in insertion order."""
+        materialize = self._materialize
         streams = [_sorted_id_state_pairs(state) for state in self._states]
         for _internal_id, state in heapq.merge(*streams, key=lambda pair: pair[0]):
-            yield deep_copy(state._documents[_internal_id])
+            yield materialize(state._documents[_internal_id])
 
     def __len__(self) -> int:
         return sum(len(state._documents) for state in self._states)

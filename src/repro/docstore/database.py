@@ -9,7 +9,7 @@ the on-disk state survives a crash at any point (see
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import faults
 from repro.docstore.collection import Collection, CollectionSnapshot
@@ -291,6 +291,11 @@ class DurableDatabase(Database):
         if shards == 1:
             def journal(op: str, payload: Dict, partition: int, _writer=writers[0]) -> None:
                 _writer.log(op, payload)
+
+            def journal_many(
+                op: str, entries: List[Tuple[int, Dict]], _writer=writers[0]
+            ) -> None:
+                _writer.log_many(op, [payload for _partition, payload in entries])
         else:
             # Partition logs replay as one stream ordered by a per-collection
             # sequence number.  The counter lives on the database (seeded
@@ -311,7 +316,27 @@ class DurableDatabase(Database):
                 record["seq"] = seq
                 _writers[partition].log(op, record)
 
+            def journal_many(
+                op: str, entries: List[Tuple[int, Dict]],
+                _name=collection_name, _writers=writers,
+            ) -> None:
+                # Sequence numbers are stamped in the caller's (interleaved)
+                # order *before* grouping by partition: replay merges the
+                # partition streams by seq, so contiguous per-partition runs
+                # would reorder a cross-partition batch and change replayed
+                # internal-id assignment.
+                grouped: Dict[int, List[Dict]] = {}
+                for partition, payload in entries:
+                    seq = self._next_seq[_name] + 1
+                    self._next_seq[_name] = seq
+                    record = dict(payload)
+                    record["seq"] = seq
+                    grouped.setdefault(partition, []).append(record)
+                for partition in sorted(grouped):
+                    _writers[partition].log_many(op, grouped[partition])
+
         collection._journal = journal
+        collection._journal_many = journal_many
 
     def create_collection(
         self,
@@ -342,6 +367,7 @@ class DurableDatabase(Database):
             collection = self._collections[name]
             collection._journal("drop", {}, 0)
             collection._journal = None
+            collection._journal_many = None
             self._dropped_wals[name] = writers
         super().drop_collection(name)
 

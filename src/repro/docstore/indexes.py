@@ -82,6 +82,17 @@ class SortedIndex:
     * how many live keys each document contributed, so the planner can tell
       which documents are absent from the index (missing / ``None`` values
       sort before everything and are streamed separately).
+
+    Additions are buffered: ``add`` appends to a pending list instead of
+    paying an O(n) ``insort`` memmove per key, and the first reader of the
+    sorted runs (or :meth:`remove` / :meth:`clone`) merges all pending keys
+    in one extend-and-Timsort pass per touched type bucket — Timsort sees
+    the sorted prefix, so N buffered inserts cost O(n + N log N) once
+    instead of O(n·N).  The per-document books (``_key_counts``,
+    ``_list_entries``) stay eagerly maintained, so :meth:`indexed_ids` and
+    :attr:`multikey` never force a merge.  ``Partition.publish`` flushes
+    before an epoch becomes visible, so snapshot readers always see merged
+    runs and never mutate a published state.
     """
 
     kind = "sorted"
@@ -90,6 +101,8 @@ class SortedIndex:
         self.path = path
         # One sorted list of (key, doc_id) per key type name.
         self._by_type: Dict[str, List[Tuple[Any, int]]] = {}
+        # Buffered additions: (type name, (key, doc_id)) awaiting merge.
+        self._pending: List[Tuple[str, Tuple[Any, int]]] = []
         # doc_id -> number of times added with a list value (multikey).
         self._list_entries: Dict[int, int] = {}
         # doc_id -> number of non-None keys currently in the index.
@@ -101,10 +114,18 @@ class SortedIndex:
             return "number"
         return type(key).__name__
 
-    def _insert(self, doc_id: int, key: Any) -> None:
-        entries = self._by_type.setdefault(self._type_name(key), [])
-        bisect.insort(entries, (key, doc_id))
-        self._key_counts[doc_id] = self._key_counts.get(doc_id, 0) + 1
+    def _flush(self) -> None:
+        """Merge buffered additions into the sorted runs (one pass each)."""
+        if not self._pending:
+            return
+        touched: Dict[str, List[Tuple[Any, int]]] = {}
+        for type_name, entry in self._pending:
+            touched.setdefault(type_name, []).append(entry)
+        self._pending = []
+        for type_name, batch in touched.items():
+            entries = self._by_type.setdefault(type_name, [])
+            entries.extend(batch)
+            entries.sort()
 
     def _delete(self, doc_id: int, key: Any) -> None:
         entries = self._by_type.get(self._type_name(key))
@@ -120,17 +141,19 @@ class SortedIndex:
                 self._key_counts.pop(doc_id, None)
 
     def add(self, doc_id: int, document: dict) -> None:
-        """Index ``document`` under ``doc_id``."""
+        """Index ``document`` under ``doc_id`` (buffered until first read)."""
         value = resolve_path(document, self.path)
         if isinstance(value, list):
             self._list_entries[doc_id] = self._list_entries.get(doc_id, 0) + 1
         for key in iter_index_keys(document, self.path):
             if key is None:
                 continue
-            self._insert(doc_id, key)
+            self._pending.append((self._type_name(key), (key, doc_id)))
+            self._key_counts[doc_id] = self._key_counts.get(doc_id, 0) + 1
 
     def remove(self, doc_id: int, document: dict) -> None:
         """Remove ``document``'s entries for ``doc_id``."""
+        self._flush()
         value = resolve_path(document, self.path)
         if isinstance(value, list):
             count = self._list_entries.get(doc_id, 0) - 1
@@ -149,6 +172,7 @@ class SortedIndex:
         Used by the copy-on-write partition epochs: the clone can be
         mutated freely while readers keep iterating the original.
         """
+        self._flush()
         copy = SortedIndex(self.path)
         copy._by_type = {name: list(entries) for name, entries in self._by_type.items()}
         copy._list_entries = dict(self._list_entries)
@@ -168,6 +192,7 @@ class SortedIndex:
         type bucket of whichever bound is given; a fully open range scans all
         buckets.
         """
+        self._flush()
         hits: Set[int] = set()
         reference = low if low is not None else high
         buckets: Iterator[List[Tuple[Any, int]]]
@@ -219,6 +244,7 @@ class SortedIndex:
         include_high: bool = True,
     ) -> int:
         """Upper bound on ``len(range_ids(...))`` without building the set."""
+        self._flush()
         total = 0
         reference = low if low is not None else high
         if reference is None:
@@ -253,6 +279,7 @@ class SortedIndex:
         """
         if self._list_entries:
             return False
+        self._flush()
         return set(self._by_type) <= {"number", "str"}
 
     def ordered_ids(self, reverse: bool = False) -> Iterator[int]:
@@ -263,6 +290,7 @@ class SortedIndex:
         ascending id order — so equal-key runs are emitted in index order
         while the runs themselves are walked back to front.
         """
+        self._flush()
         buckets = [self._by_type.get("number", []), self._by_type.get("str", [])]
         if not reverse:
             for entries in buckets:
@@ -280,6 +308,7 @@ class SortedIndex:
 
     def first_ids(self, count: int) -> List[int]:
         """Ids of the ``count`` smallest keys (across all buckets, in order)."""
+        self._flush()
         merged: List[Tuple[Any, int]] = []
         for entries in self._by_type.values():
             merged.extend(entries[:count])
@@ -288,7 +317,9 @@ class SortedIndex:
         return [doc_id for _key, doc_id in merged[:count]]
 
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._by_type.values())
+        return len(self._pending) + sum(
+            len(entries) for entries in self._by_type.values()
+        )
 
 
 def _bisect_key(entries: List[Tuple[Any, int]], key: Any, left: bool) -> int:

@@ -128,7 +128,15 @@ class Partition:
         A single reference assignment: concurrent readers that already
         grabbed the old ``published`` keep a consistent epoch; new readers
         get the new one.  After publishing, the next write copies.
+
+        Sorted indexes merge their buffered additions first, so a
+        published epoch's runs are final — snapshot readers never trigger
+        (and so never race on) a deferred merge.
         """
+        for index in self.live._indexes.values():
+            flush = getattr(index, "_flush", None)
+            if flush is not None:
+                flush()
         self.published = self.live
 
     def __len__(self) -> int:

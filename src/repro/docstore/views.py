@@ -1,0 +1,184 @@
+"""Copy-on-read document materialization.
+
+Reads used to hand every matching document through ``deep_copy`` before
+yielding it, which made result sets safe to mutate but dominated the cost
+of warm point reads and scan-heavy pipelines.  ``DocumentView`` and
+``ListView`` keep the safety contract while deferring the copying: a view
+is a ``dict``/``list`` *subclass* whose own storage is a cheap C-level
+shallow copy of the stored container, so
+
+* top-level mutations land in the view's private table, never in the
+  partition state;
+* nested containers are wrapped lazily on first access (and memoized), so
+  a mutation at any depth only ever touches view-owned storage;
+* equality, iteration, ``json.dumps`` and pickling all behave exactly like
+  the plain containers the eager path produced (``__reduce__`` rebuilds
+  plain ``dict``/``list``, so ``copy.deepcopy`` and pickle escape the view
+  types entirely).
+
+The stored document is only copied level-by-level along the paths a caller
+actually touches — untouched subtrees are shared with the published
+partition state, riding the same copy-on-write epoch machinery snapshot
+readers already rely on.  ``thaw`` forces a fully independent plain-dict
+deep copy, and ``Collection(copy_mode="eager")`` restores the historical
+deep-copy-per-document behaviour as an escape hatch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from .documents import deep_copy
+
+__all__ = ["DocumentView", "ListView", "lazy_document", "thaw", "wrap_value"]
+
+
+class DocumentView(dict):
+    """A lazily-copying read view over a stored document.
+
+    Invariant: every container reachable through this view's accessors is
+    either view-owned (a fresh shallow copy) or itself a view, so no
+    mutation made through the mapping API can reach the stored document.
+    """
+
+    __slots__ = ("_wrapped_all",)
+
+    def __init__(self, source: Dict[str, Any]) -> None:
+        dict.__init__(self, source)
+        self._wrapped_all = False
+
+    # -- lazy wrapping ------------------------------------------------
+
+    def _wrap_everything(self) -> None:
+        if self._wrapped_all:
+            return
+        for key, value in dict.items(self):
+            kind = value.__class__
+            if kind is dict:
+                dict.__setitem__(self, key, DocumentView(value))
+            elif kind is list:
+                dict.__setitem__(self, key, ListView(value))
+        self._wrapped_all = True
+
+    def __getitem__(self, key: Any) -> Any:
+        value = dict.__getitem__(self, key)
+        kind = value.__class__
+        if kind is dict:
+            value = DocumentView(value)
+            dict.__setitem__(self, key, value)
+        elif kind is list:
+            value = ListView(value)
+            dict.__setitem__(self, key, value)
+        return value
+
+    # -- accessors that must not leak raw stored containers -----------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        if dict.__contains__(self, key):
+            return self[key]
+        dict.__setitem__(self, key, default)
+        return default
+
+    def pop(self, *args: Any) -> Any:
+        value = dict.pop(self, *args)
+        return wrap_value(value)
+
+    def popitem(self) -> Tuple[Any, Any]:
+        key, value = dict.popitem(self)
+        return key, wrap_value(value)
+
+    def items(self) -> Any:
+        self._wrap_everything()
+        return dict.items(self)
+
+    def values(self) -> Any:
+        self._wrap_everything()
+        return dict.values(self)
+
+    # -- escape back to plain containers -------------------------------
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # deepcopy/pickle rebuild a plain, fully independent dict.
+        return (dict, (), None, None, iter(self.items()))
+
+
+class ListView(list):
+    """The array analogue of :class:`DocumentView`."""
+
+    __slots__ = ("_wrapped_all",)
+
+    def __init__(self, source: List[Any]) -> None:
+        list.__init__(self, source)
+        self._wrapped_all = False
+
+    def _wrap_everything(self) -> None:
+        if self._wrapped_all:
+            return
+        for position in range(list.__len__(self)):
+            value = list.__getitem__(self, position)
+            kind = value.__class__
+            if kind is dict:
+                list.__setitem__(self, position, DocumentView(value))
+            elif kind is list:
+                list.__setitem__(self, position, ListView(value))
+        self._wrapped_all = True
+
+    def __getitem__(self, index: Any) -> Any:
+        if isinstance(index, slice):
+            self._wrap_everything()
+            return list.__getitem__(self, index)
+        value = list.__getitem__(self, index)
+        kind = value.__class__
+        if kind is dict:
+            value = DocumentView(value)
+            list.__setitem__(self, index, value)
+        elif kind is list:
+            value = ListView(value)
+            list.__setitem__(self, index, value)
+        return value
+
+    def __iter__(self) -> Iterator[Any]:
+        self._wrap_everything()
+        return list.__iter__(self)
+
+    def __reversed__(self) -> Iterator[Any]:
+        self._wrap_everything()
+        return list.__reversed__(self)
+
+    def pop(self, index: int = -1) -> Any:
+        return wrap_value(list.pop(self, index))
+
+    def sort(self, *args: Any, **kwargs: Any) -> None:
+        # Wrap first so ``key=`` callables never see raw stored containers.
+        self._wrap_everything()
+        list.sort(self, *args, **kwargs)
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        self._wrap_everything()
+        return (list, (), None, iter(list.__iter__(self)), None)
+
+
+def wrap_value(value: Any) -> Any:
+    """Wrap a container extracted from a stored document; scalars pass through."""
+    kind = value.__class__
+    if kind is dict:
+        return DocumentView(value)
+    if kind is list:
+        return ListView(value)
+    return value
+
+
+def lazy_document(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The default read materializer: a :class:`DocumentView` over ``document``."""
+    return DocumentView(document)
+
+
+def thaw(document: Any) -> Any:
+    """Force a fully independent plain-container deep copy of ``document``."""
+    return deep_copy(document)

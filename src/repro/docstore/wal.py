@@ -197,11 +197,47 @@ class WalWriter:
             fs.fsync(handle)
             self._unsynced = 0
 
+    def append_many(self, operations: List[Dict[str, Any]]) -> None:
+        """Stage a batch of operation records with one write call.
+
+        The framed records are concatenated and handed to the filesystem
+        as a single ``write`` (so a torn write can still only damage the
+        suffix of the batch), and the fsync policy is consulted once for
+        the whole batch instead of once per record — the group-commit
+        fast path behind bulk ``insert_many``.
+        """
+        if not operations:
+            return
+        chunks: List[bytes] = []
+        for operation in operations:
+            payload = json.dumps(
+                operation, ensure_ascii=False, sort_keys=True
+            ).encode("utf-8")
+            chunks.append(encode_record(payload))
+            if operation.get("op") != "commit":
+                self.staged += 1
+        fs = faults.current_fs()
+        handle = self._ensure_open()
+        fs.write(handle, b"".join(chunks))
+        self._unsynced += len(operations)
+        if self.fsync_batch and self._unsynced >= self.fsync_batch:
+            fs.fsync(handle)
+            self._unsynced = 0
+
     def log(self, op: str, payload: Dict[str, Any]) -> None:
         """Journal hook wired into :attr:`Collection._journal`."""
         record = {"op": op}
         record.update(payload)
         self.append(record)
+
+    def log_many(self, op: str, payloads: List[Dict[str, Any]]) -> None:
+        """Batch journal hook wired into :attr:`Collection._journal_many`."""
+        records: List[Dict[str, Any]] = []
+        for payload in payloads:
+            record = {"op": op}
+            record.update(payload)
+            records.append(record)
+        self.append_many(records)
 
     def commit(self, epoch: int) -> None:
         """Append a commit marker for ``epoch`` and make the file durable."""

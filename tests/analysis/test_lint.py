@@ -167,6 +167,58 @@ class TestLintRules:
         path = "src/repro/docstore/storage2.py"
         assert lint(source, path=path, is_docstore=True) == []
 
+    def test_l008_deep_copy_on_read_surface(self):
+        source = CLEAN + (
+            "def execute_find(state):\n"
+            "    return [deep_copy(doc) for doc in state]\n"
+        )
+        path = "src/repro/docstore/planner2.py"
+        assert "L008" in codes(lint(source, path=path, is_docstore=True))
+
+    def test_l008_covers_attribute_calls_and_named_surfaces(self):
+        source = CLEAN + (
+            "def find(state):\n"
+            "    return documents.deep_copy(state)\n"
+        )
+        path = "src/repro/docstore/collection2.py"
+        assert "L008" in codes(lint(source, path=path, is_docstore=True))
+
+    def test_l008_ignores_write_paths_and_other_modules(self):
+        write_path = CLEAN + (
+            "def insert_one(doc):\n"
+            "    return deep_copy(doc)\n"
+        )
+        path = "src/repro/docstore/collection2.py"
+        assert lint(write_path, path=path, is_docstore=True) == []
+        read_surface = CLEAN + (
+            "def find(state):\n"
+            "    return deep_copy(state)\n"
+        )
+        # The materialization helpers themselves are home turf...
+        home = "src/repro/docstore/documents.py"
+        assert lint(read_surface, path=home, is_docstore=True) == []
+        # ...and modules outside the docstore library are out of scope.
+        assert lint(read_surface, path="src/repro/core/x.py") == []
+
+    def test_l008_suppressed_by_inline_ignore(self):
+        source = CLEAN + (
+            "def find(state):\n"
+            "    return deep_copy(state)  # repro: ignore[L008]\n"
+        )
+        path = "src/repro/docstore/collection2.py"
+        assert lint(source, path=path, is_docstore=True) == []
+
+    def test_l009_stale_suppression_is_flagged(self):
+        source = CLEAN + "X = 1  # repro: ignore[L008]\n"
+        path = "src/repro/docstore/collection2.py"
+        assert codes(lint(source, path=path, is_docstore=True)) == ["L009"]
+
+    def test_l009_skips_other_tools_codes(self):
+        source = CLEAN + "X = 1  # repro: ignore[R104]\n"
+        path = "src/repro/docstore/collection2.py"
+        # R-codes belong to the concurrency analyzer; not our staleness call.
+        assert lint(source, path=path, is_docstore=True) == []
+
 
 class TestLintPaths:
     def test_classifies_by_location(self, tmp_path):

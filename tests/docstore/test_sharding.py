@@ -186,6 +186,72 @@ def test_sharded_aggregate_equals_full_scan(docs, indexes, shards, pipeline):
     assert sharded.aggregate(pipeline) == aggregate_full_scan(oracle, pipeline)
 
 
+# ------------------------------------------------------- plan-cache parity
+
+
+@given(
+    documents,
+    index_specs,
+    st.sampled_from(SHARD_COUNTS),
+    st.lists(filters, min_size=1, max_size=4),
+    sorts,
+)
+@settings(max_examples=150)
+def test_cached_plans_equal_cold_plans(docs, indexes, shards, query_list, sort):
+    """Memoized planning must be invisible: same documents, same order.
+
+    Every query runs twice against the caching collection — the first
+    fills the route/template/plan memos, the second replays them — and
+    each run must equal the twin collection planning cold.
+    """
+    cached, _ = build_pair(docs, indexes, shards)
+    cold, _ = build_pair(docs, indexes, shards)
+    cold.plan_cache_enabled = False
+    for filter_doc in list(query_list) * 2:
+        assert cached.find(filter_doc, sort=sort) == cold.find(
+            filter_doc, sort=sort
+        )
+        assert cached.count_documents(filter_doc) == cold.count_documents(
+            filter_doc
+        )
+
+
+@given(documents, index_specs, st.sampled_from(SHARD_COUNTS), filters, st.data())
+@settings(max_examples=100)
+def test_plan_cache_invalidates_across_epochs(docs, indexes, shards, filter_doc, data):
+    """Writes between reads must never let a stale plan leak results.
+
+    Interleaves mutations (applied to both twins) with repeated reads of
+    the same filter; the caching twin re-primes after every epoch bump and
+    must keep matching the cold twin exactly.
+    """
+    cached, _ = build_pair(docs, indexes, shards)
+    cold, _ = build_pair(docs, indexes, shards)
+    cold.plan_cache_enabled = False
+    for round_number in range(data.draw(st.integers(1, 3))):
+        cached.find(filter_doc)  # prime (or re-prime) the memo
+        mutation = data.draw(
+            st.sampled_from(["insert", "update", "delete", "replace"])
+        )
+        if mutation == "insert":
+            doc = {"_id": f"new-{round_number}", "ncid": "ZZ9", "b": round_number}
+            cached.insert_one(dict(doc))
+            cold.insert_one(dict(doc))
+        elif mutation == "update":
+            cached.update_many({}, {"$inc": {"b": 1}})
+            cold.update_many({}, {"$inc": {"b": 1}})
+        elif mutation == "delete":
+            cached.delete_many({"b": {"$gte": 4}})
+            cold.delete_many({"b": {"$gte": 4}})
+        else:
+            cached.replace_one({"ncid": "AA1"}, {"ncid": "AA1", "a": round_number})
+            cold.replace_one({"ncid": "AA1"}, {"ncid": "AA1", "a": round_number})
+        assert cached.find(filter_doc) == cold.find(filter_doc)
+        assert list(cached.all()) == list(cold.all())
+    stats = cached._plan_cache.stats()
+    assert stats["misses"] >= 1  # every epoch bump forces a re-plan
+
+
 @given(documents, index_specs, st.sampled_from((2, 7)), st.data())
 @settings(max_examples=100)
 def test_sharded_updates_match_oracle(docs, indexes, shards, data):

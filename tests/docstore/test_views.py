@@ -1,0 +1,185 @@
+"""Unit tests for copy-on-read views and the plan cache internals.
+
+``DocumentView``/``ListView`` must be observably identical to the deep
+copies they replace — equality, iteration, JSON, pickling — while keeping
+caller mutations away from the wrapped storage.  ``PlanCache`` must key
+strictly by value *and type*, bound its maps, and invalidate on epoch
+moves.
+"""
+
+import copy
+import json
+import pickle
+
+from repro.docstore import Collection
+from repro.docstore.plancache import (
+    PlanCache,
+    _PREDICATE_CACHE,
+    cached_predicate,
+    freeze_query,
+    freeze_value,
+    query_shape,
+)
+from repro.docstore.views import DocumentView, ListView, lazy_document, thaw, wrap_value
+
+
+def sample():
+    return {"a": 1, "nested": {"x": [1, {"deep": 2}]}, "tags": ["p", "q"]}
+
+
+class TestDocumentView:
+    def test_reads_equal_the_wrapped_document(self):
+        stored = sample()
+        view = lazy_document(stored)
+        assert view == stored
+        assert dict(view) == stored
+        assert view["nested"]["x"][1]["deep"] == 2
+        assert sorted(view) == sorted(stored)
+        assert len(view) == len(stored)
+        assert json.dumps(view, sort_keys=True) == json.dumps(
+            stored, sort_keys=True
+        )
+
+    def test_nested_access_returns_memoized_views(self):
+        view = lazy_document(sample())
+        assert isinstance(view["nested"], DocumentView)
+        assert isinstance(view["tags"], ListView)
+        assert view["nested"] is view["nested"]  # wrapped once, reused
+
+    def test_mutations_stay_in_the_view(self):
+        stored = sample()
+        view = lazy_document(stored)
+        view["a"] = 99
+        view["nested"]["x"].append("extra")
+        view["nested"]["x"][1]["deep"] = -1
+        view["tags"].pop()
+        del view["nested"]["x"][0]
+        assert stored == sample()  # storage untouched
+        assert view["a"] == 99
+        assert view["nested"]["x"][0]["deep"] == -1
+
+    def test_items_and_values_wrap_everything(self):
+        view = lazy_document(sample())
+        for _key, value in view.items():
+            if isinstance(value, (dict, list)):
+                assert isinstance(value, (DocumentView, ListView))
+        assert all(
+            not type(value) in (dict, list) for value in view.values()
+        )
+
+    def test_deepcopy_and_pickle_escape_to_plain_containers(self):
+        view = lazy_document(sample())
+        for clone in (copy.deepcopy(view), pickle.loads(pickle.dumps(view))):
+            assert clone == sample()
+            assert type(clone) is dict
+            assert type(clone["nested"]) is dict
+            assert type(clone["nested"]["x"]) is list
+
+    def test_thaw_returns_independent_plain_copy(self):
+        stored = sample()
+        thawed = thaw(lazy_document(stored))
+        assert type(thawed) is dict and thawed == stored
+        thawed["nested"]["x"][1]["deep"] = -5
+        assert stored == sample()
+
+    def test_wrap_value_passes_scalars_and_views_through(self):
+        assert wrap_value(7) == 7
+        assert wrap_value("s") == "s"
+        assert wrap_value(None) is None
+        view = lazy_document(sample())
+        assert wrap_value(view) is view
+        assert isinstance(wrap_value([1, 2]), ListView)
+
+
+class TestFreezing:
+    def test_scalars_are_type_tagged(self):
+        # 1, True and 1.0 are equal (and hash-equal) in Python but compile
+        # to different predicates — their cache keys must differ.
+        keys = {freeze_value(1), freeze_value(True), freeze_value(1.0)}
+        assert len(keys) == 3
+
+    def test_structures_freeze_hashable(self):
+        frozen = freeze_value({"a": [1, {"b": (2, 3)}], "c": {"d": None}})
+        assert hash(frozen) is not None
+
+    def test_unfreezable_values_fall_back(self):
+        class Opaque:
+            __hash__ = None
+
+        sentinel = freeze_value({"a": Opaque()})
+        assert freeze_query({"a": Opaque()}, None) is sentinel
+
+    def test_query_shape_ignores_constants_but_not_structure(self):
+        assert query_shape({"a": 1}) == query_shape({"a": 2})
+        assert query_shape({"a": 1}) != query_shape({"b": 1})
+        assert query_shape({"a": 1}) != query_shape({"a": {"$gt": 1}})
+        # None-ness is a planning branch, so it is part of the shape.
+        assert query_shape({"a": None}) != query_shape({"a": 1})
+
+    def test_cached_predicate_is_memoized_per_filter_value(self):
+        _PREDICATE_CACHE.clear()
+        first = cached_predicate({"a": {"$gte": 3}})
+        assert cached_predicate({"a": {"$gte": 3}}) is first
+        assert cached_predicate({"a": {"$gte": 4}}) is not first
+        assert first({"a": 5}) and not first({"a": 1})
+
+
+class TestPlanCache:
+    def make(self, count=6):
+        collection = Collection("c", shards=3)
+        collection.create_index("ncid", "hash")
+        collection.insert_many(
+            {"_id": i, "ncid": f"NC{i}", "n": i} for i in range(count)
+        )
+        return collection
+
+    def test_repeat_reads_hit_the_bound_plan_memo(self):
+        collection = self.make()
+        collection.find({"ncid": "NC1"})
+        before = collection._plan_cache.stats()
+        collection.find({"ncid": "NC1"})
+        after = collection._plan_cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_writes_invalidate_epoch_scoped_entries(self):
+        collection = self.make()
+        collection.find({"ncid": "NC1"})
+        collection.insert_one({"_id": 99, "ncid": "NC99"})
+        before = collection._plan_cache.stats()
+        results = collection.find({"ncid": "NC99"})  # re-plans, sees the doc
+        assert [doc["_id"] for doc in results] == [99]
+        after = collection._plan_cache.stats()
+        assert after["invalidated"] == before["invalidated"] + 1
+
+    def test_route_cache_survives_epochs(self):
+        collection = self.make()
+        collection.find({"ncid": "NC1"})
+        routes_before = dict(collection._plan_cache._routes)
+        collection.insert_one({"_id": 98, "ncid": "NC98"})
+        collection.find({"ncid": "NC1"})
+        # The shard layout is immutable, so routes outlive the epoch bump.
+        for key, value in routes_before.items():
+            assert collection._plan_cache._routes[key] == value
+
+    def test_maps_are_fifo_bounded(self):
+        cache = PlanCache()
+        collection = self.make()
+        collection._plan_cache = cache
+        for i in range(cache.LIMIT + 40):
+            collection.find({"ncid": f"NC{i}", "probe": i})
+        assert len(cache._plans) <= cache.LIMIT
+        assert len(cache._templates) <= cache.LIMIT
+        assert len(cache._routes) <= cache.LIMIT
+        assert len(_PREDICATE_CACHE) <= 1024
+
+    def test_disabled_cache_stays_cold_and_correct(self):
+        collection = self.make()
+        collection.plan_cache_enabled = False
+        expected = collection.find({"ncid": "NC2"})
+        assert collection.find({"ncid": "NC2"}) == expected
+        assert collection._plan_cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "invalidated": 0,
+        }

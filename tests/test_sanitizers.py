@@ -9,6 +9,8 @@ configurations.
 import copy
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import sanitizers
 from repro.core.heterogeneity import HeterogeneityScorer
@@ -140,6 +142,93 @@ class TestFreezeDocuments:
         with freeze_documents():
             people.insert_one({"name": "cleo"})
             assert people.find_one({"name": "cleo"})["name"] == "cleo"
+
+
+# Random documents with nested dicts and lists — the shapes a lazy
+# DocumentView wraps on access.
+_view_values = st.one_of(
+    st.integers(-5, 5),
+    st.sampled_from(["x", "yy"]),
+    st.none(),
+    st.booleans(),
+    st.lists(st.integers(-3, 3), max_size=3),
+)
+_view_documents = st.lists(
+    st.fixed_dictionaries(
+        {"ncid": st.sampled_from(["AA1", "BB2", "CC3"])},
+        optional={
+            "a": _view_values,
+            "nested": st.fixed_dictionaries(
+                {"x": st.integers(-3, 3)},
+                optional={"lst": st.lists(st.integers(0, 3), max_size=3)},
+            ),
+        },
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestLazyViewMutationSafety:
+    """Copy-on-read views: caller mutations must never reach the store.
+
+    The hypothesis property is the runtime counterpart of what
+    ``freeze_documents`` polices statically: documents returned by reads
+    are the caller's to wreck, and the stored state must not notice.
+    """
+
+    @given(_view_documents, st.sampled_from((1, 3)), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_mutating_results_never_corrupts_stored_state(
+        self, docs, shards, data
+    ):
+        collection = Collection("c", shards=shards)
+        collection.create_index("ncid", "hash")
+        for position, doc in enumerate(docs):
+            stored = dict(doc)
+            stored.setdefault("_id", position)
+            collection.insert_one(copy.deepcopy(stored))
+        baseline = copy.deepcopy(list(collection.all()))
+
+        probes = [{}, {"ncid": "AA1"}, {"a": {"$exists": True}}]
+        for _ in range(data.draw(st.integers(1, 3))):
+            returned = collection.find(data.draw(st.sampled_from(probes)))
+            for document in returned:
+                # Top-level writes, nested writes through chained views,
+                # list mutation, deletion, then total destruction.
+                document["smashed"] = [1, {"deep": 2}]
+                nested = document.get("nested")
+                if isinstance(nested, dict):
+                    nested["x"] = 99
+                    nested.setdefault("lst", []).append(7)
+                value = document.get("a")
+                if isinstance(value, list):
+                    value.append(123)
+                document.pop("a", None)
+                document.clear()
+        single = collection.find_one({"ncid": "AA1"})
+        if single is not None:
+            single["ncid"] = "ZZ9"
+        assert copy.deepcopy(list(collection.all())) == baseline
+
+    def test_aggregate_results_are_mutation_safe(self, people):
+        baseline = copy.deepcopy(list(people.all()))
+        for row in people.aggregate([{"$project": {"name": 1, "meta": 1}}]):
+            row["meta"]["age"] = -1
+            row["name"] = "mangled"
+        for row in people.aggregate([{"$unwind": "$tags"}]):
+            row["tags"] = "mangled"
+            row["meta"]["age"] = -2
+        assert copy.deepcopy(list(people.all())) == baseline
+
+    def test_views_deep_copy_to_plain_containers(self, people):
+        document = people.find_one({"name": "ada"})
+        clone = copy.deepcopy(document)
+        assert type(clone) is dict
+        assert type(clone["meta"]) is dict
+        assert type(clone["tags"]) is list
+        clone["meta"]["age"] = 0
+        assert people.find_one({"name": "ada"})["meta"]["age"] == 36
 
 
 class TestDeterminismCheckHarness:
