@@ -183,6 +183,21 @@ class Collection:
         """Extracted-value materializer for the current copy mode."""
         return deep_copy if self.copy_mode == "eager" else wrap_value
 
+    def _expose_for_read(self) -> None:
+        """Drop in-place document ownership before handing out lazy views.
+
+        Lazy results share container structure with live documents, so an
+        in-place update after a read would rewrite views the caller
+        already holds.  Exposing makes the next ``writable_document``
+        deep-copy first; pure write runs (no interleaved reads) keep the
+        mutate-in-place fast path.  Eager mode returns independent deep
+        copies and needs no exposure; snapshot reads serve published
+        states, which writers copy rather than mutate.
+        """
+        if self.copy_mode == "lazy":
+            for partition in self._partitions:
+                partition.expose()
+
     def _placement(self, stored: dict) -> int:
         """Partition index a stored document belongs to."""
         shards = len(self._partitions)
@@ -274,6 +289,7 @@ class Collection:
         state._by_user_id[user_id] = internal_id
         for index in state._indexes.values():
             index.add(internal_id, stored)
+            index.flush()
         partition.own(internal_id)
         self._log("insert", {"doc": stored}, target)
         return stored["_id"]
@@ -328,6 +344,12 @@ class Collection:
             for index in state._indexes.values():
                 index.add(internal_id, stored)
             self._partitions[target].own(internal_id)
+        # One sorted-run merge per touched partition for the whole batch;
+        # flushing here (not on first read) keeps shared-state reads
+        # logically read-only, so concurrent ``find``s never race.
+        for state in touched.values():
+            for index in state._indexes.values():
+                index.flush()
         if staged:
             self._log_many(
                 "insert",
@@ -358,6 +380,7 @@ class Collection:
         scatter-gathers with an order-preserving k-way merge.
         """
         self._check_filter(filter_doc)
+        self._expose_for_read()
         states, plans = self._plan_routed(filter_doc, sort)
         results = list(
             execute_sharded_find(
@@ -393,6 +416,7 @@ class Collection:
                     return [seen[key] for key in sorted(seen)]
         seen = {}
         copy_value = self._copy_value
+        self._expose_for_read()
         for document in self._scan(filter_doc):
             value = get_path(document, path, default=None)
             values = value if isinstance(value, list) else [value]
@@ -404,6 +428,7 @@ class Collection:
     def find_one(self, filter_doc: Optional[dict] = None) -> Optional[dict]:
         """Return the first matching document or ``None``."""
         materialize = self._materialize
+        self._expose_for_read()
         for document in self._scan(filter_doc):
             return materialize(document)
         return None
@@ -468,6 +493,7 @@ class Collection:
             state._documents[internal_id] = stored
             for spec_index in state._indexes.values():
                 spec_index.add(internal_id, stored)
+                spec_index.flush()
             partition.own(internal_id)
             index = self._migrate_if_moved(index, internal_id, stored)
             self._log("replace", {"id": stored["_id"], "doc": stored}, index)
@@ -512,6 +538,7 @@ class Collection:
         state._by_user_id[_freeze_id(document["_id"])] = internal_id
         for index in state._indexes.values():
             index.add(internal_id, document)
+            index.flush()
         target_partition.own(internal_id)
         return target
 
@@ -541,6 +568,7 @@ class Collection:
             )
         pushdown = split_pushdown(pipeline)
         rest = pushdown.rest
+        self._expose_for_read()
         states, plans = self._plan_routed(pushdown.filter_doc, pushdown.sort_spec)
         for plan in plans:
             plan.pushdown = list(pushdown.pushed)
@@ -577,7 +605,17 @@ class Collection:
     def all(self) -> Iterator[dict]:
         """Iterate every document (materialized views) in insertion order."""
         materialize = self._materialize
-        return (materialize(doc) for doc in self._ordered_documents())
+        if self.copy_mode == "eager":
+            return (materialize(doc) for doc in self._ordered_documents())
+
+        def generate() -> Iterator[dict]:
+            # Re-exposed per yield: the generator can be interleaved with
+            # writes, and every view handed out must stay write-stable.
+            for document in self._ordered_documents():
+                self._expose_for_read()
+                yield materialize(document)
+
+        return generate()
 
     # --------------------------------------------------------------- indexes
 
@@ -599,6 +637,7 @@ class Collection:
             index = build_index(kind, path)
             for internal_id, document in state._documents.items():
                 index.add(internal_id, document)
+            index.flush()
             state._indexes[name] = index
         self._log("index", {"path": path, "kind": kind}, 0)
         return name
@@ -852,6 +891,7 @@ class Collection:
         finally:
             for index in affected:
                 index.add(internal_id, document)
+                index.flush()
 
     def __len__(self) -> int:
         return sum(len(partition.live._documents) for partition in self._partitions)

@@ -47,6 +47,9 @@ class HashIndex:
         copy._buckets = {key: set(bucket) for key, bucket in self._buckets.items()}
         return copy
 
+    def flush(self) -> None:
+        """No-op: hash buckets are maintained eagerly on every ``add``."""
+
     def lookup(self, key: Any) -> Set[int]:
         """Document ids whose indexed field equals ``key`` (pre-frozen)."""
         return set(self._buckets.get(key, ()))
@@ -84,15 +87,22 @@ class SortedIndex:
       sort before everything and are streamed separately).
 
     Additions are buffered: ``add`` appends to a pending list instead of
-    paying an O(n) ``insort`` memmove per key, and the first reader of the
-    sorted runs (or :meth:`remove` / :meth:`clone`) merges all pending keys
-    in one extend-and-Timsort pass per touched type bucket — Timsort sees
-    the sorted prefix, so N buffered inserts cost O(n + N log N) once
-    instead of O(n·N).  The per-document books (``_key_counts``,
+    paying an O(n) ``insort`` memmove per key, and :meth:`flush` (called by
+    :meth:`remove` / :meth:`clone`, by every collection write path once its
+    batch of ``add`` calls is done, and by ``Partition.publish``) merges all
+    pending keys in one extend-and-Timsort pass per touched type bucket —
+    Timsort sees the sorted prefix, so N buffered inserts cost O(n + N log N)
+    once instead of O(n·N).  The per-document books (``_key_counts``,
     ``_list_entries``) stay eagerly maintained, so :meth:`indexed_ids` and
-    :attr:`multikey` never force a merge.  ``Partition.publish`` flushes
-    before an epoch becomes visible, so snapshot readers always see merged
-    runs and never mutate a published state.
+    :attr:`multikey` never force a merge.
+
+    Because writers flush at the end of each mutation (not readers on first
+    use), shared-state reads stay logically read-only: two threads running
+    ``find`` on the same live or published state never race on a deferred
+    merge.  The query methods still call :meth:`flush` defensively — for
+    standalone index use where nothing else flushes — but under collection
+    usage the pending list is always empty by the time a reader arrives, so
+    that call reduces to a pure (mutation-free) emptiness check.
     """
 
     kind = "sorted"
@@ -114,8 +124,13 @@ class SortedIndex:
             return "number"
         return type(key).__name__
 
-    def _flush(self) -> None:
-        """Merge buffered additions into the sorted runs (one pass each)."""
+    def flush(self) -> None:
+        """Merge buffered additions into the sorted runs (one pass each).
+
+        Mutates the index, so only writers (and single-owner standalone
+        users) may call it; collection read paths rely on every write
+        having flushed already.
+        """
         if not self._pending:
             return
         touched: Dict[str, List[Tuple[Any, int]]] = {}
@@ -141,7 +156,7 @@ class SortedIndex:
                 self._key_counts.pop(doc_id, None)
 
     def add(self, doc_id: int, document: dict) -> None:
-        """Index ``document`` under ``doc_id`` (buffered until first read)."""
+        """Index ``document`` under ``doc_id`` (buffered until :meth:`flush`)."""
         value = resolve_path(document, self.path)
         if isinstance(value, list):
             self._list_entries[doc_id] = self._list_entries.get(doc_id, 0) + 1
@@ -153,7 +168,7 @@ class SortedIndex:
 
     def remove(self, doc_id: int, document: dict) -> None:
         """Remove ``document``'s entries for ``doc_id``."""
-        self._flush()
+        self.flush()
         value = resolve_path(document, self.path)
         if isinstance(value, list):
             count = self._list_entries.get(doc_id, 0) - 1
@@ -172,7 +187,7 @@ class SortedIndex:
         Used by the copy-on-write partition epochs: the clone can be
         mutated freely while readers keep iterating the original.
         """
-        self._flush()
+        self.flush()
         copy = SortedIndex(self.path)
         copy._by_type = {name: list(entries) for name, entries in self._by_type.items()}
         copy._list_entries = dict(self._list_entries)
@@ -192,7 +207,7 @@ class SortedIndex:
         type bucket of whichever bound is given; a fully open range scans all
         buckets.
         """
-        self._flush()
+        self.flush()
         hits: Set[int] = set()
         reference = low if low is not None else high
         buckets: Iterator[List[Tuple[Any, int]]]
@@ -244,7 +259,7 @@ class SortedIndex:
         include_high: bool = True,
     ) -> int:
         """Upper bound on ``len(range_ids(...))`` without building the set."""
-        self._flush()
+        self.flush()
         total = 0
         reference = low if low is not None else high
         if reference is None:
@@ -279,7 +294,7 @@ class SortedIndex:
         """
         if self._list_entries:
             return False
-        self._flush()
+        self.flush()
         return set(self._by_type) <= {"number", "str"}
 
     def ordered_ids(self, reverse: bool = False) -> Iterator[int]:
@@ -290,7 +305,7 @@ class SortedIndex:
         ascending id order — so equal-key runs are emitted in index order
         while the runs themselves are walked back to front.
         """
-        self._flush()
+        self.flush()
         buckets = [self._by_type.get("number", []), self._by_type.get("str", [])]
         if not reverse:
             for entries in buckets:
@@ -308,7 +323,7 @@ class SortedIndex:
 
     def first_ids(self, count: int) -> List[int]:
         """Ids of the ``count`` smallest keys (across all buckets, in order)."""
-        self._flush()
+        self.flush()
         merged: List[Tuple[Any, int]] = []
         for entries in self._by_type.values():
             merged.extend(entries[:count])

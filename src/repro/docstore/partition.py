@@ -122,6 +122,20 @@ class Partition:
         """Mark ``internal_id``'s document as private to the live state."""
         self._owned.add(internal_id)
 
+    def expose(self) -> None:
+        """Forget document ownership after lazy views were handed out.
+
+        Lazy reads materialize views that share container structure with
+        the live documents; once a caller can hold such a view, mutating
+        an owned document in place would silently rewrite the already
+        returned result.  Dropping ownership makes the next
+        :meth:`writable_document` deep-copy first, so results handed out
+        before a write stay bit-stable after it (write-after-read
+        safety), while pure write runs keep the in-place fast path.
+        """
+        if self._owned:
+            self._owned = set()
+
     def publish(self) -> None:
         """Atomically make the live state the published epoch.
 
@@ -129,14 +143,13 @@ class Partition:
         grabbed the old ``published`` keep a consistent epoch; new readers
         get the new one.  After publishing, the next write copies.
 
-        Sorted indexes merge their buffered additions first, so a
-        published epoch's runs are final — snapshot readers never trigger
-        (and so never race on) a deferred merge.
+        Sorted indexes merge their buffered additions first (normally a
+        no-op — every write path flushes at its end), so a published
+        epoch's runs are final: snapshot readers never trigger (and so
+        never race on) a deferred merge.
         """
         for index in self.live._indexes.values():
-            flush = getattr(index, "_flush", None)
-            if flush is not None:
-                flush()
+            index.flush()
         self.published = self.live
 
     def __len__(self) -> int:

@@ -14,7 +14,15 @@ shallow copy of the stored container, so
 * equality, iteration, ``json.dumps`` and pickling all behave exactly like
   the plain containers the eager path produced (``__reduce__`` rebuilds
   plain ``dict``/``list``, so ``copy.deepcopy`` and pickle escape the view
-  types entirely).
+  types entirely);
+* raw-copy APIs — ``dict(view)``, ``{**view}``, ``plain.update(view)``,
+  ``view.copy()``, ``view | other``, list concatenation / repetition /
+  slicing — produce plain containers whose nested values are themselves
+  views, never the stored containers.  The ``DocumentView.__iter__``
+  override opts out of CPython's raw dict-copy fast path (taken only when
+  ``tp_iter`` is dict's own), routing those APIs through the wrapping
+  accessors; ``list(view)`` already iterates because the list fast path
+  requires an exact ``list``.
 
 The stored document is only copied level-by-level along the paths a caller
 actually touches — untouched subtrees are shared with the published
@@ -101,6 +109,32 @@ class DocumentView(dict):
         self._wrap_everything()
         return dict.values(self)
 
+    def __iter__(self) -> Iterator[Any]:
+        # Overriding ``__iter__`` does double duty: CPython's dict-merge
+        # fast path (behind ``dict(view)``, ``{**view}`` and
+        # ``plain.update(view)``) only copies the raw table when the
+        # source's ``tp_iter`` is dict's own, so this override routes all
+        # of those through ``keys()`` + ``__getitem__`` — which wrap — and
+        # no raw stored container can leak through a C-level copy.
+        return dict.__iter__(self)
+
+    # -- raw-copy APIs that would bypass the wrapping accessors --------
+
+    def copy(self) -> Dict[str, Any]:
+        """A plain dict whose container values are (safe) views."""
+        self._wrap_everything()
+        return dict.copy(self)
+
+    def __or__(self, other: Any) -> Dict[str, Any]:
+        result = self.copy()
+        result.update(other)
+        return result
+
+    def __ror__(self, other: Any) -> Dict[str, Any]:
+        result = dict(other)
+        result.update(self)
+        return result
+
     # -- escape back to plain containers -------------------------------
 
     def __reduce__(self) -> Tuple[Any, ...]:
@@ -158,6 +192,30 @@ class ListView(list):
         # Wrap first so ``key=`` callables never see raw stored containers.
         self._wrap_everything()
         list.sort(self, *args, **kwargs)
+
+    # -- raw-copy APIs that would bypass the wrapping accessors --------
+    # (``list(view)`` / ``plain.extend(view)`` need no override: CPython's
+    # list fast path requires an *exact* list, so they already iterate.)
+
+    def copy(self) -> List[Any]:
+        """A plain list whose container elements are (safe) views."""
+        self._wrap_everything()
+        return list.copy(self)
+
+    def __add__(self, other: Any) -> List[Any]:
+        if isinstance(other, ListView):
+            other = other.copy()
+        return self.copy() + other
+
+    def __radd__(self, other: Any) -> List[Any]:
+        # Reached for ``plain + view``: reflected ops run first because
+        # ``ListView`` subclasses ``list``.
+        return other + self.copy()
+
+    def __mul__(self, count: Any) -> List[Any]:
+        return self.copy() * count
+
+    __rmul__ = __mul__
 
     def __reduce__(self) -> Tuple[Any, ...]:
         self._wrap_everything()

@@ -159,6 +159,15 @@ class WalWriter:
     that is what makes an epoch durable.  The file handle is unbuffered,
     so every append reaches the OS immediately; ``fsync`` only controls
     when it reaches the platters.
+
+    ``fsync_batch`` meters *appends*, and a :meth:`append_many` batch is
+    deliberately one append — one group-commit durability unit — so a bulk
+    batch fsyncs once at its end even under ``fsync_batch=1``.  This
+    relaxation cannot weaken what recovery guarantees: staged records are
+    replayed only when covered by a later fsynced commit marker and are
+    discarded otherwise, so fsyncing staged data early narrows the window
+    in which uncommitted (already discardable) work is lost, nothing more.
+    Commit durability is identical on both paths.
     """
 
     def __init__(self, path: Path, fsync_batch: int = 0) -> None:
@@ -204,7 +213,12 @@ class WalWriter:
         as a single ``write`` (so a torn write can still only damage the
         suffix of the batch), and the fsync policy is consulted once for
         the whole batch instead of once per record — the group-commit
-        fast path behind bulk ``insert_many``.
+        fast path behind bulk ``insert_many``.  The batch is one
+        durability unit: with ``fsync_batch=1`` the per-op path fsyncs
+        every record while this path fsyncs once per batch — an
+        intentional relaxation (see the class docstring) that leaves
+        commit durability untouched, because uncommitted staged records
+        are discarded at recovery whether or not they were fsynced.
         """
         if not operations:
             return

@@ -89,3 +89,63 @@ class TestBuildIndex:
         assert isinstance(build_index("sorted", "x"), SortedIndex)
         with pytest.raises(ValueError):
             build_index("btree", "x")
+
+
+class TestWritePathFlushing:
+    """Sorted-run merges happen at write end, never on a shared-state read.
+
+    The collection/plan-cache contract allows sharing states across
+    threads for reads; if reads triggered the deferred merge, two
+    concurrent ``find``\\ s after a write could race inside ``flush``.
+    Every collection write path therefore flushes before returning, so
+    read methods only ever see an empty pending buffer (their own
+    defensive ``flush`` reduces to a mutation-free no-op).
+    """
+
+    @staticmethod
+    def pending(collection):
+        return [
+            entry
+            for partition in collection._partitions
+            for index in partition.live._indexes.values()
+            if isinstance(index, SortedIndex)
+            for entry in index._pending
+        ]
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_every_write_path_leaves_no_pending_entries(self, shards):
+        from repro.docstore import Collection
+
+        collection = Collection("c", shards=shards)
+        collection.insert_many(
+            {"_id": i, "ncid": f"NC{i}", "n": i} for i in range(6)
+        )
+        collection.create_index("n", "sorted")
+        assert self.pending(collection) == []
+        collection.insert_one({"_id": 10, "ncid": "NC10", "n": 10})
+        assert self.pending(collection) == []
+        collection.insert_many(
+            {"_id": 20 + i, "ncid": f"NC{20 + i}", "n": 20 + i} for i in range(4)
+        )
+        assert self.pending(collection) == []
+        collection.update_one({"_id": 10}, {"$set": {"n": 11}})
+        assert self.pending(collection) == []
+        collection.update_many({"n": {"$gte": 20}}, {"$inc": {"n": 1}})
+        assert self.pending(collection) == []
+        collection.replace_one({"_id": 10}, {"ncid": "NC10", "n": 12})
+        assert self.pending(collection) == []
+        # Shard-key migration re-adds on the target partition.
+        collection.update_one({"_id": 10}, {"$set": {"ncid": "NC99"}})
+        assert self.pending(collection) == []
+        collection.delete_many({"n": {"$gte": 23}})
+        assert self.pending(collection) == []
+
+    def test_standalone_reads_still_merge_pending_adds(self):
+        # Outside a collection nothing flushes for the caller; the
+        # defensive flush in the query methods keeps raw usage correct.
+        index = SortedIndex("n")
+        for doc_id, value in enumerate((5, 1, 3)):
+            index.add(doc_id, {"n": value})
+        assert index._pending
+        assert index.range(1, 3) == {1, 2}
+        assert index._pending == []

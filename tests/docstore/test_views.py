@@ -91,6 +91,124 @@ class TestDocumentView:
         assert isinstance(wrap_value([1, 2]), ListView)
 
 
+class TestRawCopyEscapes:
+    """C-level copy APIs must never expose the stored containers.
+
+    ``dict(view)`` / ``{**view}`` / ``plain.update(view)`` normally take a
+    raw-table fast path that ignores ``__getitem__``; the ``__iter__``
+    override opts the views out of it, so every copy's nested containers
+    are themselves views and mutating a copy can never reach the store.
+    """
+
+    def assert_store_safe(self, stored, copied):
+        copied["nested"]["x"].append("poison")
+        copied["nested"]["x"][1]["deep"] = "poison"
+        copied["tags"].append("poison")
+        assert stored == sample()
+
+    def test_dict_constructor_wraps_nested_containers(self):
+        stored = sample()
+        self.assert_store_safe(stored, dict(lazy_document(stored)))
+
+    def test_dict_unpacking_wraps_nested_containers(self):
+        stored = sample()
+        self.assert_store_safe(stored, {**lazy_document(stored)})
+
+    def test_plain_dict_update_wraps_nested_containers(self):
+        stored = sample()
+        target = {}
+        target.update(lazy_document(stored))
+        self.assert_store_safe(stored, target)
+
+    def test_view_copy_wraps_nested_containers(self):
+        stored = sample()
+        copied = lazy_document(stored).copy()
+        assert type(copied) is dict
+        self.assert_store_safe(stored, copied)
+
+    def test_dict_union_wraps_nested_containers(self):
+        stored = sample()
+        self.assert_store_safe(stored, lazy_document(stored) | {"extra": 1})
+        self.assert_store_safe(stored, {"extra": 1} | lazy_document(stored))
+
+    def test_list_copy_concat_and_repeat_wrap_elements(self):
+        stored = sample()
+        view = lazy_document(stored)
+        for copied in (
+            view["tags"].copy(),
+            view["tags"] + ["z"],
+            ["z"] + view["tags"],
+            view["tags"] * 2,
+            2 * view["tags"],
+            view["nested"]["x"] + view["nested"]["x"],
+        ):
+            assert type(copied) is list
+            for element in copied:
+                if isinstance(element, dict):
+                    element["deep"] = "poison"
+        assert stored == sample()
+
+    def test_list_constructor_and_extend_wrap_elements(self):
+        stored = sample()
+        view = lazy_document(stored)
+        target = list(view["nested"]["x"])
+        target.extend(view["nested"]["x"])
+        for element in target:
+            if isinstance(element, dict):
+                element["deep"] = "poison"
+        assert stored == sample()
+
+
+class TestWriteAfterReadStability:
+    """Results handed out before a write must never change after it.
+
+    Eager mode returned independent deep copies; lazy views must match
+    that: an in-place update applied to a document a view was built over
+    has to copy first (``Partition.expose`` drops in-place ownership on
+    every lazy read), even inside one unpublished epoch.
+    """
+
+    def test_update_after_find_one_leaves_result_stable(self):
+        collection = Collection("c")
+        collection.insert_one({"_id": 1, "a": {"b": 1}, "tags": [1]})
+        before = collection.find_one({"_id": 1})
+        collection.update_one({"_id": 1}, {"$set": {"a.b": 2}})
+        collection.update_one({"_id": 1}, {"$push": {"tags": 9}})
+        assert before["a"]["b"] == 1
+        assert before["tags"] == [1]
+        assert collection.find_one({"_id": 1})["a"]["b"] == 2
+
+    def test_update_after_find_leaves_results_stable_sharded(self):
+        collection = Collection("c", shards=3)
+        collection.insert_many(
+            {"_id": i, "ncid": f"NC{i}", "a": {"b": i}} for i in range(6)
+        )
+        before = collection.find({}, sort=[("_id", 1)])
+        collection.update_many({}, {"$set": {"a.b": -1}})
+        assert [doc["a"]["b"] for doc in before] == list(range(6))
+
+    def test_repeated_update_between_reads_copies_each_time(self):
+        collection = Collection("c")
+        collection.insert_one({"_id": 1, "a": {"b": 0}})
+        held = []
+        for expected in range(3):
+            held.append(collection.find_one({"_id": 1}))
+            collection.update_one({"_id": 1}, {"$inc": {"a.b": 1}})
+        assert [doc["a"]["b"] for doc in held] == [0, 1, 2]
+
+    def test_interleaved_all_iteration_stays_stable(self):
+        collection = Collection("c")
+        collection.insert_many({"_id": i, "a": {"b": i}} for i in range(4))
+        stream = collection.all()
+        held = [next(stream), next(stream)]
+        collection.update_many({}, {"$set": {"a.b": -1}})
+        held.extend(stream)
+        assert [doc["a"]["b"] for doc in held[:2]] == [0, 1]
+        # Documents materialized after the write see its effect, as eager
+        # iteration over live state always did.
+        assert [doc["a"]["b"] for doc in held[2:]] == [-1, -1]
+
+
 class TestFreezing:
     def test_scalars_are_type_tagged(self):
         # 1, True and 1.0 are equal (and hash-equal) in Python but compile

@@ -242,3 +242,49 @@ class TestCommittedEpochFile:
         (tmp_path / "COMMITTED").write_text("not json")
         with pytest.raises(StorageCorruptError):
             read_committed_epoch(tmp_path)
+
+
+class TestFsyncAccounting:
+    """Pin the documented fsync policy on both append paths.
+
+    ``fsync_batch`` meters *appends*; an ``append_many`` batch is one
+    group-commit durability unit, so a bulk batch fsyncs once regardless
+    of its record count — commit markers always fsync, which is the only
+    fsync that affects what recovery replays.
+    """
+
+    @staticmethod
+    def _fsyncs(fn) -> int:
+        from repro import faults
+
+        return faults.count_ops(fn, only=("fsync",))
+
+    def test_per_op_appends_fsync_every_record(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal", fsync_batch=1)
+        count = self._fsyncs(
+            lambda: [writer.append({"op": "insert", "doc": {"_id": i}}) for i in range(5)]
+        )
+        writer.close()
+        assert count == 5
+
+    def test_append_many_is_one_durability_unit(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal", fsync_batch=1)
+        count = self._fsyncs(
+            lambda: writer.append_many(
+                [{"op": "insert", "doc": {"_id": i}} for i in range(5)]
+            )
+        )
+        writer.close()
+        assert count == 1
+
+    def test_commit_marker_always_fsyncs(self, tmp_path):
+        writer = WalWriter(tmp_path / "c.wal", fsync_batch=0)
+        staged = self._fsyncs(
+            lambda: writer.append_many(
+                [{"op": "insert", "doc": {"_id": i}} for i in range(5)]
+            )
+        )
+        committed = self._fsyncs(lambda: writer.commit(1))
+        writer.close()
+        assert staged == 0
+        assert committed == 1
