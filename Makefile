@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup bench-shards bench-hotpath test-faults examples validate-docs clean
+.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup bench-shards bench-hotpath bench-robustness test-faults test-chaos examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -67,10 +67,23 @@ bench-shards:
 bench-hotpath:
 	PYTHONPATH=src python benchmarks/hotpath_bench.py --quick --out BENCH_hotpath.json
 
+# Quick robustness benchmark: the full fault-model sweep (crash, torn,
+# EIO, ENOSPC, partial fsync at every I/O op — zero silent corruption
+# allowed), offline scrub throughput over a checkpointed register, and
+# the WAL-compaction replay-time payoff.  Writes BENCH_robustness.json;
+# fails on any silently-wrong recovery or a compaction reduction < 3x.
+bench-robustness:
+	PYTHONPATH=src python benchmarks/robustness_bench.py --quick --out BENCH_robustness.json
+
 # The crash-consistency suite: fault-injection sweeps over every I/O
 # operation plus the fault-tolerant parallel scoring tests.
 test-faults:
 	pytest tests/docstore/test_faults.py tests/docstore/test_wal.py tests/core/test_fault_tolerance.py tests/docstore/test_sharding.py
+
+# The chaos suite: everything test-faults runs plus the scrubber,
+# quarantine/degraded-read and repair tests.
+test-chaos:
+	pytest tests/docstore/test_faults.py tests/docstore/test_wal.py tests/docstore/test_scrub.py tests/docstore/test_storage.py tests/core/test_fault_tolerance.py
 
 # Run every example end to end (a few minutes total).
 examples:

@@ -119,6 +119,12 @@ PROCESS_LOCAL_CACHES: Dict[str, str] = {
         "result), and each worker process keeping its own copy merely "
         "re-warns at most once"
     ),
+    "repro.core.parallel._RESILIENCE": (
+        "monotonic telemetry counters (pool runs, shard retries, degraded "
+        "shards) surfaced through Database.stats(); diagnostic only — no "
+        "code path reads them to make a decision — so worker processes "
+        "keeping their own discarded copies is correct by construction"
+    ),
 }
 
 #: Inline suppression comments: a hash, then ``repro: ignore[...]`` with

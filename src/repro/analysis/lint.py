@@ -88,6 +88,9 @@ DOCSTORE_EXCEPTIONS = frozenset(
         "CollectionNotFound",
         "StorageError",
         "StorageCorruptError",
+        "QuarantineError",
+        "DegradedReadError",
+        "DegradedWriteError",
         "UnknownIndexKind",
     }
 )

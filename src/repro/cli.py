@@ -10,6 +10,7 @@
     ncvoter-testdata detect    --dataset nc2.csv --workers 4 --window 20
     ncvoter-testdata check     --store store/ --pipeline pipeline.json
     ncvoter-testdata recover   --store store/
+    ncvoter-testdata scrub     --store store/
 
 ``simulate`` writes snapshot TSVs (the register's publication format);
 ``generate`` runs the full update process (import → statistics → publish)
@@ -23,7 +24,10 @@ the best F1 per measure; ``detect`` runs the streaming, parallel
 detection pipeline (packed candidate pairs, prepared record vectors,
 sharded pair scoring — bit-identical to ``evaluate`` at any worker
 count); ``recover`` replays a durable store's write-ahead logs and
-reports what crash recovery had to repair.
+reports what crash recovery had to repair; ``scrub`` verifies the store's
+on-disk integrity (WAL CRC frames, snapshot checksums, sequence
+continuity) without modifying it and, with ``--repair``, salvages
+damaged files and lifts any quarantine.
 """
 
 from __future__ import annotations
@@ -133,21 +137,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    database = Database.load(Path(args.store))
-    clusters = database["clusters"]
-    result = clusters.aggregate(
-        [
-            {"$addFields": {"size": {"$size": "$records"}}},
-            {
-                "$group": {
-                    "_id": None,
-                    "clusters": {"$sum": 1},
-                    "records": {"$sum": "$size"},
-                    "max_size": {"$max": "$size"},
-                }
-            },
-        ]
+    import warnings
+
+    from repro.docstore import (
+        DegradedReadError,
+        DegradedReadWarning,
+        StorageCorruptError,
     )
+
+    try:
+        database = Database.load(Path(args.store))
+    except StorageCorruptError as exc:
+        print(f"store is damaged: {exc}")
+        print("run 'scrub --store ... --repair' to salvage what the "
+              "files still hold")
+        return 1
+    clusters = database["clusters"]
+    pipeline = [
+        {"$addFields": {"size": {"$size": "$records"}}},
+        {
+            "$group": {
+                "_id": None,
+                "clusters": {"$sum": 1},
+                "records": {"$sum": "$size"},
+                "max_size": {"$max": "$size"},
+            }
+        },
+    ]
+    try:
+        result = clusters.aggregate(pipeline)
+    except DegradedReadError as exc:
+        # A quarantined shard darkens part of the store; report what the
+        # healthy shards hold rather than nothing, and say so loudly.
+        print(f"WARNING: store is degraded ({exc})")
+        print("statistics below cover the healthy shards only; run "
+              "'scrub --repair' to salvage and lift the quarantine")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedReadWarning)
+            result = clusters.aggregate(pipeline, allow_degraded=True)
     if not result:
         print("store is empty")
         return 1
@@ -179,11 +206,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(render_year_stats(snapshot_year_stats(rows)))
     if args.layout:
-        from repro.report import render_shard_stats
+        from repro.report import render_resilience, render_shard_stats
 
+        stats = database.stats()
         print()
         print("storage layout:")
-        print(render_shard_stats(database.stats()))
+        print(render_shard_stats(stats))
+        print()
+        print("resilience:")
+        print(render_resilience(stats))
     return 0
 
 
@@ -222,6 +253,41 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     )
     print(f"recovered state: {counts or 'empty database'}")
     return 0 if report.clean else 2
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.docstore import StorageError
+    from repro.docstore.scrub import repair_database, scrub_database
+
+    store = Path(args.store)
+    try:
+        report = scrub_database(store, deep=not args.shallow)
+    except StorageError as exc:
+        print(f"unscannable: {exc}")
+        return 1
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"findings written -> {args.json}")
+    if args.repair and (report.errors or report.quarantined):
+        repair = repair_database(store)
+        print(repair.render())
+        after = scrub_database(store, deep=not args.shallow)
+        print("post-repair scrub:")
+        print(after.render())
+        return 2 if after.ok else 1
+    if report.errors:
+        if not args.repair:
+            print("hint: --repair salvages the damaged files and lifts "
+                  "any quarantine")
+        return 1
+    if report.findings or report.quarantined:
+        return 2
+    return 0
 
 
 def _cmd_customize(args: argparse.Namespace) -> int:
@@ -754,6 +820,31 @@ def build_parser() -> argparse.ArgumentParser:
         "rewrite the store instead of failing",
     )
     recover.set_defaults(func=_cmd_recover)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="verify a store's on-disk integrity without modifying it",
+        description="Walk a store directory and verify write-ahead-log "
+        "CRC frames, snapshot checksums against the manifest, commit-epoch "
+        "coverage and cross-partition sequence continuity.  Exits 0 when "
+        "the store is clean, 2 when it is degraded or only has repairable "
+        "findings, 1 when it holds unrecoverable damage.",
+    )
+    scrub.add_argument("--store", required=True, help="store directory")
+    scrub.add_argument(
+        "--shallow", action="store_true",
+        help="skip the per-line snapshot parse (checksums only)",
+    )
+    scrub.add_argument(
+        "--repair", action="store_true",
+        help="on errors or standing quarantine: salvage the damaged files, "
+        "rewrite a clean snapshot and lift the quarantine",
+    )
+    scrub.add_argument(
+        "--json", metavar="OUT",
+        help="also write the machine-readable findings report to this path",
+    )
+    scrub.set_defaults(func=_cmd_scrub)
 
     return parser
 

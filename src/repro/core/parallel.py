@@ -104,6 +104,29 @@ class WorkerClampWarning(UserWarning):
 _CLAMP_WARNED: set = set()
 
 
+#: Process-local resilience telemetry for :func:`run_shards`: how many
+#: pooled runs happened, how many shard attempts had to be retried, and how
+#: many shards ultimately degraded to in-process execution.  Diagnostic
+#: counters only — never read back to make decisions — so workers keeping
+#: their own (discarded) copies is correct by construction.
+_RESILIENCE: Dict[str, int] = {
+    "pool_runs": 0,
+    "shard_retries": 0,
+    "degraded_shards": 0,
+}
+
+
+def resilience_counters() -> Dict[str, int]:
+    """A snapshot copy of the process-local resilience counters."""
+    return dict(_RESILIENCE)
+
+
+def reset_resilience_counters() -> None:
+    """Zero the resilience counters (test isolation hook)."""
+    for key in _RESILIENCE:
+        _RESILIENCE[key] = 0
+
+
 @functools.lru_cache(maxsize=1)
 def _cpu_count() -> int:
     """``os.cpu_count()`` memoized: constant per process, queried on every
@@ -165,6 +188,7 @@ def run_shards(
     max_workers = effective_worker_count(max_workers, label=label)
     if not max_workers:
         return [worker(*args) for args in shard_args]
+    _RESILIENCE["pool_runs"] += 1
     results: List[Any] = [None] * len(shard_args)
     pending = list(range(len(shard_args)))
     last_error: Optional[BaseException] = None
@@ -193,8 +217,10 @@ def run_shards(
             # wait=False so a hung worker cannot hang the retry loop; the
             # abandoned process exits with the interpreter.
             pool.shutdown(wait=False, cancel_futures=True)
+        _RESILIENCE["shard_retries"] += len(failed)
         pending = failed
     if pending:
+        _RESILIENCE["degraded_shards"] += len(pending)
         warnings.warn(
             ParallelDegradedWarning(label, pending, attempts, last_error),
             stacklevel=2,

@@ -36,12 +36,23 @@ from repro.docstore.partition import Partition, fallback_shard, shard_key_shard
 from repro.docstore.documents import get_path, set_path, unset_path
 from repro.docstore.errors import (
     CollectionNotFound,
+    DegradedReadError,
+    DegradedReadWarning,
+    DegradedWriteError,
     DocStoreError,
     DuplicateKeyError,
+    QuarantineError,
     QueryError,
     StorageCorruptError,
     StorageError,
     UnknownIndexKind,
+)
+from repro.docstore.scrub import (
+    RepairReport,
+    ScrubFinding,
+    ScrubReport,
+    repair_database,
+    scrub_database,
 )
 from repro.docstore.storage import RecoveryReport
 
@@ -59,7 +70,16 @@ __all__ = [
     "QueryError",
     "StorageError",
     "StorageCorruptError",
+    "QuarantineError",
+    "DegradedReadError",
+    "DegradedWriteError",
+    "DegradedReadWarning",
     "RecoveryReport",
+    "ScrubFinding",
+    "ScrubReport",
+    "RepairReport",
+    "scrub_database",
+    "repair_database",
     "UnknownIndexKind",
     "CollectionNotFound",
     "get_path",

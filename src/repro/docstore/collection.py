@@ -15,11 +15,18 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.docstore.aggregation import run_pipeline
 from repro.docstore.documents import deep_copy, get_path, set_path, unset_path
-from repro.docstore.errors import DuplicateKeyError, QueryError
+from repro.docstore.errors import (
+    DegradedReadError,
+    DegradedReadWarning,
+    DegradedWriteError,
+    DuplicateKeyError,
+    QueryError,
+)
 from repro.docstore.indexes import HashIndex, build_index
 from repro.docstore.matching import compile_filter
 from repro.docstore.partition import Partition, fallback_shard, shard_key_shard
@@ -116,6 +123,13 @@ class Collection:
         #: Highest committed WAL sequence number replayed into this
         #: collection (set by recovery; journaling resumes after it).
         self._replayed_seq = 0
+        #: Partition indices recovery took dark (corrupt WAL/snapshot).
+        #: Reads touching them raise :class:`DegradedReadError` (or skip
+        #: them under ``allow_degraded=True``); writes are refused.  Their
+        #: partitions are emptied, so ``len``/iteration see healthy shards.
+        self._quarantined: set = set()
+        #: Reads that opted into degraded results (resilience counter).
+        self._degraded_reads = 0
         #: Write-ahead-log hook ``(op, payload, partition) -> None`` set by
         #: :class:`~repro.docstore.database.DurableDatabase`; ``None`` keeps
         #: the collection purely in-memory.  Called *after* the in-memory
@@ -243,6 +257,100 @@ class Collection:
     def _read_workers(self, states: List[Any]) -> int:
         return self.read_workers if len(states) > 1 else 0
 
+    # ------------------------------------------------------------ quarantine
+
+    @property
+    def quarantined_shards(self) -> List[int]:
+        """Partition indices currently quarantined (empty when healthy)."""
+        return sorted(self._quarantined)
+
+    def _quarantine_shards(self, indices: Iterable[int]) -> None:
+        """Take shards dark: swap in empty partitions with fresh indexes.
+
+        Called by recovery *after* replay.  The partition is replaced, not
+        merely flagged, so documents a stale snapshot loaded into the dark
+        shard can never be served as live data — the authoritative copy is
+        whatever sits in the quarantine directory until ``repair()``.
+        """
+        specs = self.index_specs()
+        self._bump_epoch()
+        for index in indices:
+            partition = Partition()
+            state = partition.live
+            for spec in specs:
+                built = build_index(spec["kind"], spec["path"])
+                built.flush()
+                state._indexes[f"{spec['path']}_{spec['kind']}"] = built
+            self._partitions[index] = partition
+            self._quarantined.add(index)
+        # Re-pin the published epoch so snapshots can never resurrect the
+        # dark shards' stale states (healthy entries are unchanged).
+        self._published_states = tuple(
+            partition.published for partition in self._partitions
+        )
+
+    def _healthy_route(
+        self,
+        filter_doc: Optional[dict],
+        *,
+        allow_degraded: bool = False,
+        op: str = "read",
+        write: bool = False,
+    ) -> List[int]:
+        """Route, then enforce the quarantine policy on the touched shards.
+
+        Healthy collections (the overwhelmingly common case) route as
+        usual.  When the routing of a degraded collection touches a
+        quarantined shard: writes raise :class:`DegradedWriteError`, reads
+        raise :class:`DegradedReadError` unless ``allow_degraded`` — which
+        instead warns (:class:`DegradedReadWarning`) and returns the
+        healthy subset.
+        """
+        indices = self._route(filter_doc)
+        if not self._quarantined:
+            return indices
+        touched = [index for index in indices if index in self._quarantined]
+        if not touched:
+            return indices
+        if write:
+            raise DegradedWriteError(self.name, touched, op)
+        if not allow_degraded:
+            raise DegradedReadError(self.name, touched, op)
+        warnings.warn(
+            DegradedReadWarning(
+                f"{op} on collection {self.name!r} skipped quarantined "
+                f"shard(s) {sorted(touched)}; results cover healthy shards only"
+            ),
+            stacklevel=3,
+        )
+        self._degraded_reads += 1
+        return [index for index in indices if index not in self._quarantined]
+
+    def _plan_healthy(
+        self,
+        filter_doc: Optional[dict],
+        sort: Optional[List[tuple]] = None,
+        *,
+        allow_degraded: bool = False,
+        op: str = "read",
+    ) -> Tuple[List[Any], List[Any]]:
+        """:meth:`_plan_routed` with the quarantine policy applied.
+
+        Degraded collections bypass the plan cache entirely: its memoized
+        shard routes survive epoch bumps by design and know nothing about
+        quarantine, so a cached scatter route could silently read a dark
+        shard's (empty) partition without raising.
+        """
+        if not self._quarantined:
+            return self._plan_routed(filter_doc, sort)
+        indices = self._healthy_route(
+            filter_doc, allow_degraded=allow_degraded, op=op
+        )
+        states = [self._partitions[i].live for i in indices]
+        if not states and filter_doc:
+            compile_filter(filter_doc)
+        return states, plan_states(states, filter_doc, sort)
+
     def snapshot(self) -> "CollectionSnapshot":
         """A consistent read-only view of the last published epoch.
 
@@ -283,6 +391,8 @@ class Collection:
                     f"duplicate _id {stored['_id']!r} in collection {self.name!r}"
                 )
         target = self._placement(stored)
+        if target in self._quarantined:
+            raise DegradedWriteError(self.name, [target], "insert")
         partition = self._partitions[target]
         state = partition.writable()
         state._documents[internal_id] = stored
@@ -331,7 +441,11 @@ class Collection:
                 )
                 break
             batch_user_ids.add(user_id)
-            staged.append((self._placement(stored), stored, internal_id))
+            target = self._placement(stored)
+            if target in self._quarantined:
+                error = DegradedWriteError(self.name, [target], "insert")
+                break
+            staged.append((target, stored, internal_id))
             assigned.append(stored["_id"])
 
         touched: Dict[int, Any] = {}
@@ -356,8 +470,9 @@ class Collection:
                 [(target, {"doc": stored}) for target, stored, _ in staged],
             )
         if error is not None:
-            # Always a QueryError or DuplicateKeyError staged above; raised
-            # here so the validated prefix lands first (per-op parity).
+            # Always a QueryError, DuplicateKeyError or DegradedWriteError
+            # staged above; raised here so the validated prefix lands first
+            # (per-op parity).
             raise error  # repro: ignore[L004]
         return assigned
 
@@ -368,6 +483,8 @@ class Collection:
         sort: Optional[List[tuple]] = None,
         limit: Optional[int] = None,
         skip: int = 0,
+        *,
+        allow_degraded: bool = False,
     ) -> List[dict]:
         """Return matching documents (deep copies), optionally projected.
 
@@ -378,10 +495,17 @@ class Collection:
         window is ever deep-copied.  On a sharded collection a filter
         pinning the shard key routes to a single partition; anything else
         scatter-gathers with an order-preserving k-way merge.
+
+        On a degraded (partially quarantined) collection a query whose
+        routing touches a dark shard raises :class:`DegradedReadError`;
+        ``allow_degraded=True`` instead returns the healthy shards'
+        results with a :class:`DegradedReadWarning`.
         """
         self._check_filter(filter_doc)
         self._expose_for_read()
-        states, plans = self._plan_routed(filter_doc, sort)
+        states, plans = self._plan_healthy(
+            filter_doc, sort, allow_degraded=allow_degraded, op="find"
+        )
         results = list(
             execute_sharded_find(
                 states,
@@ -396,7 +520,13 @@ class Collection:
             results = list(run_pipeline(results, [{"$project": projection}]))
         return results
 
-    def distinct(self, path: str, filter_doc: Optional[dict] = None) -> List[Any]:
+    def distinct(
+        self,
+        path: str,
+        filter_doc: Optional[dict] = None,
+        *,
+        allow_degraded: bool = False,
+    ) -> List[Any]:
         """Distinct values of ``path`` over matching documents.
 
         Array values are expanded element-wise (MongoDB semantics); the
@@ -404,10 +534,14 @@ class Collection:
         hash indexes on ``path`` whose keys are all strings answer straight
         from the indexes, never touching a document.
         """
+        self._check_filter(filter_doc)
+        indices = self._healthy_route(
+            filter_doc, allow_degraded=allow_degraded, op="distinct"
+        )
         if not filter_doc:
             indexes = [
-                partition.live._indexes.get(f"{path}_hash")
-                for partition in self._partitions
+                self._partitions[i].live._indexes.get(f"{path}_hash")
+                for i in indices
             ]
             if all(isinstance(index, HashIndex) for index in indexes):
                 keys = [key for index in indexes for key in index.keys()]
@@ -417,7 +551,7 @@ class Collection:
         seen = {}
         copy_value = self._copy_value
         self._expose_for_read()
-        for document in self._scan(filter_doc):
+        for document in self._scan(filter_doc, indices=indices):
             value = get_path(document, path, default=None)
             values = value if isinstance(value, list) else [value]
             for element in values:
@@ -425,15 +559,27 @@ class Collection:
                     seen.setdefault(repr(element), element)
         return [copy_value(seen[key]) for key in sorted(seen)]
 
-    def find_one(self, filter_doc: Optional[dict] = None) -> Optional[dict]:
+    def find_one(
+        self,
+        filter_doc: Optional[dict] = None,
+        *,
+        allow_degraded: bool = False,
+    ) -> Optional[dict]:
         """Return the first matching document or ``None``."""
         materialize = self._materialize
         self._expose_for_read()
-        for document in self._scan(filter_doc):
+        for document in self._scan(
+            filter_doc, allow_degraded=allow_degraded, op="find_one"
+        ):
             return materialize(document)
         return None
 
-    def count_documents(self, filter_doc: Optional[dict] = None) -> int:
+    def count_documents(
+        self,
+        filter_doc: Optional[dict] = None,
+        *,
+        allow_degraded: bool = False,
+    ) -> int:
         """Number of documents matching ``filter_doc``.
 
         When the filter is fully covered by the chosen index access (no
@@ -441,9 +587,18 @@ class Collection:
         loaded or matched.  Sharded counts sum the per-partition counts.
         """
         if not filter_doc:
-            return len(self)
+            if not self._quarantined:
+                return len(self)
+            indices = self._healthy_route(
+                None, allow_degraded=allow_degraded, op="count_documents"
+            )
+            return sum(
+                len(self._partitions[i].live._documents) for i in indices
+            )
         self._check_filter(filter_doc)
-        states, plans = self._plan_routed(filter_doc)
+        states, plans = self._plan_healthy(
+            filter_doc, allow_degraded=allow_degraded, op="count_documents"
+        )
         return count_sharded(states, plans)
 
     def _check_update(self, update: dict) -> None:
@@ -459,7 +614,9 @@ class Collection:
         """Apply ``update`` to the first match; returns 0 or 1."""
         self._check_update(update)
         self._bump_epoch()
-        for index, internal_id in self._scan_partitions(filter_doc):
+        for index, internal_id in self._scan_partitions(
+            filter_doc, write=True, op="update_one"
+        ):
             document = self._partitions[index].writable_document(internal_id)
             self._apply_update(index, internal_id, document, update)
             index = self._migrate_if_moved(index, internal_id, document)
@@ -471,7 +628,9 @@ class Collection:
         """Apply ``update`` to every match; returns the match count."""
         self._check_update(update)
         self._bump_epoch()
-        touched = list(self._scan_partitions(filter_doc))
+        touched = list(
+            self._scan_partitions(filter_doc, write=True, op="update_many")
+        )
         for index, internal_id in touched:
             document = self._partitions[index].writable_document(internal_id)
             self._apply_update(index, internal_id, document, update)
@@ -482,7 +641,9 @@ class Collection:
     def replace_one(self, filter_doc: dict, replacement: dict) -> int:
         """Replace the first matching document wholesale (keeps its ``_id``)."""
         self._bump_epoch()
-        for index, internal_id in self._scan_partitions(filter_doc):
+        for index, internal_id in self._scan_partitions(
+            filter_doc, write=True, op="replace_one"
+        ):
             partition = self._partitions[index]
             state = partition.writable()
             document = state._documents[internal_id]
@@ -503,7 +664,9 @@ class Collection:
     def delete_many(self, filter_doc: dict) -> int:
         """Delete every matching document; returns the delete count."""
         self._bump_epoch()
-        doomed = list(self._scan_partitions(filter_doc))
+        doomed = list(
+            self._scan_partitions(filter_doc, write=True, op="delete_many")
+        )
         for index, internal_id in doomed:
             partition = self._partitions[index]
             state = partition.writable()
@@ -525,6 +688,10 @@ class Collection:
         target = self._placement(document)
         if target == partition_index:
             return partition_index
+        if target in self._quarantined:
+            # Fail-stop: a shard-key rewrite cannot move a document into a
+            # shard whose journal is dark (the op could never be replayed).
+            raise DegradedWriteError(self.name, [target], "migrate")
         source_partition = self._partitions[partition_index]
         source = source_partition.writable()
         for index in source._indexes.values():
@@ -542,7 +709,9 @@ class Collection:
         target_partition.own(internal_id)
         return target
 
-    def aggregate(self, pipeline: List[dict]) -> List[dict]:
+    def aggregate(
+        self, pipeline: List[dict], *, allow_degraded: bool = False
+    ) -> List[dict]:
         """Run an aggregation ``pipeline`` over the collection.
 
         In strict analysis mode the pipeline is statically vetted first —
@@ -569,7 +738,12 @@ class Collection:
         pushdown = split_pushdown(pipeline)
         rest = pushdown.rest
         self._expose_for_read()
-        states, plans = self._plan_routed(pushdown.filter_doc, pushdown.sort_spec)
+        states, plans = self._plan_healthy(
+            pushdown.filter_doc,
+            pushdown.sort_spec,
+            allow_degraded=allow_degraded,
+            op="aggregate",
+        )
         for plan in plans:
             plan.pushdown = list(pushdown.pushed)
         if (
@@ -602,8 +776,16 @@ class Collection:
         )
         return list(run_pipeline(source, rest))
 
-    def all(self) -> Iterator[dict]:
-        """Iterate every document (materialized views) in insertion order."""
+    def all(self, *, allow_degraded: bool = False) -> Iterator[dict]:
+        """Iterate every document (materialized views) in insertion order.
+
+        On a degraded collection this raises :class:`DegradedReadError`
+        up front (unless ``allow_degraded``, which warns): quarantined
+        partitions are empty, so the iteration itself is naturally
+        healthy-shards-only either way.
+        """
+        if self._quarantined:
+            self._healthy_route(None, allow_degraded=allow_degraded, op="all")
         materialize = self._materialize
         if self.copy_mode == "eager":
             return (materialize(doc) for doc in self._ordered_documents())
@@ -629,6 +811,12 @@ class Collection:
         name = f"{path}_{kind}"
         if name in self._partitions[0].live._indexes:
             return name
+        if self._quarantined:
+            # An index build touches every partition (and is journaled to
+            # partition 0's WAL), so a degraded collection refuses it.
+            raise DegradedWriteError(
+                self.name, sorted(self._quarantined), "create_index"
+            )
         self._bump_epoch()
         for partition in self._partitions:
             state = partition.writable()
@@ -719,6 +907,7 @@ class Collection:
         ]
         description["plan_cache"] = self._plan_cache.stats()
         description["materialization"] = self.copy_mode
+        description["quarantined_shards"] = sorted(self._quarantined)
         from repro.analysis import analyze_index_usage
 
         description["hints"] = [
@@ -784,16 +973,38 @@ class Collection:
                 f"filter for collection {self.name!r}",
             )
 
-    def _scan(self, filter_doc: Optional[dict]) -> Iterator[dict]:
-        for index, internal_id in self._scan_partitions(filter_doc):
+    def _scan(
+        self,
+        filter_doc: Optional[dict],
+        *,
+        allow_degraded: bool = False,
+        op: str = "read",
+        indices: Optional[List[int]] = None,
+    ) -> Iterator[dict]:
+        for index, internal_id in self._scan_partitions(
+            filter_doc, allow_degraded=allow_degraded, op=op, indices=indices
+        ):
             yield self._partitions[index].live._documents[internal_id]
 
     def _scan_partitions(
-        self, filter_doc: Optional[dict]
+        self,
+        filter_doc: Optional[dict],
+        *,
+        allow_degraded: bool = False,
+        op: str = "read",
+        write: bool = False,
+        indices: Optional[List[int]] = None,
     ) -> Iterator[Tuple[int, int]]:
-        """``(partition index, internal id)`` of matches, ascending by id."""
+        """``(partition index, internal id)`` of matches, ascending by id.
+
+        Pass ``indices`` to reuse an already-policy-checked route (avoids
+        a second :class:`DegradedReadWarning` from e.g. ``distinct``).
+        """
         self._check_filter(filter_doc)
-        indices = self._route(filter_doc)
+        if indices is None:
+            indices = self._healthy_route(
+                filter_doc, allow_degraded=allow_degraded, op=op, write=write
+            )
         if not indices and filter_doc:
             compile_filter(filter_doc)
         if len(indices) == 1:
@@ -925,6 +1136,11 @@ class CollectionSnapshot:
         # reassigned as a single tuple at commit time, so a concurrent
         # publish can never hand this snapshot a cross-partition mix.
         self._states = list(collection._published_states)
+        #: Quarantine set pinned at snapshot time.  Snapshots are strict:
+        #: there is no degraded opt-in — a scatter over a degraded epoch
+        #: raises, because a snapshot is exactly the API that promises a
+        #: complete, consistent epoch.
+        self._quarantined = frozenset(collection._quarantined)
 
     @property
     def _materialize(self) -> Any:
@@ -945,6 +1161,14 @@ class CollectionSnapshot:
         # query time can only be *more* conservative than at snapshot time.
         if shards > 1 and not self._collection._shard_key_lists:
             routed = route_shards(self.shard_key, shards, filter_doc)
+        if self._quarantined:
+            touched = [
+                index
+                for index in (routed if routed is not None else range(shards))
+                if index in self._quarantined
+            ]
+            if touched:
+                raise DegradedReadError(self.name, touched, "snapshot read")
         states = (
             self._states if routed is None else [self._states[i] for i in routed]
         )
@@ -1031,6 +1255,10 @@ class CollectionSnapshot:
 
     def all(self) -> Iterator[dict]:
         """Iterate the epoch's documents (materialized) in insertion order."""
+        if self._quarantined:
+            raise DegradedReadError(
+                self.name, sorted(self._quarantined), "snapshot all"
+            )
         materialize = self._materialize
         streams = [_sorted_id_state_pairs(state) for state in self._states]
         for _internal_id, state in heapq.merge(*streams, key=lambda pair: pair[0]):

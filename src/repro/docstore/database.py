@@ -134,6 +134,8 @@ class Database:
         of N shards holds everything.
         """
         collections: Dict[str, dict] = {}
+        degraded_reads = 0
+        quarantined_shards = 0
         for name in self.collection_names():
             collection = self._collections[name]
             shard_counts = [
@@ -149,8 +151,26 @@ class Database:
                 "shard_documents": shard_counts,
                 "balance_factor": round(max(shard_counts) / mean, 4) if mean else 1.0,
                 "indexes": collection.index_names(),
+                "quarantined_shards": collection.quarantined_shards,
+                "degraded_reads": collection._degraded_reads,
             }
-        return {"name": self.name, "collections": collections}
+            degraded_reads += collection._degraded_reads
+            quarantined_shards += len(collection._quarantined)
+        resilience: Dict[str, object] = {
+            "degraded_reads": degraded_reads,
+            "quarantined_shards": quarantined_shards,
+        }
+        try:
+            from repro.core.parallel import resilience_counters
+        except ImportError:  # pragma: no cover - parallel layer optional
+            pass
+        else:
+            resilience.update(resilience_counters())
+        return {
+            "name": self.name,
+            "collections": collections,
+            "resilience": resilience,
+        }
 
     def save(self, directory: Path) -> None:
         """Persist all collections to ``directory`` (JSONL + manifest)."""
@@ -238,6 +258,7 @@ class DurableDatabase(Database):
         fsync_batch: int = 0,
         shards: int = 1,
         shard_key: str = "ncid",
+        auto_compact: Optional[int] = None,
     ) -> None:
         from repro.docstore.storage import (
             MANIFEST_NAME,
@@ -250,8 +271,20 @@ class DurableDatabase(Database):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync_batch = fsync_batch
+        if auto_compact is not None and auto_compact < 1:
+            raise DocStoreError(
+                f"auto_compact must be a positive op count or None, got {auto_compact}"
+            )
+        #: Checkpoint automatically once this many operations have been
+        #: committed since the last checkpoint (``None`` disables).
+        self.auto_compact = auto_compact
+        self._ops_since_checkpoint = 0
+        self._in_checkpoint = False
         #: What recovery did while opening, or ``None`` for a fresh store.
         self.last_recovery: Optional[RecoveryReport] = None
+        #: Reports of the most recent :meth:`scrub` / :meth:`repair` runs.
+        self.last_scrub = None
+        self.last_repair = None
         self._wal_writer = WalWriter  # late-bound for subclass/test hooks
         self._wals: Dict[str, List["WalWriter"]] = {}
         self._dropped_wals: Dict[str, List["WalWriter"]] = {}
@@ -261,7 +294,9 @@ class DurableDatabase(Database):
             self.directory.glob("*.wal")
         ):
             report = RecoveryReport()
-            loaded = load_database(self.directory, name, report=report, truncate=True)
+            loaded = load_database(
+                self.directory, name, report=report, truncate=True, quarantine=True
+            )
             self._collections = loaded._collections
             self._next_seq = dict(getattr(loaded, "_wal_max_seq", {}))
             self.last_recovery = report
@@ -374,8 +409,21 @@ class DurableDatabase(Database):
     # ------------------------------------------------------- commit/snapshot
 
     def _all_writers(self) -> List["WalWriter"]:
-        groups = list(self._wals.values()) + list(self._dropped_wals.values())
-        return [writer for group in groups for writer in group]
+        # Quarantined partitions' writers are excluded: their log files were
+        # moved into the quarantine directory, and appending a commit marker
+        # through the stale writer would recreate a fresh (history-less) log
+        # that recovery would then misread as lost committed records.
+        writers: List["WalWriter"] = []
+        for name, group in self._wals.items():
+            collection = self._collections.get(name)
+            quarantined = collection._quarantined if collection is not None else set()
+            writers.extend(
+                writer for index, writer in enumerate(group)
+                if index not in quarantined
+            )
+        for group in self._dropped_wals.values():
+            writers.extend(group)
+        return writers
 
     def commit(self) -> int:
         """Seal staged operations into a new epoch; returns the epoch.
@@ -386,7 +434,8 @@ class DurableDatabase(Database):
         between leaves the previous epoch as the recovered state.
         """
         writers = self._all_writers()
-        if not any(writer.staged for writer in writers):
+        staged_ops = sum(writer.staged for writer in writers)
+        if not staged_ops:
             self._publish_all()
             return self.committed_epoch
         from repro.docstore.wal import write_committed_epoch
@@ -400,30 +449,117 @@ class DurableDatabase(Database):
         # a crash before this point leaves readers on the previous epoch,
         # matching what recovery would reconstruct.
         self._publish_all()
+        self._ops_since_checkpoint += staged_ops
+        if (
+            self.auto_compact is not None
+            and not self._in_checkpoint
+            and self._ops_since_checkpoint >= self.auto_compact
+        ):
+            self.checkpoint()
         return epoch
 
     def checkpoint(self) -> int:
-        """Commit, snapshot every collection atomically, truncate the logs.
+        """Commit, snapshot every collection atomically, rotate the logs.
 
         Returns the committed epoch the snapshot captures.  Safe to crash
-        at any point: until a collection's log is truncated, replaying it
-        over the new snapshot is idempotent.
+        at any point: rotation swaps each log for a fresh header-only file
+        atomically (checkpoint → write new log → fsync → rename), so a
+        crash leaves either the old full log (whose replay over the new
+        snapshot is idempotent) or the already-compacted one — never a
+        half-truncated file.  Quarantined collections are skipped entirely:
+        their snapshot cannot be rewritten (the healthy shards alone would
+        masquerade as the whole collection) and their surviving logs must
+        keep the history a stale snapshot lacks until :meth:`repair`.
         """
         from repro.docstore.storage import save_database
 
-        epoch = self.commit()
-        save_database(self, self.directory)
-        fs = faults.current_fs()
-        for name, writers in sorted(self._dropped_wals.items()):
-            for writer in writers:
-                writer.close()
-                fs.remove(writer.path)
-            fs.remove(self.directory / f"{name}.jsonl")
-        self._dropped_wals.clear()
-        for writers in self._wals.values():
-            for writer in writers:
-                writer.reset()
-        return epoch
+        self._in_checkpoint = True
+        try:
+            epoch = self.commit()
+            quarantined_collections = frozenset(
+                name
+                for name, collection in self._collections.items()
+                if collection._quarantined
+            )
+            save_database(self, self.directory, skip=quarantined_collections)
+            fs = faults.current_fs()
+            for name, writers in sorted(self._dropped_wals.items()):
+                for writer in writers:
+                    writer.close()
+                    fs.remove(writer.path)
+                fs.remove(self.directory / f"{name}.jsonl")
+            self._dropped_wals.clear()
+            for name, writers in self._wals.items():
+                if name in quarantined_collections:
+                    continue
+                for writer in writers:
+                    writer.rotate()
+            self._ops_since_checkpoint = 0
+            return epoch
+        finally:
+            self._in_checkpoint = False
+
+    # ---------------------------------------------------------- resilience
+
+    def scrub(self, deep: bool = True):
+        """Verify on-disk integrity without modifying anything.
+
+        Checks WAL CRC frames, snapshot checksums against the manifest and
+        cross-partition sequence continuity; see
+        :func:`repro.docstore.scrub.scrub_database`.  ``deep=False`` skips
+        per-line snapshot parsing.  Returns (and stores in
+        :attr:`last_scrub`) a :class:`~repro.docstore.scrub.ScrubReport`.
+        """
+        from repro.docstore.scrub import scrub_database
+
+        report = scrub_database(self.directory, self.name, deep=deep)
+        self.last_scrub = report
+        return report
+
+    def repair(self):
+        """Salvage what the damaged files still hold and lift quarantine.
+
+        Commits any healthy staged work, closes the database, re-runs
+        recovery in salvage mode over the restored quarantined files,
+        rewrites a clean snapshot and reopens in place.  Returns (and
+        stores in :attr:`last_repair`) a
+        :class:`~repro.docstore.scrub.RepairReport`.  Data in regions the
+        salvage pass cannot parse is dropped — the report says what.
+        """
+        from repro.docstore.errors import StorageError
+        from repro.docstore.scrub import repair_database
+
+        try:
+            self.commit()
+        except StorageError:
+            pass  # poisoned writer: staged tail already lost to the fault
+        self.close(commit=False)
+        report = repair_database(self.directory, self.name)
+        self.__init__(
+            self.directory,
+            self.name,
+            fsync_batch=self.fsync_batch,
+            shards=self._default_shards,
+            shard_key=self._default_shard_key,
+            auto_compact=self.auto_compact,
+        )
+        self.last_repair = report
+        return report
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        scrub = self.last_scrub
+        stats["storage"] = {
+            "committed_epoch": self.committed_epoch,
+            "ops_since_checkpoint": self._ops_since_checkpoint,
+            "auto_compact": self.auto_compact,
+            "last_scrub": None if scrub is None else {
+                "ok": scrub.ok,
+                "errors": len(scrub.errors),
+                "warnings": len(scrub.warnings),
+            },
+        }
+        return stats
 
     def save(self, directory: Path) -> None:
         """Checkpoint when saving in place; plain export elsewhere."""

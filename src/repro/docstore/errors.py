@@ -57,6 +57,49 @@ class StorageCorruptError(StorageError):
         super().__init__(f"{self.path}{where}: {reason}")
 
 
+class QuarantineError(DocStoreError):
+    """An operation touched a quarantined (fault-isolated) shard.
+
+    When recovery finds a corrupt partition WAL or snapshot it moves the
+    damaged file into a ``<file>.quarantined/`` directory and flags the
+    partition in the manifest instead of failing the whole database open
+    (see ``docs/durability.md``).  The collection then serves *degraded*:
+    operations confined to healthy shards proceed normally, operations
+    that would touch a quarantined shard raise a subclass of this error.
+    ``Database.repair()`` re-runs salvage and lifts the quarantine.
+    """
+
+    def __init__(self, collection: str, shards, operation: str) -> None:
+        self.collection = collection
+        self.shards = sorted(shards)
+        self.operation = operation
+        super().__init__(
+            f"{operation} on collection {collection!r} touches quarantined "
+            f"shard(s) {self.shards}; repair() the database to lift quarantine"
+        )
+
+
+class DegradedReadError(QuarantineError):
+    """A read's shard routing includes a quarantined partition.
+
+    Scatter reads can opt into partial results with
+    ``allow_degraded=True``, which returns documents from the healthy
+    shards and emits a :class:`DegradedReadWarning` instead.
+    """
+
+
+class DegradedWriteError(QuarantineError):
+    """A write would land on (or migrate into) a quarantined partition.
+
+    Writes have no degraded opt-in: accepting a write the quarantined
+    shard cannot journal would silently diverge from the log.
+    """
+
+
+class DegradedReadWarning(UserWarning):
+    """A degraded read returned results from healthy shards only."""
+
+
 class UnknownIndexKind(DocStoreError, ValueError):
     """An index was requested with an unsupported ``kind``.
 

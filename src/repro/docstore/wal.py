@@ -106,13 +106,23 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
     fs = faults.current_fs()
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    handle = fs.open(tmp, "wb", buffering=0)
     try:
-        fs.write(handle, data)
-        fs.fsync(handle)
-    finally:
-        handle.close()
-    fs.replace(tmp, path)
+        handle = fs.open(tmp, "wb", buffering=0)
+        try:
+            fs.write(handle, data)
+            fs.fsync(handle)
+        finally:
+            handle.close()
+        fs.replace(tmp, path)
+    except OSError:
+        # A *survived* failure (EIO, ENOSPC, ...) must not leak the tmp
+        # file; a simulated crash (CrashError, not OSError) leaves it as
+        # an orphan for the next open to sweep, exactly like a real death.
+        try:
+            fs.remove(tmp)
+        except OSError:
+            pass
+        raise
     fs.fsync_dir(path.parent)
 
 
@@ -128,7 +138,7 @@ def read_committed_epoch(directory: Path) -> int:
     """The last committed epoch recorded in ``directory`` (0 when none)."""
     path = Path(directory) / COMMIT_FILE
     try:
-        text = path.read_text(encoding="utf-8")
+        text = faults.current_fs().read_text(path)
     except FileNotFoundError:
         return 0
     try:
@@ -179,6 +189,9 @@ class WalWriter:
         self._unsynced = 0
         #: Data operations staged since the last commit marker.
         self.staged = 0
+        #: Why the writer refuses further appends (set after a survived
+        #: I/O failure such as ENOSPC); cleared by :meth:`reset`/:meth:`rotate`.
+        self._poisoned: Optional[str] = None
 
     # The shim is looked up per operation, not captured at construction,
     # so a fault plan installed after the writer exists still intercepts.
@@ -188,23 +201,68 @@ class WalWriter:
             fresh = not self.path.exists() or self.path.stat().st_size == 0
             self._handle = fs.open(self.path, "ab", buffering=0)
             if fresh:
-                fs.write(self._handle, WAL_MAGIC)
+                try:
+                    fs.write(self._handle, WAL_MAGIC)
+                except OSError as exc:
+                    self._recover_failed_write(0, exc)
         return self._handle
+
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None:
+            raise StorageError(
+                f"{self.path}: writer disabled after I/O failure "
+                f"({self._poisoned}); checkpoint or reopen to continue"
+            )
+
+    def _recover_failed_write(self, base: int, exc: OSError) -> None:
+        """Roll the file back to the last good frame boundary at ``base``.
+
+        A failed or partial frame write (ENOSPC, EIO) must never leave a
+        torn frame for the *next* append to bury mid-file — recovery would
+        then classify it as unrecoverable corruption instead of a torn
+        tail.  Truncating back to the pre-append size restores a clean
+        boundary; the writer is poisoned so nothing appends after a
+        failure the caller might swallow.
+        """
+        self.close()
+        try:
+            faults.current_fs().truncate(self.path, base)
+        except OSError:
+            pass  # disk still failing; recovery will classify the tail
+        self._poisoned = str(exc)
+        raise StorageError(
+            f"{self.path}: WAL append failed ({exc}); truncated back to "
+            f"last good frame boundary at byte {base}"
+        ) from exc
+
+    def _append_blob(self, blob: bytes, appends: int) -> None:
+        fs = faults.current_fs()
+        handle = self._ensure_open()
+        base = self.path.stat().st_size
+        try:
+            fs.write(handle, blob)
+        except OSError as exc:
+            self._recover_failed_write(base, exc)
+        self._unsynced += appends
+        if self.fsync_batch and self._unsynced >= self.fsync_batch:
+            try:
+                fs.fsync(handle)
+            except OSError as exc:
+                self._poisoned = str(exc)
+                raise StorageError(
+                    f"{self.path}: WAL fsync failed ({exc})"
+                ) from exc
+            self._unsynced = 0
 
     def append(self, operation: Dict[str, Any]) -> None:
         """Stage one operation record (fsynced per the batching policy)."""
+        self._check_poisoned()
         payload = json.dumps(operation, ensure_ascii=False, sort_keys=True).encode(
             "utf-8"
         )
-        fs = faults.current_fs()
-        handle = self._ensure_open()
-        fs.write(handle, encode_record(payload))
+        self._append_blob(encode_record(payload), appends=1)
         if operation.get("op") != "commit":
             self.staged += 1
-        self._unsynced += 1
-        if self.fsync_batch and self._unsynced >= self.fsync_batch:
-            fs.fsync(handle)
-            self._unsynced = 0
 
     def append_many(self, operations: List[Dict[str, Any]]) -> None:
         """Stage a batch of operation records with one write call.
@@ -222,21 +280,18 @@ class WalWriter:
         """
         if not operations:
             return
+        self._check_poisoned()
         chunks: List[bytes] = []
+        data_records = 0
         for operation in operations:
             payload = json.dumps(
                 operation, ensure_ascii=False, sort_keys=True
             ).encode("utf-8")
             chunks.append(encode_record(payload))
             if operation.get("op") != "commit":
-                self.staged += 1
-        fs = faults.current_fs()
-        handle = self._ensure_open()
-        fs.write(handle, b"".join(chunks))
-        self._unsynced += len(operations)
-        if self.fsync_batch and self._unsynced >= self.fsync_batch:
-            fs.fsync(handle)
-            self._unsynced = 0
+                data_records += 1
+        self._append_blob(b"".join(chunks), appends=len(operations))
+        self.staged += data_records
 
     def log(self, op: str, payload: Dict[str, Any]) -> None:
         """Journal hook wired into :attr:`Collection._journal`."""
@@ -256,7 +311,15 @@ class WalWriter:
     def commit(self, epoch: int) -> None:
         """Append a commit marker for ``epoch`` and make the file durable."""
         self.append({"op": "commit", "epoch": epoch})
-        faults.current_fs().fsync(self._ensure_open())
+        try:
+            faults.current_fs().fsync(self._ensure_open())
+        except OSError as exc:
+            # The marker may or may not be durable; refuse further appends
+            # until a checkpoint or reopen re-establishes a known state.
+            self._poisoned = str(exc)
+            raise StorageError(
+                f"{self.path}: commit fsync failed ({exc})"
+            ) from exc
         self._unsynced = 0
         self.staged = 0
 
@@ -267,7 +330,23 @@ class WalWriter:
         if self.path.exists():
             fs.truncate(self.path, len(WAL_MAGIC))
         self.staged = 0
+        self._poisoned = None
         # Reopen lazily; append mode continues after the header.
+
+    def rotate(self) -> None:
+        """Replace the log with a fresh header via an atomic rename.
+
+        The crash-safe variant of :meth:`reset` used by WAL compaction:
+        a new header-only file is written beside the log, fsynced, and
+        renamed over it.  Until the rename lands the old log is intact,
+        and a stale log replaying onto the fresh checkpoint snapshot is
+        idempotent-safe (the epoch filter skips captured history), so a
+        crash at *any* operation of the swap recovers cleanly.
+        """
+        self.close()
+        atomic_write_bytes(self.path, WAL_MAGIC)
+        self.staged = 0
+        self._poisoned = None
 
     def close(self) -> None:
         """Close the underlying handle (uncommitted staged ops stay staged)."""
@@ -336,7 +415,11 @@ def _parse_records(
 
 
 def read_wal(
-    path: Path, committed_epoch: int, truncate_torn: bool = True
+    path: Path,
+    committed_epoch: int,
+    truncate_torn: bool = True,
+    *,
+    best_effort: bool = False,
 ) -> WalRecovery:
     """Read, verify and classify one WAL file.
 
@@ -344,17 +427,23 @@ def read_wal(
     file; only operations covered by a marker with epoch ``<=`` it are
     returned.  A torn tail is truncated on disk (when ``truncate_torn``)
     so later appends continue from a clean boundary; damage inside the
-    committed region raises :class:`StorageCorruptError`.
+    committed region raises :class:`StorageCorruptError` — unless
+    ``best_effort`` (the salvage path behind ``repair``), which instead
+    returns the parseable committed prefix with a note describing where
+    and why salvage stopped.
     """
     path = Path(path)
     recovery = WalRecovery(path=path)
-    data = path.read_bytes()
+    data = faults.current_fs().read_bytes(path)
     if not data:
         return recovery
     if len(data) < len(WAL_MAGIC):
         _truncate(recovery, 0, "file shorter than the WAL header", truncate_torn)
         return recovery
     if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        if best_effort:
+            recovery.notes.append("bad WAL magic — salvaged nothing")
+            return recovery
         raise StorageCorruptError(path, "bad WAL magic", offset=0)
 
     records, bad_offset, reason = _parse_records(data, len(WAL_MAGIC))
@@ -370,7 +459,12 @@ def read_wal(
                 next_offset = bad_offset + _RECORD_PREFIX.size + length
         followers, _, _ = _parse_records(data, next_offset)
         if followers:
-            raise StorageCorruptError(path, reason, offset=bad_offset)
+            if not best_effort:
+                raise StorageCorruptError(path, reason, offset=bad_offset)
+            recovery.notes.append(
+                f"salvage stopped at byte {bad_offset}: {reason} "
+                f"({len(followers)} parseable record(s) after the damage lost)"
+            )
 
     staged: List[Dict[str, Any]] = []
     sealed = False  # a marker past the committed epoch seals the rest off

@@ -1,6 +1,6 @@
 """Deterministic fault injection for durable-storage code paths.
 
-Every mutating filesystem operation of the durability layer
+Every filesystem operation of the durability layer
 (:mod:`repro.docstore.wal`, :mod:`repro.docstore.storage`) is routed
 through a process-wide, swappable :class:`FileSystem` shim instead of
 calling :func:`open` / :func:`os.fsync` / :func:`os.replace` directly.
@@ -13,11 +13,26 @@ fails deterministically at the N-th one:
   raise :class:`CrashError`, simulating a torn write; other operations
   crash as in ``"crash"`` mode;
 * ``mode="error"`` — raise :class:`OSError` at that operation only and keep
-  working afterwards, simulating a transient I/O failure.
+  working afterwards, simulating a transient I/O failure;
+* ``mode="eio"`` — like ``"error"`` but with ``errno.EIO``, the shape a
+  failing disk or interconnect produces on reads and writes alike;
+* ``mode="enospc"`` — a full disk: a write persists only a prefix of its
+  data (the bytes that still fit) and then raises ``errno.ENOSPC``; other
+  operations raise plain ``ENOSPC``.  The process keeps running, so the
+  caller must leave the file in a recoverable shape
+  (``WalWriter`` truncates back to the last good frame boundary);
+* ``mode="partial_fsync"`` — data was written but never became durable: at
+  the targeted fsync the file is rolled back to its last durably-synced
+  size and the process "crashes".  This simulates losing the OS page cache
+  at a power cut, the one failure ``"crash"`` mode (where every ``write``
+  survives) cannot produce;
+* ``mode="slow"`` — sleep for :attr:`FaultyFileSystem.delay` seconds at the
+  targeted operation, then perform it normally.  Nothing fails; used to
+  assert that latency alone never changes an outcome.
 
 The harness is deterministic: the same workload performs the same sequence
-of operations, so "crash at every N from 1 to total" enumerates every
-crash point exactly once (see ``tests/docstore/test_faults.py``).
+of operations, so "fail at every N from 1 to total" enumerates every
+injection point exactly once (see ``tests/docstore/test_faults.py``).
 
 Usage::
 
@@ -35,7 +50,10 @@ many injection points it exposes.
 from __future__ import annotations
 
 import contextlib
+import errno
 import os
+import time
+from pathlib import Path
 from typing import IO, Any, Callable, Iterator, Optional, Union
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -54,9 +72,10 @@ class CrashError(RuntimeError):
 class FileSystem:
     """The real filesystem: the default, passthrough shim.
 
-    The durability layer only ever uses this narrow surface for mutations,
-    so wrapping these seven methods covers every write-path injection
-    point.
+    The durability layer only ever uses this narrow surface, so wrapping
+    these eight methods covers every injection point — the seven mutating
+    operations plus whole-file reads (``read``), which lets the harness
+    inject ``EIO`` on the recovery/replay path too.
     """
 
     def open(self, path: PathLike, mode: str, buffering: int = -1) -> IO[bytes]:
@@ -95,12 +114,24 @@ class FileSystem:
         finally:
             os.close(fd)
 
+    def read_bytes(self, path: PathLike) -> bytes:
+        """Read the whole file at ``path`` (missing files raise as usual)."""
+        return Path(path).read_bytes()
 
-#: Operation names a :class:`FaultyFileSystem` can target.
-FAULT_OPS = ("open", "write", "fsync", "replace", "truncate", "remove", "fsync_dir")
+    def read_text(self, path: PathLike, encoding: str = "utf-8") -> str:
+        """UTF-8 text variant of :meth:`read_bytes` (one ``read`` op)."""
+        return self.read_bytes(path).decode(encoding)
 
-#: Supported failure modes.
-FAULT_MODES = ("crash", "torn", "error")
+
+#: Operation names a :class:`FaultyFileSystem` can target.  ``read`` covers
+#: both :meth:`FileSystem.read_bytes` and :meth:`FileSystem.read_text`.
+FAULT_OPS = (
+    "open", "write", "fsync", "replace", "truncate", "remove", "fsync_dir",
+    "read",
+)
+
+#: Supported failure modes (see the module docstring).
+FAULT_MODES = ("crash", "torn", "error", "eio", "enospc", "partial_fsync", "slow")
 
 
 class FaultyFileSystem(FileSystem):
@@ -112,11 +143,13 @@ class FaultyFileSystem(FileSystem):
         1-based index of the operation to fail; ``None`` counts operations
         without ever failing (the counting shim behind :func:`count_ops`).
     mode:
-        ``"crash"``, ``"torn"`` or ``"error"`` (see module docstring).
+        One of :data:`FAULT_MODES` (see module docstring).
     only:
         Optional subset of :data:`FAULT_OPS`; operations outside it are
         passed through *without counting*, which lets a test say "crash at
         the 3rd fsync" instead of "the 3rd operation of any kind".
+    delay:
+        Seconds slept at the targeted operation in ``"slow"`` mode.
     """
 
     def __init__(
@@ -124,6 +157,7 @@ class FaultyFileSystem(FileSystem):
         fail_at: Optional[int] = None,
         mode: str = "crash",
         only: Optional[tuple] = None,
+        delay: float = 0.01,
     ) -> None:
         if mode not in FAULT_MODES:
             raise ValueError(f"mode must be one of {FAULT_MODES}, got {mode!r}")
@@ -134,10 +168,14 @@ class FaultyFileSystem(FileSystem):
         self.fail_at = fail_at
         self.mode = mode
         self.only = tuple(only) if only is not None else None
+        self.delay = delay
         #: Number of (targeted) operations seen so far.
         self.ops = 0
         #: Description of the operation that was failed, if any.
         self.failed_op: Optional[str] = None
+        #: Last durably-fsynced size per file path (``partial_fsync`` mode):
+        #: baselined at ``open``, advanced at every successful ``fsync``.
+        self._durable: dict = {}
 
     # ------------------------------------------------------------- internals
 
@@ -152,21 +190,44 @@ class FaultyFileSystem(FileSystem):
         return True
 
     def _fail(self, op: str) -> None:
+        if self.mode == "slow":
+            time.sleep(self.delay)
+            return
         if self.mode == "error":
             raise OSError(f"injected I/O error at {self.failed_op}")
+        if self.mode == "eio":
+            raise OSError(errno.EIO, f"injected EIO at {self.failed_op}")
+        if self.mode == "enospc":
+            raise OSError(errno.ENOSPC, f"injected ENOSPC at {self.failed_op}")
         raise CrashError(f"injected crash at {self.failed_op}")
+
+    def _track_durable(self, handle: IO[Any]) -> None:
+        """Record the current size of ``handle``'s file as durable."""
+        name = getattr(handle, "name", None)
+        if isinstance(name, (str, os.PathLike)) and os.path.exists(name):
+            self._durable[os.fspath(name)] = os.path.getsize(name)
 
     # ------------------------------------------------------------ operations
 
     def open(self, path: PathLike, mode: str, buffering: int = -1) -> IO[bytes]:
         if self._arm("open", path):
             self._fail("open")
-        return super().open(path, mode, buffering=buffering)
+        handle = super().open(path, mode, buffering=buffering)
+        if self.mode == "partial_fsync":
+            # Baseline: everything on disk at open time is considered
+            # durable (the previous run either fsynced it or already
+            # recovered past it).
+            self._track_durable(handle)
+            name = getattr(handle, "name", None)
+            if isinstance(name, (str, os.PathLike)):
+                self._durable.setdefault(os.fspath(name), 0)
+        return handle
 
     def write(self, handle: IO[bytes], data: bytes) -> int:
         if self._arm("write", getattr(handle, "name", "<handle>")):
-            if self.mode == "torn" and len(data) > 1:
-                # Persist a prefix, then "crash": a torn write on disk.
+            if self.mode in ("torn", "enospc") and len(data) > 1:
+                # Persist a prefix: a torn write (crash) or the bytes that
+                # still fit on the full disk (ENOSPC, process survives).
                 super().write(handle, data[: len(data) // 2])
                 handle.flush()
             self._fail("write")
@@ -174,13 +235,32 @@ class FaultyFileSystem(FileSystem):
 
     def fsync(self, handle: IO[Any]) -> None:
         if self._arm("fsync", getattr(handle, "name", "<handle>")):
+            if self.mode == "partial_fsync":
+                # The data reached the OS but never the platters: roll the
+                # file back to its last durable size, then "lose power".
+                handle.flush()
+                name = getattr(handle, "name", None)
+                if isinstance(name, (str, os.PathLike)):
+                    durable = self._durable.get(os.fspath(name))
+                    if durable is not None and os.path.exists(name):
+                        if durable < os.path.getsize(name):
+                            os.truncate(name, durable)
+                raise CrashError(f"injected partial fsync at {self.failed_op}")
             self._fail("fsync")
         super().fsync(handle)
+        if self.mode == "partial_fsync":
+            self._track_durable(handle)
 
     def replace(self, source: PathLike, target: PathLike) -> None:
         if self._arm("replace", target):
             self._fail("replace")
         super().replace(source, target)
+        if self.mode == "partial_fsync":
+            # The renamed file's content was fsynced before the rename
+            # (atomic-write protocol), so the target is fully durable.
+            self._durable.pop(os.fspath(source), None)
+            if os.path.exists(target):
+                self._durable[os.fspath(target)] = os.path.getsize(target)
 
     def truncate(self, path: PathLike, size: int) -> None:
         if self._arm("truncate", path):
@@ -196,6 +276,11 @@ class FaultyFileSystem(FileSystem):
         if self._arm("fsync_dir", path):
             self._fail("fsync_dir")
         super().fsync_dir(path)
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        if self._arm("read", path):
+            self._fail("read")
+        return super().read_bytes(path)
 
 
 _DEFAULT = FileSystem()
@@ -231,3 +316,19 @@ def crash_points(total: int) -> Iterator[FaultyFileSystem]:
     """Yield a crash-mode shim for every injection point in ``1..total``."""
     for n in range(1, total + 1):
         yield FaultyFileSystem(fail_at=n, mode="crash")
+
+
+def fault_points(
+    total: int,
+    mode: str = "crash",
+    only: Optional[tuple] = None,
+    delay: float = 0.01,
+) -> Iterator[FaultyFileSystem]:
+    """Yield a ``mode`` shim for every injection point in ``1..total``.
+
+    The general form of :func:`crash_points`: sweeps any failure mode
+    (``eio``, ``enospc``, ``partial_fsync``, ...) over every operation a
+    workload performs.
+    """
+    for n in range(1, total + 1):
+        yield FaultyFileSystem(fail_at=n, mode=mode, only=only, delay=delay)

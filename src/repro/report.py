@@ -42,10 +42,11 @@ def render_shard_stats(stats: Dict) -> str:
     is perfectly even).
     """
     header = ("collection", "documents", "shards", "shard key",
-              "per-shard", "balance")
+              "per-shard", "balance", "quarantined")
     body = []
     for name in sorted(stats.get("collections", {})):
         entry = stats["collections"][name]
+        quarantined = entry.get("quarantined_shards") or []
         body.append(
             (
                 name,
@@ -54,8 +55,38 @@ def render_shard_stats(stats: Dict) -> str:
                 entry["shard_key"] if entry["shards"] > 1 else "-",
                 "/".join(str(count) for count in entry["shard_documents"]),
                 f"{entry['balance_factor']:.2f}",
+                ",".join(str(index) for index in quarantined) or "-",
             )
         )
+    return render_table(header, body)
+
+
+def render_resilience(stats: Dict) -> str:
+    """Resilience counters from :meth:`repro.docstore.Database.stats`.
+
+    Covers the parallel layer's retry/degradation telemetry and the
+    storage layer's quarantine/degraded-read state; all zeros on a
+    healthy run.
+    """
+    resilience = stats.get("resilience", {})
+    header = ("counter", "value")
+    body = [(key, resilience[key]) for key in sorted(resilience)]
+    storage = stats.get("storage")
+    if storage:
+        body.append(("committed epoch", storage.get("committed_epoch", 0)))
+        body.append(
+            ("ops since checkpoint", storage.get("ops_since_checkpoint", 0))
+        )
+        scrub = storage.get("last_scrub")
+        if scrub is not None:
+            body.append(
+                (
+                    "last scrub",
+                    "ok" if scrub.get("ok")
+                    else f"{scrub.get('errors', 0)} error(s), "
+                         f"{scrub.get('warnings', 0)} warning(s)",
+                )
+            )
     return render_table(header, body)
 
 

@@ -10,7 +10,9 @@ and deep-compare the recovered state against the set of states the
 workload committed.
 """
 
+import errno
 import json
+import warnings
 from pathlib import Path
 
 import pytest
@@ -19,8 +21,9 @@ from hypothesis import strategies as st
 
 from repro import faults
 from repro.core import RemovalLevel, TestDataGenerator
-from repro.docstore import Database, DurableDatabase
-from repro.docstore.errors import StorageError
+from repro.docstore import Database, DurableDatabase, shard_key_shard
+from repro.docstore.errors import DegradedReadWarning, StorageError
+from repro.docstore.wal import WalWriter, read_wal
 from repro.votersim.schema import empty_record
 from repro.votersim.snapshots import Snapshot
 
@@ -196,6 +199,264 @@ class TestFaultShim:
             faults.FaultyFileSystem(fail_at=1, only=("format_disk",))
 
 
+# ------------------------------------------------ full fault-model sweeps
+
+#: Shard-key values covering every shard of a 3-way layout twice
+#: (``shard_key_shard`` placement: AA1/AA3 → 0, AA2/AA5 → 1, AA7/AA9 → 2).
+_SHARDED_IDS = ("AA1", "AA2", "AA7", "AA3", "AA5", "AA9")
+
+
+def sharded_workload(directory, mark=None):
+    """Insert/index/update/checkpoint/delete over a 3-shard collection."""
+    database = DurableDatabase(Path(directory), shards=3)
+    docs = database.get_collection("docs")
+    for index, ncid in enumerate(_SHARDED_IDS):
+        docs.insert_one({"_id": ncid, "ncid": ncid, "n": index})
+    docs.create_index("ncid")
+    database.commit()
+    if mark:
+        mark(database)
+    docs.update_one({"_id": "AA1"}, {"$set": {"n": 100}})
+    database.checkpoint()
+    if mark:
+        mark(database)
+    docs.delete_many({"_id": "AA2"})
+    docs.insert_one({"_id": "BA1", "ncid": "BA1", "n": 7})
+    database.commit()
+    if mark:
+        mark(database)
+    database.close()
+
+
+def doc_state(database):
+    """Docs-only state (degraded-tolerant): healthy shards' documents."""
+    state = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedReadWarning)
+        for name in database.collection_names():
+            state[name] = sorted(
+                json.dumps(doc, sort_keys=True)
+                for doc in database[name].all(allow_degraded=True)
+            )
+    return state
+
+
+def committed_doc_states(workload, directory):
+    """Run ``workload`` fault-free; return the committed docs-only states."""
+    states = [{}]
+    workload(directory, mark=lambda db: states.append(doc_state(db)))
+    return states
+
+
+def healthy_projection(state, quarantined, shards):
+    """Project a committed state onto the shards ``quarantined`` spares."""
+    projected = {}
+    for name, blobs in state.items():
+        dark = quarantined.get(name, set())
+        kept = []
+        for blob in blobs:
+            doc = json.loads(blob)
+            if shard_key_shard(str(doc.get("ncid")), shards) not in dark:
+                kept.append(blob)
+        projected[name] = kept
+    return projected
+
+
+def check_recovered_or_quarantined(target, states, shards):
+    """The tentpole invariant: recovered-or-quarantined, never silently wrong.
+
+    Returns ``None`` when the reopened store's (degraded) state is the
+    healthy-shard projection of some committed state, else a description
+    of the violation.
+    """
+    try:
+        reopened = DurableDatabase(target, shards=shards)
+    except Exception as exc:  # noqa: BLE001 - any failure to open is the bug
+        return f"reopen failed: {exc!r}"
+    try:
+        quarantined = {
+            name: set(reopened[name].quarantined_shards)
+            for name in reopened.collection_names()
+            if reopened[name].quarantined_shards
+        }
+        actual = doc_state(reopened)
+        for state in states:
+            if actual == healthy_projection(state, quarantined, shards):
+                return None
+        return f"state not a committed projection (quarantined={quarantined})"
+    finally:
+        reopened.close(commit=False)
+
+
+def fault_sweep(workload, tmp_path, mode, shards=3):
+    """Inject ``mode`` at every op; assert the store is never silently wrong."""
+    states = committed_doc_states(workload, tmp_path / "reference")
+    total = faults.count_ops(lambda: workload(tmp_path / "count"))
+    assert total > 0
+    failures = []
+    for plan in faults.fault_points(total, mode=mode):
+        target = tmp_path / f"{mode}-{plan.fail_at}"
+        with faults.inject(plan):
+            try:
+                workload(target)
+            except (faults.CrashError, OSError):
+                pass  # the fault surfaced; the store must still open below
+        violation = check_recovered_or_quarantined(target, states, shards)
+        if violation is not None:
+            failures.append((plan.fail_at, plan.failed_op, violation))
+    assert not failures, f"{len(failures)}/{total} fault points leaked: {failures}"
+
+
+class TestFaultModeSweep:
+    """The full I/O fault model over a sharded generate→commit→checkpoint run."""
+
+    def test_sharded_workload_crash_mode(self, tmp_path):
+        sweep(sharded_workload, tmp_path, "crash")
+
+    def test_sharded_workload_torn_mode(self, tmp_path):
+        fault_sweep(sharded_workload, tmp_path, "torn")
+
+    def test_sharded_workload_eio_mode(self, tmp_path):
+        fault_sweep(sharded_workload, tmp_path, "eio")
+
+    def test_sharded_workload_enospc_mode(self, tmp_path):
+        fault_sweep(sharded_workload, tmp_path, "enospc")
+
+    def test_sharded_workload_partial_fsync_mode(self, tmp_path):
+        fault_sweep(sharded_workload, tmp_path, "partial_fsync")
+
+    def test_docstore_workload_enospc_mode(self, tmp_path):
+        fault_sweep(docstore_workload, tmp_path, "enospc", shards=1)
+
+    def test_docstore_workload_partial_fsync_mode(self, tmp_path):
+        fault_sweep(docstore_workload, tmp_path, "partial_fsync", shards=1)
+
+    def test_slow_mode_changes_nothing(self, tmp_path):
+        """Latency alone must never change an outcome."""
+        expected = committed_doc_states(sharded_workload, tmp_path / "ref")[-1]
+        plan = faults.FaultyFileSystem(fail_at=5, mode="slow", delay=0.001)
+        with faults.inject(plan):
+            sharded_workload(tmp_path / "slow")
+        assert plan.failed_op is not None  # the delay did fire
+        reopened = DurableDatabase(tmp_path / "slow", shards=3)
+        assert doc_state(reopened) == expected
+        assert reopened.last_recovery.clean
+        reopened.close(commit=False)
+
+
+class TestFaultShimModes:
+    def test_eio_mode_sets_errno_and_fires_once(self, tmp_path):
+        plan = faults.FaultyFileSystem(fail_at=1, mode="eio")
+        with faults.inject(plan):
+            with pytest.raises(OSError) as excinfo:
+                plan.read_bytes(tmp_path / "missing")
+            assert excinfo.value.errno == errno.EIO
+            (tmp_path / "f").write_bytes(b"ok")
+            assert plan.read_bytes(tmp_path / "f") == b"ok"  # fires once
+
+    def test_enospc_mode_persists_prefix_then_raises(self, tmp_path):
+        plan = faults.FaultyFileSystem(fail_at=2, mode="enospc")
+        with faults.inject(plan):
+            handle = plan.open(tmp_path / "f", "wb", buffering=0)
+            with pytest.raises(OSError) as excinfo:
+                plan.write(handle, b"0123456789")
+            handle.close()
+        assert excinfo.value.errno == errno.ENOSPC
+        assert (tmp_path / "f").read_bytes() == b"01234"  # half fit on disk
+
+    def test_partial_fsync_rolls_back_to_durable_size(self, tmp_path):
+        plan = faults.FaultyFileSystem(
+            fail_at=2, mode="partial_fsync", only=("fsync",)
+        )
+        with faults.inject(plan):
+            handle = plan.open(tmp_path / "f", "wb", buffering=0)
+            plan.write(handle, b"durable!")
+            plan.fsync(handle)                                 # fsync 1: ok
+            plan.write(handle, b"lost")
+            with pytest.raises(faults.CrashError):
+                plan.fsync(handle)                             # fsync 2: fails
+            handle.close()
+        assert (tmp_path / "f").read_bytes() == b"durable!"
+
+    def test_slow_mode_performs_the_operation(self, tmp_path):
+        plan = faults.FaultyFileSystem(fail_at=1, mode="slow", delay=0.0)
+        with faults.inject(plan):
+            handle = plan.open(tmp_path / "f", "wb", buffering=0)
+            handle.write(b"x")
+            handle.close()
+        assert (tmp_path / "f").read_bytes() == b"x"
+        assert plan.failed_op is not None
+
+    def test_fault_points_enumerates_every_index(self):
+        plans = list(faults.fault_points(3, mode="enospc", only=("write",)))
+        assert [plan.fail_at for plan in plans] == [1, 2, 3]
+        assert all(plan.mode == "enospc" for plan in plans)
+        assert all(plan.only == ("write",) for plan in plans)
+
+
+class TestWalEnospcSafety:
+    """Satellite: a failed append must leave the log on a frame boundary."""
+
+    def _writer_with_one_commit(self, tmp_path):
+        writer = WalWriter(tmp_path / "docs.wal")
+        writer.log("insert", {"doc": {"_id": "a"}})
+        writer.commit(1)
+        return writer
+
+    def test_failed_append_truncates_to_last_frame(self, tmp_path):
+        writer = self._writer_with_one_commit(tmp_path)
+        good_size = (tmp_path / "docs.wal").stat().st_size
+        plan = faults.FaultyFileSystem(fail_at=1, mode="enospc", only=("write",))
+        with faults.inject(plan):
+            with pytest.raises(StorageError):
+                writer.log("insert", {"doc": {"_id": "b"}})
+        assert (tmp_path / "docs.wal").stat().st_size == good_size
+        recovery = read_wal(tmp_path / "docs.wal", committed_epoch=1)
+        assert [op["op"] for op in recovery.operations] == ["insert"]
+        writer.close()
+
+    def test_poisoned_writer_refuses_appends_until_reset(self, tmp_path):
+        writer = self._writer_with_one_commit(tmp_path)
+        plan = faults.FaultyFileSystem(fail_at=1, mode="enospc", only=("write",))
+        with faults.inject(plan):
+            with pytest.raises(StorageError):
+                writer.log("insert", {"doc": {"_id": "b"}})
+        with pytest.raises(StorageError):  # no fault active: still poisoned
+            writer.log("insert", {"doc": {"_id": "c"}})
+        writer.reset()
+        writer.log("insert", {"doc": {"_id": "d"}})  # healthy again
+        writer.close()
+
+    def test_failed_commit_marker_poisons_writer(self, tmp_path):
+        writer = self._writer_with_one_commit(tmp_path)
+        writer.log("insert", {"doc": {"_id": "b"}})
+        plan = faults.FaultyFileSystem(fail_at=1, mode="eio", only=("fsync",))
+        with faults.inject(plan):
+            with pytest.raises(StorageError):
+                writer.commit(2)
+        # Epoch 2 never became durable: replay must stop at epoch 1.
+        recovery = read_wal(tmp_path / "docs.wal", committed_epoch=1)
+        assert recovery.last_epoch == 1
+        writer.close()
+
+
+class TestOrphanCleanup:
+    """Satellite: ``*.tmp`` leftovers from crashed atomic writes are swept."""
+
+    def test_orphans_removed_and_counted_on_open(self, tmp_path):
+        database = DurableDatabase(tmp_path)
+        database["docs"].insert_one({"_id": "a", "ncid": "a"})
+        database.checkpoint()
+        database.close()
+        (tmp_path / "docs.jsonl.tmp").write_bytes(b"half-written")
+        (tmp_path / "manifest.json.tmp").write_bytes(b"{")
+        reopened = DurableDatabase(tmp_path)
+        assert reopened.last_recovery.orphans_removed == 2
+        assert not list(tmp_path.glob("*.tmp"))
+        assert [doc["_id"] for doc in reopened["docs"].all()] == ["a"]
+        reopened.close(commit=False)
+
+
 # ----------------------------------------------------------- property tests
 
 _DOC_IDS = st.sampled_from(["a", "b", "c", "d", "e"])
@@ -215,6 +476,22 @@ def apply_operations(collection, operations):
                 )
             else:
                 collection.insert_one({"_id": doc_id, "value": value})
+        elif kind == "update":
+            collection.update_one({"_id": doc_id}, {"$set": {"value": value}})
+        elif kind == "delete":
+            collection.delete_many({"_id": doc_id})
+
+
+def apply_sharded_operations(collection, operations):
+    """Like :func:`apply_operations` but stamps the shard key on every doc,
+    so a fault oracle can project committed states onto healthy shards."""
+    for kind, doc_id, value in operations:
+        document = {"_id": doc_id, "ncid": doc_id, "value": value}
+        if kind == "insert":
+            if collection.count_documents({"_id": doc_id}):
+                collection.replace_one({"_id": doc_id}, document)
+            else:
+                collection.insert_one(document)
         elif kind == "update":
             collection.update_one({"_id": doc_id}, {"$set": {"value": value}})
         elif kind == "delete":
@@ -259,3 +536,44 @@ class TestRoundTripProperties:
         reopened = DurableDatabase(directory)
         assert canonical(reopened) == expected
         reopened.close(commit=False)
+
+    @given(
+        committed=st.lists(_OPERATIONS, max_size=12),
+        staged=st.lists(_OPERATIONS, max_size=8),
+        mode=st.sampled_from(["crash", "torn", "eio", "enospc", "partial_fsync"]),
+        point=st.integers(1, 80),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_fault_never_silently_wrong(
+        self, committed, staged, mode, point, tmp_path_factory
+    ):
+        """Random ops × random fault point × any mode → the invariant holds."""
+        directory = tmp_path_factory.mktemp("fault")
+
+        def workload(target, mark=None):
+            database = DurableDatabase(Path(target), shards=2)
+            docs = database["docs"]
+            apply_sharded_operations(docs, committed)
+            database.commit()
+            if mark:
+                mark(database)
+            apply_sharded_operations(docs, staged)
+            database.commit()
+            if mark:
+                mark(database)
+            database.close()
+
+        states = committed_doc_states(workload, directory / "reference")
+        target = directory / "faulted"
+        plan = faults.FaultyFileSystem(fail_at=point, mode=mode)
+        with faults.inject(plan):
+            try:
+                workload(target)
+            except (faults.CrashError, OSError):
+                pass
+        violation = check_recovered_or_quarantined(target, states, shards=2)
+        assert violation is None, f"{plan.failed_op}: {violation}"

@@ -1,0 +1,374 @@
+"""Scrubber, quarantine/degraded-read and repair tests.
+
+The robustness contract on top of crash recovery: corruption in one
+partition's files takes exactly that partition dark (quarantine) instead
+of failing the whole store; reads that only touch healthy shards keep
+working bit-identically; reads that touch the dark shard raise a typed
+error unless the caller opts into degraded results; writes to the dark
+shard are refused; ``repair()`` salvages what the damaged files still
+hold and lifts the quarantine.  ``scrub_database`` finds all of this
+offline without modifying a byte.
+"""
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.docstore import (
+    Database,
+    DegradedReadError,
+    DegradedReadWarning,
+    DegradedWriteError,
+    DurableDatabase,
+    StorageError,
+    scrub_database,
+    shard_key_shard,
+)
+from repro.docstore.errors import DocStoreError
+from repro.docstore.scrub import repair_database
+from repro.docstore.wal import WAL_MAGIC, wal_filename
+
+#: ncids landing on shards 0, 1 and 2 of a 3-way layout (crc32 placement).
+SNAP_IDS = ("AA1", "AA2", "AA7")
+WAL_IDS = ("AA3", "AA5", "AA9")
+DARK_SHARD = 2  # shard of AA7/AA9
+
+
+def build_sharded_store(directory):
+    """Snapshot holding SNAP_IDS, per-partition WALs holding WAL_IDS."""
+    database = DurableDatabase(Path(directory), shards=3)
+    docs = database["docs"]
+    for ncid in SNAP_IDS:
+        docs.insert_one({"_id": ncid, "ncid": ncid, "stage": "snapshot"})
+    database.checkpoint()
+    for ncid in WAL_IDS:
+        docs.insert_one({"_id": ncid, "ncid": ncid, "stage": "wal"})
+    database.commit()
+    database.close()
+    return Path(directory)
+
+
+def build_checkpointed_store(directory):
+    """Like :func:`build_sharded_store` but ending at the checkpoint, so
+    the manifest checksum is authoritative (no interrupted-checkpoint
+    window for a corrupt snapshot to hide in)."""
+    database = DurableDatabase(Path(directory), shards=3)
+    docs = database["docs"]
+    for ncid in SNAP_IDS + WAL_IDS:
+        docs.insert_one({"_id": ncid, "ncid": ncid, "stage": "snapshot"})
+    database.checkpoint()
+    database.close(commit=False)
+    return Path(directory)
+
+
+def corrupt_wal_frame(path):
+    """Flip a payload byte of the first record; later frames stay valid."""
+    data = bytearray(path.read_bytes())
+    offset = len(WAL_MAGIC) + 8 + 4  # file magic + frame header + into payload
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def dark_wal(store):
+    return store / wal_filename("docs", DARK_SHARD, 3)
+
+
+@pytest.fixture()
+def degraded_store(tmp_path):
+    """A sharded store reopened after mid-file WAL corruption on one shard."""
+    store = build_sharded_store(tmp_path / "store")
+    corrupt_wal_frame(dark_wal(store))
+    return store
+
+
+def test_shard_ids_cover_the_layout():
+    assert [shard_key_shard(n, 3) for n in SNAP_IDS] == [0, 1, 2]
+    assert [shard_key_shard(n, 3) for n in WAL_IDS] == [0, 1, 2]
+
+
+class TestScrubFindings:
+    def test_clean_store_is_clean(self, tmp_path):
+        store = build_sharded_store(tmp_path / "store")
+        report = scrub_database(store)
+        assert report.ok and report.clean
+        assert report.files_checked >= 4  # manifest, snapshot, 3 WALs
+        assert report.bytes_checked > 0
+        assert "no problems found" in report.render()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            scrub_database(tmp_path / "nowhere")
+
+    def test_corrupt_wal_is_an_error(self, degraded_store):
+        report = scrub_database(degraded_store)
+        assert not report.ok
+        kinds = {finding.kind for finding in report.errors}
+        assert "wal-corrupt" in kinds
+        [finding] = [f for f in report.errors if f.kind == "wal-corrupt"]
+        assert finding.collection == "docs"
+        assert finding.partition == DARK_SHARD
+
+    def test_corrupt_snapshot_is_an_error(self, tmp_path):
+        store = build_checkpointed_store(tmp_path / "store")
+        path = store / "docs.jsonl"
+        text = path.read_text()
+        path.write_text(text.replace('"', "X", 1))
+        report = scrub_database(store)
+        kinds = {finding.kind for finding in report.errors}
+        assert "snapshot-checksum" in kinds
+        assert "snapshot-parse" in kinds  # deep pass parses every line
+
+    def test_shallow_skips_line_parsing(self, tmp_path):
+        store = build_checkpointed_store(tmp_path / "store")
+        path = store / "docs.jsonl"
+        path.write_text(path.read_text().replace('"', "X", 1))
+        report = scrub_database(store, deep=False)
+        kinds = {finding.kind for finding in report.errors}
+        assert "snapshot-checksum" in kinds
+        assert "snapshot-parse" not in kinds
+
+    def test_interrupted_checkpoint_checksum_is_a_warning(self, tmp_path):
+        """COMMITTED beyond the manifest epoch marks the repairable window."""
+        store = build_sharded_store(tmp_path / "store")  # commit after ckpt
+        path = store / "docs.jsonl"
+        path.write_text(path.read_text() + "\n")  # size mismatch, still parses
+        report = scrub_database(store)
+        assert report.ok
+        assert any(
+            f.kind == "snapshot-checksum" and "interrupted checkpoint" in f.detail
+            for f in report.warnings
+        )
+
+    def test_orphan_tmp_is_a_warning(self, tmp_path):
+        store = build_sharded_store(tmp_path / "store")
+        (store / "docs.jsonl.tmp").write_bytes(b"half")
+        report = scrub_database(store)
+        assert report.ok  # warnings do not fail a scrub
+        assert {finding.kind for finding in report.warnings} == {"orphan-tmp"}
+
+    def test_quarantine_flags_reported(self, degraded_store):
+        DurableDatabase(degraded_store, shards=3).close(commit=False)
+        report = scrub_database(degraded_store)
+        assert report.quarantined == {"docs": [DARK_SHARD]}
+        assert not report.ok
+        assert any(f.kind == "quarantine" for f in report.warnings)
+
+    def test_to_dict_round_trips_through_json(self, degraded_store):
+        report = scrub_database(degraded_store)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is False
+        assert payload["findings"]
+        assert payload["committed_epoch"] == report.committed_epoch
+
+
+class TestQuarantinedDegradedReads:
+    def test_reopen_quarantines_only_the_corrupt_shard(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        assert database.last_recovery.quarantined == {"docs": [DARK_SHARD]}
+        assert database["docs"].quarantined_shards == [DARK_SHARD]
+        database.close(commit=False)
+
+    def test_healthy_shard_reads_are_bit_identical(self, tmp_path):
+        pristine = build_sharded_store(tmp_path / "pristine")
+        oracle = DurableDatabase(pristine, shards=3)
+        expected = {
+            ncid: oracle["docs"].find_one({"ncid": ncid})
+            for ncid in ("AA1", "AA2", "AA3", "AA5")
+        }
+        oracle.close(commit=False)
+
+        store = build_sharded_store(tmp_path / "store")
+        corrupt_wal_frame(dark_wal(store))
+        database = DurableDatabase(store, shards=3)
+        for ncid, doc in expected.items():  # all route to healthy shards
+            assert database["docs"].find_one({"ncid": ncid}) == doc
+        database.close(commit=False)
+
+    def test_dark_shard_point_read_raises(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        with pytest.raises(DegradedReadError) as excinfo:
+            database["docs"].find_one({"ncid": "AA7"})
+        assert excinfo.value.shards == [DARK_SHARD]
+        database.close(commit=False)
+
+    def test_scatter_read_requires_opt_in(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        docs = database["docs"]
+        with pytest.raises(DegradedReadError):
+            docs.find({})
+        with pytest.warns(DegradedReadWarning):
+            partial = docs.find({}, allow_degraded=True)
+        assert {doc["ncid"] for doc in partial} == {"AA1", "AA2", "AA3", "AA5"}
+        database.close(commit=False)
+
+    def test_degraded_aggregate_and_count(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        docs = database["docs"]
+        with pytest.raises(DegradedReadError):
+            docs.count_documents()
+        with pytest.warns(DegradedReadWarning):
+            assert docs.count_documents(allow_degraded=True) == 4
+        with pytest.warns(DegradedReadWarning):
+            rows = docs.aggregate(
+                [{"$group": {"_id": None, "n": {"$sum": 1}}}],
+                allow_degraded=True,
+            )
+        assert rows[0]["n"] == 4
+        database.close(commit=False)
+
+    def test_writes_to_dark_shard_refused(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        docs = database["docs"]
+        with pytest.raises(DegradedWriteError):
+            docs.insert_one({"_id": "BA5", "ncid": "BA5"})  # routes to shard 2
+        with pytest.raises(DegradedWriteError):
+            docs.update_one({"ncid": "AA7"}, {"$set": {"x": 1}})
+        with pytest.raises(DegradedWriteError):
+            docs.delete_many({})  # scatter write touches the dark shard
+        database.close(commit=False)
+
+    def test_healthy_shard_writes_still_commit(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        docs = database["docs"]
+        docs.insert_one({"_id": "BA0", "ncid": "BA0", "stage": "post"})
+        database.commit()
+        database.close(commit=False)
+        reopened = DurableDatabase(degraded_store, shards=3)
+        assert reopened["docs"].find_one({"ncid": "BA0"}) is not None
+        assert reopened["docs"].quarantined_shards == [DARK_SHARD]
+        reopened.close(commit=False)
+
+    def test_checkpoint_preserves_the_dark_shards_history(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        database.checkpoint()  # must not fold healthy shards over the store
+        database.close(commit=False)
+        assert dark_wal(degraded_store).with_suffix(
+            ".wal.quarantined"
+        ).is_dir() or list(degraded_store.glob("*.quarantined"))
+        report = repair_database(degraded_store)
+        salvaged = DurableDatabase(degraded_store, shards=3)
+        # The snapshot rows of the dark shard survived quarantine+repair.
+        assert salvaged["docs"].find_one({"ncid": "AA7"}) is not None
+        assert report.committed_epoch > 0
+        salvaged.close(commit=False)
+
+    def test_stats_surface_quarantine_and_degraded_reads(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedReadWarning)
+            list(database["docs"].all(allow_degraded=True))
+        stats = database.stats()
+        entry = stats["collections"]["docs"]
+        assert entry["quarantined_shards"] == [DARK_SHARD]
+        assert entry["degraded_reads"] == 1
+        assert stats["resilience"]["quarantined_shards"] == 1
+        assert stats["resilience"]["degraded_reads"] == 1
+        database.close(commit=False)
+
+
+class TestRepair:
+    def test_repair_lifts_quarantine_and_keeps_salvageable_data(
+        self, degraded_store
+    ):
+        database = DurableDatabase(degraded_store, shards=3)
+        report = database.repair()
+        assert database.last_repair is report
+        docs = database["docs"]
+        assert docs.quarantined_shards == []
+        # Snapshot rows of the dark shard and every healthy row survive;
+        # only the corrupted committed frame (AA9) may be gone.
+        present = {doc["ncid"] for doc in docs.all()}
+        assert {"AA1", "AA2", "AA3", "AA5", "AA7"} <= present
+        assert scrub_database(degraded_store).ok
+        database.close()
+
+    def test_repaired_store_accepts_all_writes_again(self, degraded_store):
+        database = DurableDatabase(degraded_store, shards=3)
+        database.repair()
+        database["docs"].insert_one({"_id": "BA5", "ncid": "BA5"})  # shard 2
+        database.commit()
+        database.close()
+        reopened = DurableDatabase(degraded_store, shards=3)
+        assert reopened.last_recovery.clean
+        assert reopened["docs"].find_one({"ncid": "BA5"}) is not None
+        reopened.close(commit=False)
+
+    def test_snapshot_corruption_darkens_whole_collection(self, tmp_path):
+        store = build_sharded_store(tmp_path / "store")
+        path = store / "docs.jsonl"
+        path.write_text(path.read_text().replace('"', "X", 1))
+        database = DurableDatabase(store, shards=3)
+        docs = database["docs"]
+        assert docs.quarantined_shards == [0, 1, 2]
+        with pytest.raises(DegradedReadError):
+            docs.find_one({"ncid": "AA1"})
+        with pytest.warns(DegradedReadWarning):
+            assert list(docs.all(allow_degraded=True)) == []
+        database.repair()
+        # Salvage drops only the mangled line; the rest returns to service.
+        survivors = {doc["ncid"] for doc in database["docs"].all()}
+        assert len(survivors) >= len(SNAP_IDS) + len(WAL_IDS) - 1
+        database.close()
+
+    def test_scrub_method_records_last_scrub_in_stats(self, tmp_path):
+        store = build_sharded_store(tmp_path / "store")
+        database = DurableDatabase(store, shards=3)
+        report = database.scrub()
+        assert report.ok
+        storage = database.stats()["storage"]
+        assert storage["last_scrub"] == {"ok": True, "errors": 0, "warnings": 0}
+        assert storage["committed_epoch"] == database.committed_epoch
+        database.close(commit=False)
+
+
+class TestCompaction:
+    def test_checkpoint_rotates_wal_to_header(self, tmp_path):
+        database = DurableDatabase(tmp_path)
+        docs = database["docs"]
+        for index in range(20):
+            docs.insert_one({"_id": f"a{index}", "ncid": f"a{index}"})
+        database.commit()
+        before = (tmp_path / "docs.wal").stat().st_size
+        database.checkpoint()
+        after = (tmp_path / "docs.wal").stat().st_size
+        assert after < before
+        assert after == len(WAL_MAGIC)
+        database.close()
+        reopened = DurableDatabase(tmp_path)
+        assert reopened["docs"].count_documents() == 20
+        reopened.close(commit=False)
+
+    def test_auto_compact_checkpoints_after_threshold(self, tmp_path):
+        database = DurableDatabase(tmp_path, auto_compact=10)
+        docs = database["docs"]
+        docs.insert_one({"_id": "a", "ncid": "a"})
+        database.commit()
+        assert database._ops_since_checkpoint > 0
+        for index in range(12):
+            docs.insert_one({"_id": f"b{index}", "ncid": f"b{index}"})
+        database.commit()  # crosses the threshold: checkpoint fired
+        assert database._ops_since_checkpoint == 0
+        assert (tmp_path / "docs.wal").stat().st_size == len(WAL_MAGIC)
+        database.close()
+
+    def test_auto_compact_equivalent_to_manual(self, tmp_path):
+        def run(directory, auto_compact):
+            database = DurableDatabase(directory, auto_compact=auto_compact)
+            docs = database["docs"]
+            for index in range(15):
+                docs.insert_one({"_id": f"a{index}", "ncid": f"a{index}", "n": index})
+                database.commit()
+            database.close()
+            reopened = Database.load(directory)
+            state = sorted(
+                json.dumps(doc, sort_keys=True) for doc in reopened["docs"].all()
+            )
+            return state
+
+        assert run(tmp_path / "auto", 4) == run(tmp_path / "manual", None)
+
+    def test_auto_compact_validated(self, tmp_path):
+        with pytest.raises(DocStoreError):
+            DurableDatabase(tmp_path, auto_compact=0)

@@ -258,6 +258,68 @@ class TestDurableGenerate:
         assert _store_records(durable) == _store_records(plain)
 
 
+class TestScrubCommand:
+    @pytest.fixture()
+    def durable_store(self, workspace, tmp_path):
+        _root, snaps, _store = workspace
+        store = tmp_path / "durable"
+        assert main([
+            "generate", "--snapshots", str(snaps), "--store", str(store),
+            "--durable",
+        ]) == 0
+        return store
+
+    def test_clean_store_exits_zero(self, durable_store, capsys):
+        assert main(["scrub", "--store", str(durable_store)]) == 0
+        output = capsys.readouterr().out
+        assert "no problems found" in output
+        assert "committed epoch" in output
+
+    def test_missing_store_exits_one(self, tmp_path, capsys):
+        assert main(["scrub", "--store", str(tmp_path / "nowhere")]) == 1
+        assert "unscannable" in capsys.readouterr().out
+
+    def test_corruption_detected_repaired_then_clean(self, durable_store, capsys):
+        snapshot = durable_store / "clusters.jsonl"
+        snapshot.write_text(snapshot.read_text().replace('"', "X", 1))
+        assert main(["scrub", "--store", str(durable_store)]) == 1
+        output = capsys.readouterr().out
+        assert "snapshot-checksum" in output
+        assert "snapshot-parse" in output
+        assert "--repair" in output  # the hint
+        assert main(["scrub", "--store", str(durable_store), "--repair"]) == 2
+        output = capsys.readouterr().out
+        assert "post-repair scrub" in output
+        assert main(["scrub", "--store", str(durable_store)]) == 0
+
+    def test_json_report_written(self, durable_store, tmp_path, capsys):
+        out = tmp_path / "scrub.json"
+        assert main([
+            "scrub", "--store", str(durable_store), "--json", str(out),
+        ]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+    def test_stats_on_damaged_store_exits_one(self, durable_store, capsys):
+        snapshot = durable_store / "clusters.jsonl"
+        snapshot.write_text(snapshot.read_text().replace('"', "X", 1))
+        assert main(["stats", "--store", str(durable_store)]) == 1
+        output = capsys.readouterr().out
+        assert "store is damaged" in output
+        assert "--repair" in output
+
+    def test_layout_prints_resilience_counters(self, workspace, capsys):
+        _root, _snaps, store = workspace
+        assert main(["stats", "--store", str(store), "--layout"]) == 0
+        output = capsys.readouterr().out
+        assert "resilience:" in output
+        assert "degraded_reads" in output
+        assert "quarantined_shards" in output
+
+
 class TestRecoverCommand:
     def test_clean_store_exits_zero(self, workspace, capsys):
         _root, _snaps, store = workspace
