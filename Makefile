@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup bench-shards bench-hotpath bench-robustness test-faults test-chaos examples validate-docs clean
+.PHONY: install test lint lint-concurrency typecheck bench bench-scoring bench-docstore bench-durability bench-dedup bench-lsh bench-shards bench-hotpath bench-robustness test-faults test-chaos examples validate-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,16 @@ bench-durability:
 # not bit-identical.
 bench-dedup:
 	PYTHONPATH=src python benchmarks/dedup_bench.py --quick --out BENCH_dedup.json
+
+# Quick LSH blocking benchmark: MinHash-LSH + TF-IDF cosine prefilter vs
+# multi-pass Sorted Neighborhood on a typo-heavy labeled workload at three
+# register sizes.  Writes candidate counts, recall, wall times and log-log
+# growth exponents to BENCH_lsh.json; fails if LSH candidates grow
+# quadratically (exponent >= 2), recall drops below 0.90x SNM at the
+# largest size, the pair budget exceeds 0.5x SNM, or any
+# (workers, shards) configuration is not bit-identical.
+bench-lsh:
+	PYTHONPATH=src python benchmarks/lsh_bench.py --quick --out BENCH_lsh.json
 
 # Quick sharding benchmark: single-shard routing vs scatter-gather vs the
 # unsharded baseline, plus concurrent snapshot readers against a

@@ -1,26 +1,31 @@
 """Dedup-pipeline usage hints: naive detection code that will not scale.
 
 :func:`analyze_dedup_usage` inspects Python source (AST-level, nothing is
-executed) and emits ``I406`` warnings — the detection-pipeline sibling of
-the ``I401``–``I405`` index-usage hints — wherever the eagerly
-materialized candidate generators feed the per-pair scorer directly:
+executed) and emits ``I406``/``I408`` warnings — the detection-pipeline
+siblings of the ``I401``–``I405`` index-usage hints — wherever candidate
+generation feeds pair scoring in a shape that stops scaling first:
 
 * ``I406`` — the result of ``multipass_sorted_neighborhood(...)`` or
   ``multipass_blocking(...)`` is passed to ``score_candidates(...)``,
   either nested in the call or through a straight-line local assignment.
+  The eager tuple set and per-pair loop are replaced bit-identically by
+  :mod:`repro.dedup.pipeline`'s packed keys and batched scoring.
+* ``I408`` — the candidate *universe* itself is quadratic or
+  window-bound: all pairs from ``itertools.combinations(...)`` (bare or
+  wrapped in ``pack_pairs(...)``) feed either scorer, or a lone
+  ``sorted_neighborhood_candidates(...)`` result — including its
+  tuple-unpacked first element — feeds ``score_candidates_packed(...)``.
+  On large registers the fix is not a faster loop but a sub-quadratic
+  generator: the MinHash–LSH pass (:mod:`repro.dedup.lsh`).
 
-That shape unions every pass into a ``Set[Tuple[int, int]]`` and scores
-one pair at a time in one process; :mod:`repro.dedup.pipeline` produces
-bit-identical results from packed 64-bit pair keys, prepared record
-vectors and (optionally) sharded worker processes.  Like the index-usage
-hints these are warnings, never errors — the naive code is correct, it is
-just the path that stops scaling first.
+Like the index-usage hints these are warnings, never errors — the naive
+code is correct, it is just the path that stops scaling first.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.diagnostics import WARNING, Diagnostic
 
@@ -29,13 +34,28 @@ CANDIDATE_GENERATORS = frozenset(
     {"multipass_sorted_neighborhood", "multipass_blocking"}
 )
 
+#: All-pairs universes: O(n²) candidates no scoring loop can outrun.
+ALLPAIRS_GENERATORS = frozenset({"combinations"})
+
+#: Window-bound generators whose recall a lone pass caps (I408).
+SNM_ONLY_GENERATORS = frozenset({"sorted_neighborhood_candidates"})
+
 #: The per-pair scoring entry point the streaming pipeline replaces.
 PAIR_SCORERS = frozenset({"score_candidates"})
+
+#: The packed scorer — already fast, but only as good as its candidates.
+PACKED_PAIR_SCORERS = frozenset({"score_candidates_packed"})
 
 _HINT = (
     "use repro.dedup.pipeline (sorted_neighborhood_candidates / "
     "blocking_candidates + score_candidates_packed, or DetectionPipeline) "
     "for packed, streamed, parallel detection with bit-identical results"
+)
+
+_LSH_HINT = (
+    "generate candidates sub-quadratically with the MinHash-LSH pass: "
+    "lsh_candidates(records, attributes, bands=..., rows=...) or "
+    'DetectionPipeline(candidate_passes=("snm", "lsh"))'
 )
 
 
@@ -49,13 +69,51 @@ def _called_name(node: ast.Call) -> Optional[str]:
     return None
 
 
-def _candidates_argument(node: ast.Call) -> Optional[ast.expr]:
-    """The ``candidates`` argument of a ``score_candidates`` call."""
+def _candidates_argument(
+    node: ast.Call, keyword_name: str = "candidates"
+) -> Optional[ast.expr]:
+    """The candidates argument of a scoring call.
+
+    Positionally it is the second argument for both scorers; by keyword
+    it is ``candidates`` for ``score_candidates`` and ``keys`` for
+    ``score_candidates_packed``.
+    """
     if len(node.args) >= 2:
         return node.args[1]
     for keyword in node.keywords:
-        if keyword.arg == "candidates":
+        if keyword.arg == keyword_name:
             return keyword.value
+    return None
+
+
+_TRACKED_GENERATORS = (
+    CANDIDATE_GENERATORS | ALLPAIRS_GENERATORS | SNM_ONLY_GENERATORS
+)
+
+
+def _generator_of_expression(value: ast.expr) -> Optional[str]:
+    """The tracked generator a value expression carries, if any.
+
+    Handles the bare call, ``pack_pairs(combinations(...), n)`` and the
+    ``sorted_neighborhood_candidates(...)[0]`` keys projection.
+    """
+    if isinstance(value, ast.Call):
+        name = _called_name(value)
+        if name in _TRACKED_GENERATORS:
+            return name
+        if name == "pack_pairs" and value.args:
+            inner = value.args[0]
+            if isinstance(inner, ast.Call):
+                inner_name = _called_name(inner)
+                if inner_name in ALLPAIRS_GENERATORS:
+                    return inner_name
+        return None
+    if isinstance(value, ast.Subscript):
+        inner = value.value
+        if isinstance(inner, ast.Call):
+            name = _called_name(inner)
+            if name in SNM_ONLY_GENERATORS:
+                return name
     return None
 
 
@@ -70,11 +128,7 @@ class _Scope:
         targets = (
             node.targets if isinstance(node, ast.Assign) else [node.target]
         )
-        generator: Optional[str] = None
-        if isinstance(value, ast.Call):
-            name = _called_name(value)
-            if name in CANDIDATE_GENERATORS:
-                generator = name
+        generator = _generator_of_expression(value) if value else None
         for target in targets:
             if isinstance(target, ast.Name):
                 if generator is not None:
@@ -82,6 +136,32 @@ class _Scope:
                 else:
                     # Any other rebinding kills the tracked provenance.
                     self.generated.pop(target.id, None)
+            elif isinstance(target, ast.Tuple):
+                self._record_tuple_target(target, value, generator)
+
+    def _record_tuple_target(
+        self,
+        target: ast.Tuple,
+        value: Optional[ast.expr],
+        generator: Optional[str],
+    ) -> None:
+        """``keys, stats = sorted_neighborhood_candidates(...)`` binds keys.
+
+        The generators return ``(keys, stats)`` tuples, so only the first
+        tuple element carries candidate provenance; every other unpacked
+        name is a rebinding that clears whatever it previously tracked.
+        """
+        first_is_keys = (
+            generator in SNM_ONLY_GENERATORS
+            and isinstance(value, ast.Call)
+        )
+        for position, element in enumerate(target.elts):
+            if not isinstance(element, ast.Name):
+                continue
+            if position == 0 and first_is_keys:
+                self.generated[element.id] = generator
+            else:
+                self.generated.pop(element.id, None)
 
 
 class _DedupUsageVisitor(ast.NodeVisitor):
@@ -121,32 +201,66 @@ class _DedupUsageVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         name = _called_name(node)
         if name in PAIR_SCORERS:
-            argument = self._candidates_argument_origin(node)
-            if argument is not None:
+            origin = self._candidates_argument_origin(node, "candidates")
+            if origin in CANDIDATE_GENERATORS:
                 self.findings.append(
                     Diagnostic(
                         "I406",
                         WARNING,
                         f"{self.filename}:{node.lineno}",
-                        f"candidates from {argument}() feed "
+                        f"candidates from {origin}() feed "
                         f"{name}() directly; the eager tuple set and "
                         "per-pair scoring loop do not scale past small "
                         "datasets",
                         hint=_HINT,
                     )
                 )
+            elif origin in ALLPAIRS_GENERATORS:
+                self._report_allpairs(node, name, origin)
+        elif name in PACKED_PAIR_SCORERS:
+            origin = self._candidates_argument_origin(node, "keys")
+            if origin in ALLPAIRS_GENERATORS:
+                self._report_allpairs(node, name, origin)
+            elif origin in SNM_ONLY_GENERATORS:
+                self.findings.append(
+                    Diagnostic(
+                        "I408",
+                        WARNING,
+                        f"{self.filename}:{node.lineno}",
+                        f"{name}() scores candidates from a lone "
+                        f"{origin}() pass; on large registers the "
+                        "fixed-window neighbourhood caps recall while "
+                        "pair counts keep growing with n*window",
+                        hint=_LSH_HINT,
+                    )
+                )
         self.generic_visit(node)
 
-    def _candidates_argument_origin(self, node: ast.Call) -> Optional[str]:
+    def _report_allpairs(
+        self, node: ast.Call, scorer: str, origin: Optional[str]
+    ) -> None:
+        self.findings.append(
+            Diagnostic(
+                "I408",
+                WARNING,
+                f"{self.filename}:{node.lineno}",
+                f"all pairs from {origin}() feed {scorer}(); the O(n^2) "
+                "candidate universe dominates runtime on large registers "
+                "no matter how fast each pair is scored",
+                hint=_LSH_HINT,
+            )
+        )
+
+    def _candidates_argument_origin(
+        self, node: ast.Call, keyword_name: str
+    ) -> Optional[str]:
         """The generator behind the candidates argument, if traceable."""
-        argument = _candidates_argument(node)
+        argument = _candidates_argument(node, keyword_name)
         if argument is None:
             return None
-        if isinstance(argument, ast.Call):
-            name = _called_name(argument)
-            if name in CANDIDATE_GENERATORS:
-                return name
-            return None
+        direct = _generator_of_expression(argument)
+        if direct is not None:
+            return direct
         if isinstance(argument, ast.Name):
             for scope in reversed(self._scopes):
                 if argument.id in scope.generated:
@@ -157,12 +271,20 @@ class _DedupUsageVisitor(ast.NodeVisitor):
 def analyze_dedup_usage(
     source: str, filename: str = "<source>"
 ) -> List[Diagnostic]:
-    """``I406`` hints for naive candidate-set → per-pair-scoring code.
+    """``I406``/``I408`` hints for candidate shapes that stop scaling.
 
-    ``source`` is Python source text; returns one warning per
-    ``score_candidates`` call whose candidates argument is (or was
-    assigned from, in the same or an enclosing scope) a
-    ``multipass_sorted_neighborhood`` / ``multipass_blocking`` call.
+    ``source`` is Python source text; returns one warning per scoring
+    call whose candidates argument is (or was assigned from, in the same
+    or an enclosing scope):
+
+    * a ``multipass_sorted_neighborhood`` / ``multipass_blocking`` call
+      fed to ``score_candidates`` — ``I406``, use the packed pipeline;
+    * an ``itertools.combinations`` universe (bare, ``pack_pairs``-wrapped
+      or assigned) fed to either scorer, or a lone
+      ``sorted_neighborhood_candidates`` result (nested ``[0]`` or
+      tuple-unpacked keys) fed to ``score_candidates_packed`` — ``I408``,
+      switch candidate generation to the sub-quadratic MinHash–LSH pass.
+
     Raises ``SyntaxError`` if the source does not parse.
     """
     tree = ast.parse(source, filename=filename)

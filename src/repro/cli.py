@@ -381,6 +381,35 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_candidate_passes(value: str) -> tuple:
+    """Decode the ``--passes`` argument of ``detect``.
+
+    Backwards compatible: a bare integer (``--passes 5``) keeps its
+    historical meaning — that many entropy-ranked SNM passes.  Pass
+    names select generator families instead: ``lsh``, ``snm``, or a
+    ``+``/``,``-separated union like ``snm+lsh`` (SNM keeps its default
+    five sort keys; combine with ``--window`` and the ``--bands`` /
+    ``--rows`` / ``--ngram`` knobs).  Returns
+    ``(candidate_passes, snm_pass_count)``.
+    """
+    text = value.strip().lower()
+    if text.isdigit():
+        count = int(text)
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"--passes must be >= 1, got {count}"
+            )
+        return ("snm",), count
+    names = [part for part in text.replace(",", "+").split("+") if part]
+    if not names or any(name not in ("snm", "lsh") for name in names):
+        raise argparse.ArgumentTypeError(
+            f"--passes must be an integer (SNM pass count) or a combination "
+            f"of 'snm'/'lsh' (e.g. 'lsh', 'snm+lsh'); got {value!r}"
+        )
+    ordered = tuple(dict.fromkeys(names))
+    return ordered, 5
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.dedup import DetectionPipeline, RecordMatcher
     from repro.dedup.pipeline import DEFAULT_THRESHOLDS
@@ -396,12 +425,20 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.threshold is not None and args.threshold not in thresholds:
         thresholds.append(args.threshold)
 
+    candidate_passes, snm_passes = args.passes
     pipeline = DetectionPipeline(
         window=args.window,
-        passes=args.passes,
+        passes=snm_passes,
         workers=args.workers,
         shards=args.shards,
         thresholds=sorted(thresholds),
+        candidate_passes=candidate_passes,
+        bands=args.bands,
+        rows=args.rows,
+        ngram=args.ngram,
+        lsh_seed=args.lsh_seed,
+        max_bucket_size=args.max_bucket,
+        cosine_floor=args.cosine_floor,
     )
     name_attributes = tuple(
         a for a in ("first_name", "midl_name", "last_name") if a in attributes
@@ -720,8 +757,27 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--gold", help="gold CSV (default: <dataset>.gold.csv)")
     detect.add_argument("--window", type=int, default=20,
                         help="Sorted Neighborhood window size")
-    detect.add_argument("--passes", type=int, default=5,
-                        help="SNM passes (most unique attributes)")
+    detect.add_argument(
+        "--passes", type=_parse_candidate_passes, default=(("snm",), 5),
+        help="an integer (that many SNM passes, the historical default) or "
+        "candidate pass types: 'snm', 'lsh', or 'snm+lsh'",
+    )
+    detect.add_argument("--bands", type=int, default=16,
+                        help="LSH bands (candidate iff >=1 band collides)")
+    detect.add_argument("--rows", type=int, default=4,
+                        help="MinHash rows per band (k = bands*rows)")
+    detect.add_argument("--ngram", type=int, default=3,
+                        help="character n-gram width for LSH shingles")
+    detect.add_argument("--lsh-seed", type=int, default=20210323,
+                        help="seed for the MinHash permutations")
+    detect.add_argument(
+        "--max-bucket", type=int, default=500,
+        help="skip LSH buckets larger than this (reported, never silent)",
+    )
+    detect.add_argument(
+        "--cosine-floor", type=float, default=0.0,
+        help="drop LSH candidates below this TF-IDF cosine (0 disables)",
+    )
     detect.add_argument("--threshold", type=float, default=None,
                         help="also report P/R/F1 at this exact threshold")
     detect.add_argument(

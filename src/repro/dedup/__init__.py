@@ -28,9 +28,12 @@ from repro.dedup.blocking import (
     pick_blocking_keys,
 )
 from repro.dedup.pipeline import (
+    CANDIDATE_PASS_TYPES,
+    MAX_PACKABLE_RECORDS,
     CandidateStats,
     DetectionPipeline,
     DetectionResult,
+    PairKeyOverflowError,
     PassStats,
     blocking_candidates,
     collect_candidates,
@@ -41,6 +44,22 @@ from repro.dedup.pipeline import (
     sorted_neighborhood_candidates,
     unpack_pair,
     unpack_pairs,
+)
+from repro.dedup.embeddings import (
+    TfidfVectors,
+    cosine_prefilter,
+    record_shingles,
+    shingle_record,
+    tfidf_vectors,
+)
+from repro.dedup.lsh import (
+    BucketStats,
+    LshPassStats,
+    estimate_jaccard,
+    iter_lsh_keys,
+    lsh_band_collisions,
+    lsh_candidates,
+    minhash_signatures,
 )
 from repro.dedup.evaluate import (
     EvaluationPoint,
@@ -78,9 +97,24 @@ __all__ = [
     "unpack_pair",
     "pack_pairs",
     "unpack_pairs",
+    "PairKeyOverflowError",
+    "MAX_PACKABLE_RECORDS",
+    "CANDIDATE_PASS_TYPES",
     "collect_candidates",
     "sorted_neighborhood_candidates",
     "blocking_candidates",
+    "lsh_candidates",
+    "minhash_signatures",
+    "iter_lsh_keys",
+    "lsh_band_collisions",
+    "estimate_jaccard",
+    "BucketStats",
+    "LshPassStats",
+    "TfidfVectors",
+    "tfidf_vectors",
+    "record_shingles",
+    "shingle_record",
+    "cosine_prefilter",
     "score_pairs_batch",
     "score_candidates_packed",
     "EvaluationPoint",

@@ -76,6 +76,68 @@ def blocking_pairs_reference(
     return pairs
 
 
+def shingle_set_reference(
+    record: Dict[str, str], attributes: Sequence[str], ngram: int = 3
+) -> Set[str]:
+    """Naive char-n-gram shingle set of one record (no interning, no sort).
+
+    Character n-grams of each stripped attribute value, unioned; values
+    shorter than ``ngram`` contribute themselves (so short zips and
+    initials still participate) and grams never span attribute
+    boundaries — the exact contract
+    :func:`repro.dedup.embeddings.shingle_record` optimises.
+    """
+    grams: Set[str] = set()
+    for attribute in attributes:
+        value = (record.get(attribute) or "").strip()
+        if not value:
+            continue
+        if len(value) < ngram:
+            grams.add(value)
+            continue
+        for start in range(len(value) - ngram + 1):
+            grams.add(value[start : start + ngram])
+    return grams
+
+
+def shingle_jaccard_reference(left: Set[str], right: Set[str]) -> float:
+    """Exact Jaccard similarity of two shingle sets (empty sets score 0)."""
+    if not left or not right:
+        return 0.0
+    intersection = len(left & right)
+    union = len(left) + len(right) - intersection
+    return intersection / union
+
+
+def allpairs_shingle_jaccard_reference(
+    records: Sequence[Dict[str, str]],
+    attributes: Sequence[str],
+    ngram: int = 3,
+    threshold: float = 0.5,
+) -> Set[Pair]:
+    """All-pairs exact shingle-Jaccard candidates — the O(n²) LSH oracle.
+
+    Every pair whose exact char-n-gram Jaccard reaches ``threshold``.
+    This is the ground truth MinHash–LSH (:mod:`repro.dedup.lsh`)
+    approximates sub-quadratically: the equivalence suite measures LSH
+    candidate recall against exactly this set, and the benchmark uses it
+    as the quadratic baseline the banded pass must undercut.
+    """
+    shingles = [
+        shingle_set_reference(record, attributes, ngram) for record in records
+    ]
+    pairs: Set[Pair] = set()
+    for right_id in range(1, len(records)):
+        right_shingles = shingles[right_id]
+        for left_id in range(right_id):
+            similarity = shingle_jaccard_reference(
+                shingles[left_id], right_shingles
+            )
+            if similarity >= threshold:
+                pairs.add((left_id, right_id))
+    return pairs
+
+
 def _value_similarity_reference(measure: SimilarityFn, left: str, right: str) -> float:
     """Per-pair value similarity exactly as the matcher resolves it.
 

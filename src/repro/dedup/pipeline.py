@@ -68,16 +68,54 @@ DEFAULT_THRESHOLDS: Tuple[float, ...] = tuple(t / 20 for t in range(4, 20))
 # ------------------------------------------------------------- packed pairs
 
 
+class PairKeyOverflowError(ValueError):
+    """Packing pairs for this record count would overflow 64-bit keys.
+
+    ``pack_pair`` encodes ``(i, j)`` as ``i * n + j``; for
+    ``n > MAX_PACKABLE_RECORDS`` (≈3.04 billion, i.e. ``n`` approaching
+    ``2**32``) the largest key no longer fits in a signed 64-bit word,
+    so two distinct pairs could silently alias once keys cross a
+    fixed-width boundary (an ``array``/mmap spill, a numpy view, a wire
+    format).  Every packing entry point raises this typed error instead
+    of producing keys that are only *sometimes* safe.
+    """
+
+    def __init__(self, record_count: int) -> None:
+        self.record_count = record_count
+        super().__init__(
+            f"record_count {record_count} exceeds MAX_PACKABLE_RECORDS "
+            f"({MAX_PACKABLE_RECORDS}): packed pair keys (i * n + j) would "
+            "overflow 64-bit integers and could alias; shard the register "
+            "before candidate generation"
+        )
+
+
+#: The largest record count whose packed pair keys all fit in a signed
+#: 64-bit integer: ``floor(sqrt(2**63 - 1))``, since the largest key is
+#: ``(n - 2) * n + (n - 1) < n**2``.
+MAX_PACKABLE_RECORDS = 3_037_000_499
+
+
+def _check_packable(record_count: int) -> None:
+    """Raise :class:`PairKeyOverflowError` if keys for ``record_count``
+    records cannot be represented in 64 bits."""
+    if record_count > MAX_PACKABLE_RECORDS:
+        raise PairKeyOverflowError(record_count)
+
+
 def pack_pair(left: int, right: int, record_count: int) -> int:
     """Pack the pair ``(left, right)`` with ``left < right`` into one int.
 
     The packing is ``left * record_count + right`` — unique for
     ``0 <= left < right < record_count`` and reversible via
     :func:`unpack_pair`.  At the paper's scale (millions of records) the
-    packed key still fits comfortably in 64 bits (``n**2 < 2**63`` up to
-    ~3 billion records), and CPython small-int hashing makes set
-    membership and union much cheaper than tuple hashing.
+    packed key still fits comfortably in 64 bits; record counts beyond
+    :data:`MAX_PACKABLE_RECORDS` (``n**2 >= 2**63``, ``n`` near
+    ``2**32``) raise :class:`PairKeyOverflowError` instead of silently
+    aliasing.  CPython small-int hashing makes set membership and union
+    much cheaper than tuple hashing.
     """
+    _check_packable(record_count)
     if not 0 <= left < right < record_count:
         raise ValueError(
             f"pair ({left}, {right}) is not ordered inside range({record_count})"
@@ -86,7 +124,21 @@ def pack_pair(left: int, right: int, record_count: int) -> int:
 
 
 def unpack_pair(key: int, record_count: int) -> Pair:
-    """Invert :func:`pack_pair`."""
+    """Invert :func:`pack_pair`.
+
+    Validates the same bounds: a ``record_count`` beyond
+    :data:`MAX_PACKABLE_RECORDS` raises :class:`PairKeyOverflowError`,
+    and a ``key`` outside ``[0, record_count**2)`` raises
+    :class:`ValueError` — such a key cannot have come from
+    :func:`pack_pair` with this ``record_count``, so decoding it would
+    fabricate a pair that aliases someone else's.
+    """
+    _check_packable(record_count)
+    if not 0 <= key < record_count * record_count:
+        raise ValueError(
+            f"key {key} is outside [0, {record_count}**2) and cannot be a "
+            f"packed pair for {record_count} records"
+        )
     return divmod(key, record_count)
 
 
@@ -117,6 +169,7 @@ def iter_sorted_neighborhood_keys(
     if window < 2:
         raise ValueError(f"window must be >= 2, got {window}")
     record_count = len(records)
+    _check_packable(record_count)
     order = sorted(
         range(record_count),
         key=lambda index: (records[index].get(key_attribute) or "").strip(),
@@ -145,6 +198,7 @@ def iter_blocking_keys(
     cannot also return a value to its consumer.
     """
     record_count = len(records)
+    _check_packable(record_count)
     for members in blocker.blocks(records).values():
         size = len(members)
         if stats is not None:
@@ -212,6 +266,12 @@ class CandidateStats:
                     f"{stats.blocks_skipped} oversized block(s)]"
                 )
             lines.append(line)
+            # LSH passes carry bucket-level accounting (size distribution,
+            # oversized skips, cosine-filtered pairs) — surface it here so
+            # no cap or filter is ever silent on the CLI.
+            buckets = getattr(stats, "buckets", None)
+            if buckets is not None:
+                lines.append(f"  {buckets.render()}")
         lines.append(
             f"total: {self.unique_pairs} unique of {self.pairs_emitted} "
             f"emitted ({self.record_count} records)"
@@ -229,6 +289,7 @@ def collect_candidates(
     counts are tracked on the fly, so no pass is ever materialized on its
     own (the eager tuple-set union kept every pass's set alive at once).
     """
+    _check_packable(record_count)
     keys: Set[int] = set()
     stats = CandidateStats(record_count=record_count)
     for label, stream in passes:
@@ -409,6 +470,10 @@ class DetectionResult:
         return best_f1(self.points)
 
 
+#: Candidate pass types :class:`DetectionPipeline` knows how to run.
+CANDIDATE_PASS_TYPES = ("snm", "lsh")
+
+
 class DetectionPipeline:
     """Candidate generation → batched pair scoring → threshold sweep.
 
@@ -420,6 +485,16 @@ class DetectionPipeline:
     Parameters mirror the paper's setup: ``passes`` most unique attributes
     (entropy-ranked) as SNM sort keys with window ``window``.  Pass
     ``key_attributes`` to pin the sort keys explicitly instead.
+
+    ``candidate_passes`` selects the generator family: ``("snm",)`` (the
+    default) runs the paper's multi-pass Sorted Neighborhood, ``("lsh",)``
+    the sub-quadratic MinHash–LSH pass of :mod:`repro.dedup.lsh` over the
+    same entropy-picked attributes, and ``("snm", "lsh")`` unions both
+    through one deduplicating packed-key set.  The LSH geometry is tuned
+    with ``bands`` / ``rows`` / ``ngram`` / ``max_bucket_size`` /
+    ``cosine_floor`` (see ``docs/performance.md``, Layer 7); its
+    signature computation shares the pipeline's ``workers`` / ``shards``
+    settings and stays bit-identical for every configuration.
     """
 
     def __init__(
@@ -434,6 +509,13 @@ class DetectionPipeline:
         max_retries: int = 2,
         timeout: Optional[float] = None,
         backoff: float = 0.1,
+        candidate_passes: Sequence[str] = ("snm",),
+        bands: int = 16,
+        rows: int = 4,
+        ngram: int = 3,
+        lsh_seed: int = 20210323,
+        max_bucket_size: int = 500,
+        cosine_floor: float = 0.0,
     ) -> None:
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
@@ -441,6 +523,17 @@ class DetectionPipeline:
             raise ValueError(f"passes must be >= 1, got {passes}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        self.candidate_passes = tuple(candidate_passes)
+        if not self.candidate_passes:
+            raise ValueError("candidate_passes must name at least one pass")
+        unknown = [
+            p for p in self.candidate_passes if p not in CANDIDATE_PASS_TYPES
+        ]
+        if unknown:
+            raise ValueError(
+                f"unknown candidate pass(es) {unknown}; "
+                f"supported: {CANDIDATE_PASS_TYPES}"
+            )
         self.window = window
         self.passes = passes
         self.key_attributes = tuple(key_attributes) if key_attributes else None
@@ -450,17 +543,83 @@ class DetectionPipeline:
         self.max_retries = max_retries
         self.timeout = timeout
         self.backoff = backoff
+        self.bands = bands
+        self.rows = rows
+        self.ngram = ngram
+        self.lsh_seed = lsh_seed
+        self.max_bucket_size = max_bucket_size
+        self.cosine_floor = cosine_floor
 
     def candidates(
         self,
         records: Sequence[Dict[str, str]],
         attributes: Sequence[str],
     ) -> Tuple[Set[int], CandidateStats]:
-        """Streamed multi-pass SNM candidates as packed keys."""
+        """Streamed candidates as packed keys, one pass set per type.
+
+        SNM passes stream lazily; an LSH pass is generated through
+        :func:`repro.dedup.lsh.lsh_candidates` (sharded signatures, bucket
+        accounting, optional cosine prefilter) and its deduplicated keys
+        join the same union, so cross-family overlaps are counted like
+        cross-pass overlaps always were.
+        """
         keys = self.key_attributes or pick_blocking_keys(
             records, attributes, self.passes
         )
-        return sorted_neighborhood_candidates(records, keys, self.window)
+        if self.candidate_passes == ("snm",):
+            return sorted_neighborhood_candidates(records, keys, self.window)
+        # Imported here: repro.dedup.lsh imports this module's streaming
+        # primitives, so the dependency must stay one-directional at
+        # import time.
+        from repro.dedup.lsh import lsh_candidates
+
+        streams: List[Tuple[str, Iterator[int]]] = []
+        lsh_stats: Optional[CandidateStats] = None
+        for pass_type in self.candidate_passes:
+            if pass_type == "snm":
+                streams.extend(
+                    (
+                        attribute,
+                        iter_sorted_neighborhood_keys(
+                            records, attribute, self.window
+                        ),
+                    )
+                    for attribute in keys
+                )
+            else:
+                lsh_keys, lsh_stats = lsh_candidates(
+                    records,
+                    keys,
+                    bands=self.bands,
+                    rows=self.rows,
+                    ngram=self.ngram,
+                    seed=self.lsh_seed,
+                    max_bucket_size=self.max_bucket_size,
+                    cosine_floor=self.cosine_floor,
+                    shards=self.shards,
+                    max_workers=self.workers,
+                    max_retries=self.max_retries,
+                    timeout=self.timeout,
+                    backoff=self.backoff,
+                )
+                streams.append(("lsh", iter(sorted(lsh_keys))))
+        candidate_keys, stats = collect_candidates(streams, len(records))
+        if lsh_stats is not None:
+            # Graft the LSH pass's bucket accounting onto the union's
+            # per-pass stats: pairs_new stays what collect_candidates
+            # measured against the cross-family union, everything else
+            # (bucket histogram, skips, filtered pairs) comes from the
+            # pass itself.
+            detailed = lsh_stats.passes[0]
+            for position, pass_stats in enumerate(stats.passes):
+                if pass_stats.label == "lsh":
+                    detailed = dataclasses.replace(
+                        detailed,
+                        pairs_emitted=pass_stats.pairs_emitted,
+                        pairs_new=pass_stats.pairs_new,
+                    )
+                    stats.passes[position] = detailed
+        return candidate_keys, stats
 
     def score(
         self,

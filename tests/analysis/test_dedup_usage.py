@@ -1,15 +1,19 @@
-"""Unit tests for the dedup-pipeline usage hint (I406).
+"""Unit tests for the dedup-pipeline usage hints (I406, I408).
 
-Mirrors ``tests/analysis/test_index_usage.py``: one class for shapes that
-must warn, one for shapes that must stay silent.  The analyzer is
+Mirrors ``tests/analysis/test_index_usage.py``: one class per code for
+shapes that must warn, one for shapes that must stay silent, plus the
+fixture corpus under ``fixtures/dedup_usage/``.  The analyzer is
 AST-only — sources here are never executed.
 """
 
 import textwrap
+from pathlib import Path
 
 import pytest
 
 from repro.analysis import WARNING, analyze_dedup_usage
+
+FIXTURES = Path(__file__).parent / "fixtures" / "dedup_usage"
 
 
 def codes(diagnostics):
@@ -85,6 +89,147 @@ class TestI406Warns:
             """
         )
         assert codes(diagnostics) == ["I406", "I406"]
+
+
+class TestI408Warns:
+    def test_allpairs_combinations_into_score_candidates(self):
+        diagnostics = analyze(
+            """
+            pairs = combinations(range(len(records)), 2)
+            scores = score_candidates(records, pairs, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I408"]
+        assert diagnostics[0].severity == WARNING
+        assert diagnostics[0].path == "check.py:3"
+        assert "combinations" in diagnostics[0].message
+        assert "O(n^2)" in diagnostics[0].message
+        assert "lsh" in diagnostics[0].hint
+
+    def test_allpairs_nested_and_module_qualified(self):
+        diagnostics = analyze(
+            """
+            scores = score_candidates(
+                records, itertools.combinations(range(n), 2), matcher
+            )
+            """
+        )
+        assert codes(diagnostics) == ["I408"]
+
+    def test_pack_pairs_wrapped_allpairs_into_packed_scorer(self):
+        diagnostics = analyze(
+            """
+            keys = pack_pairs(combinations(range(len(records)), 2), len(records))
+            scores = score_candidates_packed(records, keys, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I408"]
+        assert "score_candidates_packed" in diagnostics[0].message
+
+    def test_snm_only_tuple_unpacked_keys(self):
+        diagnostics = analyze(
+            """
+            keys, stats = sorted_neighborhood_candidates(records, attrs, 20)
+            scores = score_candidates_packed(records, keys, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I408"]
+        assert "sorted_neighborhood_candidates" in diagnostics[0].message
+        assert "lsh_candidates" in diagnostics[0].hint
+
+    def test_snm_only_subscript_projection(self):
+        diagnostics = analyze(
+            """
+            keys = sorted_neighborhood_candidates(records, attrs, 20)[0]
+            scores = score_candidates_packed(records, keys, matcher)
+            """
+        )
+        assert codes(diagnostics) == ["I408"]
+
+    def test_keys_keyword_argument(self):
+        diagnostics = analyze(
+            """
+            keys, stats = sorted_neighborhood_candidates(records, attrs)
+            scores = score_candidates_packed(records, matcher=m, keys=keys)
+            """
+        )
+        assert codes(diagnostics) == ["I408"]
+
+    def test_fixture_corpus_exact_codes(self):
+        source = (FIXTURES / "naive_quadratic.py").read_text(encoding="utf-8")
+        diagnostics = analyze_dedup_usage(source, filename="naive_quadratic.py")
+        assert codes(diagnostics) == ["I408", "I408", "I408"]
+        paths = [d.path for d in diagnostics]
+        assert paths == [
+            "naive_quadratic.py:22",
+            "naive_quadratic.py:28",
+            "naive_quadratic.py:34",
+        ]
+        allpairs_tuple, allpairs_packed, snm_only = diagnostics
+        assert "score_candidates()" in allpairs_tuple.message
+        assert "score_candidates_packed()" in allpairs_packed.message
+        assert "lone" in snm_only.message
+        assert all("lsh" in d.hint for d in diagnostics)
+
+
+class TestI408Silent:
+    def test_lsh_pass_is_silent(self):
+        assert (
+            analyze(
+                """
+                keys, stats = lsh_candidates(records, attrs, bands=16, rows=4)
+                scores = score_candidates_packed(records, keys, matcher)
+                """
+            )
+            == []
+        )
+
+    def test_multipass_snm_into_packed_scorer_is_silent(self):
+        # Multi-pass provenance is not a lone pass; only the eager
+        # tuple-set shape (I406) tracks multipass generators.
+        assert (
+            analyze(
+                """
+                keys = multipass_sorted_neighborhood(records, attrs, 20)
+                scores = score_candidates_packed(records, keys, matcher)
+                """
+            )
+            == []
+        )
+
+    def test_rebinding_kills_allpairs_provenance(self):
+        assert (
+            analyze(
+                """
+                pairs = combinations(range(len(records)), 2)
+                pairs = prune(pairs)
+                scores = score_candidates(records, pairs, matcher)
+                """
+            )
+            == []
+        )
+
+    def test_stats_half_of_tuple_unpack_carries_nothing(self):
+        assert (
+            analyze(
+                """
+                keys, stats = sorted_neighborhood_candidates(records, attrs)
+                scores = score_candidates_packed(records, stats, matcher)
+                """
+            )
+            == []
+        )
+
+    def test_combinations_alone_is_silent(self):
+        assert (
+            analyze(
+                """
+                pairs = combinations(range(len(records)), 2)
+                store(pairs)
+                """
+            )
+            == []
+        )
 
 
 class TestI406Silent:

@@ -20,7 +20,9 @@ from hypothesis import strategies as st
 
 from repro.dedup import _reference as ref
 from repro.dedup import (
+    MAX_PACKABLE_RECORDS,
     DetectionPipeline,
+    PairKeyOverflowError,
     RecordMatcher,
     StandardBlocking,
     blocking_candidates,
@@ -81,6 +83,35 @@ class TestPackedKeys:
     def test_pack_unpack_sets(self):
         pairs = {(0, 1), (2, 5), (1, 9)}
         assert unpack_pairs(pack_pairs(pairs, 10), 10) == pairs
+
+    def test_pack_at_max_packable_records_roundtrips(self):
+        # The largest register whose worst-case key (n-2)*n + (n-1) still
+        # fits a signed 64-bit integer must keep working exactly.
+        count = MAX_PACKABLE_RECORDS
+        key = pack_pair(count - 2, count - 1, count)
+        assert key == (count - 2) * count + (count - 1)
+        assert key < 2**63
+        assert unpack_pair(key, count) == (count - 2, count - 1)
+
+    def test_pack_overflow_raises_typed_error(self):
+        count = MAX_PACKABLE_RECORDS + 1
+        with pytest.raises(PairKeyOverflowError) as excinfo:
+            pack_pair(0, 1, count)
+        assert excinfo.value.record_count == count
+        assert str(MAX_PACKABLE_RECORDS) in str(excinfo.value)
+        # the typed error is still a ValueError, so legacy handlers keep
+        # catching it
+        assert isinstance(excinfo.value, ValueError)
+        with pytest.raises(PairKeyOverflowError):
+            unpack_pair(0, count)
+
+    def test_unpack_rejects_out_of_range_keys(self):
+        with pytest.raises(ValueError):
+            unpack_pair(-1, 10)
+        with pytest.raises(ValueError):
+            unpack_pair(100, 10)  # == count * count
+        # largest valid key for count=10 decodes fine
+        assert unpack_pair(8 * 10 + 9, 10) == (8, 9)
 
 
 class TestCandidateEquivalence:
